@@ -1,0 +1,144 @@
+(* Benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe              — run every experiment (E1..E10)
+                                             and the Bechamel micro-benchmarks
+     dune exec bench/main.exe -- e3 e5     — run selected experiments only
+     dune exec bench/main.exe -- micro     — micro-benchmarks only
+
+   Each experiment regenerates one of the paper's figures or worked
+   examples (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record). The micro section times the analysis kernels
+   with Bechamel, one Test.make per experiment family. *)
+
+open Atomrep_spec
+open Atomrep_core
+
+let run_experiments ids =
+  match ids with
+  | [] -> List.iter (fun (_, _, run) -> run ()) Atomrep_experiments.Experiments.all
+  | ids ->
+    List.iter
+      (fun id ->
+        if not (Atomrep_experiments.Experiments.run_by_id id) then
+          Printf.eprintf "unknown experiment %S; known: %s\n" id
+            (String.concat ", "
+               (List.map (fun (i, _, _) -> i) Atomrep_experiments.Experiments.all)))
+      ids
+
+(* --- Bechamel micro-benchmarks: one Test.make per experiment family --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let legality =
+    (* E1/E4 kernel: serial-history legality checking. *)
+    let history =
+      [
+        Queue_type.enq "x"; Queue_type.enq "y"; Queue_type.deq_ok "x";
+        Queue_type.enq "x"; Queue_type.deq_ok "y"; Queue_type.deq_ok "x";
+        Queue_type.deq_empty;
+      ]
+    in
+    Test.make ~name:"legality: 7-event queue history"
+      (Staged.stage (fun () -> ignore (Serial_spec.legal Queue_type.spec history)))
+  in
+  let atomicity_check =
+    let h = Paper.theorem5_history in
+    Test.make ~name:"atomicity: hybrid check, Thm5 history"
+      (Staged.stage (fun () ->
+           ignore (Atomrep_atomicity.Atomicity.is_hybrid_atomic Prom.spec h)))
+  in
+  let static_minimal =
+    Test.make ~name:"Theorem 6: minimal static relation (queue, len 4)"
+      (Staged.stage (fun () -> ignore (Static_dep.minimal Queue_type.spec ~max_len:4)))
+  in
+  let dynamic_minimal =
+    Test.make ~name:"Theorem 10: minimal dynamic relation (queue, len 4)"
+      (Staged.stage (fun () -> ignore (Dynamic_dep.minimal Queue_type.spec ~max_len:4)))
+  in
+  let hybrid_checker =
+    Test.make ~name:"Definition 2: hybrid checker build (PROM, e3 a2)"
+      (Staged.stage (fun () ->
+           ignore (Hybrid_dep.make_checker Prom.spec ~max_events:3 ~max_actions:2)))
+  in
+  let hybrid_verify =
+    let checker = Hybrid_dep.make_checker Prom.spec ~max_events:4 ~max_actions:3 in
+    Test.make ~name:"Definition 2: verify one relation (PROM, e4 a3)"
+      (Staged.stage (fun () ->
+           ignore (Hybrid_dep.is_hybrid_dependency checker Paper.prom_hybrid_relation)))
+  in
+  let availability =
+    let open Atomrep_quorum in
+    let constraints = Op_constraint.of_relation Paper.prom_hybrid_relation in
+    Test.make ~name:"E2/E3 kernel: enumerate assignments (PROM, n=4)"
+      (Staged.stage (fun () ->
+           ignore
+             (Assignment.enumerate ~n_sites:4 ~ops:[ "Read"; "Seal"; "Write" ]
+                constraints)))
+  in
+  let simulator =
+    Test.make ~name:"E8/E9 kernel: 20-txn simulation run"
+      (Staged.stage (fun () ->
+           ignore
+             (Atomrep_replica.Runtime.run
+                { Atomrep_replica.Runtime.default_config with n_txns = 20 })))
+  in
+  let log_merge =
+    let open Atomrep_replica in
+    let open Atomrep_clock in
+    let mk offset =
+      List.fold_left
+        (fun log i ->
+          Log.add log
+            (Log.Entry
+               {
+                 Log.ets = { Lamport.Timestamp.counter = offset + i; site = 0 };
+                 action = Atomrep_history.Action.of_int (i mod 5);
+                 begin_ts = { Lamport.Timestamp.counter = offset + i; site = 0 };
+                 seq = i;
+                 event = Queue_type.enq "x";
+               }))
+        Log.empty
+        (List.init 50 Fun.id)
+    in
+    let l1 = mk 0 and l2 = mk 25 in
+    Test.make ~name:"replica kernel: 50-entry log merge"
+      (Staged.stage (fun () -> ignore (Log.merge l1 l2)))
+  in
+  [
+    legality; atomicity_check; static_minimal; dynamic_minimal; hybrid_checker;
+    hybrid_verify; availability; simulator; log_merge;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_newline ();
+  print_endline "Bechamel micro-benchmarks";
+  print_endline "=========================";
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze raw =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-55s %14.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-55s (no estimate)\n%!" name)
+        results)
+    (micro_tests ())
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let micro_only = args = [ "micro" ] in
+  let micro = List.mem "micro" args || args = [] || List.mem "all" args in
+  let ids = List.filter (fun a -> a <> "micro" && a <> "all") args in
+  if not micro_only then run_experiments ids;
+  if micro then run_micro ()

@@ -1,0 +1,361 @@
+(* atomrep — command-line interface to the analysis and the simulator.
+
+   Subcommands:
+     analyze     — dependency relations of a data type
+     quorums     — enumerate valid quorum assignments and availabilities
+     simulate    — run the replicated-object simulator
+     experiment  — run one of the paper-reproduction experiments
+     types       — list the built-in data types *)
+
+open Cmdliner
+open Atomrep_spec
+open Atomrep_core
+open Atomrep_quorum
+open Atomrep_stats
+
+let find_spec name =
+  match Type_registry.find name with
+  | Some spec -> Ok spec
+  | None ->
+    Error
+      (Printf.sprintf "unknown type %S; available: %s" name
+         (String.concat ", " Type_registry.names))
+
+let type_arg =
+  let doc = "Data type to analyze (see the `types' subcommand)." in
+  Arg.(required & opt (some string) None & info [ "t"; "type" ] ~docv:"TYPE" ~doc)
+
+let max_len_arg =
+  let doc = "History-length bound for the exhaustive analyses." in
+  Arg.(value & opt int 4 & info [ "max-len" ] ~docv:"N" ~doc)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run type_name max_len hybrid_search =
+    match find_spec type_name with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let hybrid =
+        if hybrid_search then
+          Analysis.Search { max_events = max_len; max_actions = 3; universe = None }
+        else Analysis.Skip
+      in
+      let analysis = Analysis.analyze ~max_len ~hybrid spec in
+      Format.printf "%a@." Analysis.pp_report analysis;
+      0
+  in
+  let hybrid_arg =
+    let doc =
+      "Also search for minimal hybrid dependency relations (bounded, can be \
+       slow for large event universes)."
+    in
+    Arg.(value & flag & info [ "hybrid-search" ] ~doc)
+  in
+  let doc = "Compute a data type's dependency relations" in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ type_arg $ max_len_arg $ hybrid_arg)
+
+(* --- quorums --- *)
+
+let quorums_cmd =
+  let run type_name max_len n_sites property p =
+    match find_spec type_name with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let relation =
+        match property with
+        | "static" -> Ok (Static_dep.minimal spec ~max_len)
+        | "dynamic" -> Ok (Dynamic_dep.minimal spec ~max_len)
+        | other -> Error (Printf.sprintf "unknown property %S (static|dynamic)" other)
+      in
+      (match relation with
+       | Error e ->
+         prerr_endline e;
+         1
+       | Ok relation ->
+         let constraints = Op_constraint.of_relation relation in
+         List.iter (fun c -> Format.printf "%a@." Op_constraint.pp c) constraints;
+         let ops =
+           List.sort_uniq String.compare
+             (List.map
+                (fun (inv : Atomrep_history.Event.Invocation.t) -> inv.op)
+                spec.Serial_spec.invocations)
+         in
+         let assignments = Assignment.enumerate ~n_sites ~ops constraints in
+         Printf.printf "\n%d valid threshold assignments on %d sites\n"
+           (List.length assignments) n_sites;
+         let mix = List.map (fun op -> (op, 1.0)) ops in
+         (match Assignment.best_for_mix ~p ~mix assignments with
+          | None -> print_endline "no valid assignment"
+          | Some best ->
+            Format.printf "best for a uniform mix at p=%.2f: %a@." p Assignment.pp best;
+            List.iter
+              (fun op ->
+                Printf.printf "  availability(%s) = %.4f\n" op
+                  (Assignment.availability best ~p op))
+              ops);
+         0)
+  in
+  let sites_arg =
+    Arg.(value & opt int 5 & info [ "n"; "sites" ] ~docv:"SITES" ~doc:"Replication degree.")
+  in
+  let property_arg =
+    Arg.(
+      value & opt string "static"
+      & info [ "property" ] ~docv:"PROP" ~doc:"static or dynamic.")
+  in
+  let p_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "p" ] ~docv:"P" ~doc:"Per-site up probability for availability.")
+  in
+  let doc = "Enumerate valid quorum assignments for a data type" in
+  Cmd.v (Cmd.info "quorums" ~doc)
+    Term.(const run $ type_arg $ max_len_arg $ sites_arg $ property_arg $ p_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let run scheme_name n_txns n_sites seed mtbf =
+    let scheme =
+      match scheme_name with
+      | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
+      | "static" -> Ok Atomrep_replica.Replicated.Static
+      | "locking" -> Ok Atomrep_replica.Replicated.Locking
+      | other -> Error (Printf.sprintf "unknown scheme %S (hybrid|static|locking)" other)
+    in
+    match scheme with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok scheme ->
+      let open Atomrep_replica in
+      let install_faults net =
+        if mtbf > 0.0 then Atomrep_sim.Fault.crash_recover_all net ~mtbf ~mttr:150.0
+      in
+      let cfg =
+        {
+          Runtime.default_config with
+          scheme;
+          n_txns;
+          n_sites;
+          seed;
+          install_faults;
+          objects =
+            [
+              {
+                Runtime.obj_name = "queue";
+                obj_spec = Queue_type.spec;
+                obj_relation = Static_dep.minimal Queue_type.spec ~max_len:4;
+                obj_assignment = Runtime.default_queue_assignment ~n_sites;
+              };
+            ];
+        }
+      in
+      let outcome = Runtime.run cfg in
+      let m = outcome.Runtime.metrics in
+      Printf.printf
+        "scheme=%s txns=%d committed=%d aborted=%d (unavailable=%d rejected=%d \
+         conflict=%d) blocked-waits=%d\n"
+        (Replicated.scheme_name scheme)
+        n_txns m.Runtime.committed m.Runtime.aborted m.Runtime.unavailable_aborts
+        m.Runtime.rejected_aborts m.Runtime.conflict_aborts m.Runtime.blocked_waits;
+      Printf.printf "mean txn latency: %.1f ms over %.1f ms simulated\n"
+        (Summary.mean m.Runtime.txn_latency)
+        m.Runtime.duration;
+      (match Runtime.check_atomicity cfg outcome with
+       | [] -> print_endline "atomicity check: OK"
+       | failures ->
+         List.iter (fun (o, f) -> Printf.printf "ATOMICITY VIOLATION %s: %s\n" o f) failures);
+      0
+  in
+  let scheme_arg =
+    Arg.(
+      value & opt string "hybrid"
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"hybrid, static, or locking.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 100 & info [ "txns" ] ~docv:"N" ~doc:"Transactions to run.")
+  in
+  let sites_arg =
+    Arg.(value & opt int 3 & info [ "n"; "sites" ] ~docv:"SITES" ~doc:"Replication degree.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let mtbf_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "mtbf" ] ~docv:"MS" ~doc:"Mean time between site failures (0 = none).")
+  in
+  let doc = "Run the replicated-queue simulator" in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let run id =
+    if String.equal id "all" then begin
+      List.iter (fun (_, _, r) -> r ()) Atomrep_experiments.Experiments.all;
+      0
+    end
+    else if Atomrep_experiments.Experiments.run_by_id id then 0
+    else begin
+      Printf.eprintf "unknown experiment %S; known: all, %s\n" id
+        (String.concat ", "
+           (List.map (fun (i, _, _) -> i) Atomrep_experiments.Experiments.all));
+      1
+    end
+  in
+  let id_arg =
+    let doc = "Experiment id (e1..e10, or `all')." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let doc = "Reproduce one of the paper's figures or examples" in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run type_name max_len n_sites samples =
+    match find_spec type_name with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let module C = Atomrep_experiments.Compare in
+      let concurrency = C.concurrency ~samples spec in
+      Format.printf "concurrency (Figure 1-1), %d random histories:@." samples;
+      Format.printf "  static  vs hybrid : %a@." C.pp_verdict concurrency.C.static_vs_hybrid;
+      Format.printf "  hybrid  vs dynamic: %a@." C.pp_verdict concurrency.C.hybrid_vs_dynamic;
+      Format.printf "  static  vs dynamic: %a@." C.pp_verdict concurrency.C.static_vs_dynamic;
+      (match concurrency.C.witness_hybrid_not_static with
+       | Some h ->
+         Format.printf "@.witness (hybrid but not static atomic):@.%s@."
+           (Atomrep_history.Behavioral.to_string h)
+       | None -> ());
+      let hybrid_relations = [ Static_dep.minimal spec ~max_len ] in
+      let availability = C.availability ~max_len ~hybrid_relations ~n_sites spec in
+      Format.printf
+        "@.availability (Figure 1-2), threshold assignments on %d sites:@." n_sites;
+      Format.printf "  static %d, hybrid >=%d, dynamic %d@." availability.C.static_count
+        availability.C.hybrid_count availability.C.dynamic_count;
+      Format.printf "  static vs hybrid : %a@." C.pp_verdict availability.C.static_vs_hybrid;
+      Format.printf "  hybrid vs dynamic: %a@." C.pp_verdict availability.C.hybrid_vs_dynamic;
+      print_endline
+        "\n(hybrid counted against the static relation — a sound hybrid\n\
+         relation by Theorem 4; run `analyze --hybrid-search' for minimal\n\
+         hybrid relations)";
+      0
+  in
+  let sites_arg =
+    Arg.(value & opt int 3 & info [ "n"; "sites" ] ~docv:"SITES" ~doc:"Replication degree.")
+  in
+  let samples_arg =
+    Arg.(value & opt int 1000 & info [ "samples" ] ~docv:"N" ~doc:"Random histories to classify.")
+  in
+  let doc = "Compare the three atomicity properties on one data type" in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ type_arg $ max_len_arg $ sites_arg $ samples_arg)
+
+(* --- witness --- *)
+
+let witness_cmd =
+  let run type_name max_len dependent supplier =
+    match find_spec type_name with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok spec ->
+      let universe = Serial_spec.event_universe spec ~max_len in
+      let invs =
+        List.filter
+          (fun (inv : Atomrep_history.Event.Invocation.t) -> String.equal inv.op dependent)
+          spec.Serial_spec.invocations
+      in
+      let events =
+        List.filter
+          (fun (e : Atomrep_history.Event.t) -> String.equal e.inv.op supplier)
+          universe
+      in
+      if invs = [] || events = [] then begin
+        Printf.eprintf "no such operations (%s, %s) for %s\n" dependent supplier type_name;
+        1
+      end
+      else begin
+        let found = ref false in
+        List.iter
+          (fun inv ->
+            List.iter
+              (fun e ->
+                match Static_dep.witness spec ~max_len inv e with
+                | Some (h1, ev, h2, h3) ->
+                  found := true;
+                  let pp_events ppf l =
+                    Format.pp_print_list
+                      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+                      Atomrep_history.Event.pp ppf l
+                  in
+                  Format.printf
+                    "%a >= %a  via Theorem 6:@.  h1 = [%a]@.  insert %a / %a@.  h2 = \
+                     [%a]@.  h3 = [%a]@.@."
+                    Atomrep_history.Event.Invocation.pp inv Atomrep_history.Event.pp e
+                    pp_events h1 Atomrep_history.Event.pp ev Atomrep_history.Event.pp e
+                    pp_events h2 pp_events h3
+                | None -> ())
+              events)
+          invs;
+        if not !found then
+          Printf.printf
+            "no static dependency between %s and %s within %d-event histories\n"
+            dependent supplier max_len;
+        0
+      end
+  in
+  let dependent_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DEPENDENT" ~doc:"Invoking operation.")
+  in
+  let supplier_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SUPPLIER" ~doc:"Supplying operation.")
+  in
+  let doc = "Show a Theorem-6 witness for a static dependency pair" in
+  Cmd.v (Cmd.info "witness" ~doc)
+    Term.(const run $ type_arg $ max_len_arg $ dependent_arg $ supplier_arg)
+
+(* --- types --- *)
+
+let types_cmd =
+  let run () =
+    List.iter
+      (fun (name, spec) ->
+        Printf.printf "%-14s %d operations: %s\n" name
+          (List.length
+             (List.sort_uniq String.compare
+                (List.map
+                   (fun (inv : Atomrep_history.Event.Invocation.t) -> inv.op)
+                   spec.Serial_spec.invocations)))
+          (String.concat ", "
+             (List.sort_uniq String.compare
+                (List.map
+                   (fun (inv : Atomrep_history.Event.Invocation.t) -> inv.op)
+                   spec.Serial_spec.invocations))))
+      Type_registry.all;
+    0
+  in
+  let doc = "List the built-in data types" in
+  Cmd.v (Cmd.info "types" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "atomicity mechanisms and replicated-data availability (Herlihy 1985)" in
+  let info = Cmd.info "atomrep" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            analyze_cmd; quorums_cmd; simulate_cmd; experiment_cmd; compare_cmd;
+            witness_cmd; types_cmd;
+          ]))

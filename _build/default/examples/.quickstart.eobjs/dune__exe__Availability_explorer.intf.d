@@ -1,0 +1,1 @@
+examples/availability_explorer.mli:

@@ -1,0 +1,1 @@
+examples/flagset_hybrid.ml: Atomrep_core Atomrep_spec Flag_set Format Hybrid_dep List Paper Printf Relation

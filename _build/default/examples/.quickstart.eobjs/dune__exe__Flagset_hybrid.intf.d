@@ -1,0 +1,1 @@
+examples/flagset_hybrid.mli:

@@ -1,0 +1,1 @@
+examples/prom_availability.ml: Assignment Atomrep_core Atomrep_quorum Atomrep_spec Atomrep_stats Format List Op_constraint Paper Printf Prom Relation Serial_spec Static_dep Table

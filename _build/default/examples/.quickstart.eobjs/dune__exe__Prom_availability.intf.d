@@ -1,0 +1,1 @@
+examples/prom_availability.mli:

@@ -1,0 +1,67 @@
+(* FlagSet: a data type with two distinct minimal hybrid dependency
+   relations (section 4's closing example).
+
+     dune exec examples/flagset_hybrid.exe
+
+   Quorum assignments under hybrid atomicity have an extra degree of
+   freedom: a quorum choice is valid iff it satisfies SOME hybrid
+   dependency relation. The FlagSet's Shift(1) events can reach a
+   Shift(3)'s view either directly or transitively through Shift(2) — two
+   incomparable constraint sets. *)
+
+open Atomrep_spec
+open Atomrep_core
+
+let () =
+  let checker =
+    Hybrid_dep.make_checker Flag_set.spec ~universe:Paper.flagset_core_universe
+      ~max_events:5 ~max_actions:3
+  in
+  Printf.printf
+    "bounded hybrid checker: %d configurations of Hybrid(FlagSet), %d violation templates\n\n"
+    (Hybrid_dep.config_count checker)
+    (Hybrid_dep.template_count checker);
+  let report name rel =
+    match Hybrid_dep.verify checker rel with
+    | Ok () -> Printf.printf "%-30s VERIFIED as a hybrid dependency relation\n" name
+    | Error ce ->
+      Format.printf "%-30s REJECTED:@.  %a@.@." name Hybrid_dep.pp_counterexample ce
+  in
+  report "base relation" Paper.flagset_base_relation;
+  report "base + Shift(3)>=Shift(1)" Paper.flagset_alternative_31;
+  report "base + Shift(2)>=Shift(1)" Paper.flagset_alternative_21;
+  print_newline ();
+  (* Minimality: a pair is removable only if BOTH checkers accept the
+     removal — the deep (5-event) checker on the normal events covers the
+     Shift-chain arguments, a full-universe 3-event checker covers the
+     Disabled-response arguments the focused universe omits. *)
+  let shallow_full = Hybrid_dep.make_checker Flag_set.spec ~max_events:3 ~max_actions:3 in
+  List.iter
+    (fun (name, rel) ->
+      let removable =
+        List.filter
+          (fun pair ->
+            let without = Relation.remove pair rel in
+            Hybrid_dep.is_hybrid_dependency checker without
+            && Hybrid_dep.is_hybrid_dependency shallow_full without)
+          (Relation.elements rel)
+      in
+      Printf.printf "%s: removable pairs at these bounds:\n" name;
+      if removable = [] then print_endline "  (none — minimal)"
+      else
+        List.iter (fun p -> Format.printf "  %a@." Relation.pp_pair p) removable)
+    [
+      ("alternative Shift(3)>=Shift(1)", Paper.flagset_alternative_31);
+      ("alternative Shift(2)>=Shift(1)", Paper.flagset_alternative_21);
+    ];
+  print_endline
+    "\nNote: the bounded analysis finds Close() >= Open();Ok() implied by\n\
+     the remaining pairs (any self-consistent view already containing the\n\
+     Shift events that Close depends on must contain the Open they depend\n\
+     on). The paper lists it among the required dependencies; no violation\n\
+     witness exists within 4-5 events, so the mechanized minimal relations\n\
+     are one pair smaller than the paper's.";
+  print_endline
+    "\nTwo distinct minimal hybrid dependency relations: the weakest\n\
+     constraints sufficient for hybrid atomicity are not unique, unlike\n\
+     the static (Theorem 6) and dynamic (Theorem 10) cases."

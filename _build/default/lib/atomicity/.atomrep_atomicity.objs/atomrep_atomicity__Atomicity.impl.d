@@ -1,0 +1,1 @@
+lib/atomicity/atomicity.ml: Action Atomrep_history Atomrep_spec Behavioral Event Format List Map Result Serial_spec String

@@ -1,0 +1,1 @@
+lib/atomicity/atomicity.mli: Action Atomrep_history Atomrep_spec Behavioral Event Format Serial_spec

@@ -1,0 +1,115 @@
+open Atomrep_history
+open Atomrep_spec
+
+type property = Static | Hybrid | Dynamic
+
+let property_name = function
+  | Static -> "static"
+  | Hybrid -> "hybrid"
+  | Dynamic -> "dynamic"
+
+let all_properties = [ Static; Hybrid; Dynamic ]
+
+let static_orders h =
+  let committed = Behavioral.committed h in
+  let actives = Behavioral.active h in
+  let begins = Behavioral.begin_order h in
+  let in_order chosen =
+    List.filter
+      (fun a ->
+        List.exists (Action.equal a) committed || List.exists (Action.equal a) chosen)
+      begins
+  in
+  List.map in_order (Behavioral.subsets actives)
+
+let hybrid_orders h =
+  let committed = Behavioral.committed h in
+  let actives = Behavioral.active h in
+  List.concat_map
+    (fun chosen ->
+      List.map (fun perm -> committed @ perm) (Behavioral.permutations chosen))
+    (Behavioral.subsets actives)
+
+let dynamic_orders h =
+  let committed = Behavioral.committed h in
+  let actives = Behavioral.active h in
+  let pairs = Behavioral.precedes_pairs h in
+  List.concat_map
+    (fun chosen -> Behavioral.linear_extensions pairs (committed @ chosen))
+    (Behavioral.subsets actives)
+
+type failure = {
+  order : Action.t list;
+  serial : Event.t list;
+  reason : string;
+}
+
+let pp_failure ppf { order; serial; reason } =
+  Format.fprintf ppf "%s: order [%a], serialization [%a]" reason
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Action.pp)
+    order
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Event.pp)
+    serial
+
+let find_illegal spec h orders =
+  let illegal order =
+    let serial = Behavioral.serialize h order in
+    if Serial_spec.legal spec serial then None
+    else Some { order; serial; reason = "illegal serialization" }
+  in
+  List.find_map illegal orders
+
+let check spec property h =
+  let h = Behavioral.strip_aborted h in
+  match property with
+  | Static ->
+    (match find_illegal spec h (static_orders h) with
+     | Some f -> Error f
+     | None -> Ok ())
+  | Hybrid ->
+    (match find_illegal spec h (hybrid_orders h) with
+     | Some f -> Error f
+     | None -> Ok ())
+  | Dynamic ->
+    let orders = dynamic_orders h in
+    (match find_illegal spec h orders with
+     | Some f -> Error f
+     | None ->
+       (* All serializations over the same action set must be equivalent.
+          Group orders by their action set, compare each group's
+          serializations to the first. *)
+       let depth = List.length (Behavioral.all_events h) + 2 in
+       let module SM = Map.Make (String) in
+       let key order = String.concat "," (List.sort compare (List.map Action.to_string order)) in
+       let groups =
+         List.fold_left
+           (fun m order ->
+             let k = key order in
+             SM.update k (function None -> Some [ order ] | Some l -> Some (order :: l)) m)
+           SM.empty orders
+       in
+       let check_group _ group acc =
+         match acc, group with
+         | Error _, _ -> acc
+         | Ok (), [] -> acc
+         | Ok (), reference :: rest ->
+           let ref_serial = Behavioral.serialize h reference in
+           let differs order =
+             let serial = Behavioral.serialize h order in
+             if Serial_spec.equivalent spec ~depth ref_serial serial then None
+             else Some { order; serial; reason = "inequivalent serializations" }
+           in
+           (match List.find_map differs rest with
+            | Some f -> Error f
+            | None -> Ok ())
+       in
+       SM.fold check_group groups (Ok ()))
+
+let satisfies spec property h = Result.is_ok (check spec property h)
+let is_static_atomic spec h = satisfies spec Static h
+let is_hybrid_atomic spec h = satisfies spec Hybrid h
+let is_dynamic_atomic spec h = satisfies spec Dynamic h

@@ -1,0 +1,61 @@
+(** The three local atomicity properties (paper, §4–§5).
+
+    - {b Static atomicity} (Definition 3): committed actions are serializable
+      in the order of their Begin events — the property ensured by
+      timestamp-ordering mechanisms (Reed; Swallow).
+    - {b Hybrid atomicity} (Definition 3): committed actions are serializable
+      in the order of their Commit events — the property ensured by hybrid
+      locking/timestamp mechanisms.
+    - {b Strong dynamic atomicity} (Definition 7): serializable in {e every}
+      order consistent with the partial precedes order, with all such
+      serializations equivalent — the property ensured by two-phase locking.
+
+    All checkers implement the {e on-line} versions: a history satisfies the
+    property only if it still does after committing any subset of its active
+    actions (in any eligible order). Aborted actions are stripped first
+    (recoverability). Checkers are exhaustive and intended for the small
+    histories used in analysis and testing; the simulator's verification pass
+    applies them to every per-object history it generates. *)
+
+open Atomrep_history
+open Atomrep_spec
+
+type property = Static | Hybrid | Dynamic
+
+val property_name : property -> string
+val all_properties : property list
+
+val static_orders : Behavioral.t -> Action.t list list
+(** Serialization orders demanded by on-line static atomicity: for every
+    subset of active actions, the committed actions plus that subset in
+    Begin-event order. *)
+
+val hybrid_orders : Behavioral.t -> Action.t list list
+(** Orders demanded by on-line hybrid atomicity: committed actions in
+    Commit-event order, followed by every permutation of every subset of
+    active actions (their hypothetical Commit events would follow all
+    existing ones, in any relative order). *)
+
+val dynamic_orders : Behavioral.t -> Action.t list list
+(** Orders demanded by on-line strong dynamic atomicity: for every subset of
+    active actions, every linear extension of the precedes order over the
+    committed actions plus that subset. *)
+
+type failure = {
+  order : Action.t list; (** serialization order that failed *)
+  serial : Event.t list; (** the illegal (or inequivalent) serialization *)
+  reason : string;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val check : Serial_spec.t -> property -> Behavioral.t -> (unit, failure) result
+(** Full check with a counterexample on failure. For [Dynamic] this includes
+    the equivalence requirement between all serializations, decided with
+    observational equivalence at depth [history length + 2]. *)
+
+val satisfies : Serial_spec.t -> property -> Behavioral.t -> bool
+
+val is_static_atomic : Serial_spec.t -> Behavioral.t -> bool
+val is_hybrid_atomic : Serial_spec.t -> Behavioral.t -> bool
+val is_dynamic_atomic : Serial_spec.t -> Behavioral.t -> bool

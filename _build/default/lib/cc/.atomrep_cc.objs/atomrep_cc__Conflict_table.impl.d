@@ -1,0 +1,1 @@
+lib/cc/conflict_table.ml: Atomrep_core Atomrep_history Event Format List Relation Set String

@@ -1,0 +1,1 @@
+lib/cc/conflict_table.mli: Atomrep_core Atomrep_history Event Format Relation

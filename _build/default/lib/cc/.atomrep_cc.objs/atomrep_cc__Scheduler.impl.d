@@ -1,0 +1,1 @@
+lib/cc/scheduler.ml: Action Atomrep_clock Atomrep_core Atomrep_history Atomrep_spec Behavioral Conflict_table Dynamic_dep Event Format Lamport List Serial_spec Static_dep

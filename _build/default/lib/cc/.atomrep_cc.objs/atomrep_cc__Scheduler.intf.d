@@ -1,0 +1,1 @@
+lib/cc/scheduler.mli: Action Atomrep_clock Atomrep_history Atomrep_spec Behavioral Event Format Lamport Serial_spec

@@ -1,0 +1,25 @@
+module Timestamp = struct
+  type t = { counter : int; site : int }
+
+  let compare a b =
+    let c = Int.compare a.counter b.counter in
+    if c <> 0 then c else Int.compare a.site b.site
+
+  let equal a b = compare a b = 0
+  let pp ppf { counter; site } = Format.fprintf ppf "%d.%d" counter site
+  let zero = { counter = 0; site = 0 }
+end
+
+type t = { site : int; mutable counter : int }
+
+let create ~site = { site; counter = 0 }
+let site t = t.site
+
+let tick t =
+  t.counter <- t.counter + 1;
+  { Timestamp.counter = t.counter; site = t.site }
+
+let witness t (ts : Timestamp.t) =
+  if ts.counter > t.counter then t.counter <- ts.counter
+
+let peek t = { Timestamp.counter = t.counter; site = t.site }

@@ -1,0 +1,33 @@
+(** Lamport logical clocks (Lamport [18]; paper §3.2, §4).
+
+    Timestamps are pairs (counter, site) totally ordered lexicographically.
+    The replication method timestamps log entries with Lamport time, and
+    hybrid atomicity serializes committed actions by the Lamport timestamps
+    of their Commit events; well-formed use guarantees the timestamp order
+    extends the precedes order. *)
+
+module Timestamp : sig
+  type t = { counter : int; site : int }
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val zero : t
+end
+
+type t
+(** One site's clock. *)
+
+val create : site:int -> t
+val site : t -> int
+
+val tick : t -> Timestamp.t
+(** Advance the local counter and return a fresh timestamp. *)
+
+val witness : t -> Timestamp.t -> unit
+(** Merge a timestamp observed in a received message: the local counter
+    becomes at least the observed counter. Subsequent {!tick}s then exceed
+    every witnessed timestamp. *)
+
+val peek : t -> Timestamp.t
+(** Current time without advancing. *)

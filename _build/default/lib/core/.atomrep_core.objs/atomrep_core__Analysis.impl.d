@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Atomrep_history Atomrep_spec Dynamic_dep Event Format Hybrid_dep List Relation Serial_spec Static_dep

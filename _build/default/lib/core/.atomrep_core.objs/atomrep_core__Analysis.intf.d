@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Atomrep_history Atomrep_spec Event Format Relation Serial_spec

@@ -1,0 +1,1 @@
+lib/core/closed_subhistory.ml: Action Array Atomrep_history Behavioral Event Fun List Relation

@@ -1,0 +1,1 @@
+lib/core/closed_subhistory.mli: Atomrep_history Behavioral Relation

@@ -1,0 +1,1 @@
+lib/core/dynamic_dep.mli: Atomrep_history Atomrep_spec Event Relation Serial_spec Value

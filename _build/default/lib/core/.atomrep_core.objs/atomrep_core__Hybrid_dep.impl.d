@@ -1,0 +1,1 @@
+lib/core/hybrid_dep.ml: Action Array Atomrep_history Atomrep_spec Buffer Event Format Fun Hashtbl Lazy List Relation Result Serial_spec String Value

@@ -1,0 +1,1 @@
+lib/core/hybrid_dep.mli: Atomrep_history Atomrep_spec Event Format Relation Serial_spec

@@ -1,0 +1,1 @@
+lib/core/paper.ml: Atomrep_history Atomrep_spec Behavioral Double_buffer Flag_set List Prom Queue_type Relation String

@@ -1,0 +1,1 @@
+lib/core/paper.mli: Atomrep_history Atomrep_spec Behavioral Event Relation Serial_spec

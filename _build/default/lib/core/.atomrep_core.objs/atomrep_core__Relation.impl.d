@@ -1,0 +1,1 @@
+lib/core/relation.ml: Array Atomrep_history Event Format Hashtbl List Option Set String Value

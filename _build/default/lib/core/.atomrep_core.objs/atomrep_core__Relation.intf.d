@@ -1,0 +1,1 @@
+lib/core/relation.mli: Atomrep_history Event Format Value

@@ -1,0 +1,1 @@
+lib/core/static_dep.ml: Array Atomrep_history Atomrep_spec Event List Relation Serial_spec Value

@@ -1,0 +1,1 @@
+lib/core/static_dep.mli: Atomrep_history Atomrep_spec Event Relation Serial_spec

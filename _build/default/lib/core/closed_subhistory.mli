@@ -1,0 +1,32 @@
+(** Closed subhistories (paper, Definition 1).
+
+    A subhistory [G] of [H] (an order-preserving selection of [H]'s
+    operation executions) is {e closed} under a relation [≽] when, whenever
+    it contains an event [\[e A\]], it also contains every earlier event
+    [\[e' A'\]] with [e.inv ≽ e'], provided neither action has aborted.
+
+    Closed subhistories are the formal model of the views a front-end can
+    assemble: quorum intersection guarantees that a view contains every
+    event the invocation depends on, and the closure condition captures
+    transitive visibility through intermediate events (the FlagSet
+    example's indirect Shift(1)→Shift(2)→Shift(3) path). *)
+
+open Atomrep_history
+
+val is_closed : Relation.t -> Behavioral.t -> keep:(int -> bool) -> bool
+(** [is_closed rel h ~keep] — is the selection (by execution index, 0-based
+    over [h]'s executions in order) closed under [rel]? Events of aborted
+    actions are exempt, per Definition 1. *)
+
+val closure : Relation.t -> Behavioral.t -> int list -> int list
+(** [closure rel h selected] is the least superset of [selected] that is
+    closed under [rel] — the events a front-end must pull into a view
+    seeded with [selected]. Sorted ascending. *)
+
+val closed_selections : Relation.t -> Behavioral.t -> int list list
+(** Every closed selection of [h]'s executions (exponential; intended for
+    the small histories of the analyses). Each selection is sorted. *)
+
+val subhistory : Behavioral.t -> keep:(int -> bool) -> Behavioral.t
+(** The behavioral history [G]: drops rejected executions and the
+    Begin/Commit/Abort entries of actions left without any execution. *)

@@ -1,0 +1,29 @@
+(** The unique minimal dynamic dependency relation (paper, Theorem 10).
+
+    Two events commute (Definition 8) when, for every serial history [h] with
+    [h·e] and [h·e'] both legal, [h·e·e'] and [h·e'·e] are equivalent legal
+    histories. [inv ≽d e] holds when some response [res] makes [[inv;res]]
+    and [e] fail to commute.
+
+    Commutativity is decided exhaustively over the legal histories of the
+    specification up to [max_len] events, with history equivalence decided by
+    observational equivalence at depth [max_len + 2]
+    ({!Atomrep_spec.Serial_spec.state_equiv}). *)
+
+open Atomrep_history
+open Atomrep_spec
+
+val commute :
+  ?histories:(Event.t list * Value.t) list ->
+  Serial_spec.t -> max_len:int -> Event.t -> Event.t -> bool
+(** [commute spec ~max_len e e'] decides Definition 8 within the bound.
+    [histories] lets callers reuse one enumeration across many queries. *)
+
+val non_commuting_witness :
+  Serial_spec.t -> max_len:int -> Event.t -> Event.t -> Event.t list option
+(** A serial history [h] with [h·e] and [h·e'] legal but [h·e·e'] and
+    [h·e'·e] not equivalent legal histories, if one exists within bound. *)
+
+val minimal :
+  ?events:Event.t list -> Serial_spec.t -> max_len:int -> Relation.t
+(** [minimal spec ~max_len] computes [≽d] over the bounded event universe. *)

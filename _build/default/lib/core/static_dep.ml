@@ -1,0 +1,129 @@
+open Atomrep_history
+open Atomrep_spec
+
+(* Split each enumerated legal history H into h1·h2·h3 and test Theorem 6's
+   two conditions for every candidate pair of events, reusing the states
+   reached along H to avoid re-running prefixes. *)
+
+let prefix_states spec events =
+  (* States s.(i) after the first i events; events are known legal. *)
+  let n = List.length events in
+  let states = Array.make (n + 1) spec.Serial_spec.initial in
+  List.iteri
+    (fun i e ->
+      match Serial_spec.apply_event spec states.(i) e with
+      | Some s -> states.(i + 1) <- s
+      | None -> invalid_arg "Static_dep: history not legal")
+    events;
+  states
+
+type split = {
+  s1 : Value.t; (* state after h1 *)
+  h2 : Event.t list;
+  s2 : Value.t; (* state after h1·h2 *)
+  h3 : Event.t list;
+}
+
+let splits_of spec events =
+  let states = prefix_states spec events in
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  let sub i j = Array.to_list (Array.sub arr i (j - i)) in
+  let acc = ref [] in
+  for i = 0 to n do
+    for j = i to n do
+      acc := { s1 = states.(i); h2 = sub i j; s2 = states.(j); h3 = sub j n } :: !acc
+    done
+  done;
+  !acc
+
+(* Condition 1 with [ev] inserted after h1 and [e] after h2; condition 2 is
+   the same test with the roles of [ev] and [e] exchanged, so one primitive
+   serves both. [first] is inserted after h1, [second] after h2. *)
+let condition spec split ~first ~second =
+  match Serial_spec.apply_event spec split.s1 first with
+  | None -> false
+  | Some s1' ->
+    let rec run s = function
+      | [] -> Some s
+      | e :: rest ->
+        (match Serial_spec.apply_event spec s e with
+         | None -> None
+         | Some s' -> run s' rest)
+    in
+    (match run s1' split.h2 with
+     | None -> false
+     | Some t2 ->
+       (* h1·first·h2·h3 legal? *)
+       Serial_spec.legal_from spec t2 split.h3
+       && (match Serial_spec.apply_event spec split.s2 second with
+           | None -> false
+           | Some s2' ->
+             (* h1·h2·second·h3 legal? *)
+             Serial_spec.legal_from spec s2' split.h3
+             (* h1·first·h2·second·h3 illegal? *)
+             && not
+                  (match Serial_spec.apply_event spec t2 second with
+                   | None -> false
+                   | Some u -> Serial_spec.legal_from spec u split.h3)))
+
+let pair_in_split spec split ev e =
+  condition spec split ~first:ev ~second:e
+  || condition spec split ~first:e ~second:ev
+
+let default_events spec ~max_len events =
+  match events with
+  | Some evs -> evs
+  | None -> Serial_spec.event_universe spec ~max_len
+
+let minimal ?events spec ~max_len =
+  let universe = default_events spec ~max_len events in
+  let histories = Serial_spec.enumerate spec ~max_len in
+  let relation = ref Relation.empty in
+  let consider split =
+    List.iter
+      (fun ev ->
+        List.iter
+          (fun e ->
+            if not (Relation.mem (ev.Event.inv, e) !relation)
+               && pair_in_split spec split ev e
+            then relation := Relation.add (ev.Event.inv, e) !relation)
+          universe)
+      universe
+  in
+  List.iter
+    (fun (hist, _) -> List.iter consider (splits_of spec hist))
+    histories;
+  !relation
+
+let witness ?events spec ~max_len inv e =
+  let universe = default_events spec ~max_len events in
+  let candidates =
+    List.filter (fun (ev : Event.t) -> Event.Invocation.equal ev.inv inv) universe
+  in
+  let histories = Serial_spec.enumerate spec ~max_len in
+  let check_history (hist, _) =
+    let states = prefix_states spec hist in
+    let arr = Array.of_list hist in
+    let n = Array.length arr in
+    let sub i j = Array.to_list (Array.sub arr i (j - i)) in
+    let check_split i j =
+      let split = { s1 = states.(i); h2 = sub i j; s2 = states.(j); h3 = sub j n } in
+      List.find_map
+        (fun ev ->
+          if pair_in_split spec split ev e then
+            Some (sub 0 i, ev, split.h2, split.h3)
+          else None)
+        candidates
+    in
+    let rec over_splits i j =
+      if i > n then None
+      else if j > n then over_splits (i + 1) (i + 1)
+      else
+        match check_split i j with
+        | Some w -> Some w
+        | None -> over_splits i (j + 1)
+    in
+    over_splits 0 0
+  in
+  List.find_map check_history histories

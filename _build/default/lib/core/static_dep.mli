@@ -1,0 +1,36 @@
+(** The unique minimal static dependency relation (paper, Theorem 6).
+
+    [inv ≽s e] holds when there exist a response [res] and serial histories
+    [h1], [h2], [h3] with [h1·h2·h3] legal such that either
+
+    + [h1·[inv;res]·h2·h3] and [h1·h2·e·h3] are legal but
+      [h1·[inv;res]·h2·e·h3] is illegal, or
+    + [h1·e·h2·h3] and [h1·h2·[inv;res]·h3] are legal but
+      [h1·e·h2·[inv;res]·h3] is illegal.
+
+    The computation is exhaustive over all legal serial histories of the
+    specification up to [max_len] events (the combined length of
+    [h1·h2·h3]) and over the bounded event universe, so the result is the
+    minimal static dependency relation of the specification restricted to
+    that bound. For the paper's data types the relation is saturated at
+    small bounds (the theorem's witnesses use three-event histories). *)
+
+open Atomrep_history
+open Atomrep_spec
+
+val minimal :
+  ?events:Event.t list -> Serial_spec.t -> max_len:int -> Relation.t
+(** [minimal spec ~max_len] computes [≽s]. [events] overrides the candidate
+    event universe (default: {!Serial_spec.event_universe} at [max_len]). *)
+
+val witness :
+  ?events:Event.t list ->
+  Serial_spec.t ->
+  max_len:int ->
+  Event.Invocation.t ->
+  Event.t ->
+  (Event.t list * Event.t * Event.t list * Event.t list) option
+(** [witness spec ~max_len inv e] returns [(h1, ev, h2, h3)] realizing the
+    first or second condition for the pair, if the pair is in the bounded
+    relation — the paper-style evidence printed by the experiment
+    harness. [ev] is the [inv;res] event chosen. *)

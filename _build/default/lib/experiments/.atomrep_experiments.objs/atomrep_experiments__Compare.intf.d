@@ -1,0 +1,1 @@
+lib/experiments/compare.mli: Atomrep_core Atomrep_history Atomrep_spec Behavioral Format Relation Serial_spec

@@ -1,0 +1,113 @@
+open Atomrep_history
+open Atomrep_core
+open Atomrep_spec
+open Atomrep_atomicity
+
+type verdict =
+  | Equal
+  | Left_strictly_contains
+  | Right_strictly_contains
+  | Incomparable
+
+let pp_verdict ppf v =
+  Format.pp_print_string ppf
+    (match v with
+     | Equal -> "equal (no separating witness found)"
+     | Left_strictly_contains -> "left strictly contains right"
+     | Right_strictly_contains -> "right strictly contains left"
+     | Incomparable -> "incomparable")
+
+let verdict_of ~left_only ~right_only =
+  match left_only, right_only with
+  | false, false -> Equal
+  | true, false -> Left_strictly_contains
+  | false, true -> Right_strictly_contains
+  | true, true -> Incomparable
+
+type concurrency_report = {
+  samples : int;
+  static_vs_hybrid : verdict;
+  hybrid_vs_dynamic : verdict;
+  static_vs_dynamic : verdict;
+  witness_hybrid_not_static : Behavioral.t option;
+  witness_static_not_hybrid : Behavioral.t option;
+  witness_hybrid_not_dynamic : Behavioral.t option;
+}
+
+let concurrency ?(seed = 1985) ?(samples = 2000) ?(max_actions = 3) ?(max_events = 4)
+    spec =
+  let rng = Atomrep_stats.Rng.create seed in
+  let sta_not_hyb = ref None and hyb_not_sta = ref None in
+  let hyb_not_dyn = ref None and dyn_not_hyb = ref None in
+  let sta_not_dyn = ref false and dyn_not_sta = ref false in
+  for _ = 1 to samples do
+    let h = Atomrep_workload.Histories.random rng spec ~max_actions ~max_events in
+    let s = Atomicity.is_static_atomic spec h in
+    let y = Atomicity.is_hybrid_atomic spec h in
+    let d = Atomicity.is_dynamic_atomic spec h in
+    if s && not y && Option.is_none !sta_not_hyb then sta_not_hyb := Some h;
+    if y && not s && Option.is_none !hyb_not_sta then hyb_not_sta := Some h;
+    if y && not d && Option.is_none !hyb_not_dyn then hyb_not_dyn := Some h;
+    if d && not y && Option.is_none !dyn_not_hyb then dyn_not_hyb := Some h;
+    if s && not d then sta_not_dyn := true;
+    if d && not s then dyn_not_sta := true
+  done;
+  {
+    samples;
+    static_vs_hybrid =
+      verdict_of
+        ~left_only:(Option.is_some !sta_not_hyb)
+        ~right_only:(Option.is_some !hyb_not_sta);
+    hybrid_vs_dynamic =
+      verdict_of
+        ~left_only:(Option.is_some !hyb_not_dyn)
+        ~right_only:(Option.is_some !dyn_not_hyb);
+    static_vs_dynamic = verdict_of ~left_only:!sta_not_dyn ~right_only:!dyn_not_sta;
+    witness_hybrid_not_static = !hyb_not_sta;
+    witness_static_not_hybrid = !sta_not_hyb;
+    witness_hybrid_not_dynamic = !hyb_not_dyn;
+  }
+
+type availability_report = {
+  n_sites : int;
+  static_count : int;
+  hybrid_count : int;
+  dynamic_count : int;
+  static_vs_hybrid : verdict;
+  hybrid_vs_dynamic : verdict;
+}
+
+let availability ?(max_len = 4) ~hybrid_relations ~n_sites spec =
+  let open Atomrep_quorum in
+  let ops =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (inv : Event.Invocation.t) -> inv.op)
+         spec.Serial_spec.invocations)
+  in
+  let static_cs = Op_constraint.of_relation (Static_dep.minimal spec ~max_len) in
+  let dynamic_cs = Op_constraint.of_relation (Dynamic_dep.minimal spec ~max_len) in
+  let hybrid_css = List.map Op_constraint.of_relation hybrid_relations in
+  let everything = Assignment.enumerate ~n_sites ~ops [] in
+  let static_valid = List.filter (fun a -> Assignment.satisfies a static_cs) everything in
+  let hybrid_valid =
+    List.filter (fun a -> List.exists (Assignment.satisfies a) hybrid_css) everything
+  in
+  let dynamic_valid =
+    List.filter (fun a -> Assignment.satisfies a dynamic_cs) everything
+  in
+  let only xs ys = List.exists (fun x -> not (List.mem x ys)) xs in
+  {
+    n_sites;
+    static_count = List.length static_valid;
+    hybrid_count = List.length hybrid_valid;
+    dynamic_count = List.length dynamic_valid;
+    static_vs_hybrid =
+      verdict_of
+        ~left_only:(only static_valid hybrid_valid)
+        ~right_only:(only hybrid_valid static_valid);
+    hybrid_vs_dynamic =
+      verdict_of
+        ~left_only:(only hybrid_valid dynamic_valid)
+        ~right_only:(only dynamic_valid hybrid_valid);
+  }

@@ -1,0 +1,1 @@
+lib/history/action.ml: Char Format Map Set String

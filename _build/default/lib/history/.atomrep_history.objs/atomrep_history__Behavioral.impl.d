@@ -1,0 +1,1 @@
+lib/history/behavioral.ml: Action Event Format List Seq

@@ -1,0 +1,1 @@
+lib/history/behavioral.mli: Action Event Format Seq

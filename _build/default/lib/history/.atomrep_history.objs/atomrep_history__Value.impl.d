@@ -1,0 +1,1 @@
+lib/history/value.ml: Bool Format Int String

@@ -1,0 +1,1 @@
+lib/history/value.mli: Format

@@ -1,0 +1,16 @@
+type t = string
+
+let of_string s = s
+
+let of_int n =
+  (* Small indices map onto the paper's A, B, C … naming. *)
+  if n >= 0 && n < 26 then String.make 1 (Char.chr (Char.code 'A' + n))
+  else "T" ^ string_of_int n
+
+let to_string t = t
+let compare = String.compare
+let equal = String.equal
+let pp ppf t = Format.pp_print_string ppf t
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

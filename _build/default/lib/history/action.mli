@@ -1,0 +1,17 @@
+(** Action (transaction) identifiers.
+
+    The basic units of computation in the paper are sequential processes
+    called actions. An action identifier names one action within a behavioral
+    history; identifiers carry no other structure. *)
+
+type t
+
+val of_string : string -> t
+val of_int : int -> t
+val to_string : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

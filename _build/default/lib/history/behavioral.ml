@@ -1,0 +1,160 @@
+type entry =
+  | Begin of Action.t
+  | Exec of Event.t * Action.t
+  | Commit of Action.t
+  | Abort of Action.t
+
+type t = entry list
+
+let pp_entry ppf = function
+  | Begin a -> Format.fprintf ppf "Begin %a" Action.pp a
+  | Exec (e, a) -> Format.fprintf ppf "%a %a" Event.pp e Action.pp a
+  | Commit a -> Format.fprintf ppf "Commit %a" Action.pp a
+  | Abort a -> Format.fprintf ppf "Abort %a" Action.pp a
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_entry ppf t
+
+let to_string t = Format.asprintf "%a" pp t
+
+let action_of = function
+  | Begin a | Exec (_, a) | Commit a | Abort a -> a
+
+let well_formed t =
+  let module M = Action.Map in
+  (* status: 0 = unseen, 1 = begun, 2 = finished *)
+  let rec go status = function
+    | [] -> true
+    | Begin a :: rest ->
+      if M.mem a status then false else go (M.add a 1 status) rest
+    | Exec (_, a) :: rest ->
+      (match M.find_opt a status with
+       | Some 1 -> go status rest
+       | Some _ | None -> false)
+    | (Commit a | Abort a) :: rest ->
+      (match M.find_opt a status with
+       | Some 1 -> go (M.add a 2 status) rest
+       | Some _ | None -> false)
+  in
+  go M.empty t
+
+let actions t =
+  List.filter_map (function Begin a -> Some a | Exec _ | Commit _ | Abort _ -> None) t
+
+let committed t =
+  List.filter_map (function Commit a -> Some a | Begin _ | Exec _ | Abort _ -> None) t
+
+let aborted t =
+  List.to_seq t
+  |> Seq.filter_map (function Abort a -> Some a | Begin _ | Exec _ | Commit _ -> None)
+
+let is_aborted t a = Seq.exists (Action.equal a) (aborted t)
+
+let active t =
+  let finished =
+    List.filter_map
+      (function Commit a | Abort a -> Some a | Begin _ | Exec _ -> None)
+      t
+  in
+  List.filter (fun a -> not (List.exists (Action.equal a) finished)) (actions t)
+
+let begin_order t =
+  List.filter (fun a -> not (is_aborted t a)) (actions t)
+
+let events_of t a =
+  List.filter_map
+    (function
+      | Exec (e, a') when Action.equal a a' -> Some e
+      | Begin _ | Exec _ | Commit _ | Abort _ -> None)
+    t
+
+let all_events t =
+  List.filter_map
+    (function Exec (e, a) -> Some (e, a) | Begin _ | Commit _ | Abort _ -> None)
+    t
+
+let live_events t =
+  List.filter (fun (_, a) -> not (is_aborted t a)) (all_events t)
+
+let serialize t order = List.concat_map (events_of t) order
+
+let precedes_pairs t =
+  (* A precedes B when B executes an operation after A commits. *)
+  let rec go committed_so_far acc = function
+    | [] -> acc
+    | Commit a :: rest -> go (a :: committed_so_far) acc rest
+    | Exec (_, b) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc a -> if Action.equal a b then acc else (a, b) :: acc)
+          acc committed_so_far
+      in
+      go committed_so_far acc rest
+    | (Begin _ | Abort _) :: rest -> go committed_so_far acc rest
+  in
+  let executes_something a = events_of t a <> [] in
+  let pairs = go [] [] t in
+  let pairs =
+    List.filter
+      (fun (a, b) ->
+        (not (is_aborted t a)) && (not (is_aborted t b))
+        && executes_something a && executes_something b)
+      pairs
+  in
+  List.sort_uniq
+    (fun (a1, b1) (a2, b2) ->
+      let c = Action.compare a1 a2 in
+      if c <> 0 then c else Action.compare b1 b2)
+    pairs
+
+let linear_extensions pairs items =
+  let relevant (a, b) =
+    List.exists (Action.equal a) items && List.exists (Action.equal b) items
+  in
+  let pairs = List.filter relevant pairs in
+  let rec extend remaining =
+    match remaining with
+    | [] -> [ [] ]
+    | _ ->
+      let minimal x =
+        not (List.exists (fun (a, b) -> Action.equal b x && List.exists (Action.equal a) remaining) pairs)
+      in
+      let candidates = List.filter minimal remaining in
+      List.concat_map
+        (fun c ->
+          let rest = List.filter (fun x -> not (Action.equal x c)) remaining in
+          List.map (fun tail -> c :: tail) (extend rest))
+        candidates
+  in
+  extend items
+
+let subsets l =
+  List.fold_right
+    (fun x acc -> List.concat_map (fun s -> [ s; x :: s ]) acc)
+    l [ [] ]
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    let with_head i x =
+      let rest = List.filteri (fun j _ -> j <> i) l in
+      List.map (fun p -> x :: p) (permutations rest)
+    in
+    List.concat (List.mapi with_head l)
+
+let append t entry = t @ [ entry ]
+
+let strip_aborted t =
+  let dead = List.of_seq (aborted t) in
+  List.filter (fun entry -> not (List.exists (Action.equal (action_of entry)) dead)) t
+
+let of_script script =
+  List.map
+    (fun (name, step) ->
+      let a = Action.of_string name in
+      match step with
+      | `Begin -> Begin a
+      | `Commit -> Commit a
+      | `Abort -> Abort a
+      | `Exec e -> Exec (e, a))
+    script

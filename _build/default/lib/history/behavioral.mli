@@ -1,0 +1,80 @@
+(** Behavioral histories (paper, §3.1).
+
+    In the presence of failure and concurrency, an object's state is given by
+    a behavioral history: a sequence of Begin events, operation executions,
+    Commit events and Abort events, each associated with an action. The
+    ordering of operation executions reflects the order in which the object
+    returned responses. *)
+
+type entry =
+  | Begin of Action.t
+  | Exec of Event.t * Action.t
+  | Commit of Action.t
+  | Abort of Action.t
+
+type t = entry list
+(** In execution order (head first). *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val well_formed : t -> bool
+(** Checks: at most one Begin / Commit / Abort per action; every execution,
+    Commit and Abort follows that action's Begin; no executions after the
+    action commits or aborts; no action both commits and aborts. *)
+
+val actions : t -> Action.t list
+(** All actions with a Begin entry, in Begin order. *)
+
+val committed : t -> Action.t list
+(** Committed actions, in Commit-event order. *)
+
+val aborted : t -> Action.t Seq.t
+
+val is_aborted : t -> Action.t -> bool
+
+val active : t -> Action.t list
+(** Actions begun but neither committed nor aborted, in Begin order. *)
+
+val begin_order : t -> Action.t list
+(** Non-aborted actions in the order of their Begin events. *)
+
+val events_of : t -> Action.t -> Event.t list
+(** The subsequence of events executed by one action, in execution order. *)
+
+val all_events : t -> (Event.t * Action.t) list
+(** All executions in history order, including those of aborted actions. *)
+
+val live_events : t -> (Event.t * Action.t) list
+(** All executions by non-aborted actions, in history order. *)
+
+val serialize : t -> Action.t list -> Event.t list
+(** [serialize h order] is the serial history obtained by concatenating each
+    listed action's event subsequence, in the given order (paper's
+    "serialization of H in the order >>"). Actions absent from [order] are
+    excluded. *)
+
+val precedes_pairs : t -> (Action.t * Action.t) list
+(** The partial precedes order (§5): [A] precedes [B] when [B] executes an
+    operation after [A] commits. Only pairs between non-aborted actions that
+    executed at least one event are reported. *)
+
+val linear_extensions : (Action.t * Action.t) list -> Action.t list -> Action.t list list
+(** [linear_extensions pairs actions] enumerates all total orders over
+    [actions] consistent with the given precedence pairs. *)
+
+val subsets : 'a list -> 'a list list
+(** All sublists, preserving relative order. Used to enumerate the sets of
+    active actions hypothetically committed by on-line atomicity checks. *)
+
+val permutations : 'a list -> 'a list list
+
+val append : t -> entry -> t
+
+val strip_aborted : t -> t
+(** Remove aborted actions' entries entirely (recoverability: an aborted
+    action has no effect). *)
+
+val of_script : (string * [ `Begin | `Commit | `Abort | `Exec of Event.t ]) list -> t
+(** Convenience constructor for tests: action names with steps. *)

@@ -1,0 +1,71 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Pair of t * t
+
+let rec compare a b =
+  match a, b with
+  | Unit, Unit -> 0
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Bool x, Bool y -> Bool.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | List x, List y -> compare_lists x y
+  | List _, _ -> -1
+  | _, List _ -> 1
+  | Pair (x1, x2), Pair (y1, y2) ->
+    let c = compare x1 y1 in
+    if c <> 0 then c else compare x2 y2
+
+and compare_lists x y =
+  match x, y with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: x', b :: y' ->
+    let c = compare a b in
+    if c <> 0 then c else compare_lists x' y'
+
+let equal a b = compare a b = 0
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.pp_print_string ppf s
+  | List l ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)
+      l
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+
+let to_string v = Format.asprintf "%a" pp v
+
+let unit = Unit
+let bool b = Bool b
+let int n = Int n
+let str s = Str s
+let list l = List l
+let pair a b = Pair (a, b)
+
+let get_bool = function
+  | Bool b -> b
+  | v -> invalid_arg ("Value.get_bool: " ^ to_string v)
+
+let get_int = function
+  | Int n -> n
+  | v -> invalid_arg ("Value.get_int: " ^ to_string v)
+
+let get_list = function
+  | List l -> l
+  | v -> invalid_arg ("Value.get_list: " ^ to_string v)

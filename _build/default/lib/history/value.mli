@@ -1,0 +1,36 @@
+(** Universal first-order values.
+
+    Serial specifications in this repository are state machines whose states,
+    operation arguments and results are all drawn from one comparable value
+    type, so that histories, specifications and analysis results can be
+    manipulated, compared and printed generically. This mirrors the paper's
+    treatment of "items" as opaque values. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Pair of t * t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val list : t list -> t
+val pair : t -> t -> t
+
+val get_bool : t -> bool
+(** @raise Invalid_argument if the value is not a [Bool]. *)
+
+val get_int : t -> int
+(** @raise Invalid_argument if the value is not an [Int]. *)
+
+val get_list : t -> t list
+(** @raise Invalid_argument if the value is not a [List]. *)

@@ -1,0 +1,1 @@
+lib/quorum/assignment.ml: Array Atomrep_stats Binomial Format List Op_constraint String

@@ -1,0 +1,1 @@
+lib/quorum/assignment.mli: Format Op_constraint

@@ -1,0 +1,1 @@
+lib/quorum/montecarlo.ml: Array Assignment Atomrep_stats Fun List Quorum Rng Weighted

@@ -1,0 +1,1 @@
+lib/quorum/montecarlo.mli: Assignment Atomrep_stats Rng Weighted

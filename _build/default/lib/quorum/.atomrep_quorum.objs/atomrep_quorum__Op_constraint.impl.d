@@ -1,0 +1,1 @@
+lib/quorum/op_constraint.ml: Atomrep_core Atomrep_history Event Format Hashtbl List Option Relation String

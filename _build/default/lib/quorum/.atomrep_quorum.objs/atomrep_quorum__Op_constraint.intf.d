@@ -1,0 +1,1 @@
+lib/quorum/op_constraint.mli: Atomrep_core Format Relation

@@ -1,0 +1,1 @@
+lib/quorum/weighted.ml: Array Fun List Op_constraint Quorum String

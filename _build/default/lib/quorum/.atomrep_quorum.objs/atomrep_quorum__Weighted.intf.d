@@ -1,0 +1,1 @@
+lib/quorum/weighted.mli: Op_constraint Quorum

@@ -1,0 +1,118 @@
+open Atomrep_stats
+
+type sizes = { initial : int; final : int }
+
+type t = {
+  n_sites : int;
+  ops : (string * sizes) list;
+}
+
+let make ~n_sites ops =
+  { n_sites; ops = List.sort (fun (a, _) (b, _) -> String.compare a b) ops }
+
+let sizes_of t op =
+  match List.assoc_opt op t.ops with
+  | Some s -> s
+  | None -> invalid_arg ("Assignment.sizes_of: unknown operation " ^ op)
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d" t.n_sites;
+  List.iter
+    (fun (op, { initial; final }) ->
+      Format.fprintf ppf " %s:(i=%d,f=%d)" op initial final)
+    t.ops
+
+let satisfies t constraints =
+  List.for_all
+    (fun (c : Op_constraint.t) ->
+      let i = (sizes_of t c.dependent).initial in
+      let f = (sizes_of t c.supplier).final in
+      i + f > t.n_sites)
+    constraints
+
+let enumerate ~n_sites ~ops constraints =
+  (* Depth-first assignment of (initial, final) per operation with early
+     pruning: a constraint can be checked as soon as both its endpoints are
+     fixed. *)
+  let ops = List.sort String.compare ops in
+  let arr = Array.of_list ops in
+  let k = Array.length arr in
+  let index op =
+    let rec find i = if i >= k then None else if String.equal arr.(i) op then Some i else find (i + 1) in
+    find 0
+  in
+  let constraints =
+    List.filter_map
+      (fun (c : Op_constraint.t) ->
+        match index c.dependent, index c.supplier with
+        | Some d, Some s -> Some (d, s)
+        | None, _ | _, None -> None)
+      constraints
+  in
+  let chosen = Array.make k { initial = 0; final = 0 } in
+  let results = ref [] in
+  let check_up_to m =
+    List.for_all
+      (fun (d, s) ->
+        d > m || s > m || chosen.(d).initial + chosen.(s).final > n_sites)
+      constraints
+  in
+  let rec assign i =
+    if i = k then
+      results := { n_sites; ops = Array.to_list (Array.mapi (fun j s -> (arr.(j), s)) chosen) } :: !results
+    else
+      for ki = 0 to n_sites do
+        for kf = 0 to n_sites do
+          chosen.(i) <- { initial = ki; final = kf };
+          if check_up_to i then assign (i + 1)
+        done
+      done
+  in
+  assign 0;
+  List.rev !results
+
+let count ~n_sites ~ops constraints =
+  List.length (enumerate ~n_sites ~ops constraints)
+
+let availability t ~p op =
+  let { initial; final } = sizes_of t op in
+  Binomial.at_least ~n:t.n_sites ~p (max initial final)
+
+let workload_availability t ~p ~mix =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc (op, w) -> acc +. (w /. total *. availability t ~p op))
+      0.0 mix
+
+let total_size t =
+  List.fold_left (fun acc (_, s) -> acc + s.initial + s.final) 0 t.ops
+
+let best_for_mix ~p ~mix assignments =
+  let better a b =
+    let av_a = workload_availability a ~p ~mix
+    and av_b = workload_availability b ~p ~mix in
+    if av_a > av_b then true
+    else if av_a < av_b then false
+    else total_size a < total_size b
+  in
+  List.fold_left
+    (fun best a ->
+      match best with
+      | None -> Some a
+      | Some b -> if better a b then Some a else best)
+    None assignments
+
+let pareto_optimal ~p ~ops assignments =
+  let vector a = List.map (fun op -> availability a ~p op) ops in
+  let dominated va vb =
+    (* vb dominates va *)
+    List.for_all2 (fun x y -> y >= x) va vb && List.exists2 (fun x y -> y > x) va vb
+  in
+  let with_vectors = List.map (fun a -> (a, vector a)) assignments in
+  List.filter_map
+    (fun (a, va) ->
+      if List.exists (fun (_, vb) -> dominated va vb) with_vectors then None
+      else Some a)
+    with_vectors

@@ -1,0 +1,51 @@
+(** Threshold quorum assignments and their exhaustive enumeration.
+
+    A threshold assignment gives each operation an initial quorum size and a
+    final quorum size over [n] identical sites: any [k]-subset of sites is a
+    quorum. The intersection requirement [initial(a) ∩ final(b) ≠ ∅] becomes
+    [ki(a) + kf(b) > n]. Because the paper's availability comparisons (§4)
+    are stated for identical sites, threshold assignments realize exactly
+    the assignment space those comparisons range over; weighted voting is a
+    refinement handled in {!Weighted}. *)
+
+type sizes = { initial : int; final : int }
+
+type t = {
+  n_sites : int;
+  ops : (string * sizes) list; (** every operation of the type, sorted *)
+}
+
+val make : n_sites:int -> (string * sizes) list -> t
+val sizes_of : t -> string -> sizes
+val pp : Format.formatter -> t -> unit
+
+val satisfies : t -> Op_constraint.t list -> bool
+(** Do all constraint pairs intersect — [ki(dependent) + kf(supplier) >
+    n]? *)
+
+val enumerate : n_sites:int -> ops:string list -> Op_constraint.t list -> t list
+(** All valid threshold assignments. Initial sizes range over [0..n] (an
+    operation with no dependencies needs no initial quorum), final sizes
+    over [0..n] (an event no operation depends on need not be logged).
+    Exhaustive: [(n+1)^(2k)] candidates pruned by constraint checking. *)
+
+val count : n_sites:int -> ops:string list -> Op_constraint.t list -> int
+(** [List.length (enumerate ...)] without materializing the list. *)
+
+val availability : t -> p:float -> string -> float
+(** Probability that the operation can execute when each site is up
+    independently with probability [p]: a live initial quorum and a live
+    final quorum must exist, i.e. at least [max ki kf] of [n] sites up. *)
+
+val workload_availability : t -> p:float -> mix:(string * float) list -> float
+(** Expected availability under an operation mix (weights need not be
+    normalized). *)
+
+val best_for_mix :
+  p:float -> mix:(string * float) list -> t list -> t option
+(** The assignment maximizing workload availability; ties broken toward
+    smaller total quorum sizes (cheaper operations). *)
+
+val pareto_optimal : p:float -> ops:string list -> t list -> t list
+(** Assignments whose per-operation availability vector is not dominated
+    (componentwise [>=], somewhere [>]) by another's. *)

@@ -1,0 +1,53 @@
+open Atomrep_stats
+
+type fault_model = {
+  p_up : float array;
+  partition_probability : float;
+  groups : int list list;
+}
+
+let uniform ~n ~p =
+  { p_up = Array.make n p; partition_probability = 0.0; groups = [] }
+
+let sample_reachable rng model ~client_site =
+  let n = Array.length model.p_up in
+  let up = Array.init n (fun i -> Rng.bernoulli rng model.p_up.(i)) in
+  if not up.(client_site) then None
+  else begin
+    let group_of = Array.make n 0 in
+    if Rng.bernoulli rng model.partition_probability then begin
+      Array.fill group_of 0 n (-1);
+      List.iteri
+        (fun g sites -> List.iter (fun s -> if s < n then group_of.(s) <- g) sites)
+        model.groups;
+      let next = List.length model.groups in
+      Array.iteri (fun s g -> if g = -1 then group_of.(s) <- next) group_of
+    end;
+    let mine = group_of.(client_site) in
+    let reachable =
+      List.filter (fun s -> up.(s) && group_of.(s) = mine) (List.init n Fun.id)
+    in
+    Some reachable
+  end
+
+let estimate rng ~trials model ~client_site assignment ~op =
+  let sizes = Assignment.sizes_of assignment op in
+  let need = max sizes.Assignment.initial sizes.Assignment.final in
+  let ok = ref 0 in
+  for _ = 1 to trials do
+    match sample_reachable rng model ~client_site with
+    | Some reachable when List.length reachable >= need -> incr ok
+    | Some _ | None -> ()
+  done;
+  float_of_int !ok /. float_of_int trials
+
+let estimate_weighted rng ~trials model ~client_site weighted ~op =
+  let ok = ref 0 in
+  for _ = 1 to trials do
+    match sample_reachable rng model ~client_site with
+    | Some reachable ->
+      let live = Quorum.of_sites reachable in
+      if Weighted.op_available weighted ~live op then incr ok
+    | None -> ()
+  done;
+  float_of_int !ok /. float_of_int trials

@@ -1,0 +1,33 @@
+(** Availability under correlated failures — crashes plus partitions.
+
+    The exact binomial analysis in {!Assignment} assumes independent site
+    failures and full connectivity. The paper's fault model (§3) also
+    admits communication failures that partition the network; this module
+    estimates operation availability by Monte Carlo over a configurable
+    fault model: heterogeneous per-site up probabilities and a partition
+    that occurs with some probability, seen from a client co-located with
+    a given site (front-ends sit at client sites, §3.2). *)
+
+open Atomrep_stats
+
+type fault_model = {
+  p_up : float array; (** per-site up probability (length = n sites) *)
+  partition_probability : float;
+      (** probability that the network is split into [groups] *)
+  groups : int list list; (** the partition, when it happens *)
+}
+
+val uniform : n:int -> p:float -> fault_model
+(** Independent crashes only. *)
+
+val estimate :
+  Rng.t -> trials:int -> fault_model -> client_site:int -> Assignment.t ->
+  op:string -> float
+(** Fraction of trials in which the client's site is up and the set of up
+    sites reachable from it contains both an initial and a final quorum
+    for [op]. *)
+
+val estimate_weighted :
+  Rng.t -> trials:int -> fault_model -> client_site:int -> Weighted.t ->
+  op:string -> float
+(** The same under a weighted-voting assignment. *)

@@ -1,0 +1,44 @@
+open Atomrep_history
+open Atomrep_core
+
+type t = {
+  dependent : string;
+  supplier : string;
+  labels : string list;
+}
+
+let of_relation relation =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun ((inv : Event.Invocation.t), (e : Event.t)) ->
+      let key = (inv.op, e.inv.op) in
+      let labels = Option.value (Hashtbl.find_opt table key) ~default:[] in
+      if not (List.mem e.res.label labels) then
+        Hashtbl.replace table key (e.res.label :: labels))
+    (Relation.elements relation);
+  Hashtbl.fold
+    (fun (dependent, supplier) labels acc ->
+      { dependent; supplier; labels = List.sort String.compare labels } :: acc)
+    table []
+  |> List.sort (fun a b ->
+         let c = String.compare a.dependent b.dependent in
+         if c <> 0 then c else String.compare a.supplier b.supplier)
+
+let read_write ~ops =
+  let writers =
+    List.filter_map
+      (fun (name, klass) ->
+        match klass with `Write | `Update -> Some name | `Read -> None)
+      ops
+  in
+  List.concat_map
+    (fun (dependent, _) ->
+      List.map (fun supplier -> { dependent; supplier; labels = [ "Ok" ] }) writers)
+    ops
+  |> List.sort (fun a b ->
+         let c = String.compare a.dependent b.dependent in
+         if c <> 0 then c else String.compare a.supplier b.supplier)
+
+let pp ppf { dependent; supplier; labels } =
+  Format.fprintf ppf "initial(%s) x final(%s) [%s]" dependent supplier
+    (String.concat "," labels)

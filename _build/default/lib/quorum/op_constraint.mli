@@ -1,0 +1,33 @@
+(** Operation-level quorum intersection constraints.
+
+    A dependency pair [inv ≽ e] requires every initial quorum of [inv]'s
+    operation to intersect every final quorum of [e]'s event (paper, §3.2).
+    Quorums are assigned per operation, so a dependency relation projects to
+    a set of operation pairs; the response label of the supplying event is
+    retained for display ([Seal ≽ Read();Disabled()] constrains Seal's
+    initial quorums against the final quorums Read uses for its Disabled
+    events — under per-operation assignment, Read's final quorums). *)
+
+open Atomrep_core
+
+type t = {
+  dependent : string; (** operation whose {e initial} quorums are constrained *)
+  supplier : string; (** operation whose {e final} quorums must be seen *)
+  labels : string list; (** response labels of the supplying events *)
+}
+
+val of_relation : Relation.t -> t list
+(** Project a dependency relation to operation-level constraints, merging
+    pairs that differ only in arguments or labels. Sorted by operation
+    names. *)
+
+val read_write : ops:(string * [ `Read | `Write | `Update ]) list -> t list
+(** The classical read/write (Gifford) constraint set over the same
+    operations: every operation's initial quorum must intersect every final
+    quorum of every state-modifying operation ([`Write] blind write,
+    [`Update] read-modify-write; [`Read] never modifies). This encodes
+    [r + w > n] and [w + w > n] in the same constraint language, for the
+    paper's claim that a read/write classification restricts availability
+    relative to type-specific analysis. *)
+
+val pp : Format.formatter -> t -> unit

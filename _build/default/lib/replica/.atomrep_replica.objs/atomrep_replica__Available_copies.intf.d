@@ -1,0 +1,1 @@
+lib/replica/available_copies.mli: Atomrep_history Behavioral

@@ -1,0 +1,1 @@
+lib/replica/gifford.ml: Array Atomrep_sim Fun List Network Rpc

@@ -1,0 +1,1 @@
+lib/replica/gifford.mli: Atomrep_sim Network

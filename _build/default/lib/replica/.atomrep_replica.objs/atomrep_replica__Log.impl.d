@@ -1,0 +1,1 @@
+lib/replica/log.ml: Action Atomrep_clock Atomrep_history Event Format Int Lamport List Set

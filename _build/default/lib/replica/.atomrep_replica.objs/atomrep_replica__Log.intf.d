@@ -1,0 +1,1 @@
+lib/replica/log.mli: Action Atomrep_clock Atomrep_history Event Format Lamport

@@ -1,0 +1,1 @@
+lib/replica/repository.ml: Action Atomrep_clock Atomrep_history Lamport List Log

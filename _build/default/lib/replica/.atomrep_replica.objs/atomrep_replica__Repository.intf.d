@@ -1,0 +1,1 @@
+lib/replica/repository.mli: Action Atomrep_clock Atomrep_history Lamport Log

@@ -1,0 +1,1 @@
+lib/replica/runtime.mli: Assignment Atomrep_core Atomrep_history Atomrep_quorum Atomrep_sim Atomrep_spec Atomrep_stats Behavioral Event Network Relation Replicated Rng Serial_spec Summary

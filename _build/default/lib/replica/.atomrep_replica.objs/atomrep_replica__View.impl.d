@@ -1,0 +1,1 @@
+lib/replica/view.ml: Action Atomrep_clock Atomrep_history Int Lamport List Log

@@ -1,0 +1,1 @@
+lib/replica/view.mli: Action Atomrep_clock Atomrep_history Event Lamport Log

@@ -1,0 +1,75 @@
+open Atomrep_sim
+
+type t = {
+  net : Network.t;
+  weights : int array;
+  read_votes : int;
+  write_votes : int;
+  versions : (int * int) array; (* (version, tie-break site) per representative *)
+  values : string array;
+  timeout : float;
+}
+
+let create ~net ~weights ~read_votes ~write_votes ~initial =
+  let total = Array.fold_left ( + ) 0 weights in
+  if read_votes + write_votes <= total then
+    invalid_arg "Gifford.create: r + w must exceed the vote total";
+  if 2 * write_votes <= total then
+    invalid_arg "Gifford.create: 2w must exceed the vote total";
+  let n = Array.length weights in
+  {
+    net;
+    weights;
+    read_votes;
+    write_votes;
+    versions = Array.make n (0, 0);
+    values = Array.make n initial;
+    timeout = 50.0;
+  }
+
+let all_sites t = List.init (Array.length t.weights) Fun.id
+
+let votes_of t replies = List.fold_left (fun acc (site, _) -> acc + t.weights.(site)) 0 replies
+
+let newest replies =
+  List.fold_left
+    (fun best (_, (version, payload)) ->
+      match best with
+      | None -> Some (version, payload)
+      | Some (bv, _) -> if compare version bv > 0 then Some (version, payload) else best)
+    None replies
+
+let read t ~from ~k =
+  Rpc.multicast t.net ~src:from ~dsts:(all_sites t) ~timeout:t.timeout
+    ~handler:(fun site -> (t.versions.(site), t.values.(site)))
+    ~gather:(fun replies ->
+      if votes_of t replies < t.read_votes then k None
+      else
+        match newest replies with
+        | Some (_, value) -> k (Some value)
+        | None -> k None)
+
+let write t ~from value ~k =
+  (* Phase 1: collect version numbers from a write quorum. *)
+  Rpc.multicast t.net ~src:from ~dsts:(all_sites t) ~timeout:t.timeout
+    ~handler:(fun site -> t.versions.(site))
+    ~gather:(fun replies ->
+      if votes_of t replies < t.write_votes then k false
+      else begin
+        let (high, _) =
+          List.fold_left
+            (fun acc (_, v) -> if compare v acc > 0 then v else acc)
+            (0, 0) replies
+        in
+        let version = (high + 1, from) in
+        (* Phase 2: install at a write quorum. *)
+        Rpc.multicast t.net ~src:from ~dsts:(all_sites t) ~timeout:t.timeout
+          ~handler:(fun site ->
+            if compare version t.versions.(site) > 0 then begin
+              t.versions.(site) <- version;
+              t.values.(site) <- value
+            end)
+          ~gather:(fun acks -> k (votes_of t acks >= t.write_votes))
+      end)
+
+let current t ~site = (fst t.versions.(site), t.values.(site))

@@ -1,0 +1,38 @@
+(** Gifford's weighted voting for replicated files ([11]; paper §2), as a
+    concrete runnable baseline.
+
+    Each representative (repository) stores a (version, value) pair and
+    carries votes. A read collects a read quorum of [r] votes and returns
+    the value with the highest version; a write collects version numbers
+    from a write quorum of [w] votes, increments the highest, and installs
+    the new version at that quorum. Correctness needs [r + w > total] (a
+    read quorum intersects every write quorum) and [2w > total] (two write
+    quorums intersect, so version numbers grow monotonically).
+
+    This is exactly the special case of the paper's typed quorum consensus
+    for the Register type with its read/write classification — the general
+    machinery subsumes it; the module exists so the baseline in the
+    comparison experiments is the real protocol rather than a constraint
+    encoding. Operations are individual (no multi-operation transactions),
+    matching Gifford's file-suite granularity. *)
+
+open Atomrep_sim
+
+type t
+
+val create :
+  net:Network.t -> weights:int array -> read_votes:int -> write_votes:int ->
+  initial:string -> t
+(** @raise Invalid_argument if the vote thresholds violate
+    [r + w > total] or [2w > total]. *)
+
+val read : t -> from:int -> k:(string option -> unit) -> unit
+(** [None] when no read quorum of live sites is reachable. *)
+
+val write : t -> from:int -> string -> k:(bool -> unit) -> unit
+(** [false] when no write quorum is reachable (nothing installed at a full
+    quorum — a failed write may leave versions at a minority, which later
+    writes supersede). *)
+
+val current : t -> site:int -> int * string
+(** Test access: the (version, value) stored at one representative. *)

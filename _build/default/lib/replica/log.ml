@@ -1,0 +1,86 @@
+open Atomrep_history
+open Atomrep_clock
+
+type entry = {
+  ets : Lamport.Timestamp.t;
+  action : Action.t;
+  begin_ts : Lamport.Timestamp.t;
+  seq : int;
+  event : Event.t;
+}
+
+type record =
+  | Entry of entry
+  | Commit_record of Action.t * Lamport.Timestamp.t
+  | Abort_record of Action.t
+
+module Record_ord = struct
+  type t = record
+
+  let rank = function Entry _ -> 0 | Commit_record _ -> 1 | Abort_record _ -> 2
+
+  let compare a b =
+    match a, b with
+    | Entry e1, Entry e2 ->
+      let c = Lamport.Timestamp.compare e1.ets e2.ets in
+      if c <> 0 then c
+      else begin
+        let c = Action.compare e1.action e2.action in
+        if c <> 0 then c else Int.compare e1.seq e2.seq
+      end
+    | Commit_record (a1, t1), Commit_record (a2, t2) ->
+      let c = Action.compare a1 a2 in
+      if c <> 0 then c else Lamport.Timestamp.compare t1 t2
+    | Abort_record a1, Abort_record a2 -> Action.compare a1 a2
+    | x, y -> Int.compare (rank x) (rank y)
+end
+
+module S = Set.Make (Record_ord)
+
+type t = S.t
+
+let empty = S.empty
+let add t r = S.add r t
+let merge = S.union
+let equal = S.equal
+let records t = S.elements t
+
+let entries t =
+  S.elements t
+  |> List.filter_map (function
+       | Entry e -> Some e
+       | Commit_record _ | Abort_record _ -> None)
+  |> List.sort (fun e1 e2 -> Lamport.Timestamp.compare e1.ets e2.ets)
+
+let commit_ts t action =
+  S.fold
+    (fun r acc ->
+      match r with
+      | Commit_record (a, ts) when Action.equal a action -> Some ts
+      | Entry _ | Commit_record _ | Abort_record _ -> acc)
+    t None
+
+let is_aborted t action =
+  S.exists
+    (function Abort_record a -> Action.equal a action | Entry _ | Commit_record _ -> false)
+    t
+
+let size = S.cardinal
+
+let gc t =
+  S.filter
+    (function
+      | Entry e -> not (is_aborted t e.action)
+      | Commit_record _ | Abort_record _ -> true)
+    t
+
+let pp ppf t =
+  let pp_record ppf = function
+    | Entry e ->
+      Format.fprintf ppf "[%a %a %a #%d]" Lamport.Timestamp.pp e.ets Event.pp e.event
+        Action.pp e.action e.seq
+    | Commit_record (a, ts) ->
+      Format.fprintf ppf "[commit %a@%a]" Action.pp a Lamport.Timestamp.pp ts
+    | Abort_record a -> Format.fprintf ppf "[abort %a]" Action.pp a
+  in
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_record ppf (records t)

@@ -1,0 +1,47 @@
+(** Replicated object logs (paper, §3.2, Figure 3-1).
+
+    A replicated object's state is represented as a log: a sequence of
+    entries, each consisting of a timestamp, an event, and an action
+    identifier. Log entries are partially replicated among repositories;
+    front-ends reconstruct views by merging the logs of an initial quorum.
+
+    Besides operation entries, logs carry status records (commit with its
+    commit timestamp, abort) so that a view can classify entries. Merging
+    is a set union keyed on identity; it is commutative, associative and
+    idempotent, which the property tests check. *)
+
+open Atomrep_history
+open Atomrep_clock
+
+type entry = {
+  ets : Lamport.Timestamp.t; (** unique entry timestamp *)
+  action : Action.t;
+  begin_ts : Lamport.Timestamp.t; (** Begin timestamp of the action *)
+  seq : int; (** operation index within the action *)
+  event : Event.t;
+}
+
+type record =
+  | Entry of entry
+  | Commit_record of Action.t * Lamport.Timestamp.t
+  | Abort_record of Action.t
+
+type t
+
+val empty : t
+val add : t -> record -> t
+val merge : t -> t -> t
+val equal : t -> t -> bool
+val records : t -> record list
+val entries : t -> entry list
+(** Operation entries sorted by entry timestamp. *)
+
+val commit_ts : t -> Action.t -> Lamport.Timestamp.t option
+val is_aborted : t -> Action.t -> bool
+val size : t -> int
+val pp : Format.formatter -> t -> unit
+
+val gc : t -> t
+(** Garbage-collect aborted actions: drop their operation entries while
+    keeping the abort records as tombstones — merging with a stale replica
+    that still holds such an entry must not resurrect it as tentative. *)

@@ -1,0 +1,325 @@
+open Atomrep_history
+open Atomrep_spec
+open Atomrep_clock
+open Atomrep_quorum
+open Atomrep_sim
+open Atomrep_cc
+open Atomrep_txn
+
+type scheme = Hybrid | Static | Locking
+
+let scheme_name = function
+  | Hybrid -> "hybrid"
+  | Static -> "static"
+  | Locking -> "locking"
+
+let property_of_scheme = function
+  | Hybrid -> Atomrep_atomicity.Atomicity.Hybrid
+  | Static -> Atomrep_atomicity.Atomicity.Static
+  | Locking -> Atomrep_atomicity.Atomicity.Dynamic
+
+type op_result =
+  | Done of Event.Response.t
+  | Blocked_on of Action.t
+  | Unavailable of string
+  | Rejected of string
+
+type t = {
+  name : string;
+  spec : Serial_spec.t;
+  scheme : scheme;
+  table : Conflict_table.t;
+  assignment : Assignment.t;
+  net : Network.t;
+  repos : Repository.t array;
+  own : (Action.t, Log.entry list) Hashtbl.t; (* per-action entry cache *)
+  mutable observer : Behavioral.entry list; (* reversed *)
+  rpc_timeout : float;
+}
+
+let create ~name ~spec ~scheme ~relation ~assignment ~net =
+  {
+    name;
+    spec;
+    scheme;
+    table = Conflict_table.of_relation relation;
+    assignment;
+    net;
+    repos = Array.init (Network.n_sites net) (fun site -> Repository.create ~site);
+    own = Hashtbl.create 64;
+    observer = [];
+    rpc_timeout = 50.0;
+  }
+
+let name t = t.name
+let assignment t = t.assignment
+let history t = List.rev t.observer
+let observe t entry = t.observer <- entry :: t.observer
+
+let max_final t =
+  List.fold_left
+    (fun acc (_, s) -> max acc s.Assignment.final)
+    0 t.assignment.Assignment.ops
+
+let own_entries t action =
+  Option.value (Hashtbl.find_opt t.own action) ~default:[]
+
+let run_state spec events =
+  List.fold_left
+    (fun state ev ->
+      match state with
+      | None -> None
+      | Some s -> Serial_spec.apply_event spec s ev)
+    (Some spec.Serial_spec.initial) events
+
+(* Strip the caller's own entries out of a view: the front-end's per-action
+   cache is authoritative for them (an initial quorum need not intersect
+   the action's own final quorums). *)
+let without_action (view : View.t) action =
+  {
+    View.committed =
+      List.filter (fun (_, e) -> not (Action.equal e.Log.action action)) view.committed;
+    tentative =
+      List.filter (fun e -> not (Action.equal e.Log.action action)) view.tentative;
+  }
+
+let decide t ~(txn : Txn.t) (view : View.t) inv =
+  let action = txn.action in
+  let view = without_action view action in
+  let own = own_entries t action in
+  let own_events =
+    List.sort (fun e1 e2 -> Int.compare e1.Log.seq e2.Log.seq) own
+    |> List.map (fun e -> e.Log.event)
+  in
+  match t.scheme with
+  | Hybrid | Locking ->
+    (* Both lock-style schemes: block on related tentative entries, then
+       choose a response against committed (commit-timestamp order) plus
+       own events. They differ only in the conflict table installed. *)
+    (match
+       View.tentative_conflicting view ~me:action (fun e ->
+           Conflict_table.related t.table inv e.Log.event)
+     with
+     | Some e -> Error (Blocked_on e.Log.action)
+     | None ->
+       (match run_state t.spec (View.committed_events view @ own_events) with
+        | None -> Error (Rejected "view reconstruction failed")
+        | Some state ->
+          (match Serial_spec.responses t.spec state inv with
+           | [] -> Error (Rejected "no legal response")
+           | (res, _) :: _ -> Ok res)))
+  | Static ->
+    let my_bts = txn.begin_ts in
+    (* Block on related tentative entries of earlier-timestamped actions. *)
+    (match
+       View.tentative_conflicting view ~me:action (fun e ->
+           Lamport.Timestamp.compare e.Log.begin_ts my_bts < 0
+           && Conflict_table.related t.table inv e.Log.event)
+     with
+     | Some e -> Error (Blocked_on e.Log.action)
+     | None ->
+       (* Response from committed entries strictly before my timestamp,
+          plus my own events. *)
+       let prefix_view =
+         {
+           View.committed =
+             List.filter
+               (fun (_, e) -> Lamport.Timestamp.compare e.Log.begin_ts my_bts < 0)
+               view.View.committed;
+           tentative = [];
+         }
+       in
+       let prefix =
+         View.static_timeline prefix_view ~insert:None ~include_tentative:false
+         @ own_events
+       in
+       (match run_state t.spec prefix with
+        | None -> Error (Rejected "inconsistent timeline")
+        | Some state ->
+          let candidates = Serial_spec.responses t.spec state inv in
+          let seq = List.length own in
+          (* Validate candidates against the full timeline (committed and
+             tentative, own events included at my position). *)
+          let own_keyed =
+            List.map (fun e -> ((e.Log.begin_ts, e.Log.seq), e.Log.event)) own
+          in
+          let viable =
+            List.find_opt
+              (fun (res, _) ->
+                let others =
+                  List.map
+                    (fun (e : Log.entry) -> ((e.begin_ts, e.seq), e.event))
+                    (List.map snd view.View.committed @ view.View.tentative)
+                in
+                let timeline =
+                  others @ own_keyed @ [ ((my_bts, seq), Event.make inv res) ]
+                  |> List.sort (fun ((b1, s1), _) ((b2, s2), _) ->
+                         let c = Lamport.Timestamp.compare b1 b2 in
+                         if c <> 0 then c else Int.compare s1 s2)
+                  |> List.map snd
+                in
+                Option.is_some (run_state t.spec timeline))
+              candidates
+          in
+          (match viable with
+           | None -> Error (Rejected "timestamp order violation")
+           | Some (res, _) -> Ok res)))
+
+let all_sites t = List.init (Network.n_sites t.net) Fun.id
+
+type read_reply = Busy of Action.t | Logs of Log.t
+
+let execute t ~txn ~clock inv ~k =
+  let sizes = Assignment.sizes_of t.assignment inv.Event.Invocation.op in
+  let src = txn.Txn.home_site in
+  let action = txn.Txn.action in
+  let seq = List.length (own_entries t action) in
+  (* Back-off path: withdraw this operation's intentions so concurrent
+     conflicting operations are not deadlocked by a blocked or failed
+     attempt. *)
+  let release_and_return result =
+    List.iter
+      (fun site ->
+        Network.send t.net ~src ~dst:site (fun () ->
+            Repository.release t.repos.(site) action seq))
+      (all_sites t);
+    k result
+  in
+  let with_view k_view =
+    if sizes.Assignment.initial = 0 then k_view Log.empty
+    else
+      Rpc.multicast t.net ~src ~dsts:(all_sites t) ~timeout:t.rpc_timeout
+        ~handler:(fun site ->
+          let repo = t.repos.(site) in
+          Lamport.witness clock (Repository.high_ts repo);
+          (* The read doubles as lock acquisition: a foreign unresolved
+             intention on a related operation refuses this read; quorum
+             intersection makes any two related operations meet at some
+             repository. *)
+          let conflicting =
+            List.find_opt
+              (fun (i : Repository.intention) ->
+                (not (Action.equal i.i_action action))
+                && Conflict_table.related_ops t.table inv.Event.Invocation.op i.i_op)
+              (Repository.intentions repo)
+          in
+          match conflicting with
+          | Some i -> Busy i.i_action
+          | None ->
+            Repository.intend repo
+              {
+                Repository.i_action = action;
+                i_op = inv.Event.Invocation.op;
+                i_bts = txn.Txn.begin_ts;
+                i_seq = seq;
+              };
+            Logs (Repository.read repo))
+        ~gather:(fun replies ->
+          match
+            List.find_map
+              (fun (_, r) -> match r with Busy b -> Some b | Logs _ -> None)
+              replies
+          with
+          | Some blocker -> release_and_return (Blocked_on blocker)
+          | None ->
+            let logs =
+              List.filter_map
+                (fun (_, r) -> match r with Logs l -> Some l | Busy _ -> None)
+                replies
+            in
+            if List.length logs < sizes.Assignment.initial then
+              release_and_return
+                (Unavailable
+                   (Printf.sprintf "initial quorum: %d of %d sites for %s"
+                      (List.length logs) sizes.Assignment.initial
+                      inv.Event.Invocation.op))
+            else begin
+              let view = List.fold_left Log.merge Log.empty logs in
+              k_view view
+            end)
+  in
+  with_view (fun log ->
+      (* Merge log knowledge into the front-end clock so the new entry's
+         timestamp exceeds everything in the view. *)
+      List.iter
+        (function
+          | Log.Entry e -> Lamport.witness clock e.Log.ets
+          | Log.Commit_record (_, ts) -> Lamport.witness clock ts
+          | Log.Abort_record _ -> ())
+        (Log.records log);
+      let view = View.classify log in
+      match decide t ~txn view inv with
+      | Error result -> release_and_return result
+      | Ok res ->
+        let own = own_entries t action in
+        let entry =
+          {
+            Log.ets = Lamport.tick clock;
+            action;
+            begin_ts = txn.Txn.begin_ts;
+            seq;
+            event = Event.make inv res;
+          }
+        in
+        if sizes.Assignment.final = 0 then begin
+          (* Nothing depends on this event: record locally only. *)
+          Hashtbl.replace t.own action (own @ [ entry ]);
+          observe t (Behavioral.Exec (entry.Log.event, action));
+          release_and_return (Done res)
+        end
+        else
+          Rpc.multicast t.net ~src ~dsts:(all_sites t) ~timeout:t.rpc_timeout
+            ~handler:(fun site ->
+              (* Entry arrival converts this operation's intention into a
+                 logged tentative entry at the repository. *)
+              Repository.append t.repos.(site) [ Log.Entry entry ])
+            ~gather:(fun acks ->
+              if List.length acks < sizes.Assignment.final then
+                release_and_return
+                  (Unavailable
+                     (Printf.sprintf "final quorum: %d of %d sites for %s"
+                        (List.length acks) sizes.Assignment.final
+                        inv.Event.Invocation.op))
+              else begin
+                Hashtbl.replace t.own action (own @ [ entry ]);
+                observe t (Behavioral.Exec (entry.Log.event, action));
+                k (Done res)
+              end))
+
+let broadcast_status t record ~reachable_from =
+  List.iter
+    (fun site ->
+      Network.send t.net ~src:reachable_from ~dst:site (fun () ->
+          Repository.append t.repos.(site) [ record ]))
+    (all_sites t)
+
+let prepared_sites t ~from ~timeout ~k =
+  Rpc.multicast t.net ~src:from ~dsts:(all_sites t) ~timeout
+    ~handler:(fun site -> ignore site)
+    ~gather:(fun acks -> k (List.map fst acks))
+
+let repository_log t ~site = Repository.read t.repos.(site)
+
+(* The gossip process draws from its own stream so that enabling or
+   disabling it never perturbs the workload's random choices — ablation
+   runs stay comparable at equal seeds. *)
+let start_anti_entropy t ~rng ~every =
+  let engine = Network.engine t.net in
+  let n = Network.n_sites t.net in
+  let rec cycle () =
+    Engine.schedule engine ~delay:every (fun () ->
+        if n >= 2 then begin
+          let a = Atomrep_stats.Rng.int rng n in
+          let b = (a + 1 + Atomrep_stats.Rng.int rng (n - 1)) mod n in
+          if Network.reachable t.net a b then begin
+            let log_a = Repository.read t.repos.(a) in
+            let log_b = Repository.read t.repos.(b) in
+            Network.send t.net ~src:a ~dst:b (fun () ->
+                Repository.ingest t.repos.(b) log_a);
+            Network.send t.net ~src:b ~dst:a (fun () ->
+                Repository.ingest t.repos.(a) log_b)
+          end
+        end;
+        cycle ())
+  in
+  cycle ()

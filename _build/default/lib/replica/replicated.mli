@@ -1,0 +1,105 @@
+(** Quorum-consensus replicated typed objects (paper, §3.2).
+
+    A client executes an operation by sending the invocation to a
+    front-end. The front-end merges the logs from an initial quorum for the
+    invocation to construct a view; if the view shows no synchronization
+    conflict, it chooses a response legal for the view, appends a
+    timestamped entry, and sends the update to a final quorum of
+    repositories.
+
+    The synchronization-conflict rule is the concurrency-control scheme:
+
+    - [Hybrid]: committed entries are serialized by commit timestamp;
+      tentative entries of other actions whose operations are related to
+      the invocation under the object's dependency relation block it.
+    - [Locking]: the same structure with non-commutativity conflicts
+      (type-specific two-phase locking; strong dynamic atomicity).
+    - [Static]: entries are serialized by Begin timestamp; responses are
+      computed at the invoking action's position and rejected if the
+      insertion invalidates later-timestamped entries (multiversion
+      timestamp ordering; static atomicity).
+
+    Front-ends are co-located with client sites (the paper places one at
+    each client's site: object availability is dominated by repository
+    availability). Each executed operation writes its tentative entry to a
+    final quorum before responding, which is what makes conflicts visible
+    to later initial quorums. *)
+
+open Atomrep_history
+open Atomrep_spec
+open Atomrep_core
+open Atomrep_clock
+open Atomrep_quorum
+open Atomrep_sim
+open Atomrep_txn
+
+type scheme = Hybrid | Static | Locking
+
+val scheme_name : scheme -> string
+
+val property_of_scheme : scheme -> Atomrep_atomicity.Atomicity.property
+(** The local atomicity property each scheme guarantees. *)
+
+type op_result =
+  | Done of Event.Response.t
+  | Blocked_on of Action.t (** conflicting uncommitted action *)
+  | Unavailable of string (** no initial or final quorum reachable *)
+  | Rejected of string (** scheme validation failed: abort the action *)
+
+type t
+
+val create :
+  name:string ->
+  spec:Serial_spec.t ->
+  scheme:scheme ->
+  relation:Relation.t ->
+  assignment:Assignment.t ->
+  net:Network.t ->
+  t
+
+val name : t -> string
+val assignment : t -> Assignment.t
+
+val execute :
+  t ->
+  txn:Txn.t ->
+  clock:Lamport.t ->
+  Event.Invocation.t ->
+  k:(op_result -> unit) ->
+  unit
+(** Run the §3.2 front-end protocol from the transaction's home site:
+    gather an initial quorum (with RPC timeouts), classify the view, apply
+    the scheme rule, and on success write the entry to a final quorum.
+    [k] receives the outcome; [Done] responses have already reached their
+    final quorum. *)
+
+val broadcast_status : t -> Log.record -> reachable_from:int -> unit
+(** Push a commit/abort record to every repository reachable from the given
+    site — commit-protocol phase 2 and abort/status propagation. *)
+
+val prepared_sites : t -> from:int -> timeout:float -> k:(int list -> unit) -> unit
+(** Which repository sites answer a prepare probe from [from] —
+    commit-protocol phase 1 uses this to check final-quorum reachability. *)
+
+val history : t -> Behavioral.t
+(** The object's global behavioral history as recorded by an omniscient
+    observer (operation executions in response order, plus Begin / Commit /
+    Abort entries supplied by the runtime). *)
+
+val observe : t -> Behavioral.entry -> unit
+(** Used by the runtime to record Begin/Commit/Abort entries. *)
+
+val max_final : t -> int
+(** Largest final-quorum size over the object's operations — the number of
+    acknowledgements the commit protocol requires. *)
+
+val start_anti_entropy : t -> rng:Atomrep_stats.Rng.t -> every:float -> unit
+(** Start a background gossip process: at the given period, a random pair
+    of mutually reachable repositories exchanges logs (both directions)
+    and garbage-collects aborted entries. Quorum intersection makes this
+    unnecessary for safety; it shortens the window in which commit/abort
+    records are missing at some sites (e.g. after recovery or lost
+    broadcasts), reducing conflict blocking. *)
+
+val repository_log : t -> site:int -> Log.t
+(** Direct (test-only) access to one repository's log. *)

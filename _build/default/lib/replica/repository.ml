@@ -1,0 +1,63 @@
+open Atomrep_history
+open Atomrep_clock
+
+type intention = {
+  i_action : Action.t;
+  i_op : string;
+  i_bts : Lamport.Timestamp.t;
+  i_seq : int;
+}
+
+type t = {
+  site : int;
+  mutable log : Log.t;
+  mutable high : Lamport.Timestamp.t;
+  mutable locks : intention list;
+}
+
+let create ~site =
+  { site; log = Log.empty; high = Lamport.Timestamp.zero; locks = [] }
+
+let site t = t.site
+let read t = t.log
+
+let witness t ts = if Lamport.Timestamp.compare ts t.high > 0 then t.high <- ts
+
+let drop_intention t action seq =
+  t.locks <-
+    List.filter
+      (fun i -> not (Action.equal i.i_action action && i.i_seq = seq))
+      t.locks
+
+let drop_action t action =
+  t.locks <- List.filter (fun i -> not (Action.equal i.i_action action)) t.locks
+
+let append t records =
+  List.iter
+    (fun r ->
+      (match r with
+       | Log.Entry e ->
+         witness t e.Log.ets;
+         drop_intention t e.Log.action e.Log.seq
+       | Log.Commit_record (a, ts) ->
+         witness t ts;
+         drop_action t a
+       | Log.Abort_record a -> drop_action t a);
+      t.log <- Log.add t.log r)
+    records
+
+let high_ts t = t.high
+
+let gc t = t.log <- Log.gc t.log
+
+let ingest t peer_log =
+  append t (Log.records peer_log);
+  gc t
+
+let intentions t = t.locks
+
+let intend t i =
+  drop_intention t i.i_action i.i_seq;
+  t.locks <- i :: t.locks
+
+let release t action seq = drop_intention t action seq

@@ -1,0 +1,53 @@
+(** Repositories: long-term storage for a replicated object's log at one
+    site (paper, §3.2).
+
+    Repositories survive crashes — the log is stable storage; a crashed
+    site simply stops answering until it recovers. Message-level behavior
+    (latency, loss, partitions) is the network's concern. *)
+
+open Atomrep_history
+open Atomrep_clock
+
+type t
+
+type intention = {
+  i_action : Action.t;
+  i_op : string;
+  i_bts : Lamport.Timestamp.t;
+  i_seq : int;
+}
+(** A lock registered by a front-end's initial-quorum read on behalf of an
+    operation about to execute. Quorum intersection guarantees that two
+    conflicting operations meet at some repository, where the later one is
+    refused — this closes the read/write race between concurrent
+    front-ends. An intention is cleared by the arrival of its own entry, by
+    its action's commit or abort record, or by an explicit release when the
+    front-end backs off. *)
+
+val create : site:int -> t
+val site : t -> int
+val read : t -> Log.t
+val append : t -> Log.record list -> unit
+
+val ingest : t -> Log.t -> unit
+(** Merge a peer repository's log (anti-entropy): every incoming record is
+    appended (clearing any intention it resolves) and aborted actions'
+    entries are garbage-collected. *)
+
+val gc : t -> unit
+(** Garbage-collect aborted entries ({!Log.gc}). *)
+
+val intentions : t -> intention list
+(** Unresolved intentions held at this repository. *)
+
+val intend : t -> intention -> unit
+(** Register (or refresh) an intention, keyed by (action, seq). *)
+
+val release : t -> Action.t -> int -> unit
+(** Drop one intention (back-off path). *)
+
+val witness : t -> Lamport.Timestamp.t -> unit
+(** Repositories participate in Lamport-clock gossip: they remember the
+    largest entry timestamp seen, which front-ends merge back. *)
+
+val high_ts : t -> Lamport.Timestamp.t

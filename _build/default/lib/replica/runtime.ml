@@ -1,0 +1,418 @@
+open Atomrep_history
+open Atomrep_spec
+open Atomrep_core
+open Atomrep_quorum
+open Atomrep_clock
+open Atomrep_sim
+open Atomrep_stats
+open Atomrep_txn
+
+type object_config = {
+  obj_name : string;
+  obj_spec : Serial_spec.t;
+  obj_relation : Relation.t;
+  obj_assignment : Assignment.t;
+}
+
+type op_request = { target : string; invocation : Event.Invocation.t }
+
+type config = {
+  seed : int;
+  n_sites : int;
+  latency_mean : float;
+  drop_probability : float;
+  scheme : Replicated.scheme;
+  objects : object_config list;
+  n_txns : int;
+  arrival_mean : float;
+  script : Rng.t -> int -> op_request list;
+  max_retries : int;
+  retry_delay : float;
+  install_faults : Network.t -> unit;
+  horizon : float;
+  anti_entropy_every : float option;
+}
+
+let default_queue_assignment ~n_sites =
+  let majority = (n_sites / 2) + 1 in
+  Assignment.make ~n_sites
+    [
+      ("Enq", { Assignment.initial = majority; final = majority });
+      ("Deq", { Assignment.initial = majority; final = majority });
+    ]
+
+let default_config =
+  {
+    seed = 42;
+    n_sites = 3;
+    latency_mean = 2.0;
+    drop_probability = 0.0;
+    scheme = Replicated.Hybrid;
+    objects =
+      [
+        {
+          obj_name = "queue";
+          obj_spec = Queue_type.spec;
+          obj_relation = Static_dep.minimal Queue_type.spec ~max_len:4;
+          obj_assignment = default_queue_assignment ~n_sites:3;
+        };
+      ];
+    n_txns = 20;
+    arrival_mean = 30.0;
+    script =
+      (fun rng _ ->
+        let op =
+          if Rng.bool rng then { target = "queue"; invocation = Queue_type.enq_inv "x" }
+          else { target = "queue"; invocation = Queue_type.deq_inv }
+        in
+        [ op ]);
+    max_retries = 8;
+    retry_delay = 25.0;
+    install_faults = (fun _ -> ());
+    horizon = 1_000_000.0;
+    anti_entropy_every = None;
+  }
+
+type metrics = {
+  committed : int;
+  aborted : int;
+  unavailable_aborts : int;
+  rejected_aborts : int;
+  conflict_aborts : int;
+  blocked_waits : int;
+  ops_done : int;
+  txn_latency : Summary.t;
+  duration : float;
+}
+
+type outcome = {
+  metrics : metrics;
+  histories : (string * Behavioral.t) list;
+}
+
+type counters = {
+  mutable c_committed : int;
+  mutable c_aborted : int;
+  mutable c_unavailable : int;
+  mutable c_rejected : int;
+  mutable c_conflict : int;
+  mutable c_blocked : int;
+  mutable c_ops : int;
+}
+
+type run_state = {
+  engine : Engine.t;
+  net : Network.t;
+  clocks : Lamport.t array;
+  objects : (string * Replicated.t) list;
+  txns : (Action.t, Txn.t) Hashtbl.t;
+  counters : counters;
+  latencies : Summary.t;
+  cfg : config;
+}
+
+let find_object st name =
+  match List.assoc_opt name st.objects with
+  | Some o -> o
+  | None -> invalid_arg ("Runtime: unknown object " ^ name)
+
+(* A blocked operation consults the blocking transaction's coordinator when
+   reachable; a finished transaction's status records are re-broadcast so
+   lingering tentative entries resolve (presumed-abort style recovery). *)
+let try_resolve st ~home blocker target =
+  match Hashtbl.find_opt st.txns blocker with
+  | None -> ()
+  | Some btxn ->
+    let coord = btxn.Txn.home_site in
+    if Network.reachable st.net home coord then begin
+      let obj = find_object st target in
+      match btxn.Txn.status with
+      | Txn.Committed ts ->
+        Replicated.broadcast_status obj
+          (Log.Commit_record (blocker, ts))
+          ~reachable_from:coord
+      | Txn.Aborted _ ->
+        Replicated.broadcast_status obj (Log.Abort_record blocker) ~reachable_from:coord
+      | Txn.Running | Txn.Committing -> ()
+    end
+
+let run_txn st index ~arrival =
+  let cfg = st.cfg in
+  let rng = Engine.rng st.engine in
+  Engine.schedule_at st.engine ~time:arrival (fun () ->
+      let home = Rng.int rng cfg.n_sites in
+      let action = Action.of_string (Printf.sprintf "T%d" index) in
+      if not (Network.site_up st.net home) then begin
+        (* The client's site is down: the transaction cannot start. *)
+        st.counters.c_aborted <- st.counters.c_aborted + 1;
+        st.counters.c_unavailable <- st.counters.c_unavailable + 1
+      end
+      else begin
+        let clock = st.clocks.(home) in
+        let txn = Txn.create ~action ~begin_ts:(Lamport.tick clock) ~home_site:home in
+        Hashtbl.replace st.txns action txn;
+        let script = cfg.script rng index in
+        let started = Engine.now st.engine in
+        let finish_abort kind why =
+          txn.Txn.status <- Txn.Aborted why;
+          st.counters.c_aborted <- st.counters.c_aborted + 1;
+          (match kind with
+           | `Unavailable -> st.counters.c_unavailable <- st.counters.c_unavailable + 1
+           | `Rejected -> st.counters.c_rejected <- st.counters.c_rejected + 1
+           | `Conflict -> st.counters.c_conflict <- st.counters.c_conflict + 1);
+          List.iter
+            (fun name ->
+              let obj = find_object st name in
+              Replicated.observe obj (Behavioral.Abort action);
+              Replicated.broadcast_status obj (Log.Abort_record action)
+                ~reachable_from:home)
+            txn.Txn.touched
+        in
+        let rec do_ops remaining =
+          match remaining with
+          | [] -> do_commit ()
+          | { target; invocation } :: rest ->
+            let obj = find_object st target in
+            if not (List.mem target txn.Txn.touched) then begin
+              Txn.touch txn target;
+              Replicated.observe obj (Behavioral.Begin action)
+            end;
+            attempt obj remaining rest invocation cfg.max_retries
+        and attempt obj remaining rest invocation retries =
+          Replicated.execute obj ~txn ~clock invocation ~k:(function
+            | Replicated.Done _ ->
+              st.counters.c_ops <- st.counters.c_ops + 1;
+              do_ops rest
+            | Replicated.Blocked_on blocker ->
+              st.counters.c_blocked <- st.counters.c_blocked + 1;
+              try_resolve st ~home blocker (Replicated.name obj);
+              if retries > 0 then begin
+                (* Jittered back-off so two mutually-refused operations do
+                   not retry in lock-step. *)
+                let delay = cfg.retry_delay *. (0.5 +. Rng.float rng 1.0) in
+                Engine.schedule st.engine ~delay (fun () ->
+                    attempt obj remaining rest invocation (retries - 1))
+              end
+              else finish_abort `Conflict "conflict retries exhausted"
+            | Replicated.Unavailable why -> finish_abort `Unavailable why
+            | Replicated.Rejected why -> finish_abort `Rejected why)
+        and do_commit () =
+          txn.Txn.status <- Txn.Committing;
+          (* Phase 1: every touched object must show a reachable final
+             quorum before the decision. *)
+          let rec prepare = function
+            | [] ->
+              let cts = Lamport.tick clock in
+              txn.Txn.status <- Txn.Committed cts;
+              st.counters.c_committed <- st.counters.c_committed + 1;
+              Summary.add st.latencies (Engine.now st.engine -. started);
+              List.iter
+                (fun name ->
+                  let obj = find_object st name in
+                  Replicated.observe obj (Behavioral.Commit action);
+                  Replicated.broadcast_status obj
+                    (Log.Commit_record (action, cts))
+                    ~reachable_from:home)
+                txn.Txn.touched
+            | name :: more ->
+              let obj = find_object st name in
+              Replicated.prepared_sites obj ~from:home ~timeout:50.0 ~k:(fun sites ->
+                  if List.length sites >= Replicated.max_final obj then prepare more
+                  else finish_abort `Unavailable ("commit quorum: " ^ name))
+          in
+          if txn.Txn.touched = [] then begin
+            (* Empty transaction: commits vacuously. *)
+            let cts = Lamport.tick clock in
+            txn.Txn.status <- Txn.Committed cts;
+            st.counters.c_committed <- st.counters.c_committed + 1;
+            Summary.add st.latencies (Engine.now st.engine -. started)
+          end
+          else prepare txn.Txn.touched
+        in
+        do_ops script
+      end)
+
+(* Reconstruct the model-ordered history for one object (see interface):
+   Begin entries first (Begin-timestamp order), then executions and aborts
+   in observed order, then Commit entries in commit-timestamp order, except
+   for locking where the observed order is the model order. *)
+let model_history st scheme observed =
+  match scheme with
+  | Replicated.Locking -> observed
+  | Replicated.Static | Replicated.Hybrid ->
+    let begins =
+      List.filter_map
+        (function Behavioral.Begin a -> Some a | Behavioral.Exec _ | Behavioral.Commit _ | Behavioral.Abort _ -> None)
+        observed
+    in
+    let begin_ts a =
+      match Hashtbl.find_opt st.txns a with
+      | Some txn -> txn.Txn.begin_ts
+      | None -> Lamport.Timestamp.zero
+    in
+    let commit_ts a =
+      match Hashtbl.find_opt st.txns a with
+      | Some { Txn.status = Txn.Committed ts; _ } -> Some ts
+      | Some _ | None -> None
+    in
+    let begins =
+      List.sort (fun a b -> Lamport.Timestamp.compare (begin_ts a) (begin_ts b)) begins
+    in
+    let middles =
+      List.filter
+        (function
+          | Behavioral.Exec _ | Behavioral.Abort _ -> true
+          | Behavioral.Begin _ | Behavioral.Commit _ -> false)
+        observed
+    in
+    let commits =
+      List.filter_map
+        (function
+          | Behavioral.Commit a ->
+            (match commit_ts a with Some ts -> Some (ts, a) | None -> Some (Lamport.Timestamp.zero, a))
+          | Behavioral.Begin _ | Behavioral.Exec _ | Behavioral.Abort _ -> None)
+        observed
+      |> List.sort (fun (t1, _) (t2, _) -> Lamport.Timestamp.compare t1 t2)
+      |> List.map (fun (_, a) -> Behavioral.Commit a)
+    in
+    List.map (fun a -> Behavioral.Begin a) begins @ middles @ commits
+
+let run cfg =
+  let engine = Engine.create ~seed:cfg.seed in
+  let net =
+    Network.create engine ~n_sites:cfg.n_sites ~latency_mean:cfg.latency_mean
+      ~drop_probability:cfg.drop_probability ()
+  in
+  let objects =
+    List.map
+      (fun oc ->
+        ( oc.obj_name,
+          Replicated.create ~name:oc.obj_name ~spec:oc.obj_spec ~scheme:cfg.scheme
+            ~relation:oc.obj_relation ~assignment:oc.obj_assignment ~net ))
+      cfg.objects
+  in
+  let st =
+    {
+      engine;
+      net;
+      clocks = Array.init cfg.n_sites (fun site -> Lamport.create ~site);
+      objects;
+      txns = Hashtbl.create 256;
+      counters =
+        {
+          c_committed = 0;
+          c_aborted = 0;
+          c_unavailable = 0;
+          c_rejected = 0;
+          c_conflict = 0;
+          c_blocked = 0;
+          c_ops = 0;
+        };
+      latencies = Summary.create ();
+      cfg;
+    }
+  in
+  cfg.install_faults net;
+  (* Split gossip streams unconditionally so the workload's draws are the
+     same whether or not anti-entropy runs. *)
+  List.iter
+    (fun (_, obj) ->
+      let gossip_rng = Rng.split (Engine.rng engine) in
+      match cfg.anti_entropy_every with
+      | Some every -> Replicated.start_anti_entropy obj ~rng:gossip_rng ~every
+      | None -> ())
+    objects;
+  let rng = Engine.rng engine in
+  let arrival = ref 0.0 in
+  for i = 0 to cfg.n_txns - 1 do
+    arrival := !arrival +. Rng.exponential rng cfg.arrival_mean;
+    run_txn st i ~arrival:!arrival
+  done;
+  Engine.run ~until:cfg.horizon engine;
+  let metrics =
+    {
+      committed = st.counters.c_committed;
+      aborted = st.counters.c_aborted;
+      unavailable_aborts = st.counters.c_unavailable;
+      rejected_aborts = st.counters.c_rejected;
+      conflict_aborts = st.counters.c_conflict;
+      blocked_waits = st.counters.c_blocked;
+      ops_done = st.counters.c_ops;
+      txn_latency = st.latencies;
+      duration = Engine.now engine;
+    }
+  in
+  let histories =
+    List.map
+      (fun (name, obj) -> (name, model_history st cfg.scheme (Replicated.history obj)))
+      objects
+  in
+  { metrics; histories }
+
+let spec_of (cfg : config) name =
+  let oc = List.find (fun oc -> String.equal oc.obj_name name) cfg.objects in
+  oc.obj_spec
+
+(* Exhaustive local-atomicity checking is exponential in the number of
+   active (uncommitted) actions and, for the dynamic property, in the
+   committed actions as well; histories from moderate runs end with few
+   actives, and locking runs fall back to commit-order serializability
+   (which two-phase locking guarantees and which implies a consistent
+   global order) when the full dynamic check would blow up. *)
+let check_atomicity (cfg : config) outcome =
+  let module A = Atomrep_atomicity.Atomicity in
+  List.filter_map
+    (fun (name, history) ->
+      let spec = spec_of cfg name in
+      let committed = List.length (Behavioral.committed history) in
+      let result =
+        match cfg.scheme with
+        | Replicated.Static -> A.check spec A.Static history
+        | Replicated.Hybrid -> A.check spec A.Hybrid history
+        | Replicated.Locking ->
+          if committed <= 7 then A.check spec A.Dynamic history
+          else begin
+            (* Commit-order serializability for large locking histories. *)
+            let h = Behavioral.strip_aborted history in
+            let order = Behavioral.committed h in
+            let serial = Behavioral.serialize h order in
+            if Serial_spec.legal spec serial then Ok ()
+            else
+              Error
+                {
+                  A.order;
+                  serial;
+                  reason = "commit-order serialization illegal";
+                }
+          end
+      in
+      match result with
+      | Ok () -> None
+      | Error f -> Some (name, Format.asprintf "%a" A.pp_failure f))
+    outcome.histories
+
+let check_common_order (cfg : config) outcome =
+  (* The system-wide serialization order is the Begin-timestamp order for
+     static atomicity and the Commit order (commit timestamps; observed
+     commit order for locking) otherwise. Both are total orders shared by
+     every object, so the system is atomic iff each object's committed
+     subhistory is legal when serialized in it. *)
+  List.filter_map
+    (fun (name, history) ->
+      let spec = spec_of cfg name in
+      let h = Behavioral.strip_aborted history in
+      let committed = Behavioral.committed h in
+      let order =
+        match cfg.scheme with
+        | Replicated.Hybrid | Replicated.Locking -> committed
+        | Replicated.Static ->
+          (* Begin-entry order in the reconstructed history is the
+             Begin-timestamp order. *)
+          List.filter
+            (fun a -> List.exists (Action.equal a) committed)
+            (Behavioral.begin_order h)
+      in
+      let serial = Behavioral.serialize h order in
+      if Serial_spec.legal spec serial then None
+      else Some (name, "committed subhistory illegal in system-wide order"))
+    outcome.histories

@@ -1,0 +1,91 @@
+(** Simulation runtime: drives transactions against replicated objects and
+    verifies the generated histories.
+
+    Each transaction runs at a home (front-end) site: Begin with a Lamport
+    Begin timestamp, a script of operations executed sequentially through
+    {!Replicated.execute} with bounded retries on conflicts, then a
+    two-phase commit — phase 1 probes every touched object for a reachable
+    final quorum, phase 2 assigns the Lamport commit timestamp and
+    broadcasts commit records. Any unavailability, validation failure or
+    retry exhaustion aborts the transaction (abort records are broadcast;
+    blocked operations consult the coordinator when reachable to resolve
+    lingering tentative entries).
+
+    After a run, per-object behavioral histories are reconstructed in the
+    form the formal model indexes them — Begin events ordered by Begin
+    timestamp and Commit events by commit timestamp for the timestamp-based
+    schemes, observed order for locking — and can be checked against the
+    scheme's local atomicity property. *)
+
+open Atomrep_history
+open Atomrep_spec
+open Atomrep_core
+open Atomrep_quorum
+open Atomrep_sim
+open Atomrep_stats
+
+type object_config = {
+  obj_name : string;
+  obj_spec : Serial_spec.t;
+  obj_relation : Relation.t; (** dependency relation for conflict tables *)
+  obj_assignment : Assignment.t;
+}
+
+type op_request = { target : string; invocation : Event.Invocation.t }
+
+type config = {
+  seed : int;
+  n_sites : int;
+  latency_mean : float;
+  drop_probability : float;
+  scheme : Replicated.scheme;
+  objects : object_config list;
+  n_txns : int;
+  arrival_mean : float; (** mean transaction inter-arrival time *)
+  script : Rng.t -> int -> op_request list; (** per-transaction operations *)
+  max_retries : int;
+  retry_delay : float;
+  install_faults : Network.t -> unit;
+  horizon : float; (** simulated-time cutoff *)
+  anti_entropy_every : float option;
+      (** start per-object gossip ({!Replicated.start_anti_entropy}) at
+          this period *)
+}
+
+val default_config : config
+(** A single replicated queue, three sites, no faults; override fields as
+    needed. *)
+
+val default_queue_assignment : n_sites:int -> Assignment.t
+(** Majority initial and final quorums for Enq and Deq. *)
+
+type metrics = {
+  committed : int;
+  aborted : int;
+  unavailable_aborts : int; (** aborts caused by missing quorums *)
+  rejected_aborts : int; (** aborts caused by scheme validation *)
+  conflict_aborts : int; (** aborts caused by retry exhaustion *)
+  blocked_waits : int; (** operations that waited at least once *)
+  ops_done : int;
+  txn_latency : Summary.t;
+  duration : float; (** simulated time consumed *)
+}
+
+type outcome = {
+  metrics : metrics;
+  histories : (string * Behavioral.t) list;
+      (** per-object histories, model-ordered for the scheme *)
+}
+
+val run : config -> outcome
+
+val check_atomicity : config -> outcome -> (string * string) list
+(** Check every object's history against the scheme's local atomicity
+    property; returns (object, failure description) pairs — empty means
+    every history satisfies the property. *)
+
+val check_common_order : config -> outcome -> (string * string) list
+(** Check that committed transactions are serializable in one system-wide
+    order (commit-timestamp order for hybrid and locking, Begin-timestamp
+    order for static) at every object — the paper's definition of an atomic
+    multi-object system. *)

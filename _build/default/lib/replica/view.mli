@@ -1,0 +1,37 @@
+(** Views: merged initial-quorum logs classified for scheme decisions
+    (paper, §3.2: "The front-end merges the logs from an initial quorum for
+    the invocation to construct a view"). *)
+
+open Atomrep_history
+open Atomrep_clock
+
+type t = {
+  committed : (Lamport.Timestamp.t * Log.entry) list;
+      (** entries of committed actions with their commit timestamps, sorted
+          by (commit timestamp, entry timestamp) — hybrid serialization
+          order *)
+  tentative : Log.entry list;
+      (** entries of actions with no commit or abort record in the view,
+          sorted by entry timestamp *)
+}
+
+val classify : Log.t -> t
+
+val committed_events : t -> Event.t list
+(** Committed events in commit-timestamp order. *)
+
+val events_of_action : t -> Action.t -> Event.t list
+(** All non-aborted entries of one action, committed or tentative, in
+    per-action sequence order. *)
+
+val static_timeline : t -> insert:(Lamport.Timestamp.t * int * Event.t) option ->
+  include_tentative:bool -> Event.t list
+(** Events ordered by (action Begin timestamp, per-action sequence) — the
+    static serialization order. [insert] adds a hypothetical event for an
+    action with the given Begin timestamp and sequence number.
+    [include_tentative] controls whether uncommitted actions' entries
+    participate (they do for validation, not for response computation). *)
+
+val tentative_conflicting :
+  t -> me:Action.t -> (Log.entry -> bool) -> Log.entry option
+(** First tentative entry of another action flagged by the predicate. *)

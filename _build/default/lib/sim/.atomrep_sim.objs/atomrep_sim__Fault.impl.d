@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Atomrep_stats Engine Network Rng

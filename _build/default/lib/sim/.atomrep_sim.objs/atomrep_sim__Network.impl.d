@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Atomrep_stats Engine Fun List Rng

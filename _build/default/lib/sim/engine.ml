@@ -1,0 +1,93 @@
+type entry = { time : float; seq : int; thunk : unit -> unit }
+
+module Heap = struct
+  (* Binary min-heap on (time, seq). *)
+  type t = { mutable data : entry array; mutable size : int }
+
+  let dummy = { time = 0.0; seq = 0; thunk = ignore }
+  let create () = { data = Array.make 256 dummy; size = 0 }
+
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h e =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- e;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && less h.data.(!i) h.data.((!i - 1) / 2) do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+type t = {
+  heap : Heap.t;
+  rng : Atomrep_stats.Rng.t;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let create ~seed =
+  { heap = Heap.create (); rng = Atomrep_stats.Rng.create seed; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t ~time thunk =
+  let time = if time < t.clock then t.clock else time in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.heap { time; seq = t.next_seq; thunk }
+
+let schedule t ~delay thunk =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) thunk
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.heap with
+    | None -> continue := false
+    | Some e ->
+      (match until with
+       | Some limit when e.time > limit ->
+         (* Past the horizon: push back and stop. *)
+         Heap.push t.heap e;
+         continue := false
+       | Some _ | None ->
+         t.clock <- e.time;
+         e.thunk ())
+  done
+
+let pending t = t.heap.Heap.size

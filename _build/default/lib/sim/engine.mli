@@ -1,0 +1,24 @@
+(** Discrete-event simulation engine.
+
+    Time is a float of abstract milliseconds. Events are closures ordered by
+    (time, insertion sequence); ties execute in insertion order, which —
+    together with the deterministic {!Atomrep_stats.Rng} — makes every run
+    reproducible from its seed. *)
+
+type t
+
+val create : seed:int -> t
+val now : t -> float
+val rng : t -> Atomrep_stats.Rng.t
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the closure [delay] time units from now. Negative delays are
+    clamped to zero. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+val run : ?until:float -> t -> unit
+(** Execute events in order until the queue empties or simulated time would
+    exceed [until]. *)
+
+val pending : t -> int

@@ -1,0 +1,31 @@
+open Atomrep_stats
+
+let crash_recover net ~site ~mtbf ~mttr =
+  let engine = Network.engine net in
+  let rng = Engine.rng engine in
+  let rec up_phase () =
+    Engine.schedule engine ~delay:(Rng.exponential rng mtbf) (fun () ->
+        Network.crash net site;
+        down_phase ())
+  and down_phase () =
+    Engine.schedule engine ~delay:(Rng.exponential rng mttr) (fun () ->
+        Network.recover net site;
+        up_phase ())
+  in
+  up_phase ()
+
+let crash_recover_all net ~mtbf ~mttr =
+  for site = 0 to Network.n_sites net - 1 do
+    crash_recover net ~site ~mtbf ~mttr
+  done
+
+let periodic_partition net ~groups ~every ~duration =
+  let engine = Network.engine net in
+  let rec cycle () =
+    Engine.schedule engine ~delay:every (fun () ->
+        Network.partition net groups;
+        Engine.schedule engine ~delay:duration (fun () ->
+            Network.heal net;
+            cycle ()))
+  in
+  cycle ()

@@ -1,0 +1,21 @@
+(** Fault injection schedules for simulation experiments. *)
+
+val crash_recover :
+  Network.t ->
+  site:int ->
+  mtbf:float ->
+  mttr:float ->
+  unit
+(** Start a crash/recover process for one site: exponentially distributed
+    time-between-failures with mean [mtbf], repair time with mean [mttr]. *)
+
+val crash_recover_all : Network.t -> mtbf:float -> mttr:float -> unit
+
+val periodic_partition :
+  Network.t ->
+  groups:int list list ->
+  every:float ->
+  duration:float ->
+  unit
+(** Periodically install the given partition for [duration] time units,
+    healing in between; first partition after [every]. *)

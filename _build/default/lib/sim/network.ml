@@ -1,0 +1,53 @@
+open Atomrep_stats
+
+type t = {
+  engine : Engine.t;
+  n_sites : int;
+  latency_mean : float;
+  drop_probability : float;
+  up : bool array;
+  mutable groups : int array; (* partition group per site *)
+}
+
+let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
+  {
+    engine;
+    n_sites;
+    latency_mean;
+    drop_probability;
+    up = Array.make n_sites true;
+    groups = Array.make n_sites 0;
+  }
+
+let engine t = t.engine
+let n_sites t = t.n_sites
+let site_up t s = t.up.(s)
+let crash t s = t.up.(s) <- false
+let recover t s = t.up.(s) <- true
+
+let partition t groups =
+  let assignment = Array.make t.n_sites (-1) in
+  List.iteri
+    (fun g sites -> List.iter (fun s -> assignment.(s) <- g) sites)
+    groups;
+  let next = List.length groups in
+  Array.iteri (fun s g -> if g = -1 then assignment.(s) <- next) assignment;
+  t.groups <- assignment
+
+let heal t = t.groups <- Array.make t.n_sites 0
+
+let reachable t a b = t.up.(a) && t.up.(b) && t.groups.(a) = t.groups.(b)
+
+let send t ~src ~dst thunk =
+  let rng = Engine.rng t.engine in
+  let latency = Rng.exponential rng t.latency_mean in
+  let same_site = src = dst in
+  let dropped =
+    (not same_site)
+    && (t.groups.(src) <> t.groups.(dst) || Rng.bernoulli rng t.drop_probability)
+  in
+  if not dropped then
+    Engine.schedule t.engine ~delay:latency (fun () -> if t.up.(dst) then thunk ())
+
+let up_sites t =
+  List.filter (fun s -> t.up.(s)) (List.init t.n_sites Fun.id)

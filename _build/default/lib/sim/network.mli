@@ -1,0 +1,40 @@
+(** Simulated network of sites with crashes, partitions and message loss
+    (paper, §3: sites crash; links lose messages; long-lived failures cause
+    partitions in which functioning sites cannot communicate).
+
+    Messages are closures delivered at the destination after an
+    exponentially distributed latency, unless the destination is down at
+    delivery time, the message is dropped (link failure), or source and
+    destination lie in different partition groups at send time. A site that
+    crashes loses nothing it already handed to the application — stable
+    storage is the application's concern ({!Atomrep_replica.Repository}
+    keeps its log across crashes, as repositories own stable storage). *)
+
+type t
+
+val create :
+  Engine.t -> n_sites:int -> ?latency_mean:float -> ?drop_probability:float -> unit -> t
+
+val engine : t -> Engine.t
+val n_sites : t -> int
+
+val site_up : t -> int -> bool
+val crash : t -> int -> unit
+val recover : t -> int -> unit
+
+val partition : t -> int list list -> unit
+(** Install a partition: each list is a group; messages between different
+    groups are lost. Sites not listed form an implicit final group. *)
+
+val heal : t -> unit
+(** Remove any partition. *)
+
+val reachable : t -> int -> int -> bool
+(** Both sites up and in the same partition group. *)
+
+val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
+(** Deliver the closure at [dst] (it runs only if [dst] is up at delivery
+    time). Loss, latency and partitions apply; sending to self delivers
+    with latency but never drops. *)
+
+val up_sites : t -> int list

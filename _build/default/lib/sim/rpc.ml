@@ -1,0 +1,39 @@
+let call net ~src ~dst ~timeout ~handler ~reply =
+  let engine = Network.engine net in
+  let done_ = ref false in
+  let finish result =
+    if not !done_ then begin
+      done_ := true;
+      reply result
+    end
+  in
+  Network.send net ~src ~dst (fun () ->
+      let response = handler () in
+      Network.send net ~src:dst ~dst:src (fun () -> finish (Some response)));
+  Engine.schedule engine ~delay:timeout (fun () -> finish None)
+
+let multicast net ~src ~dsts ~timeout ~handler ~gather =
+  let expected = List.length dsts in
+  if expected = 0 then gather []
+  else begin
+    let received = ref [] in
+    let answered = ref 0 in
+    let finished = ref false in
+    let complete () =
+      if (not !finished) && !answered = expected then begin
+        finished := true;
+        gather (List.rev !received)
+      end
+    in
+    List.iter
+      (fun dst ->
+        call net ~src ~dst ~timeout
+          ~handler:(fun () -> handler dst)
+          ~reply:(fun result ->
+            incr answered;
+            (match result with
+             | Some r -> received := (dst, r) :: !received
+             | None -> ());
+            complete ()))
+      dsts
+  end

@@ -1,0 +1,28 @@
+(** Request/response on top of {!Network} with timeouts.
+
+    The absence of a response may mean the request was lost, the reply was
+    lost, the recipient crashed, or the recipient is slow (paper, §3); the
+    caller sees only a timeout. *)
+
+val call :
+  Network.t ->
+  src:int ->
+  dst:int ->
+  timeout:float ->
+  handler:(unit -> 'resp) ->
+  reply:('resp option -> unit) ->
+  unit
+(** Run [handler] at [dst]; deliver [Some response] back at [src], or [None]
+    at [src] once [timeout] elapses without a response. [reply] runs exactly
+    once. *)
+
+val multicast :
+  Network.t ->
+  src:int ->
+  dsts:int list ->
+  timeout:float ->
+  handler:(int -> 'resp) ->
+  gather:((int * 'resp) list -> unit) ->
+  unit
+(** Call every destination in parallel; when all have replied or timed out,
+    pass the successful (site, response) pairs to [gather]. *)

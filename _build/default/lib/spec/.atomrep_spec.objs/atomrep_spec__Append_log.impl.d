@@ -1,0 +1,1 @@
+lib/spec/append_log.ml: Atomrep_history Event List Serial_spec Value

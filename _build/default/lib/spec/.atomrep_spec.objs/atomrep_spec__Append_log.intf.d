@@ -1,0 +1,1 @@
+lib/spec/append_log.mli: Atomrep_history Event Serial_spec

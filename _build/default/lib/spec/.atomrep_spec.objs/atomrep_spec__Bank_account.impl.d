@@ -1,0 +1,1 @@
+lib/spec/bank_account.ml: Atomrep_history Event List Serial_spec Value

@@ -1,0 +1,1 @@
+lib/spec/bank_account.mli: Atomrep_history Event Serial_spec

@@ -1,0 +1,1 @@
+lib/spec/bounded_buffer.ml: Atomrep_history Event List Serial_spec Value

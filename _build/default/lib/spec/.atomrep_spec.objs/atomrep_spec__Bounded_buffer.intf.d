@@ -1,0 +1,1 @@
+lib/spec/bounded_buffer.mli: Atomrep_history Event Serial_spec

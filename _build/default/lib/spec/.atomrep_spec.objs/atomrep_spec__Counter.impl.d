@@ -1,0 +1,1 @@
+lib/spec/counter.ml: Atomrep_history Event Serial_spec Value

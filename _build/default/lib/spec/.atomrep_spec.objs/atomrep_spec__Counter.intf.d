@@ -1,0 +1,1 @@
+lib/spec/counter.mli: Atomrep_history Event Serial_spec

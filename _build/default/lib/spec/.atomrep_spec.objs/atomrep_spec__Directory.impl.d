@@ -1,0 +1,1 @@
+lib/spec/directory.ml: Atomrep_history Event List Serial_spec Value

@@ -1,0 +1,1 @@
+lib/spec/directory.mli: Atomrep_history Event Serial_spec

@@ -1,0 +1,1 @@
+lib/spec/double_buffer.mli: Atomrep_history Event Serial_spec

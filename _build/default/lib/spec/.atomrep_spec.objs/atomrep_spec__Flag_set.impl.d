@@ -1,0 +1,1 @@
+lib/spec/flag_set.ml: Atomrep_history Event List Serial_spec Value

@@ -1,0 +1,1 @@
+lib/spec/flag_set.mli: Atomrep_history Event Serial_spec

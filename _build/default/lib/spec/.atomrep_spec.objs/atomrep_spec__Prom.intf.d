@@ -1,0 +1,1 @@
+lib/spec/prom.mli: Atomrep_history Event Serial_spec

@@ -1,0 +1,1 @@
+lib/spec/queue_type.ml: Atomrep_history Event List Serial_spec Value

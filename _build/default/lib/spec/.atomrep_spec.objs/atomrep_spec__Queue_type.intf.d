@@ -1,0 +1,1 @@
+lib/spec/queue_type.mli: Atomrep_history Event Serial_spec

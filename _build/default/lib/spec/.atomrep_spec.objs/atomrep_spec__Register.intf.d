@@ -1,0 +1,1 @@
+lib/spec/register.mli: Atomrep_history Event Serial_spec

@@ -1,0 +1,1 @@
+lib/spec/rset.ml: Atomrep_history Event List Serial_spec Value

@@ -1,0 +1,1 @@
+lib/spec/rset.mli: Atomrep_history Event Serial_spec

@@ -1,0 +1,1 @@
+lib/spec/semiqueue.ml: Atomrep_history Event List Serial_spec Value

@@ -1,0 +1,1 @@
+lib/spec/semiqueue.mli: Atomrep_history Event Serial_spec

@@ -1,0 +1,1 @@
+lib/spec/serial_spec.ml: Atomrep_history Event List Option Value

@@ -1,0 +1,1 @@
+lib/spec/serial_spec.mli: Atomrep_history Event Value

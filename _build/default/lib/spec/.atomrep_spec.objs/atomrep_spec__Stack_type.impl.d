@@ -1,0 +1,1 @@
+lib/spec/stack_type.ml: Atomrep_history Event List Serial_spec Value

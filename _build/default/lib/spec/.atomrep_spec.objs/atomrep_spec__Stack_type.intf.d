@@ -1,0 +1,1 @@
+lib/spec/stack_type.mli: Atomrep_history Event Serial_spec

@@ -1,0 +1,1 @@
+lib/spec/type_registry.ml: Append_log Bank_account Bounded_buffer Counter Directory Double_buffer Flag_set List Prom Queue_type Register Rset Semiqueue Stack_type String Wset

@@ -1,0 +1,1 @@
+lib/spec/type_registry.mli: Serial_spec

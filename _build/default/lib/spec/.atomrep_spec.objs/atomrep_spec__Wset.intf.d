@@ -1,0 +1,1 @@
+lib/spec/wset.mli: Atomrep_history Event Serial_spec

@@ -1,0 +1,25 @@
+open Atomrep_history
+
+let append_inv item = Event.Invocation.make "Append" [ Value.str item ]
+let size_inv = Event.Invocation.make "Size" []
+
+let append item = Event.make (append_inv item) (Event.Response.ok [])
+let size n = Event.make size_inv (Event.Response.ok [ Value.int n ])
+
+let step state (inv : Event.Invocation.t) =
+  let items = Value.get_list state in
+  match inv.op, inv.args with
+  | "Append", [ v ] -> [ (Event.Response.ok [], Value.list (items @ [ v ])) ]
+  | "Size", [] ->
+    [ (Event.Response.ok [ Value.int (List.length items) ], state) ]
+  | _, _ -> []
+
+let spec_with_items items =
+  {
+    Serial_spec.name = "AppendLog";
+    initial = Value.list [];
+    step;
+    invocations = List.map append_inv items @ [ size_inv ];
+  }
+
+let spec = spec_with_items [ "x"; "y" ]

@@ -1,0 +1,19 @@
+(** An append-only log.
+
+    [Append] adds a record; [Size] reports how many records have been
+    appended. Appends to a log conflict only through reads of the size, a
+    structure close to the paper's replicated log representation itself. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** Log over items [x, y]. *)
+
+val spec_with_items : string list -> Serial_spec.t
+
+val append : string -> Event.t
+val size : int -> Event.t
+(** [size n] is [Size();Ok(n)]. *)
+
+val append_inv : string -> Event.Invocation.t
+val size_inv : Event.Invocation.t

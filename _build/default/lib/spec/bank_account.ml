@@ -1,0 +1,31 @@
+open Atomrep_history
+
+let deposit_inv k = Event.Invocation.make "Deposit" [ Value.int k ]
+let withdraw_inv k = Event.Invocation.make "Withdraw" [ Value.int k ]
+let balance_inv = Event.Invocation.make "Balance" []
+
+let deposit k = Event.make (deposit_inv k) (Event.Response.ok [])
+let withdraw_ok k = Event.make (withdraw_inv k) (Event.Response.ok [])
+let withdraw_overdraft k = Event.make (withdraw_inv k) (Event.Response.exn "Overdraft")
+let balance n = Event.make balance_inv (Event.Response.ok [ Value.int n ])
+
+let step state (inv : Event.Invocation.t) =
+  let bal = Value.get_int state in
+  match inv.op, inv.args with
+  | "Deposit", [ Value.Int k ] -> [ (Event.Response.ok [], Value.int (bal + k)) ]
+  | "Withdraw", [ Value.Int k ] ->
+    if bal >= k then [ (Event.Response.ok [], Value.int (bal - k)) ]
+    else [ (Event.Response.exn "Overdraft", state) ]
+  | "Balance", [] -> [ (Event.Response.ok [ state ], state) ]
+  | _, _ -> []
+
+let spec_with_amounts ~initial amounts =
+  {
+    Serial_spec.name = "BankAccount";
+    initial = Value.int initial;
+    step;
+    invocations =
+      List.map deposit_inv amounts @ List.map withdraw_inv amounts @ [ balance_inv ];
+  }
+
+let spec = spec_with_amounts ~initial:0 [ 1; 2 ]

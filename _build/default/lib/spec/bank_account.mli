@@ -1,0 +1,24 @@
+(** A bank account with balance-checked withdrawals.
+
+    [Deposit k] always succeeds; [Withdraw k] succeeds only when the balance
+    covers it, signalling [Overdraft] otherwise; [Balance] reads the current
+    balance. Withdrawals do not commute with each other even though deposits
+    do — the classical motivating example for type-specific concurrency
+    control. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** Amount universe {1, 2}; initial balance 0. *)
+
+val spec_with_amounts : initial:int -> int list -> Serial_spec.t
+
+val deposit : int -> Event.t
+val withdraw_ok : int -> Event.t
+val withdraw_overdraft : int -> Event.t
+val balance : int -> Event.t
+(** [balance n] is [Balance();Ok(n)]. *)
+
+val deposit_inv : int -> Event.Invocation.t
+val withdraw_inv : int -> Event.Invocation.t
+val balance_inv : Event.Invocation.t

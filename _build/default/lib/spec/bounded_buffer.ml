@@ -1,0 +1,38 @@
+open Atomrep_history
+
+let enq_inv item = Event.Invocation.make "Enq" [ Value.str item ]
+let deq_inv = Event.Invocation.make "Deq" []
+
+let enq item = Event.make (enq_inv item) (Event.Response.ok [])
+let enq_full item = Event.make (enq_inv item) (Event.Response.exn "Full")
+let deq_ok item = Event.make deq_inv (Event.Response.ok [ Value.str item ])
+let deq_empty = Event.make deq_inv (Event.Response.exn "Empty")
+
+(* State: Pair (capacity, items). *)
+let step state (inv : Event.Invocation.t) =
+  match state with
+  | Value.Pair (Value.Int capacity, Value.List items) ->
+    (match inv.op, inv.args with
+     | "Enq", [ v ] ->
+       if List.length items >= capacity then [ (Event.Response.exn "Full", state) ]
+       else
+         [ (Event.Response.ok [],
+            Value.pair (Value.int capacity) (Value.list (items @ [ v ]))) ]
+     | "Deq", [] ->
+       (match items with
+        | [] -> [ (Event.Response.exn "Empty", state) ]
+        | first :: rest ->
+          [ (Event.Response.ok [ first ],
+             Value.pair (Value.int capacity) (Value.list rest)) ])
+     | _, _ -> [])
+  | _ -> []
+
+let spec_with ~capacity items =
+  {
+    Serial_spec.name = "BoundedBuffer";
+    initial = Value.pair (Value.int capacity) (Value.list []);
+    step;
+    invocations = List.map enq_inv items @ [ deq_inv ];
+  }
+
+let spec = spec_with ~capacity:2 [ "x"; "y" ]

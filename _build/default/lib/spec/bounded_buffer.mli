@@ -1,0 +1,23 @@
+(** A bounded FIFO buffer.
+
+    Like the Queue but with finite capacity: [Enq] signals [Full] when the
+    buffer holds [capacity] items. Capacity couples enqueuers to dequeuers
+    in both directions — [Enq ≽ Deq;Ok] becomes necessary even under
+    strong dynamic atomicity (a Deq creates the space an Enq's success
+    depends on), giving a dependency structure strictly richer than the
+    unbounded queue's. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** Capacity 2 over items [x, y]. *)
+
+val spec_with : capacity:int -> string list -> Serial_spec.t
+
+val enq : string -> Event.t
+val enq_full : string -> Event.t
+val deq_ok : string -> Event.t
+val deq_empty : Event.t
+
+val enq_inv : string -> Event.Invocation.t
+val deq_inv : Event.Invocation.t

@@ -1,0 +1,25 @@
+open Atomrep_history
+
+let inc_inv = Event.Invocation.make "Inc" []
+let dec_inv = Event.Invocation.make "Dec" []
+let read_inv = Event.Invocation.make "Read" []
+
+let inc = Event.make inc_inv (Event.Response.ok [])
+let dec = Event.make dec_inv (Event.Response.ok [])
+let read n = Event.make read_inv (Event.Response.ok [ Value.int n ])
+
+let step state (inv : Event.Invocation.t) =
+  let n = Value.get_int state in
+  match inv.op, inv.args with
+  | "Inc", [] -> [ (Event.Response.ok [], Value.int (n + 1)) ]
+  | "Dec", [] -> [ (Event.Response.ok [], Value.int (n - 1)) ]
+  | "Read", [] -> [ (Event.Response.ok [ state ], state) ]
+  | _, _ -> []
+
+let spec =
+  {
+    Serial_spec.name = "Counter";
+    initial = Value.int 0;
+    step;
+    invocations = [ inc_inv; dec_inv; read_inv ];
+  }

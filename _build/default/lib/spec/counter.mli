@@ -1,0 +1,20 @@
+(** A counter with commuting increments.
+
+    [Inc] and [Dec] adjust the count and commute with each other; [Read]
+    returns the current count. Counters illustrate how type-specific
+    analysis rewards commutativity: increments impose no mutual quorum
+    constraints under any of the three properties, unlike blind writes to a
+    register. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+
+val inc : Event.t
+val dec : Event.t
+val read : int -> Event.t
+(** [read n] is [Read();Ok(n)]. *)
+
+val inc_inv : Event.Invocation.t
+val dec_inv : Event.Invocation.t
+val read_inv : Event.Invocation.t

@@ -1,0 +1,63 @@
+open Atomrep_history
+
+let insert_inv k v = Event.Invocation.make "Insert" [ Value.str k; Value.str v ]
+let update_inv k v = Event.Invocation.make "Update" [ Value.str k; Value.str v ]
+let delete_inv k = Event.Invocation.make "Delete" [ Value.str k ]
+let lookup_inv k = Event.Invocation.make "Lookup" [ Value.str k ]
+
+let insert_ok k v = Event.make (insert_inv k v) (Event.Response.ok [])
+let insert_exists k v = Event.make (insert_inv k v) (Event.Response.exn "AlreadyExists")
+let update_ok k v = Event.make (update_inv k v) (Event.Response.ok [])
+let update_missing k v = Event.make (update_inv k v) (Event.Response.exn "NotFound")
+let delete_ok k = Event.make (delete_inv k) (Event.Response.ok [])
+let delete_missing k = Event.make (delete_inv k) (Event.Response.exn "NotFound")
+let lookup_ok k v = Event.make (lookup_inv k) (Event.Response.ok [ Value.str v ])
+let lookup_missing k = Event.make (lookup_inv k) (Event.Response.exn "NotFound")
+
+(* State: sorted association list of Pair (key, value). *)
+let bindings state = List.map (function
+  | Value.Pair (k, v) -> (k, v)
+  | _ -> invalid_arg "Directory: malformed state")
+  (Value.get_list state)
+
+let of_bindings bs =
+  Value.list
+    (List.map (fun (k, v) -> Value.pair k v)
+       (List.sort (fun (k1, _) (k2, _) -> Value.compare k1 k2) bs))
+
+let step state (inv : Event.Invocation.t) =
+  let bs = bindings state in
+  let find k = List.find_opt (fun (k', _) -> Value.equal k k') bs in
+  let without k = List.filter (fun (k', _) -> not (Value.equal k k')) bs in
+  match inv.op, inv.args with
+  | "Insert", [ k; v ] ->
+    (match find k with
+     | Some _ -> [ (Event.Response.exn "AlreadyExists", state) ]
+     | None -> [ (Event.Response.ok [], of_bindings ((k, v) :: bs)) ])
+  | "Update", [ k; v ] ->
+    (match find k with
+     | Some _ -> [ (Event.Response.ok [], of_bindings ((k, v) :: without k)) ]
+     | None -> [ (Event.Response.exn "NotFound", state) ])
+  | "Delete", [ k ] ->
+    (match find k with
+     | Some _ -> [ (Event.Response.ok [], of_bindings (without k)) ]
+     | None -> [ (Event.Response.exn "NotFound", state) ])
+  | "Lookup", [ k ] ->
+    (match find k with
+     | Some (_, v) -> [ (Event.Response.ok [ v ], state) ]
+     | None -> [ (Event.Response.exn "NotFound", state) ])
+  | _, _ -> []
+
+let spec_with ~keys ~values =
+  {
+    Serial_spec.name = "Directory";
+    initial = Value.list [];
+    step;
+    invocations =
+      List.concat_map (fun k -> List.map (insert_inv k) values) keys
+      @ List.concat_map (fun k -> List.map (update_inv k) values) keys
+      @ List.map delete_inv keys
+      @ List.map lookup_inv keys;
+  }
+
+let spec = spec_with ~keys:[ "k" ] ~values:[ "x"; "y" ]

@@ -1,0 +1,29 @@
+(** A directory mapping keys to values, after Bloch, Daniels and Spector's
+    quorum-consensus replicated directory [6].
+
+    [Insert] fails on present keys, [Update] and [Delete] fail on absent
+    keys, and [Lookup] reads. Distinct keys are independent, which the
+    type-specific analysis exposes as the absence of cross-key quorum
+    constraints. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** One key [k] and values [x, y] — the smallest universe exhibiting all
+    constraint classes. *)
+
+val spec_with : keys:string list -> values:string list -> Serial_spec.t
+
+val insert_ok : string -> string -> Event.t
+val insert_exists : string -> string -> Event.t
+val update_ok : string -> string -> Event.t
+val update_missing : string -> string -> Event.t
+val delete_ok : string -> Event.t
+val delete_missing : string -> Event.t
+val lookup_ok : string -> string -> Event.t
+val lookup_missing : string -> Event.t
+
+val insert_inv : string -> string -> Event.Invocation.t
+val update_inv : string -> string -> Event.Invocation.t
+val delete_inv : string -> Event.Invocation.t
+val lookup_inv : string -> Event.Invocation.t

@@ -1,0 +1,30 @@
+open Atomrep_history
+
+let produce_inv item = Event.Invocation.make "Produce" [ Value.str item ]
+let transfer_inv = Event.Invocation.make "Transfer" []
+let consume_inv = Event.Invocation.make "Consume" []
+
+let produce item = Event.make (produce_inv item) (Event.Response.ok [])
+let transfer = Event.make transfer_inv (Event.Response.ok [])
+let consume item = Event.make consume_inv (Event.Response.ok [ Value.str item ])
+
+(* State: Pair (producer buffer, consumer buffer). *)
+let step state (inv : Event.Invocation.t) =
+  match state with
+  | Value.Pair (prod, cons) ->
+    (match inv.op, inv.args with
+     | "Produce", [ v ] -> [ (Event.Response.ok [], Value.pair v cons) ]
+     | "Transfer", [] -> [ (Event.Response.ok [], Value.pair prod prod) ]
+     | "Consume", [] -> [ (Event.Response.ok [ cons ], state) ]
+     | _, _ -> [])
+  | _ -> []
+
+let spec_with_items ~default items =
+  {
+    Serial_spec.name = "DoubleBuffer";
+    initial = Value.pair (Value.str default) (Value.str default);
+    step;
+    invocations = List.map produce_inv items @ [ transfer_inv; consume_inv ];
+  }
+
+let spec = spec_with_items ~default:"d" [ "x"; "y" ]

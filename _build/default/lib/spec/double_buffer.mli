@@ -1,0 +1,24 @@
+(** The paper's DoubleBuffer data type (§5).
+
+    A producer buffer and a consumer buffer, each holding one item and each
+    initialized with a default item. [Produce] copies an item into the
+    producer buffer, [Transfer] copies the producer buffer to the consumer
+    buffer, and [Consume] returns a copy of the consumer buffer. The paper
+    uses DoubleBuffer to show a dynamic dependency relation that is not a
+    hybrid dependency relation (Theorem 12). *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** DoubleBuffer over items [x, y] with default item [d]. *)
+
+val spec_with_items : default:string -> string list -> Serial_spec.t
+
+val produce : string -> Event.t
+val transfer : Event.t
+val consume : string -> Event.t
+(** [consume "x"] is [Consume();Ok(x)]. *)
+
+val produce_inv : string -> Event.Invocation.t
+val transfer_inv : Event.Invocation.t
+val consume_inv : Event.Invocation.t

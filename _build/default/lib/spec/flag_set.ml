@@ -1,0 +1,60 @@
+open Atomrep_history
+
+let open_inv = Event.Invocation.make "Open" []
+let shift_inv n = Event.Invocation.make "Shift" [ Value.int n ]
+let close_inv = Event.Invocation.make "Close" []
+
+let open_ok = Event.make open_inv (Event.Response.ok [])
+let open_disabled = Event.make open_inv (Event.Response.exn "Disabled")
+let shift_ok n = Event.make (shift_inv n) (Event.Response.ok [])
+let shift_disabled n = Event.make (shift_inv n) (Event.Response.exn "Disabled")
+let close b = Event.make close_inv (Event.Response.ok [ Value.bool b ])
+
+(* State: Pair (Pair (opened, closed), flags as a list of four booleans,
+   indexed 1..4 at positions 0..3). *)
+let flags_of state =
+  match state with
+  | Value.Pair (Value.Pair (Value.Bool opened, Value.Bool closed), Value.List flags) ->
+    (opened, closed, List.map Value.get_bool flags)
+  | _ -> invalid_arg "Flag_set: malformed state"
+
+let make_state opened closed flags =
+  Value.pair
+    (Value.pair (Value.bool opened) (Value.bool closed))
+    (Value.list (List.map Value.bool flags))
+
+let step state (inv : Event.Invocation.t) =
+  let opened, closed, flags = flags_of state in
+  match inv.op, inv.args with
+  | "Open", [] ->
+    if opened then [ (Event.Response.exn "Disabled", state) ]
+    else begin
+      let flags' =
+        match flags with
+        | _ :: rest -> true :: rest
+        | [] -> assert false
+      in
+      [ (Event.Response.ok [], make_state true closed flags') ]
+    end
+  | "Shift", [ Value.Int n ] when n >= 1 && n <= 3 ->
+    if opened && not closed then begin
+      let flags' =
+        List.mapi
+          (fun i f -> if i = n then List.nth flags (n - 1) else f)
+          flags
+      in
+      [ (Event.Response.ok [], make_state opened closed flags') ]
+    end
+    else [ (Event.Response.exn "Disabled", state) ]
+  | "Close", [] ->
+    let result = List.nth flags 3 in
+    [ (Event.Response.ok [ Value.bool result ], make_state opened opened flags) ]
+  | _, _ -> []
+
+let spec =
+  {
+    Serial_spec.name = "FlagSet";
+    initial = make_state false false [ false; false; false; false ];
+    step;
+    invocations = [ open_inv; shift_inv 1; shift_inv 2; shift_inv 3; close_inv ];
+  }

@@ -1,0 +1,28 @@
+(** The paper's FlagSet data type (§4).
+
+    State: [opened] and [closed] booleans and a four-element boolean array
+    [flags], all initially false.
+
+    - [Open]: if not already opened, sets [opened] and [flags.(1)], enabling
+      [Shift]; otherwise signals [disabled].
+    - [Shift n] (for 0 < n < 4): if opened and not closed, assigns
+      [flags.(n)] to [flags.(n+1)]; otherwise signals [disabled].
+    - [Close]: returns [flags.(4)]; if opened, disables [Shift].
+
+    The paper uses FlagSet to exhibit a data type with two distinct minimal
+    hybrid dependency relations. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+
+val open_ok : Event.t
+val open_disabled : Event.t
+val shift_ok : int -> Event.t
+val shift_disabled : int -> Event.t
+val close : bool -> Event.t
+(** [close b] is [Close();Ok(b)]. *)
+
+val open_inv : Event.Invocation.t
+val shift_inv : int -> Event.Invocation.t
+val close_inv : Event.Invocation.t

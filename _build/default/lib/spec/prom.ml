@@ -1,0 +1,36 @@
+open Atomrep_history
+
+let write_inv item = Event.Invocation.make "Write" [ Value.str item ]
+let read_inv = Event.Invocation.make "Read" []
+let seal_inv = Event.Invocation.make "Seal" []
+
+let write item = Event.make (write_inv item) (Event.Response.ok [])
+let write_disabled item = Event.make (write_inv item) (Event.Response.exn "Disabled")
+let seal = Event.make seal_inv (Event.Response.ok [])
+let read_ok item = Event.make read_inv (Event.Response.ok [ Value.str item ])
+let read_disabled = Event.make read_inv (Event.Response.exn "Disabled")
+
+(* State: Pair (contents, sealed flag). *)
+let step state (inv : Event.Invocation.t) =
+  match state with
+  | Value.Pair (contents, Value.Bool sealed) ->
+    (match inv.op, inv.args with
+     | "Write", [ v ] ->
+       if sealed then [ (Event.Response.exn "Disabled", state) ]
+       else [ (Event.Response.ok [], Value.pair v (Value.bool false)) ]
+     | "Read", [] ->
+       if sealed then [ (Event.Response.ok [ contents ], state) ]
+       else [ (Event.Response.exn "Disabled", state) ]
+     | "Seal", [] -> [ (Event.Response.ok [], Value.pair contents (Value.bool true)) ]
+     | _, _ -> [])
+  | _ -> []
+
+let spec_with_items ~default items =
+  {
+    Serial_spec.name = "PROM";
+    initial = Value.pair (Value.str default) (Value.bool false);
+    step;
+    invocations = List.map write_inv items @ [ read_inv; seal_inv ];
+  }
+
+let spec = spec_with_items ~default:"d" [ "x"; "y" ]

@@ -1,0 +1,33 @@
+(** The paper's PROM data type (§4).
+
+    A PROM is a container for an item, initialized with a default value. Its
+    contents can be overwritten, but not read, until it is sealed; once
+    sealed, its contents can be read but not written. [Seal] has no effect if
+    the PROM has already been sealed. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** PROM over items [x, y], initialized with the distinct default item
+    [d]. *)
+
+val spec_with_items : default:string -> string list -> Serial_spec.t
+
+val write : string -> Event.t
+(** [Write(x);Ok()]. *)
+
+val write_disabled : string -> Event.t
+(** [Write(x);Disabled()]. *)
+
+val seal : Event.t
+(** [Seal();Ok()]. *)
+
+val read_ok : string -> Event.t
+(** [Read();Ok(x)]. *)
+
+val read_disabled : Event.t
+(** [Read();Disabled()]. *)
+
+val write_inv : string -> Event.Invocation.t
+val read_inv : Event.Invocation.t
+val seal_inv : Event.Invocation.t

@@ -1,0 +1,28 @@
+open Atomrep_history
+
+let enq_inv item = Event.Invocation.make "Enq" [ Value.str item ]
+let deq_inv = Event.Invocation.make "Deq" []
+
+let enq item = Event.make (enq_inv item) (Event.Response.ok [])
+let deq_ok item = Event.make deq_inv (Event.Response.ok [ Value.str item ])
+let deq_empty = Event.make deq_inv (Event.Response.exn "Empty")
+
+let step state (inv : Event.Invocation.t) =
+  let items = Value.get_list state in
+  match inv.op, inv.args with
+  | "Enq", [ v ] -> [ (Event.Response.ok [], Value.list (items @ [ v ])) ]
+  | "Deq", [] ->
+    (match items with
+     | [] -> [ (Event.Response.exn "Empty", state) ]
+     | first :: rest -> [ (Event.Response.ok [ first ], Value.list rest) ])
+  | _, _ -> []
+
+let spec_with_items items =
+  {
+    Serial_spec.name = "Queue";
+    initial = Value.list [];
+    step;
+    invocations = List.map enq_inv items @ [ deq_inv ];
+  }
+
+let spec = spec_with_items [ "x"; "y" ]

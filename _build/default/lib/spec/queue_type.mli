@@ -1,0 +1,25 @@
+(** The paper's Queue data type (§3).
+
+    [Enq] places an item in the queue; [Deq] removes the least recently
+    enqueued item, signalling [Empty] if the queue is empty. The serial
+    specification admits exactly the FIFO histories. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** Queue over the two-item universe [x, y] used throughout the paper's
+    examples. *)
+
+val spec_with_items : string list -> Serial_spec.t
+
+val enq : string -> Event.t
+(** [enq "x"] is the event [Enq(x);Ok()]. *)
+
+val deq_ok : string -> Event.t
+(** [deq_ok "x"] is [Deq();Ok(x)]. *)
+
+val deq_empty : Event.t
+(** [Deq();Empty()]. *)
+
+val enq_inv : string -> Event.Invocation.t
+val deq_inv : Event.Invocation.t

@@ -1,0 +1,23 @@
+open Atomrep_history
+
+let write_inv item = Event.Invocation.make "Write" [ Value.str item ]
+let read_inv = Event.Invocation.make "Read" []
+
+let write item = Event.make (write_inv item) (Event.Response.ok [])
+let read item = Event.make read_inv (Event.Response.ok [ Value.str item ])
+
+let step state (inv : Event.Invocation.t) =
+  match inv.op, inv.args with
+  | "Write", [ v ] -> [ (Event.Response.ok [], v) ]
+  | "Read", [] -> [ (Event.Response.ok [ state ], state) ]
+  | _, _ -> []
+
+let spec_with_items ~default items =
+  {
+    Serial_spec.name = "Register";
+    initial = Value.str default;
+    step;
+    invocations = List.map write_inv items @ [ read_inv ];
+  }
+
+let spec = spec_with_items ~default:"d" [ "x"; "y" ]

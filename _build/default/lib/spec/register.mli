@@ -1,0 +1,20 @@
+(** A read/write register — the "file" data type of classical replication
+    methods (Gifford's weighted voting [11]).
+
+    Operations are exactly [Read] and [Write]; this is the baseline whose
+    read/write operation classification the paper's type-specific method
+    generalizes. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** Register over items [x, y] with initial value [d]. *)
+
+val spec_with_items : default:string -> string list -> Serial_spec.t
+
+val write : string -> Event.t
+val read : string -> Event.t
+(** [read "x"] is [Read();Ok(x)]. *)
+
+val write_inv : string -> Event.Invocation.t
+val read_inv : Event.Invocation.t

@@ -1,0 +1,36 @@
+open Atomrep_history
+
+let insert_inv item = Event.Invocation.make "Insert" [ Value.str item ]
+let remove_inv item = Event.Invocation.make "Remove" [ Value.str item ]
+let member_inv item = Event.Invocation.make "Member" [ Value.str item ]
+
+let insert item = Event.make (insert_inv item) (Event.Response.ok [])
+let remove item = Event.make (remove_inv item) (Event.Response.ok [])
+let member item present =
+  Event.make (member_inv item) (Event.Response.ok [ Value.bool present ])
+
+let step state (inv : Event.Invocation.t) =
+  let items = Value.get_list state in
+  let without v = List.filter (fun x -> not (Value.equal x v)) items in
+  match inv.op, inv.args with
+  | "Insert", [ v ] ->
+    let items' =
+      if List.exists (Value.equal v) items then items
+      else List.sort Value.compare (v :: items)
+    in
+    [ (Event.Response.ok [], Value.list items') ]
+  | "Remove", [ v ] -> [ (Event.Response.ok [], Value.list (without v)) ]
+  | "Member", [ v ] ->
+    [ (Event.Response.ok [ Value.bool (List.exists (Value.equal v) items) ], state) ]
+  | _, _ -> []
+
+let spec_with_items items =
+  {
+    Serial_spec.name = "RSet";
+    initial = Value.list [];
+    step;
+    invocations =
+      List.map insert_inv items @ List.map remove_inv items @ List.map member_inv items;
+  }
+
+let spec = spec_with_items [ "x"; "y" ]

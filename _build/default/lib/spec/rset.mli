@@ -1,0 +1,22 @@
+(** A set with insertion and removal.
+
+    Unlike {!Wset}'s grow-only set, [Remove] makes same-item Insert/Remove
+    pairs conflict under every property (order matters), while cross-item
+    operations stay independent — a per-item partitioned dependency
+    structure, like the Directory's per-key one but with idempotent
+    writes. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** Item universe [x, y]. *)
+
+val spec_with_items : string list -> Serial_spec.t
+
+val insert : string -> Event.t
+val remove : string -> Event.t
+val member : string -> bool -> Event.t
+
+val insert_inv : string -> Event.Invocation.t
+val remove_inv : string -> Event.Invocation.t
+val member_inv : string -> Event.Invocation.t

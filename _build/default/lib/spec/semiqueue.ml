@@ -1,0 +1,41 @@
+open Atomrep_history
+
+let enq_inv item = Event.Invocation.make "Enq" [ Value.str item ]
+let deq_inv = Event.Invocation.make "Deq" []
+
+let enq item = Event.make (enq_inv item) (Event.Response.ok [])
+let deq_ok item = Event.make deq_inv (Event.Response.ok [ Value.str item ])
+let deq_empty = Event.make deq_inv (Event.Response.exn "Empty")
+
+(* State: multiset of items as a sorted list. *)
+let remove_one v items =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> if Value.equal x v then rest else x :: go rest
+  in
+  go items
+
+let step state (inv : Event.Invocation.t) =
+  let items = Value.get_list state in
+  match inv.op, inv.args with
+  | "Enq", [ v ] ->
+    [ (Event.Response.ok [], Value.list (List.sort Value.compare (v :: items))) ]
+  | "Deq", [] ->
+    (match items with
+     | [] -> [ (Event.Response.exn "Empty", state) ]
+     | _ ->
+       let distinct = List.sort_uniq Value.compare items in
+       List.map
+         (fun v -> (Event.Response.ok [ v ], Value.list (remove_one v items)))
+         distinct)
+  | _, _ -> []
+
+let spec_with_items items =
+  {
+    Serial_spec.name = "Semiqueue";
+    initial = Value.list [];
+    step;
+    invocations = List.map enq_inv items @ [ deq_inv ];
+  }
+
+let spec = spec_with_items [ "x"; "y" ]

@@ -1,0 +1,22 @@
+(** A semiqueue: a weak queue whose [Deq] may return any enqueued item.
+
+    Herlihy's thesis [14] uses the semiqueue to show how weakening a serial
+    specification (here, dropping FIFO order) weakens dependency relations
+    and thus widens quorum choice. The specification is nondeterministic:
+    from a state holding several items, [Deq] has several legal responses.
+    This module exercises the nondeterministic branch of
+    {!Serial_spec.t.step}. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** Semiqueue over items [x, y]. *)
+
+val spec_with_items : string list -> Serial_spec.t
+
+val enq : string -> Event.t
+val deq_ok : string -> Event.t
+val deq_empty : Event.t
+
+val enq_inv : string -> Event.Invocation.t
+val deq_inv : Event.Invocation.t

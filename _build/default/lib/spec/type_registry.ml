@@ -1,0 +1,23 @@
+let all =
+  [
+    ("queue", Queue_type.spec);
+    ("prom", Prom.spec);
+    ("flagset", Flag_set.spec);
+    ("doublebuffer", Double_buffer.spec);
+    ("register", Register.spec);
+    ("counter", Counter.spec);
+    ("bank", Bank_account.spec);
+    ("wset", Wset.spec);
+    ("directory", Directory.spec);
+    ("semiqueue", Semiqueue.spec);
+    ("stack", Stack_type.spec);
+    ("log", Append_log.spec);
+    ("boundedbuffer", Bounded_buffer.spec);
+    ("rset", Rset.spec);
+  ]
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name all
+
+let names = List.map fst all

@@ -1,0 +1,11 @@
+(** Registry of the built-in data types, for the CLI and the benchmark
+    harness. *)
+
+val all : (string * Serial_spec.t) list
+(** Name/specification pairs, paper types first. Names are lowercase and
+    match the CLI's [--type] argument. *)
+
+val find : string -> Serial_spec.t option
+(** Case-insensitive lookup by registry name. *)
+
+val names : string list

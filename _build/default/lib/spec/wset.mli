@@ -1,0 +1,19 @@
+(** An insert-only set with membership tests.
+
+    [Insert] is idempotent and inserts commute; [Member] tests membership.
+    Like the counter, WSet shows the availability payoff of commutativity
+    under type-specific quorum analysis. *)
+
+open Atomrep_history
+
+val spec : Serial_spec.t
+(** Item universe [x, y]. *)
+
+val spec_with_items : string list -> Serial_spec.t
+
+val insert : string -> Event.t
+val member : string -> bool -> Event.t
+(** [member "x" true] is [Member(x);Ok(true)]. *)
+
+val insert_inv : string -> Event.Invocation.t
+val member_inv : string -> Event.Invocation.t

@@ -1,0 +1,31 @@
+let choose n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1.0 in
+    for i = 1 to k do
+      acc := !acc *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    !acc
+  end
+
+let pmf ~n ~p k =
+  if k < 0 || k > n then 0.0
+  else choose n k *. (p ** float_of_int k) *. ((1.0 -. p) ** float_of_int (n - k))
+
+let at_least ~n ~p k =
+  if k <= 0 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for i = k to n do
+      acc := !acc +. pmf ~n ~p i
+    done;
+    !acc
+  end
+
+let at_most ~n ~p k =
+  let acc = ref 0.0 in
+  for i = 0 to min k n do
+    acc := !acc +. pmf ~n ~p i
+  done;
+  !acc

@@ -1,0 +1,19 @@
+(** Exact binomial computations used by the availability analyzer.
+
+    Quorum availability questions reduce to tail probabilities of a binomial
+    distribution: with [n] replica sites each independently up with
+    probability [p], an operation with threshold quorum size [k] is available
+    exactly when at least [k] sites are up. *)
+
+val choose : int -> int -> float
+(** [choose n k] is the binomial coefficient C(n, k) as a float (exact for the
+    small [n] used here). Returns [0.] outside [0 <= k <= n]. *)
+
+val pmf : n:int -> p:float -> int -> float
+(** [pmf ~n ~p k] is P(X = k) for X ~ Bin(n, p). *)
+
+val at_least : n:int -> p:float -> int -> float
+(** [at_least ~n ~p k] is P(X >= k). [at_least ~n ~p 0 = 1.]. *)
+
+val at_most : n:int -> p:float -> int -> float
+(** [at_most ~n ~p k] is P(X <= k). *)

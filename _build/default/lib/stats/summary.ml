@@ -1,0 +1,60 @@
+type t = {
+  mutable values : float list;
+  mutable n : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  mutable sorted : float array option;
+}
+
+let create () =
+  { values = []; n = 0; sum = 0.0; sum_sq = 0.0;
+    vmin = infinity; vmax = neg_infinity; sorted = None }
+
+let add t x =
+  t.values <- x :: t.values;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.vmin then t.vmin <- x;
+  if x > t.vmax then t.vmax <- x;
+  t.sorted <- None
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else begin
+    let n = float_of_int t.n in
+    let m = t.sum /. n in
+    let var = (t.sum_sq -. (n *. m *. m)) /. (n -. 1.0) in
+    sqrt (max var 0.0)
+  end
+
+let min_value t = t.vmin
+let max_value t = t.vmax
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.values in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t q =
+  let a = sorted t in
+  if Array.length a = 0 then 0.0
+  else begin
+    let idx = int_of_float (ceil (q *. float_of_int (Array.length a))) - 1 in
+    let idx = max 0 (min idx (Array.length a - 1)) in
+    a.(idx)
+  end
+
+let confidence95 t =
+  if t.n < 2 then 0.0
+  else 1.96 *. stddev t /. sqrt (float_of_int t.n)

@@ -1,0 +1,25 @@
+(** Streaming summary statistics for simulation measurements. *)
+
+type t
+(** Accumulator over float observations. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the observations; [0.] when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; [0.] with fewer than two observations. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t q] with [q] in [\[0,1\]] by nearest-rank on the sorted
+    sample. Retains all observations; intended for simulation-scale data. *)
+
+val confidence95 : t -> float
+(** Half-width of the normal-approximation 95% confidence interval for the
+    mean. *)

@@ -1,0 +1,23 @@
+(** Aligned ASCII tables for the benchmark harness output.
+
+    Every experiment in [bench/main.ml] reports its rows through this module
+    so the reproduced paper artifacts share one rendering. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val render : t -> string
+(** Render with a title line, a header, a rule, and aligned cells. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_float : float -> string
+(** Standard 4-decimal cell formatting for probabilities and rates. *)
+
+val cell_int : int -> string

@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Action Atomrep_clock Atomrep_history Format Lamport List

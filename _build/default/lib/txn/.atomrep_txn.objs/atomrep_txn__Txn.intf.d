@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Action Atomrep_clock Atomrep_history Format Lamport

@@ -1,0 +1,29 @@
+open Atomrep_history
+open Atomrep_clock
+
+type status =
+  | Running
+  | Committing
+  | Committed of Lamport.Timestamp.t
+  | Aborted of string
+
+type t = {
+  action : Action.t;
+  begin_ts : Lamport.Timestamp.t;
+  home_site : int;
+  mutable status : status;
+  mutable touched : string list;
+}
+
+let create ~action ~begin_ts ~home_site =
+  { action; begin_ts; home_site; status = Running; touched = [] }
+
+let touch t name = if not (List.mem name t.touched) then t.touched <- t.touched @ [ name ]
+
+let is_running t = match t.status with Running -> true | Committing | Committed _ | Aborted _ -> false
+
+let pp_status ppf = function
+  | Running -> Format.pp_print_string ppf "running"
+  | Committing -> Format.pp_print_string ppf "committing"
+  | Committed ts -> Format.fprintf ppf "committed@%a" Lamport.Timestamp.pp ts
+  | Aborted why -> Format.fprintf ppf "aborted(%s)" why

@@ -1,0 +1,27 @@
+(** Transaction identities and lifecycle for the replicated runtime.
+
+    Transactions are the paper's actions: they begin, execute operations
+    against replicated objects through front-ends, and either commit —
+    receiving a commit timestamp from a Lamport clock — or abort. *)
+
+open Atomrep_history
+open Atomrep_clock
+
+type status =
+  | Running
+  | Committing
+  | Committed of Lamport.Timestamp.t
+  | Aborted of string (** reason *)
+
+type t = {
+  action : Action.t;
+  begin_ts : Lamport.Timestamp.t;
+  home_site : int; (** front-end site executing this transaction *)
+  mutable status : status;
+  mutable touched : string list; (** object names, in first-touch order *)
+}
+
+val create : action:Action.t -> begin_ts:Lamport.Timestamp.t -> home_site:int -> t
+val touch : t -> string -> unit
+val is_running : t -> bool
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,1 @@
+lib/workload/histories.ml: Action Array Atomrep_history Atomrep_spec Atomrep_stats Behavioral Event Fun List Rng Serial_spec

@@ -1,0 +1,1 @@
+lib/workload/histories.mli: Atomrep_history Atomrep_spec Atomrep_stats Behavioral Event Rng Serial_spec

@@ -1,0 +1,1 @@
+lib/workload/mixes.ml: Atomrep_replica Atomrep_spec Atomrep_stats Bank_account Counter List Prom Queue_type Rng Runtime

@@ -1,0 +1,1 @@
+lib/workload/mixes.mli: Atomrep_replica Atomrep_stats Rng Runtime

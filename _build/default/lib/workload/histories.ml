@@ -1,0 +1,91 @@
+open Atomrep_history
+open Atomrep_spec
+open Atomrep_stats
+
+let universe_for spec ~max_events =
+  Serial_spec.event_universe spec ~max_len:max_events
+
+let random rng spec ~max_actions ~max_events =
+  let universe = Array.of_list (universe_for spec ~max_events) in
+  let n_actions = 1 + Rng.int rng max_actions in
+  let actions = Array.init n_actions Action.of_int in
+  let begun = Array.make n_actions false in
+  let finished = Array.make n_actions false in
+  let history = ref [] in
+  let events_left = ref (Rng.int rng (max_events + 1)) in
+  let steps = ref (4 * (max_events + n_actions)) in
+  let all_done () =
+    Array.for_all Fun.id finished
+    || (!events_left = 0 && Array.for_all2 (fun b f -> (not b) || f) begun finished)
+  in
+  while (not (all_done ())) && !steps > 0 do
+    decr steps;
+    let i = Rng.int rng n_actions in
+    if not begun.(i) then begin
+      begun.(i) <- true;
+      history := Behavioral.Begin actions.(i) :: !history
+    end
+    else if not finished.(i) then begin
+      match Rng.int rng 5 with
+      | 0 ->
+        finished.(i) <- true;
+        history := Behavioral.Commit actions.(i) :: !history
+      | 1 ->
+        finished.(i) <- true;
+        history := Behavioral.Abort actions.(i) :: !history
+      | _ ->
+        if !events_left > 0 && Array.length universe > 0 then begin
+          decr events_left;
+          let e = Rng.pick rng universe in
+          history := Behavioral.Exec (e, actions.(i)) :: !history
+        end
+    end
+  done;
+  List.rev !history
+
+let random_serial rng spec ~len =
+  let rec go state acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let choices =
+        List.concat_map
+          (fun inv ->
+            List.map (fun (res, s') -> (Event.make inv res, s')) (spec.Serial_spec.step state inv))
+          spec.Serial_spec.invocations
+      in
+      match choices with
+      | [] -> List.rev acc
+      | _ ->
+        let e, s' = Rng.pick_list rng choices in
+        go s' (e :: acc) (remaining - 1)
+    end
+  in
+  go spec.Serial_spec.initial [] len
+
+let random_atomic rng spec ~max_actions ~max_events =
+  let n_actions = 1 + Rng.int rng max_actions in
+  let history = ref [] in
+  let state = ref spec.Serial_spec.initial in
+  let events_left = ref max_events in
+  for i = 0 to n_actions - 1 do
+    let a = Action.of_int i in
+    history := Behavioral.Begin a :: !history;
+    let n_ops = Rng.int rng 3 in
+    for _ = 1 to min n_ops !events_left do
+      let choices =
+        List.concat_map
+          (fun inv ->
+            List.map (fun (res, s') -> (Event.make inv res, s')) (spec.Serial_spec.step !state inv))
+          spec.Serial_spec.invocations
+      in
+      match choices with
+      | [] -> ()
+      | _ ->
+        decr events_left;
+        let e, s' = Rng.pick_list rng choices in
+        state := s';
+        history := Behavioral.Exec (e, a) :: !history
+    done;
+    history := Behavioral.Commit a :: !history
+  done;
+  List.rev !history

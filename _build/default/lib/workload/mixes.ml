@@ -1,0 +1,33 @@
+open Atomrep_spec
+open Atomrep_stats
+open Atomrep_replica
+
+let items = [ "x"; "y" ]
+
+let queue_mix ?(enq_ratio = 0.5) ?(ops_per_txn = 1) ~target () rng _index =
+  List.init ops_per_txn (fun _ ->
+      if Rng.bernoulli rng enq_ratio then
+        { Runtime.target; invocation = Queue_type.enq_inv (Rng.pick_list rng items) }
+      else { Runtime.target; invocation = Queue_type.deq_inv })
+
+let prom_mix ?(seal_every = 10) ~target () rng index =
+  if index > 0 && index mod seal_every = 0 then
+    [ { Runtime.target; invocation = Prom.seal_inv } ]
+  else if Rng.bernoulli rng 0.3 then
+    [ { Runtime.target; invocation = Prom.read_inv } ]
+  else
+    [ { Runtime.target; invocation = Prom.write_inv (Rng.pick_list rng items) } ]
+
+let bank_mix ?(ops_per_txn = 2) ~targets () rng _index =
+  List.init ops_per_txn (fun _ ->
+      let target = Rng.pick_list rng targets in
+      match Rng.int rng 3 with
+      | 0 -> { Runtime.target; invocation = Bank_account.deposit_inv (1 + Rng.int rng 2) }
+      | 1 -> { Runtime.target; invocation = Bank_account.withdraw_inv (1 + Rng.int rng 2) }
+      | _ -> { Runtime.target; invocation = Bank_account.balance_inv })
+
+let counter_mix ?(read_ratio = 0.3) ~target () rng _index =
+  if Rng.bernoulli rng read_ratio then
+    [ { Runtime.target; invocation = Counter.read_inv } ]
+  else if Rng.bool rng then [ { Runtime.target; invocation = Counter.inc_inv } ]
+  else [ { Runtime.target; invocation = Counter.dec_inv } ]

@@ -1,0 +1,26 @@
+(** Transaction scripts for the simulation experiments. *)
+
+open Atomrep_stats
+open Atomrep_replica
+
+val queue_mix :
+  ?enq_ratio:float -> ?ops_per_txn:int -> target:string -> unit ->
+  Rng.t -> int -> Runtime.op_request list
+(** Enq/Deq transactions over the two-item universe. *)
+
+val prom_mix :
+  ?seal_every:int -> target:string -> unit ->
+  Rng.t -> int -> Runtime.op_request list
+(** PROM workload from the paper's §4 scenario: mostly writes, occasional
+    reads, a seal somewhere in the middle of the run (transaction index
+    divisible by [seal_every] seals). Reads before the seal raise Disabled
+    — that is the type's behaviour, not an error. *)
+
+val bank_mix :
+  ?ops_per_txn:int -> targets:string list -> unit ->
+  Rng.t -> int -> Runtime.op_request list
+(** Deposits, withdrawals, balance checks spread over several accounts. *)
+
+val counter_mix :
+  ?read_ratio:float -> target:string -> unit ->
+  Rng.t -> int -> Runtime.op_request list

@@ -1,0 +1,1 @@
+test/test_atomicity.ml: Alcotest Atomicity Atomrep_atomicity Atomrep_core Atomrep_history Atomrep_spec Behavioral Counter List Queue_type

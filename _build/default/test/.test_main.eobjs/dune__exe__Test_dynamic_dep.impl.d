@@ -1,0 +1,1 @@
+test/test_dynamic_dep.ml: Alcotest Atomrep_core Atomrep_history Atomrep_spec Counter Double_buffer Dynamic_dep List Option Paper Prom Queue_type Relation Semiqueue Serial_spec Static_dep

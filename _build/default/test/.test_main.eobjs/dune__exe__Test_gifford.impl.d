@@ -1,0 +1,1 @@
+test/test_gifford.ml: Alcotest Array Atomrep_quorum Atomrep_replica Atomrep_sim Atomrep_stats Engine Gifford Network Printf

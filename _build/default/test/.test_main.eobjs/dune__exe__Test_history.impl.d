@@ -1,0 +1,1 @@
+test/test_history.ml: Action Alcotest Atomrep_history Atomrep_spec Behavioral Event List Queue_type

@@ -1,0 +1,1 @@
+test/test_hybrid_dep.ml: Alcotest Atomrep_core Atomrep_spec Double_buffer Flag_set Hybrid_dep Lazy List Paper Prom Queue_type Register Relation Static_dep

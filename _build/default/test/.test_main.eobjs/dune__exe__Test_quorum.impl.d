@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Assignment Atomrep_core Atomrep_quorum Atomrep_spec Atomrep_stats Binomial List Op_constraint Paper Printf Prom Queue_type Quorum Static_dep Weighted

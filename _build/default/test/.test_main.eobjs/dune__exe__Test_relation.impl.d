@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Atomrep_core Atomrep_spec Flag_set Format List Queue_type Relation Serial_spec

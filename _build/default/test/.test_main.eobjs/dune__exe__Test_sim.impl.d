@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Atomrep_sim Engine Fault List Network Rpc

@@ -1,0 +1,1 @@
+test/test_static_dep.ml: Alcotest Atomrep_core Atomrep_history Atomrep_spec Counter Directory List Option Paper Prom Queue_type Register Relation Serial_spec Static_dep Wset

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Atomrep_stats Fun List Rng String Summary Table

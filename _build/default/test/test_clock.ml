@@ -1,0 +1,59 @@
+open Atomrep_clock
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_tick_increases () =
+  let c = Lamport.create ~site:0 in
+  let t1 = Lamport.tick c in
+  let t2 = Lamport.tick c in
+  check_bool "strictly increasing" true (Lamport.Timestamp.compare t1 t2 < 0)
+
+let test_witness_advances () =
+  let c = Lamport.create ~site:0 in
+  Lamport.witness c { Lamport.Timestamp.counter = 10; site = 3 };
+  let t = Lamport.tick c in
+  check_int "counter exceeds witnessed" 11 t.Lamport.Timestamp.counter
+
+let test_witness_no_regress () =
+  let c = Lamport.create ~site:0 in
+  ignore (Lamport.tick c);
+  ignore (Lamport.tick c);
+  Lamport.witness c { Lamport.Timestamp.counter = 1; site = 9 };
+  let t = Lamport.tick c in
+  check_int "old timestamps ignored" 3 t.Lamport.Timestamp.counter
+
+let test_total_order_breaks_ties_by_site () =
+  let a = { Lamport.Timestamp.counter = 5; site = 0 } in
+  let b = { Lamport.Timestamp.counter = 5; site = 1 } in
+  check_bool "site breaks ties" true (Lamport.Timestamp.compare a b < 0);
+  check_bool "antisymmetric" true (Lamport.Timestamp.compare b a > 0)
+
+let test_happens_before_respected () =
+  (* Message from site 0 to site 1: the receiver's next timestamp exceeds
+     the sender's send timestamp. *)
+  let c0 = Lamport.create ~site:0 and c1 = Lamport.create ~site:1 in
+  let send_ts = Lamport.tick c0 in
+  Lamport.witness c1 send_ts;
+  let recv_ts = Lamport.tick c1 in
+  check_bool "send < receive" true (Lamport.Timestamp.compare send_ts recv_ts < 0)
+
+let test_peek_does_not_advance () =
+  let c = Lamport.create ~site:2 in
+  ignore (Lamport.tick c);
+  let p1 = Lamport.peek c in
+  let p2 = Lamport.peek c in
+  check_bool "peek stable" true (Lamport.Timestamp.equal p1 p2)
+
+let suites =
+  [
+    ( "lamport clock",
+      [
+        Alcotest.test_case "tick increases" `Quick test_tick_increases;
+        Alcotest.test_case "witness advances" `Quick test_witness_advances;
+        Alcotest.test_case "witness never regresses" `Quick test_witness_no_regress;
+        Alcotest.test_case "ties broken by site" `Quick test_total_order_breaks_ties_by_site;
+        Alcotest.test_case "happens-before respected" `Quick test_happens_before_respected;
+        Alcotest.test_case "peek is pure" `Quick test_peek_does_not_advance;
+      ] );
+  ]

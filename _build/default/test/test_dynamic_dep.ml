@@ -1,0 +1,130 @@
+open Atomrep_spec
+open Atomrep_core
+
+let check_bool = Alcotest.(check bool)
+
+(* Definition 8 commutativity. *)
+let commute spec e e' = Dynamic_dep.commute spec ~max_len:4 e e'
+
+let test_queue_commutativity () =
+  check_bool "Enq(x)/Deq commute" true
+    (commute Queue_type.spec (Queue_type.enq "x") (Queue_type.deq_ok "y"));
+  check_bool "Enq(x)/Enq(y) conflict" false
+    (commute Queue_type.spec (Queue_type.enq "x") (Queue_type.enq "y"));
+  check_bool "Enq(x)/Enq(x) commute" true
+    (commute Queue_type.spec (Queue_type.enq "x") (Queue_type.enq "x"));
+  check_bool "Enq/Deq;Empty conflict" false
+    (commute Queue_type.spec (Queue_type.enq "x") Queue_type.deq_empty);
+  check_bool "Deq;Ok(x) conflicts with itself" false
+    (commute Queue_type.spec (Queue_type.deq_ok "x") (Queue_type.deq_ok "x"));
+  (* Deq;Ok(x) and Deq;Ok(y) are never both enabled in one state, so they
+     commute vacuously; the Deq ≽ Deq;Ok dependency comes from the
+     same-response pair above. *)
+  check_bool "Deq;Ok(x)/Deq;Ok(y) commute vacuously" true
+    (commute Queue_type.spec (Queue_type.deq_ok "x") (Queue_type.deq_ok "y"))
+
+let test_counter_commutativity () =
+  check_bool "Inc/Dec commute" true (commute Counter.spec Counter.inc Counter.dec);
+  check_bool "Inc/Inc commute" true (commute Counter.spec Counter.inc Counter.inc);
+  check_bool "Inc/Read conflict" false (commute Counter.spec Counter.inc (Counter.read 0))
+
+let test_prom_commutativity () =
+  check_bool "Write(x)/Write(y) conflict" false
+    (commute Prom.spec (Prom.write "x") (Prom.write "y"));
+  check_bool "Write/Seal conflict" false (commute Prom.spec (Prom.write "x") Prom.seal);
+  check_bool "Read;Ok/Seal commute" true (commute Prom.spec (Prom.read_ok "x") Prom.seal);
+  check_bool "Seal/Seal commute" true (commute Prom.spec Prom.seal Prom.seal)
+
+(* Theorem 11's extra constraint. *)
+let test_queue_dynamic_adds_enq_enq () =
+  let rd = Dynamic_dep.minimal Queue_type.spec ~max_len:4 in
+  List.iter
+    (fun p -> check_bool "Enq >= Enq present" true (Relation.mem p rd))
+    Paper.queue_dynamic_extra
+
+(* ... and drops the Enq ≽ Deq;Ok constraint static requires — the two
+   relations are incomparable (end of §5). *)
+let test_queue_dynamic_drops_enq_deq () =
+  let rd = Dynamic_dep.minimal Queue_type.spec ~max_len:4 in
+  check_bool "Enq >= Deq;Ok absent" false
+    (Relation.mem (Queue_type.enq_inv "x", Queue_type.deq_ok "y") rd)
+
+let test_queue_incomparable () =
+  let rs = Static_dep.minimal Queue_type.spec ~max_len:4 in
+  let rd = Dynamic_dep.minimal Queue_type.spec ~max_len:4 in
+  check_bool "static not subset of dynamic" false (Relation.subset rs rd);
+  check_bool "dynamic not subset of static" false (Relation.subset rd rs)
+
+(* Theorem 12: the minimal dynamic relation for DoubleBuffer equals the
+   paper's five schemas. *)
+let test_doublebuffer_matches_paper () =
+  let rd = Dynamic_dep.minimal Double_buffer.spec ~max_len:4 in
+  check_bool "equals paper relation" true
+    (Relation.equal rd Paper.doublebuffer_dynamic_relation)
+
+(* The dynamic relation is symmetric at the operation level: if [inv ≽ e]
+   by non-commutation, the reverse orientation is present too. *)
+let test_symmetry () =
+  List.iter
+    (fun spec ->
+      let rd = Dynamic_dep.minimal spec ~max_len:3 in
+      let universe = Serial_spec.event_universe spec ~max_len:3 in
+      List.iter
+        (fun ((inv, e) : Relation.pair) ->
+          (* find an event of the invoking operation to check the reverse *)
+          let evs_of_inv =
+            List.filter
+              (fun (ev : Atomrep_history.Event.t) ->
+                Atomrep_history.Event.Invocation.equal ev.inv inv)
+              universe
+          in
+          check_bool "reverse orientation present" true
+            (List.exists
+               (fun ev -> Relation.mem (e.Atomrep_history.Event.inv, ev) rd)
+               evs_of_inv))
+        (Relation.elements rd))
+    [ Queue_type.spec; Prom.spec; Counter.spec ]
+
+let test_non_commuting_witness () =
+  match
+    Dynamic_dep.non_commuting_witness Queue_type.spec ~max_len:4 (Queue_type.enq "x")
+      Queue_type.deq_empty
+  with
+  | None -> Alcotest.fail "expected witness"
+  | Some h ->
+    (* From the witness state, enq then deq-empty must diverge. *)
+    check_bool "witness is a legal history" true (Serial_spec.legal Queue_type.spec h)
+
+let test_commute_witness_absent () =
+  check_bool "no witness for commuting pair" true
+    (Option.is_none
+       (Dynamic_dep.non_commuting_witness Counter.spec ~max_len:4 Counter.inc Counter.dec))
+
+(* Semiqueue: weakening FIFO shrinks the dynamic relation — Deq conflicts
+   with Deq in a queue, but in a semiqueue two Deqs of different items
+   commute. *)
+let test_semiqueue_weaker_than_queue () =
+  let rd_q = Dynamic_dep.minimal Queue_type.spec ~max_len:4 in
+  let rd_sq = Dynamic_dep.minimal Semiqueue.spec ~max_len:4 in
+  check_bool "queue: Deq conflicts Deq" true
+    (Relation.mem (Queue_type.deq_inv, Queue_type.deq_ok "x") rd_q);
+  check_bool "semiqueue: Enq/Enq commute" false
+    (Relation.mem (Semiqueue.enq_inv "x", Semiqueue.enq "y") rd_sq)
+
+let suites =
+  [
+    ( "dynamic dependency (Theorem 10)",
+      [
+        Alcotest.test_case "queue commutativity" `Quick test_queue_commutativity;
+        Alcotest.test_case "counter commutativity" `Quick test_counter_commutativity;
+        Alcotest.test_case "prom commutativity" `Quick test_prom_commutativity;
+        Alcotest.test_case "theorem 11 extra pair" `Quick test_queue_dynamic_adds_enq_enq;
+        Alcotest.test_case "dynamic drops Enq>=Deq" `Quick test_queue_dynamic_drops_enq_deq;
+        Alcotest.test_case "static/dynamic incomparable" `Quick test_queue_incomparable;
+        Alcotest.test_case "doublebuffer equals paper" `Quick test_doublebuffer_matches_paper;
+        Alcotest.test_case "operation-level symmetry" `Quick test_symmetry;
+        Alcotest.test_case "non-commuting witness" `Quick test_non_commuting_witness;
+        Alcotest.test_case "commuting pairs lack witness" `Quick test_commute_witness_absent;
+        Alcotest.test_case "semiqueue weaker than queue" `Quick test_semiqueue_weaker_than_queue;
+      ] );
+  ]

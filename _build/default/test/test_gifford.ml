@@ -1,0 +1,150 @@
+open Atomrep_sim
+open Atomrep_replica
+
+let check_bool = Alcotest.(check bool)
+
+let setup ?(weights = [| 1; 1; 1 |]) ?(r = 2) ?(w = 2) () =
+  let engine = Engine.create ~seed:11 in
+  let net = Network.create engine ~n_sites:(Array.length weights) () in
+  let file = Gifford.create ~net ~weights ~read_votes:r ~write_votes:w ~initial:"d" in
+  (engine, net, file)
+
+let test_thresholds_enforced () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:3 () in
+  Alcotest.check_raises "r+w too small"
+    (Invalid_argument "Gifford.create: r + w must exceed the vote total") (fun () ->
+      ignore (Gifford.create ~net ~weights:[| 1; 1; 1 |] ~read_votes:1 ~write_votes:2 ~initial:"d"));
+  Alcotest.check_raises "2w too small"
+    (Invalid_argument "Gifford.create: 2w must exceed the vote total") (fun () ->
+      ignore (Gifford.create ~net ~weights:[| 1; 1; 1 |] ~read_votes:3 ~write_votes:1 ~initial:"d"))
+
+let test_read_initial () =
+  let engine, _, file = setup () in
+  let result = ref None in
+  Gifford.read file ~from:0 ~k:(fun r -> result := r);
+  Engine.run engine;
+  Alcotest.(check (option string)) "initial" (Some "d") !result
+
+let test_write_then_read () =
+  let engine, _, file = setup () in
+  let read_back = ref None in
+  Gifford.write file ~from:0 "v1" ~k:(fun ok ->
+      check_bool "write succeeded" true ok;
+      Gifford.read file ~from:2 ~k:(fun r -> read_back := r));
+  Engine.run engine;
+  Alcotest.(check (option string)) "read back" (Some "v1") !read_back
+
+let test_versions_monotone () =
+  let engine, _, file = setup () in
+  Gifford.write file ~from:0 "v1" ~k:(fun _ ->
+      Gifford.write file ~from:1 "v2" ~k:(fun _ -> ()));
+  Engine.run engine;
+  (* A majority holds version 2; reads return v2. *)
+  let result = ref None in
+  Gifford.read file ~from:2 ~k:(fun r -> result := r);
+  Engine.run engine;
+  Alcotest.(check (option string)) "latest wins" (Some "v2") !result
+
+let test_minority_crash_tolerated () =
+  let engine, net, file = setup () in
+  Network.crash net 2;
+  let wrote = ref false and read_back = ref None in
+  Gifford.write file ~from:0 "v1" ~k:(fun ok ->
+      wrote := ok;
+      Gifford.read file ~from:1 ~k:(fun r -> read_back := r));
+  Engine.run engine;
+  check_bool "write with minority down" true !wrote;
+  Alcotest.(check (option string)) "read with minority down" (Some "v1") !read_back
+
+let test_majority_crash_blocks () =
+  let engine, net, file = setup () in
+  Network.crash net 1;
+  Network.crash net 2;
+  let wrote = ref true and read_result = ref (Some "?") in
+  Gifford.write file ~from:0 "v1" ~k:(fun ok -> wrote := ok);
+  Gifford.read file ~from:0 ~k:(fun r -> read_result := r);
+  Engine.run engine;
+  check_bool "write refused" false !wrote;
+  Alcotest.(check (option string)) "read refused" None !read_result
+
+let test_recovered_replica_catches_up_via_reads () =
+  let engine, net, file = setup () in
+  Network.crash net 2;
+  Gifford.write file ~from:0 "v1" ~k:(fun _ -> ());
+  Engine.run engine;
+  Network.recover net 2;
+  (* Site 2 is stale, but any read quorum (2 of 3 votes) intersects the
+     write quorum, so the stale copy can never outvote the current one. *)
+  let result = ref None in
+  Gifford.read file ~from:2 ~k:(fun r -> result := r);
+  Engine.run engine;
+  Alcotest.(check (option string)) "stale copy outvoted" (Some "v1") !result
+
+let test_weighted_heavy_site_alone () =
+  (* Site 0 carries 3 of 5 votes: r = w = 3 makes it a one-site quorum. *)
+  let engine, net, file = setup ~weights:[| 3; 1; 1 |] ~r:3 ~w:3 () in
+  Network.crash net 1;
+  Network.crash net 2;
+  let wrote = ref false and read_back = ref None in
+  Gifford.write file ~from:0 "solo" ~k:(fun ok ->
+      wrote := ok;
+      Gifford.read file ~from:0 ~k:(fun r -> read_back := r));
+  Engine.run engine;
+  check_bool "heavy site writes alone" true !wrote;
+  Alcotest.(check (option string)) "and reads alone" (Some "solo") !read_back
+
+let test_agrees_with_general_machinery () =
+  (* The protocol's availability must match the analytical prediction from
+     the same constraints expressed through the Weighted module. *)
+  let weights = [| 1; 1; 1; 1; 1 |] in
+  let w = Atomrep_quorum.Weighted.make ~weights [ ("Read", (2, 0)); ("Write", (4, 4)) ] in
+  let analytical = Atomrep_quorum.Weighted.availability w ~p:0.8 "Write" in
+  (* Simulate: 400 trials of independent crashes at p=0.8, one write each. *)
+  let rng = Atomrep_stats.Rng.create 17 in
+  let successes = ref 0 in
+  let trials = 400 in
+  for _ = 1 to trials do
+    let engine = Engine.create ~seed:(Atomrep_stats.Rng.int rng 1_000_000) in
+    let net = Network.create engine ~n_sites:5 () in
+    let file =
+      Gifford.create ~net ~weights ~read_votes:2 ~write_votes:4 ~initial:"d"
+    in
+    (* The client runs at site 0 and needs it up. *)
+    let client_up = Atomrep_stats.Rng.bernoulli rng 0.8 in
+    if client_up then begin
+      for s = 1 to 4 do
+        if not (Atomrep_stats.Rng.bernoulli rng 0.8) then Network.crash net s
+      done;
+      Gifford.write file ~from:0 "v" ~k:(fun ok -> if ok then incr successes);
+      Engine.run engine
+    end
+  done;
+  let measured = float_of_int !successes /. float_of_int trials in
+  (* The analytical figure does not condition on the client site; writing
+     from site 0 requires site 0 up, which the trial loop models. Both
+     count 4-of-5 quorums including site 0: P = p * P(>=3 of 4 up). *)
+  let expected =
+    0.8 *. Atomrep_stats.Binomial.at_least ~n:4 ~p:0.8 3
+  in
+  check_bool
+    (Printf.sprintf "measured %.3f near expected %.3f (analytical %.3f)" measured
+       expected analytical)
+    true
+    (abs_float (measured -. expected) < 0.08)
+
+let suites =
+  [
+    ( "gifford weighted voting",
+      [
+        Alcotest.test_case "thresholds enforced" `Quick test_thresholds_enforced;
+        Alcotest.test_case "read initial" `Quick test_read_initial;
+        Alcotest.test_case "write then read" `Quick test_write_then_read;
+        Alcotest.test_case "versions monotone" `Quick test_versions_monotone;
+        Alcotest.test_case "minority crash tolerated" `Quick test_minority_crash_tolerated;
+        Alcotest.test_case "majority crash blocks" `Quick test_majority_crash_blocks;
+        Alcotest.test_case "stale replica outvoted" `Quick test_recovered_replica_catches_up_via_reads;
+        Alcotest.test_case "weighted heavy site" `Quick test_weighted_heavy_site_alone;
+        Alcotest.test_case "protocol matches analysis" `Slow test_agrees_with_general_machinery;
+      ] );
+  ]

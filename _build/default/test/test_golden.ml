@@ -1,0 +1,175 @@
+(* Golden dependency-relation facts across the type zoo.
+
+   Each assertion is a reasoned consequence of the type's serial
+   specification, not a snapshot: the comment states why the pair must (or
+   must not) be in the relation. Together they chart how data-type
+   structure shapes the availability constraints — the paper's central
+   point. *)
+
+open Atomrep_spec
+open Atomrep_core
+
+let check_bool = Alcotest.(check bool)
+
+let static spec = Static_dep.minimal spec ~max_len:4
+let dynamic spec = Dynamic_dep.minimal spec ~max_len:4
+
+let mem = Relation.mem
+
+(* --- Semiqueue: weakening FIFO weakens the constraints --- *)
+
+let test_semiqueue_weaker_constraints () =
+  let s = static Semiqueue.spec and d = dynamic Semiqueue.spec in
+  (* An extra Enq(x) can never invalidate a Deq();Ok(y): the weak spec lets
+     any present item out, so y stays dequeuable. The FIFO queue needs this
+     pair; the semiqueue does not. *)
+  check_bool "no Enq >= Deq;Ok under static" false
+    (mem (Semiqueue.enq_inv "x", Semiqueue.deq_ok "y") s);
+  (* Enqueues produce the same multiset in either order: they commute. *)
+  check_bool "no Enq >= Enq under dynamic" false
+    (mem (Semiqueue.enq_inv "x", Semiqueue.enq "y") d);
+  (* Deq must still see prior Enqs (to return an item at all) and prior
+     Deqs (an item can come out once). *)
+  check_bool "Deq >= Enq" true (mem (Semiqueue.deq_inv, Semiqueue.enq "x") s);
+  check_bool "Deq >= Deq;Ok" true (mem (Semiqueue.deq_inv, Semiqueue.deq_ok "x") s);
+  (* Enq must see Deq;Empty events: inserting the Enq earlier would have
+     made the Empty answer wrong. *)
+  check_bool "Enq >= Deq;Empty" true (mem (Semiqueue.enq_inv "x", Semiqueue.deq_empty) s);
+  (* Here the static and dynamic relations coincide — the weak spec erases
+     the order-sensitivity that separates them on the FIFO queue. *)
+  check_bool "static = dynamic for semiqueue" true (Relation.equal s d)
+
+(* --- Stack: LIFO mirrors FIFO, with the same static/dynamic split --- *)
+
+let test_stack_relations () =
+  let s = static Stack_type.spec and d = dynamic Stack_type.spec in
+  (* A Push(x) inserted before a Pop();Ok(y) steals the top: needed in
+     static. *)
+  check_bool "Push >= Pop;Ok(other)" true
+    (mem (Stack_type.push_inv "x", Stack_type.pop_ok "y") s);
+  (* Two Pushes commute for no observer? No: Pop order distinguishes them —
+     dynamic needs Push-Push, static does not (like the queue's Enq-Enq,
+     Theorem 11's shape). *)
+  check_bool "static lacks Push-Push" false
+    (mem (Stack_type.push_inv "x", Stack_type.push "y") s);
+  check_bool "dynamic has Push-Push" true
+    (mem (Stack_type.push_inv "x", Stack_type.push "y") d);
+  check_bool "Pop >= Push" true (mem (Stack_type.pop_inv, Stack_type.push "x") s)
+
+(* --- Append-only log: appends are observationally independent --- *)
+
+let test_log_appends_commute () =
+  let s = static Append_log.spec and d = dynamic Append_log.spec in
+  (* Size is the only observer and cannot distinguish append order, so
+     appends commute *observationally* even though the states differ
+     structurally — the depth-bounded bisimulation in Serial_spec makes
+     this visible. *)
+  check_bool "no Append-Append under dynamic" false
+    (mem (Append_log.append_inv "x", Append_log.append "y") d);
+  check_bool "no Append-Append under static" false
+    (mem (Append_log.append_inv "x", Append_log.append "y") s);
+  (* But both directions of Append/Size interference are real. *)
+  check_bool "Size >= Append" true (mem (Append_log.size_inv, Append_log.append "x") s);
+  check_bool "Append >= Size;Ok" true
+    (mem (Append_log.append_inv "x", Append_log.size 1) s)
+
+(* --- Bank account: Overdraft couples deposits at a distance --- *)
+
+let test_bank_deposit_coupling () =
+  let s = static Bank_account.spec and d = dynamic Bank_account.spec in
+  (* Statically, an inserted Deposit(1) can invalidate a later
+     Withdraw(2);Overdraft (the balance now covers it) — so a *deposit*
+     must see prior deposits' effects through the Overdraft channel:
+     Deposit >= Deposit;Ok appears. *)
+  check_bool "static Deposit >= Deposit;Ok" true
+    (mem (Bank_account.deposit_inv 1, Bank_account.deposit 1) s);
+  (* Deposits commute (addition is commutative): dynamic drops the pair. *)
+  check_bool "dynamic lacks Deposit-Deposit" false
+    (mem (Bank_account.deposit_inv 1, Bank_account.deposit 1) d);
+  (* Withdrawals do not commute with each other (either order can exhaust
+     the balance first). *)
+  check_bool "dynamic Withdraw-Withdraw" true
+    (mem (Bank_account.withdraw_inv 1, Bank_account.withdraw_ok 1) d);
+  check_bool "Deposit >= Overdraft" true
+    (mem (Bank_account.deposit_inv 1, Bank_account.withdraw_overdraft 2) s)
+
+(* --- Directory: per-key isolation; Update order only matters dynamically --- *)
+
+let test_directory_updates () =
+  let spec = Directory.spec in
+  let s = static spec and d = dynamic spec in
+  (* Two updates of the same key: last-writer-wins — statically the Begin
+     order fixes the winner and no update invalidates another (Lookup
+     carries the dependency instead), but dynamically they conflict. *)
+  check_bool "static lacks Update-Update" false
+    (mem (Directory.update_inv "k" "x", Directory.update_ok "k" "y") s);
+  check_bool "dynamic has Update-Update" true
+    (mem (Directory.update_inv "k" "x", Directory.update_ok "k" "y") d);
+  check_bool "Lookup >= Update" true
+    (mem (Directory.lookup_inv "k", Directory.update_ok "k" "x") s);
+  check_bool "Insert >= Delete;NotFound" true
+    (mem (Directory.insert_inv "k" "x", Directory.delete_missing "k") s)
+
+(* --- Bounded buffer: capacity erases the queue's static/dynamic gap --- *)
+
+let test_bounded_buffer_couples_everything () =
+  let s = static Bounded_buffer.spec and d = dynamic Bounded_buffer.spec in
+  (* Capacity couples enqueuers both ways: an extra Enq can turn a later
+     Enq;Ok into Full (static), and Enq/Deq;Ok no longer commute (the Deq
+     makes room). Both pairs are absent for the unbounded queue. *)
+  check_bool "static Enq >= Enq;Ok" true
+    (mem (Bounded_buffer.enq_inv "x", Bounded_buffer.enq "y") s);
+  check_bool "static Enq >= Deq;Ok" true
+    (mem (Bounded_buffer.enq_inv "x", Bounded_buffer.deq_ok "y") s);
+  check_bool "static Deq >= Enq;Full" true
+    (mem (Bounded_buffer.deq_inv, Bounded_buffer.enq_full "x") s);
+  (* With every pair coupled, the two relations coincide: boundedness costs
+     the queue its type-specific concurrency advantage. *)
+  check_bool "static = dynamic for bounded buffer" true (Relation.equal s d)
+
+(* --- Cross-type: quorum-constraint consequences --- *)
+
+let test_constraint_counts_reflect_structure () =
+  let open Atomrep_quorum in
+  let count spec rel =
+    ignore spec;
+    List.length (Op_constraint.of_relation rel)
+  in
+  (* The semiqueue needs fewer op-level constraints than the queue... in
+     fact their projections coincide (both couple Enq/Deq and Deq/Deq);
+     the real gap shows at bounded buffer, which adds Enq/Enq. *)
+  let queue = count Queue_type.spec (static Queue_type.spec) in
+  let bounded = count Bounded_buffer.spec (static Bounded_buffer.spec) in
+  check_bool "bounded buffer more constrained than queue" true (bounded > queue);
+  (* And the register (2 ops) has fewer constraints than the directory
+     (4 ops on a shared key). *)
+  let register = count Register.spec (static Register.spec) in
+  let directory = count Directory.spec (static Directory.spec) in
+  check_bool "directory more constrained than register" true (directory > register)
+
+let test_valid_assignment_ordering () =
+  let open Atomrep_quorum in
+  (* More constraints -> fewer valid assignments: bounded buffer vs queue
+     on the same operations and sites. *)
+  let ops = [ "Enq"; "Deq" ] in
+  let count spec =
+    Assignment.count ~n_sites:3 ~ops
+      (Op_constraint.of_relation (static spec))
+  in
+  check_bool "bounded buffer admits fewer assignments" true
+    (count Bounded_buffer.spec < count Queue_type.spec)
+
+let suites =
+  [
+    ( "golden relations",
+      [
+        Alcotest.test_case "semiqueue weaker than queue" `Quick test_semiqueue_weaker_constraints;
+        Alcotest.test_case "stack mirrors queue" `Quick test_stack_relations;
+        Alcotest.test_case "log appends commute" `Quick test_log_appends_commute;
+        Alcotest.test_case "bank overdraft coupling" `Quick test_bank_deposit_coupling;
+        Alcotest.test_case "directory updates" `Quick test_directory_updates;
+        Alcotest.test_case "bounded buffer coupling" `Quick test_bounded_buffer_couples_everything;
+        Alcotest.test_case "constraint counts" `Quick test_constraint_counts_reflect_structure;
+        Alcotest.test_case "assignment ordering" `Quick test_valid_assignment_ordering;
+      ] );
+  ]

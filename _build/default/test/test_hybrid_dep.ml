@@ -1,0 +1,265 @@
+open Atomrep_spec
+open Atomrep_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Checkers are expensive to build; construct one per type lazily and share
+   across test cases. *)
+let prom_checker =
+  lazy (Hybrid_dep.make_checker Prom.spec ~max_events:4 ~max_actions:3)
+
+let db_checker =
+  lazy (Hybrid_dep.make_checker Double_buffer.spec ~max_events:4 ~max_actions:3)
+
+let flagset_checker =
+  lazy
+    (Hybrid_dep.make_checker Flag_set.spec ~universe:Paper.flagset_core_universe
+       ~max_events:5 ~max_actions:3)
+
+let register_checker =
+  lazy (Hybrid_dep.make_checker Register.spec ~max_events:4 ~max_actions:3)
+
+(* --- configuration-level helpers --- *)
+
+let test_hybrid_ok_accepts_commit_order () =
+  let config =
+    {
+      Hybrid_dep.entries =
+        [ (Queue_type.enq "x", 0); (Queue_type.enq "y", 1); (Queue_type.deq_ok "x", 1) ];
+      commit_order = [ 0; 1 ];
+      nactions = 2;
+    }
+  in
+  check_bool "accepted" true (Hybrid_dep.hybrid_ok Queue_type.spec config)
+
+let test_hybrid_ok_rejects_wrong_order () =
+  let config =
+    {
+      Hybrid_dep.entries = [ (Queue_type.enq "x", 0); (Queue_type.deq_ok "y", 1) ];
+      commit_order = [ 0; 1 ];
+      nactions = 2;
+    }
+  in
+  check_bool "rejected" false (Hybrid_dep.hybrid_ok Queue_type.spec config)
+
+let test_hybrid_ok_active_permutations () =
+  (* Two active actions with non-commuting events: both commit orders must
+     be legal — Enq(x) and Deq;Ok(x) fail when Deq commits first. *)
+  let config =
+    {
+      Hybrid_dep.entries = [ (Queue_type.enq "x", 0); (Queue_type.deq_ok "x", 1) ];
+      commit_order = [];
+      nactions = 2;
+    }
+  in
+  check_bool "rejected while both active" false (Hybrid_dep.hybrid_ok Queue_type.spec config);
+  let committed = { config with Hybrid_dep.commit_order = [ 0 ] } in
+  check_bool "accepted once enqueuer committed" true
+    (Hybrid_dep.hybrid_ok Queue_type.spec committed)
+
+let test_steps_roundtrip () =
+  let config =
+    {
+      Hybrid_dep.entries =
+        [ (Prom.write "x", 0); (Prom.seal, 1); (Prom.read_ok "x", 2) ];
+      commit_order = [ 0; 1 ];
+      nactions = 3;
+    }
+  in
+  let steps = Hybrid_dep.steps_of config in
+  let config' = Hybrid_dep.config_of_steps steps in
+  check_bool "roundtrip entries" true (config.Hybrid_dep.entries = config'.Hybrid_dep.entries);
+  check_bool "roundtrip commits" true
+    (config.Hybrid_dep.commit_order = config'.Hybrid_dep.commit_order)
+
+let test_steps_earliest_placement () =
+  (* Action 0's only event is first; its commit must immediately follow. *)
+  let config =
+    {
+      Hybrid_dep.entries = [ (Prom.write "x", 0); (Prom.seal, 1) ];
+      commit_order = [ 0 ];
+      nactions = 2;
+    }
+  in
+  match Hybrid_dep.steps_of config with
+  | [ Hybrid_dep.Exec (_, 0); Hybrid_dep.Commit 0; Hybrid_dep.Exec (_, 1) ] -> ()
+  | other ->
+    Alcotest.failf "unexpected placement (%d steps)" (List.length other)
+
+let test_steps_hybrid_prefixwise () =
+  (* The Theorem 5 shape: commits interleaved make the history a member
+     even though the commits-last variant is not. *)
+  let interleaved =
+    [
+      Hybrid_dep.Exec (Prom.write "x", 0);
+      Hybrid_dep.Commit 0;
+      Hybrid_dep.Exec (Prom.seal, 1);
+      Hybrid_dep.Commit 1;
+      Hybrid_dep.Exec (Prom.read_ok "x", 2);
+    ]
+  in
+  check_bool "interleaved member" true (Hybrid_dep.steps_hybrid Prom.spec interleaved);
+  let commits_last =
+    [
+      Hybrid_dep.Exec (Prom.write "x", 0);
+      Hybrid_dep.Exec (Prom.seal, 1);
+      Hybrid_dep.Exec (Prom.read_ok "x", 2);
+      Hybrid_dep.Commit 0;
+      Hybrid_dep.Commit 1;
+    ]
+  in
+  check_bool "commits-last not member" false (Hybrid_dep.steps_hybrid Prom.spec commits_last)
+
+let test_project () =
+  let steps =
+    [
+      Hybrid_dep.Exec (Prom.write "x", 0);
+      Hybrid_dep.Commit 0;
+      Hybrid_dep.Exec (Prom.seal, 1);
+      Hybrid_dep.Exec (Prom.read_ok "x", 2);
+    ]
+  in
+  let projected = Hybrid_dep.project steps ~keep:(fun i -> i <> 0) in
+  (* Dropping action 0's only exec also drops its commit. *)
+  check_int "two steps left" 2 (List.length projected)
+
+(* --- verification against the paper --- *)
+
+let test_prom_paper_relation_verifies () =
+  check_bool "verified" true
+    (Hybrid_dep.is_hybrid_dependency (Lazy.force prom_checker) Paper.prom_hybrid_relation)
+
+let test_prom_static_relation_verifies () =
+  (* Theorem 4: any static dependency relation is a hybrid one. *)
+  let static = Static_dep.minimal Prom.spec ~max_len:4 in
+  check_bool "verified" true
+    (Hybrid_dep.is_hybrid_dependency (Lazy.force prom_checker) static)
+
+let test_prom_undersized_rejected () =
+  let missing_read_seal =
+    Relation.remove (Prom.read_inv, Prom.seal) Paper.prom_hybrid_relation
+  in
+  check_bool "rejected" false
+    (Hybrid_dep.is_hybrid_dependency (Lazy.force prom_checker) missing_read_seal);
+  let missing_seal_write =
+    Relation.remove (Prom.seal_inv, Prom.write "x") Paper.prom_hybrid_relation
+  in
+  check_bool "rejected" false
+    (Hybrid_dep.is_hybrid_dependency (Lazy.force prom_checker) missing_seal_write)
+
+let test_prom_empty_rejected () =
+  check_bool "empty relation rejected" false
+    (Hybrid_dep.is_hybrid_dependency (Lazy.force prom_checker) Relation.empty)
+
+let test_prom_counterexample_is_concrete () =
+  match Hybrid_dep.verify (Lazy.force prom_checker) Relation.empty with
+  | Ok () -> Alcotest.fail "expected counterexample"
+  | Error ce ->
+    (* The counterexample must be checkable: H is a member, H+e is not. *)
+    check_bool "H in Hybrid(T)" true (Hybrid_dep.steps_hybrid Prom.spec ce.Hybrid_dep.history);
+    let extended =
+      ce.Hybrid_dep.history
+      @ [ Hybrid_dep.Exec (ce.Hybrid_dep.appended, ce.Hybrid_dep.appended_action) ]
+    in
+    check_bool "H+e not in Hybrid(T)" false (Hybrid_dep.steps_hybrid Prom.spec extended)
+
+let test_prom_unique_minimal () =
+  let static = Static_dep.minimal Prom.spec ~max_len:4 in
+  let minimal = Hybrid_dep.minimal_hybrids (Lazy.force prom_checker) ~base:static in
+  check_int "exactly one minimal" 1 (List.length minimal);
+  check_bool "it is the paper's relation" true
+    (Relation.equal (List.hd minimal) Paper.prom_hybrid_relation)
+
+let test_doublebuffer_dynamic_not_hybrid () =
+  (* Theorem 12. *)
+  check_bool "rejected" false
+    (Hybrid_dep.is_hybrid_dependency (Lazy.force db_checker)
+       Paper.doublebuffer_dynamic_relation)
+
+let test_doublebuffer_static_verifies () =
+  let static = Static_dep.minimal Double_buffer.spec ~max_len:4 in
+  check_bool "verified" true
+    (Hybrid_dep.is_hybrid_dependency (Lazy.force db_checker) static)
+
+let test_flagset_base_insufficient () =
+  check_bool "base rejected" false
+    (Hybrid_dep.is_hybrid_dependency (Lazy.force flagset_checker) Paper.flagset_base_relation)
+
+let test_flagset_alternatives_verify () =
+  let checker = Lazy.force flagset_checker in
+  check_bool "base + Shift(3)>=Shift(1)" true
+    (Hybrid_dep.is_hybrid_dependency checker Paper.flagset_alternative_31);
+  check_bool "base + Shift(2)>=Shift(1)" true
+    (Hybrid_dep.is_hybrid_dependency checker Paper.flagset_alternative_21)
+
+let test_flagset_alternatives_minimal () =
+  (* Removing the distinguishing pair from either alternative breaks it
+     (that is the base-relation case); minimality over the added pair. *)
+  let checker = Lazy.force flagset_checker in
+  check_bool "31 minus added pair fails" false
+    (Hybrid_dep.is_hybrid_dependency checker
+       (Relation.remove (Flag_set.shift_inv 3, Flag_set.shift_ok 1)
+          Paper.flagset_alternative_31));
+  check_bool "21 minus added pair fails" false
+    (Hybrid_dep.is_hybrid_dependency checker
+       (Relation.remove (Flag_set.shift_inv 2, Flag_set.shift_ok 1)
+          Paper.flagset_alternative_21))
+
+let test_flagset_two_distinct_minimals () =
+  check_bool "alternatives differ" false
+    (Relation.equal Paper.flagset_alternative_31 Paper.flagset_alternative_21)
+
+let test_monotonicity () =
+  (* Superset of a verified relation verifies (validity is monotone). *)
+  let checker = Lazy.force prom_checker in
+  let bigger =
+    Relation.add (Prom.seal_inv, Prom.seal) Paper.prom_hybrid_relation
+  in
+  check_bool "superset verified" true (Hybrid_dep.is_hybrid_dependency checker bigger)
+
+let test_register_minimal_hybrid () =
+  let checker = Lazy.force register_checker in
+  let static = Static_dep.minimal Register.spec ~max_len:4 in
+  let minimal = Hybrid_dep.minimal_hybrids checker ~base:static in
+  check_bool "at least one minimal" true (List.length minimal >= 1);
+  (* Every minimal hybrid relation is contained in the static one
+     (corollary of Theorem 4: the static relation encompasses the union of
+     minimal hybrids). *)
+  List.iter
+    (fun r -> check_bool "within static" true (Relation.subset r static))
+    minimal
+
+let test_checker_counts () =
+  let checker = Lazy.force prom_checker in
+  check_bool "nonzero configs" true (Hybrid_dep.config_count checker > 0);
+  check_bool "nonzero templates" true (Hybrid_dep.template_count checker > 0)
+
+let suites =
+  [
+    ( "hybrid dependency (Definition 2)",
+      [
+        Alcotest.test_case "hybrid_ok accepts commit order" `Quick test_hybrid_ok_accepts_commit_order;
+        Alcotest.test_case "hybrid_ok rejects wrong order" `Quick test_hybrid_ok_rejects_wrong_order;
+        Alcotest.test_case "hybrid_ok active permutations" `Quick test_hybrid_ok_active_permutations;
+        Alcotest.test_case "steps roundtrip" `Quick test_steps_roundtrip;
+        Alcotest.test_case "earliest commit placement" `Quick test_steps_earliest_placement;
+        Alcotest.test_case "membership is prefix-wise" `Quick test_steps_hybrid_prefixwise;
+        Alcotest.test_case "projection" `Quick test_project;
+        Alcotest.test_case "PROM paper relation verifies" `Quick test_prom_paper_relation_verifies;
+        Alcotest.test_case "PROM static relation verifies (Thm 4)" `Quick test_prom_static_relation_verifies;
+        Alcotest.test_case "PROM undersized rejected" `Quick test_prom_undersized_rejected;
+        Alcotest.test_case "PROM empty rejected" `Quick test_prom_empty_rejected;
+        Alcotest.test_case "counterexamples are concrete" `Quick test_prom_counterexample_is_concrete;
+        Alcotest.test_case "PROM unique minimal hybrid" `Quick test_prom_unique_minimal;
+        Alcotest.test_case "DoubleBuffer dynamic not hybrid (Thm 12)" `Quick test_doublebuffer_dynamic_not_hybrid;
+        Alcotest.test_case "DoubleBuffer static verifies" `Quick test_doublebuffer_static_verifies;
+        Alcotest.test_case "FlagSet base insufficient" `Quick test_flagset_base_insufficient;
+        Alcotest.test_case "FlagSet alternatives verify" `Quick test_flagset_alternatives_verify;
+        Alcotest.test_case "FlagSet alternatives minimal" `Quick test_flagset_alternatives_minimal;
+        Alcotest.test_case "FlagSet minimals distinct" `Quick test_flagset_two_distinct_minimals;
+        Alcotest.test_case "validity is monotone" `Quick test_monotonicity;
+        Alcotest.test_case "register minimal hybrids" `Quick test_register_minimal_hybrid;
+        Alcotest.test_case "checker statistics" `Quick test_checker_counts;
+      ] );
+  ]

@@ -1,0 +1,159 @@
+(* End-to-end reproduction of each theorem's statement, using the paper's
+   own witness histories. *)
+
+open Atomrep_history
+open Atomrep_spec
+open Atomrep_atomicity
+open Atomrep_core
+
+let check_bool = Alcotest.(check bool)
+
+(* Theorem 5's construction: H, G = H minus the last event, and the
+   appended event Write(y);Ok() by B. H, G and G+e are static atomic, but
+   H+e is not — so the hybrid relation (which does not force Write to see
+   Reads) is not a static dependency relation. *)
+
+let thm5_h = Paper.theorem5_history
+let thm5_g =
+  (* all events except D's read *)
+  List.filter
+    (function
+      | Behavioral.Exec (e, _) -> not (Event.equal e (Prom.read_ok "x"))
+      | Behavioral.Begin _ | Behavioral.Commit _ | Behavioral.Abort _ -> true)
+    thm5_h
+
+let append_exec h e name = h @ [ Behavioral.Exec (e, Action.of_string name) ]
+
+let test_thm5_h_static () =
+  check_bool "H static" true (Atomicity.is_static_atomic Prom.spec thm5_h)
+
+let test_thm5_g_plus_e_static () =
+  check_bool "G+Write(y) static" true
+    (Atomicity.is_static_atomic Prom.spec (append_exec thm5_g Paper.theorem5_appended "B"))
+
+let test_thm5_h_plus_e_not_static () =
+  check_bool "H+Write(y) not static" false
+    (Atomicity.is_static_atomic Prom.spec (append_exec thm5_h Paper.theorem5_appended "B"))
+
+let test_thm5_hybrid_premise_fails () =
+  (* Why hybrid atomicity does not need Write ≽ Read: in the hybrid world
+     even the subhistory G rejects the Write(y);Ok — a hybrid front-end
+     whose view is G would answer Disabled (the Seal is visible), so the
+     dependency premise of Definition 2 never triggers. Static atomicity
+     accepts G+e (B's Begin precedes the Seal's), which is what forces the
+     extra constraint. *)
+  check_bool "G+Write(y) not hybrid" false
+    (Atomicity.is_hybrid_atomic Prom.spec (append_exec thm5_g Paper.theorem5_appended "B"));
+  check_bool "H+Write(y) not hybrid" false
+    (Atomicity.is_hybrid_atomic Prom.spec (append_exec thm5_h Paper.theorem5_appended "B"))
+
+(* Theorem 12's history: appending Consume();Ok(x) by D is not hybrid
+   atomic (B, C, D can commit in an order that transfers y before the
+   consume). *)
+
+let test_thm12_base_hybrid () =
+  check_bool "H hybrid" true (Atomicity.is_hybrid_atomic Double_buffer.spec Paper.theorem12_history)
+
+let test_thm12_extension_not_hybrid () =
+  (* D must be begun for well-formedness. *)
+  let extended =
+    Behavioral.Begin (Action.of_string "D")
+    :: append_exec Paper.theorem12_history Paper.theorem12_appended "D"
+  in
+  check_bool "H+Consume not hybrid" false
+    (Atomicity.is_hybrid_atomic Double_buffer.spec extended)
+
+let test_thm12_g_plus_e_hybrid () =
+  (* G drops B's Produce(y); then the Consume is safe. *)
+  let g =
+    List.filter
+      (function
+        | Behavioral.Exec (e, _) -> not (Event.equal e (Double_buffer.produce "y"))
+        | Behavioral.Begin _ | Behavioral.Commit _ | Behavioral.Abort _ -> true)
+      Paper.theorem12_history
+  in
+  let extended =
+    (Behavioral.Begin (Action.of_string "D") :: g)
+    @ [ Behavioral.Exec (Paper.theorem12_appended, Action.of_string "D") ]
+  in
+  check_bool "G+Consume hybrid" true (Atomicity.is_hybrid_atomic Double_buffer.spec extended)
+
+(* Theorem 4 at the relation level, for several types: the minimal static
+   relation verifies as a hybrid dependency relation. *)
+let test_thm4_for_types () =
+  List.iter
+    (fun (spec, max_events) ->
+      let static = Static_dep.minimal spec ~max_len:max_events in
+      let checker = Hybrid_dep.make_checker spec ~max_events:3 ~max_actions:2 in
+      check_bool (spec.Serial_spec.name ^ " static verifies as hybrid") true
+        (Hybrid_dep.is_hybrid_dependency checker static))
+    [ (Queue_type.spec, 3); (Register.spec, 3); (Counter.spec, 3) ]
+
+(* Figure 1-1, mechanized: containments between the properties on random
+   histories. Strong dynamic ⊆ hybrid always; the other pairs are
+   incomparable, witnessed by specific histories in test_atomicity. *)
+let test_dynamic_implies_hybrid_random () =
+  let rng = Atomrep_stats.Rng.create 2024 in
+  let specs = [ Queue_type.spec; Prom.spec; Counter.spec; Register.spec ] in
+  let tried = ref 0 in
+  while !tried < 400 do
+    incr tried;
+    let spec = Atomrep_stats.Rng.pick_list rng specs in
+    let h = Atomrep_workload.Histories.random rng spec ~max_actions:3 ~max_events:4 in
+    if Atomicity.is_dynamic_atomic spec h then
+      check_bool
+        (Printf.sprintf "dynamic implies hybrid (%s)" spec.Serial_spec.name)
+        true
+        (Atomicity.is_hybrid_atomic spec h)
+  done
+
+(* The serial-execution control: always atomic under all three. *)
+let test_serial_histories_all_atomic () =
+  let rng = Atomrep_stats.Rng.create 7 in
+  for _ = 1 to 100 do
+    let h = Atomrep_workload.Histories.random_atomic rng Queue_type.spec ~max_actions:3 ~max_events:5 in
+    List.iter
+      (fun p ->
+        check_bool (Atomicity.property_name p) true (Atomicity.satisfies Queue_type.spec p h))
+      Atomicity.all_properties
+  done
+
+(* §4's PROM quorum example: hybrid admits (1, n, n->1) style assignments
+   that static rejects. Checked through the constraint machinery. *)
+let test_prom_quorum_example () =
+  let open Atomrep_quorum in
+  let n = 5 in
+  let to_assignment quorums =
+    Assignment.make ~n_sites:n
+      (List.map (fun (op, (i, f)) -> (op, { Assignment.initial = i; final = f })) quorums)
+  in
+  let hybrid_constraints = Op_constraint.of_relation Paper.prom_hybrid_relation in
+  let static_constraints =
+    Op_constraint.of_relation (Static_dep.minimal Prom.spec ~max_len:4)
+  in
+  let hybrid_assignment = to_assignment (Paper.prom_hybrid_quorums ~n) in
+  let static_assignment = to_assignment (Paper.prom_static_quorums ~n) in
+  check_bool "paper hybrid quorums satisfy hybrid constraints" true
+    (Assignment.satisfies hybrid_assignment hybrid_constraints);
+  check_bool "paper hybrid quorums violate static constraints" false
+    (Assignment.satisfies hybrid_assignment static_constraints);
+  check_bool "paper static quorums satisfy static constraints" true
+    (Assignment.satisfies static_assignment static_constraints)
+
+let suites =
+  [
+    ( "paper theorems",
+      [
+        Alcotest.test_case "Thm5: H is static atomic" `Quick test_thm5_h_static;
+        Alcotest.test_case "Thm5: G+e is static atomic" `Quick test_thm5_g_plus_e_static;
+        Alcotest.test_case "Thm5: H+e is not static atomic" `Quick test_thm5_h_plus_e_not_static;
+        Alcotest.test_case "Thm5: hybrid premise fails" `Quick test_thm5_hybrid_premise_fails;
+        Alcotest.test_case "Thm12: base history hybrid" `Quick test_thm12_base_hybrid;
+        Alcotest.test_case "Thm12: extension not hybrid" `Quick test_thm12_extension_not_hybrid;
+        Alcotest.test_case "Thm12: subhistory extension hybrid" `Quick test_thm12_g_plus_e_hybrid;
+        Alcotest.test_case "Thm4 across types" `Quick test_thm4_for_types;
+        Alcotest.test_case "Fig 1-1: dynamic implies hybrid" `Quick test_dynamic_implies_hybrid_random;
+        Alcotest.test_case "serial histories all atomic" `Quick test_serial_histories_all_atomic;
+        Alcotest.test_case "PROM quorum example (§4)" `Quick test_prom_quorum_example;
+      ] );
+  ]

@@ -1,0 +1,277 @@
+(* Property-based tests (qcheck, registered through QCheck_alcotest). *)
+
+open Atomrep_history
+open Atomrep_spec
+open Atomrep_atomicity
+open Atomrep_core
+
+let specs =
+  [ Queue_type.spec; Prom.spec; Counter.spec; Register.spec; Wset.spec ]
+
+let spec_gen = QCheck2.Gen.oneofl specs
+
+(* Generators built on the workload module keep qcheck shrinking simple:
+   generate a seed, derive the structure deterministically. *)
+let seeded name gen_count prop =
+  QCheck2.Test.make ~name ~count:gen_count QCheck2.Gen.(pair spec_gen nat) prop
+
+let history_of spec seed ~max_actions ~max_events =
+  let rng = Atomrep_stats.Rng.create seed in
+  Atomrep_workload.Histories.random rng spec ~max_actions ~max_events
+
+let serial_of spec seed ~len =
+  let rng = Atomrep_stats.Rng.create seed in
+  Atomrep_workload.Histories.random_serial rng spec ~len
+
+let prop_generated_histories_well_formed =
+  seeded "generated histories are well-formed" 300 (fun (spec, seed) ->
+      Behavioral.well_formed (history_of spec seed ~max_actions:3 ~max_events:5))
+
+let prop_random_serial_legal =
+  seeded "random serial histories are legal" 300 (fun (spec, seed) ->
+      Serial_spec.legal spec (serial_of spec seed ~len:6))
+
+let prop_serial_prefix_closed =
+  seeded "legality is prefix-closed" 200 (fun (spec, seed) ->
+      let h = serial_of spec seed ~len:6 in
+      let rec prefixes acc = function
+        | [] -> [ List.rev acc ]
+        | e :: rest -> List.rev acc :: prefixes (e :: acc) rest
+      in
+      List.for_all (Serial_spec.legal spec) (prefixes [] h))
+
+let prop_dynamic_implies_hybrid =
+  seeded "strong dynamic implies hybrid" 200 (fun (spec, seed) ->
+      let h = history_of spec seed ~max_actions:3 ~max_events:4 in
+      (not (Atomicity.is_dynamic_atomic spec h)) || Atomicity.is_hybrid_atomic spec h)
+
+let prop_atomic_control_accepted =
+  seeded "serial executions satisfy all properties" 200 (fun (spec, seed) ->
+      let rng = Atomrep_stats.Rng.create seed in
+      let h = Atomrep_workload.Histories.random_atomic rng spec ~max_actions:3 ~max_events:5 in
+      List.for_all (fun p -> Atomicity.satisfies spec p h) Atomicity.all_properties)
+
+let prop_stripping_preserves_properties =
+  seeded "aborted actions do not affect verdicts" 200 (fun (spec, seed) ->
+      let h = history_of spec seed ~max_actions:3 ~max_events:4 in
+      List.for_all
+        (fun p ->
+          Bool.equal (Atomicity.satisfies spec p h)
+            (Atomicity.satisfies spec p (Behavioral.strip_aborted h)))
+        Atomicity.all_properties)
+
+let prop_state_equiv_reflexive_on_reachable =
+  seeded "state equivalence is reflexive" 200 (fun (spec, seed) ->
+      let h = serial_of spec seed ~len:5 in
+      match Serial_spec.run spec h with
+      | None -> false
+      | Some s -> Serial_spec.state_equiv spec ~depth:4 s s)
+
+let prop_commute_symmetric =
+  QCheck2.Test.make ~name:"commutativity is symmetric" ~count:100
+    QCheck2.Gen.(pair (oneofl specs) (pair nat nat))
+    (fun (spec, (i, j)) ->
+      let universe = Serial_spec.event_universe spec ~max_len:3 in
+      let n = List.length universe in
+      let e = List.nth universe (i mod n) and e' = List.nth universe (j mod n) in
+      Bool.equal
+        (Dynamic_dep.commute spec ~max_len:3 e e')
+        (Dynamic_dep.commute spec ~max_len:3 e' e))
+
+let prop_static_minimal_monotone =
+  QCheck2.Test.make ~name:"static relation monotone in bound" ~count:10
+    (QCheck2.Gen.oneofl specs)
+    (fun spec ->
+      Relation.subset
+        (Static_dep.minimal spec ~max_len:2)
+        (Static_dep.minimal spec ~max_len:4))
+
+let prop_log_merge_associative =
+  QCheck2.Test.make ~name:"log merge associative/commutative/idempotent" ~count:100
+    QCheck2.Gen.(triple nat nat nat)
+    (fun (s1, s2, s3) ->
+      let open Atomrep_replica in
+      let open Atomrep_clock in
+      let mk seed =
+        let rng = Atomrep_stats.Rng.create seed in
+        let n = Atomrep_stats.Rng.int rng 5 in
+        let log = ref Log.empty in
+        for i = 0 to n - 1 do
+          let action = Action.of_int (Atomrep_stats.Rng.int rng 3) in
+          let ts_val = 1 + Atomrep_stats.Rng.int rng 10 in
+          let ts = { Lamport.Timestamp.counter = ts_val; site = 0 } in
+          log :=
+            Log.add !log
+              (Log.Entry
+                 {
+                   Log.ets = ts;
+                   action;
+                   begin_ts = ts;
+                   seq = i;
+                   event = Queue_type.enq "x";
+                 })
+        done;
+        !log
+      in
+      let l1 = mk s1 and l2 = mk s2 and l3 = mk s3 in
+      Log.equal (Log.merge l1 (Log.merge l2 l3)) (Log.merge (Log.merge l1 l2) l3)
+      && Log.equal (Log.merge l1 l2) (Log.merge l2 l1)
+      && Log.equal (Log.merge l1 l1) l1)
+
+let prop_quorum_intersection_theorem =
+  QCheck2.Test.make ~name:"threshold quorums intersect iff k1+k2>n" ~count:200
+    QCheck2.Gen.(triple (int_range 1 6) (int_range 0 6) (int_range 0 6))
+    (fun (n, k1, k2) ->
+      let k1 = min k1 n and k2 = min k2 n in
+      let q1s = Atomrep_quorum.Quorum.all_of_size ~n k1 in
+      let q2s = Atomrep_quorum.Quorum.all_of_size ~n k2 in
+      let all_intersect =
+        List.for_all
+          (fun q1 -> List.for_all (Atomrep_quorum.Quorum.intersects q1) q2s)
+          q1s
+      in
+      Bool.equal all_intersect (k1 + k2 > n && k1 > 0 && k2 > 0))
+
+let prop_availability_bounds =
+  QCheck2.Test.make ~name:"availability lies in [0,1]" ~count:200
+    QCheck2.Gen.(triple (int_range 1 7) (int_range 0 7) (float_bound_inclusive 1.0))
+    (fun (n, k, p) ->
+      let k = min k n in
+      let a =
+        Atomrep_quorum.Assignment.make ~n_sites:n
+          [ ("Op", { Atomrep_quorum.Assignment.initial = k; final = k }) ]
+      in
+      let v = Atomrep_quorum.Assignment.availability a ~p "Op" in
+      v >= -.1e-9 && v <= 1.0 +. 1e-9)
+
+let prop_relation_union_still_dependency =
+  (* Monotonicity of hybrid validity under union, checked on PROM with a
+     small checker. *)
+  let checker =
+    lazy (Hybrid_dep.make_checker Prom.spec ~max_events:3 ~max_actions:2)
+  in
+  QCheck2.Test.make ~name:"hybrid validity monotone under union" ~count:30
+    QCheck2.Gen.(pair nat nat)
+    (fun (i, j) ->
+      let checker = Lazy.force checker in
+      let base = Paper.prom_hybrid_relation in
+      let universe = Serial_spec.event_universe Prom.spec ~max_len:3 in
+      let invs = Prom.spec.Serial_spec.invocations in
+      let extra =
+        ( List.nth invs (i mod List.length invs),
+          List.nth universe (j mod List.length universe) )
+      in
+      let bigger = Relation.add extra base in
+      (not (Hybrid_dep.is_hybrid_dependency checker base))
+      || Hybrid_dep.is_hybrid_dependency checker bigger)
+
+(* Drive a local scheduler with random interleavings; whatever it lets
+   through must satisfy its scheme's property. *)
+let drive_scheduler (type a) (module S : Atomrep_cc.Scheduler.S with type t = a) spec seed =
+  let open Atomrep_cc in
+  let open Atomrep_clock in
+  let rng = Atomrep_stats.Rng.create seed in
+  let t = S.create spec in
+  let n_actions = 2 + Atomrep_stats.Rng.int rng 2 in
+  let clock = ref 0 in
+  let tick () =
+    incr clock;
+    { Lamport.Timestamp.counter = !clock; site = 0 }
+  in
+  let status = Array.make n_actions `Fresh in
+  let actions = Array.init n_actions Action.of_int in
+  for _ = 1 to 12 do
+    let i = Atomrep_stats.Rng.int rng n_actions in
+    match status.(i) with
+    | `Fresh ->
+      S.begin_action t actions.(i) ~ts:(tick ());
+      status.(i) <- `Active
+    | `Active ->
+      (match Atomrep_stats.Rng.int rng 4 with
+       | 0 ->
+         S.commit t actions.(i) ~ts:(tick ());
+         status.(i) <- `Done
+       | 1 ->
+         S.abort t actions.(i);
+         status.(i) <- `Done
+       | _ ->
+         let inv = Atomrep_stats.Rng.pick_list rng spec.Serial_spec.invocations in
+         (match S.try_operation t actions.(i) inv with
+          | Scheduler.Executed _ | Scheduler.Blocked _ -> ()
+          | Scheduler.Rejected _ ->
+            S.abort t actions.(i);
+            status.(i) <- `Done))
+    | `Done -> ()
+  done;
+  S.history t
+
+let scheduler_specs = [ Queue_type.spec; Prom.spec; Counter.spec; Register.spec ]
+
+let prop_locking_scheduler_dynamic =
+  QCheck2.Test.make ~name:"locking scheduler yields dynamic atomic histories" ~count:120
+    QCheck2.Gen.(pair (oneofl scheduler_specs) nat)
+    (fun (spec, seed) ->
+      let h = drive_scheduler (module Atomrep_cc.Scheduler.Locking) spec seed in
+      Atomicity.is_dynamic_atomic spec h)
+
+let prop_static_scheduler_static =
+  QCheck2.Test.make ~name:"static scheduler yields static atomic histories" ~count:120
+    QCheck2.Gen.(pair (oneofl scheduler_specs) nat)
+    (fun (spec, seed) ->
+      let h = drive_scheduler (module Atomrep_cc.Scheduler.Static_ts) spec seed in
+      Atomicity.is_static_atomic spec h)
+
+let prop_hybrid_scheduler_hybrid =
+  QCheck2.Test.make ~name:"hybrid scheduler yields hybrid atomic histories" ~count:120
+    QCheck2.Gen.(pair (oneofl scheduler_specs) nat)
+    (fun (spec, seed) ->
+      let h = drive_scheduler (module Atomrep_cc.Scheduler.Hybrid_ts) spec seed in
+      Atomicity.is_hybrid_atomic spec h)
+
+let prop_runtime_random_seeds_atomic =
+  QCheck2.Test.make ~name:"replicated runtime atomic across random seeds" ~count:8
+    QCheck2.Gen.nat
+    (fun seed ->
+      let open Atomrep_replica in
+      let cfg = { Runtime.default_config with seed; n_txns = 25 } in
+      let outcome = Runtime.run cfg in
+      Runtime.check_atomicity cfg outcome = []
+      && Runtime.check_common_order cfg outcome = [])
+
+let prop_rng_int_uniform_support =
+  QCheck2.Test.make ~name:"rng int covers support" ~count:20 QCheck2.Gen.nat
+    (fun seed ->
+      let rng = Atomrep_stats.Rng.create seed in
+      let seen = Array.make 5 false in
+      for _ = 1 to 300 do
+        seen.(Atomrep_stats.Rng.int rng 5) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let to_alcotest = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "properties",
+      to_alcotest
+        [
+          prop_generated_histories_well_formed;
+          prop_random_serial_legal;
+          prop_serial_prefix_closed;
+          prop_dynamic_implies_hybrid;
+          prop_atomic_control_accepted;
+          prop_stripping_preserves_properties;
+          prop_state_equiv_reflexive_on_reachable;
+          prop_commute_symmetric;
+          prop_static_minimal_monotone;
+          prop_log_merge_associative;
+          prop_quorum_intersection_theorem;
+          prop_availability_bounds;
+          prop_relation_union_still_dependency;
+          prop_locking_scheduler_dynamic;
+          prop_static_scheduler_static;
+          prop_hybrid_scheduler_hybrid;
+          prop_runtime_random_seeds_atomic;
+          prop_rng_int_uniform_support;
+        ] );
+  ]

@@ -1,0 +1,237 @@
+open Atomrep_spec
+open Atomrep_core
+open Atomrep_quorum
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Quorum bitsets --- *)
+
+let test_quorum_basics () =
+  let q = Quorum.of_sites [ 0; 2; 4 ] in
+  check_int "cardinal" 3 (Quorum.cardinal q);
+  check_bool "mem 2" true (Quorum.mem 2 q);
+  check_bool "mem 1" false (Quorum.mem 1 q);
+  Alcotest.(check (list int)) "sites" [ 0; 2; 4 ] (Quorum.sites q)
+
+let test_quorum_intersection () =
+  let a = Quorum.of_sites [ 0; 1 ] and b = Quorum.of_sites [ 1; 2 ] in
+  let c = Quorum.of_sites [ 2; 3 ] in
+  check_bool "a∩b" true (Quorum.intersects a b);
+  check_bool "a∩c" false (Quorum.intersects a c);
+  check_int "a∩b card" 1 (Quorum.cardinal (Quorum.inter a b));
+  check_int "a∪b card" 3 (Quorum.cardinal (Quorum.union a b))
+
+let test_all_of_size () =
+  check_int "C(5,2)" 10 (List.length (Quorum.all_of_size ~n:5 2));
+  check_int "C(4,4)" 1 (List.length (Quorum.all_of_size ~n:4 4));
+  check_int "C(4,0)" 1 (List.length (Quorum.all_of_size ~n:4 0));
+  check_int "C(4,5)" 0 (List.length (Quorum.all_of_size ~n:4 5))
+
+let test_threshold_intersection_law () =
+  (* Two threshold families of sizes k1, k2 over n sites pairwise intersect
+     iff k1 + k2 > n — the law the assignment checker relies on. *)
+  let n = 5 in
+  List.iter
+    (fun k1 ->
+      List.iter
+        (fun k2 ->
+          let families_intersect =
+            List.for_all
+              (fun q1 ->
+                List.for_all (fun q2 -> Quorum.intersects q1 q2) (Quorum.all_of_size ~n k2))
+              (Quorum.all_of_size ~n k1)
+          in
+          check_bool
+            (Printf.sprintf "k1=%d k2=%d" k1 k2)
+            (k1 + k2 > n)
+            families_intersect)
+        [ 1; 2; 3; 4; 5 ])
+    [ 1; 2; 3; 4; 5 ]
+
+(* --- Op constraints --- *)
+
+let test_constraints_from_relation () =
+  let constraints = Op_constraint.of_relation Paper.prom_hybrid_relation in
+  check_int "four op-level constraints" 4 (List.length constraints);
+  check_bool "Seal needs Write finals" true
+    (List.exists
+       (fun (c : Op_constraint.t) -> c.dependent = "Seal" && c.supplier = "Write")
+       constraints);
+  check_bool "Seal needs Read finals (Disabled)" true
+    (List.exists
+       (fun (c : Op_constraint.t) ->
+         c.dependent = "Seal" && c.supplier = "Read" && List.mem "Disabled" c.labels)
+       constraints)
+
+let test_read_write_constraints () =
+  let ops = [ ("Read", `Read); ("Write", `Update) ] in
+  let constraints = Op_constraint.read_write ~ops in
+  (* every op vs every writer: 2 ops x 1 writer *)
+  check_int "two constraints" 2 (List.length constraints)
+
+(* --- Assignments --- *)
+
+let prom_static_constraints =
+  Op_constraint.of_relation (Static_dep.minimal Prom.spec ~max_len:4)
+
+let prom_hybrid_constraints = Op_constraint.of_relation Paper.prom_hybrid_relation
+
+let test_satisfies () =
+  let n = 3 in
+  let a =
+    Assignment.make ~n_sites:n
+      [
+        ("Read", { Assignment.initial = 1; final = 1 });
+        ("Seal", { Assignment.initial = 3; final = 3 });
+        ("Write", { Assignment.initial = 1; final = 1 });
+      ]
+  in
+  check_bool "hybrid ok" true (Assignment.satisfies a prom_hybrid_constraints);
+  check_bool "static needs more" false (Assignment.satisfies a prom_static_constraints)
+
+let test_enumerate_counts_monotone () =
+  (* More constraints, fewer valid assignments (Figure 1-2's availability
+     comparison, mechanized). *)
+  let ops = [ "Read"; "Seal"; "Write" ] in
+  let hybrid_count = Assignment.count ~n_sites:3 ~ops prom_hybrid_constraints in
+  let static_count = Assignment.count ~n_sites:3 ~ops prom_static_constraints in
+  check_bool "hybrid admits strictly more" true (hybrid_count > static_count);
+  check_bool "both nonzero" true (static_count > 0)
+
+let test_static_valid_implies_hybrid_valid () =
+  (* Theorem 4's quorum corollary: every assignment valid for the static
+     relation is valid for the hybrid relation. *)
+  let ops = [ "Read"; "Seal"; "Write" ] in
+  let static_assignments = Assignment.enumerate ~n_sites:3 ~ops prom_static_constraints in
+  List.iter
+    (fun a ->
+      check_bool "static-valid is hybrid-valid" true
+        (Assignment.satisfies a prom_hybrid_constraints))
+    static_assignments
+
+let test_enumerate_respects_constraints () =
+  let ops = [ "Enq"; "Deq" ] in
+  let constraints =
+    Op_constraint.of_relation (Static_dep.minimal Queue_type.spec ~max_len:4)
+  in
+  let assignments = Assignment.enumerate ~n_sites:3 ~ops constraints in
+  check_bool "nonempty" true (assignments <> []);
+  List.iter
+    (fun a -> check_bool "each satisfies" true (Assignment.satisfies a constraints))
+    assignments
+
+let test_availability_math () =
+  let a =
+    Assignment.make ~n_sites:3
+      [
+        ("Read", { Assignment.initial = 1; final = 1 });
+        ("Write", { Assignment.initial = 3; final = 3 });
+      ]
+  in
+  let p = 0.9 in
+  (* Read: at least 1 of 3 up. Write: all 3 up. *)
+  check_float "read availability" (1.0 -. (0.1 ** 3.0)) (Assignment.availability a ~p "Read");
+  check_float "write availability" (0.9 ** 3.0) (Assignment.availability a ~p "Write");
+  let mix = [ ("Read", 1.0); ("Write", 1.0) ] in
+  check_float "workload availability"
+    (((1.0 -. (0.1 ** 3.0)) +. (0.9 ** 3.0)) /. 2.0)
+    (Assignment.workload_availability a ~p ~mix)
+
+let test_availability_monotone_in_p () =
+  let a =
+    Assignment.make ~n_sites:5 [ ("Op", { Assignment.initial = 3; final = 3 }) ]
+  in
+  let avs = List.map (fun p -> Assignment.availability a ~p "Op") [ 0.1; 0.5; 0.9 ] in
+  match avs with
+  | [ low; mid; high ] ->
+    check_bool "monotone" true (low <= mid && mid <= high)
+  | _ -> assert false
+
+let test_best_for_mix () =
+  let ops = [ "Read"; "Seal"; "Write" ] in
+  let assignments = Assignment.enumerate ~n_sites:3 ~ops prom_hybrid_constraints in
+  match
+    Assignment.best_for_mix ~p:0.9 ~mix:[ ("Read", 8.0); ("Write", 2.0); ("Seal", 0.1) ]
+      assignments
+  with
+  | None -> Alcotest.fail "expected a best assignment"
+  | Some best ->
+    (* A read-heavy mix should keep Read cheap. *)
+    let sizes = Assignment.sizes_of best "Read" in
+    check_int "read initial small" 1 (max sizes.Assignment.initial sizes.Assignment.final)
+
+let test_pareto_nonempty_and_sound () =
+  let ops = [ "Enq"; "Deq" ] in
+  let constraints =
+    Op_constraint.of_relation (Static_dep.minimal Queue_type.spec ~max_len:4)
+  in
+  let assignments = Assignment.enumerate ~n_sites:3 ~ops constraints in
+  let pareto = Assignment.pareto_optimal ~p:0.9 ~ops assignments in
+  check_bool "nonempty" true (pareto <> []);
+  check_bool "subset" true (List.length pareto <= List.length assignments)
+
+(* --- Weighted voting --- *)
+
+let test_weighted_matches_threshold_when_uniform () =
+  let w =
+    Weighted.make ~weights:[| 1; 1; 1 |] [ ("Read", (1, 1)); ("Write", (3, 3)) ]
+  in
+  check_float "read" (1.0 -. (0.1 ** 3.0)) (Weighted.availability w ~p:0.9 "Read");
+  check_float "write" (0.9 ** 3.0) (Weighted.availability w ~p:0.9 "Write")
+
+let test_weighted_heavy_site () =
+  (* One site holds 3 of 5 votes: a 3-vote quorum is just that site. *)
+  let w = Weighted.make ~weights:[| 3; 1; 1 |] [ ("Read", (3, 3)) ] in
+  let live = Quorum.of_sites [ 0 ] in
+  check_bool "heavy site alone suffices" true (Weighted.op_available w ~live "Read");
+  let live' = Quorum.of_sites [ 1; 2 ] in
+  check_bool "two light sites do not" false (Weighted.op_available w ~live:live' "Read")
+
+let test_weighted_satisfies () =
+  let constraints =
+    [ { Op_constraint.dependent = "Read"; supplier = "Write"; labels = [ "Ok" ] } ]
+  in
+  let ok = Weighted.make ~weights:[| 1; 1; 1 |] [ ("Read", (2, 0)); ("Write", (0, 2)) ] in
+  let bad = Weighted.make ~weights:[| 1; 1; 1 |] [ ("Read", (1, 0)); ("Write", (0, 2)) ] in
+  check_bool "2+2>3" true (Weighted.satisfies ok constraints);
+  check_bool "1+2=3" false (Weighted.satisfies bad constraints)
+
+(* --- Binomial (used by availability) --- *)
+
+let test_binomial () =
+  let open Atomrep_stats in
+  check_float "C(5,2)" 10.0 (Binomial.choose 5 2);
+  check_float "pmf sums to 1" 1.0
+    (List.fold_left (fun acc k -> acc +. Binomial.pmf ~n:6 ~p:0.3 k) 0.0
+       [ 0; 1; 2; 3; 4; 5; 6 ]);
+  check_float "at_least 0" 1.0 (Binomial.at_least ~n:4 ~p:0.5 0);
+  check_float "at_least n" (0.5 ** 4.0) (Binomial.at_least ~n:4 ~p:0.5 4);
+  check_float "complement" 1.0
+    (Binomial.at_least ~n:7 ~p:0.4 3 +. Binomial.at_most ~n:7 ~p:0.4 2)
+
+let suites =
+  [
+    ( "quorum",
+      [
+        Alcotest.test_case "bitset basics" `Quick test_quorum_basics;
+        Alcotest.test_case "intersection" `Quick test_quorum_intersection;
+        Alcotest.test_case "all_of_size" `Quick test_all_of_size;
+        Alcotest.test_case "threshold intersection law" `Quick test_threshold_intersection_law;
+        Alcotest.test_case "constraints from relation" `Quick test_constraints_from_relation;
+        Alcotest.test_case "read/write constraints" `Quick test_read_write_constraints;
+        Alcotest.test_case "satisfies" `Quick test_satisfies;
+        Alcotest.test_case "hybrid admits more assignments" `Quick test_enumerate_counts_monotone;
+        Alcotest.test_case "static-valid implies hybrid-valid" `Quick test_static_valid_implies_hybrid_valid;
+        Alcotest.test_case "enumerate respects constraints" `Quick test_enumerate_respects_constraints;
+        Alcotest.test_case "availability math" `Quick test_availability_math;
+        Alcotest.test_case "availability monotone in p" `Quick test_availability_monotone_in_p;
+        Alcotest.test_case "best for mix" `Quick test_best_for_mix;
+        Alcotest.test_case "pareto frontier" `Quick test_pareto_nonempty_and_sound;
+        Alcotest.test_case "weighted uniform = threshold" `Quick test_weighted_matches_threshold_when_uniform;
+        Alcotest.test_case "weighted heavy site" `Quick test_weighted_heavy_site;
+        Alcotest.test_case "weighted satisfies" `Quick test_weighted_satisfies;
+        Alcotest.test_case "binomial" `Quick test_binomial;
+      ] );
+  ]

@@ -1,0 +1,94 @@
+open Atomrep_spec
+open Atomrep_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pair1 = (Queue_type.enq_inv "x", Queue_type.deq_ok "y")
+let pair2 = (Queue_type.deq_inv, Queue_type.enq "x")
+let pair3 = (Queue_type.deq_inv, Queue_type.deq_ok "x")
+
+let test_set_operations () =
+  let r = Relation.of_list [ pair1; pair2 ] in
+  check_int "cardinal" 2 (Relation.cardinal r);
+  check_bool "mem" true (Relation.mem pair1 r);
+  check_bool "not mem" false (Relation.mem pair3 r);
+  let r' = Relation.add pair3 r in
+  check_int "added" 3 (Relation.cardinal r');
+  let r'' = Relation.remove pair1 r' in
+  check_bool "removed" false (Relation.mem pair1 r'');
+  check_bool "subset" true (Relation.subset r r');
+  check_bool "not subset" false (Relation.subset r' r);
+  check_bool "union" true (Relation.equal r' (Relation.union r (Relation.of_list [ pair3 ])));
+  check_int "inter" 2 (Relation.cardinal (Relation.inter r r'));
+  check_int "diff" 1 (Relation.cardinal (Relation.diff r' r))
+
+let test_add_idempotent () =
+  let r = Relation.of_list [ pair1 ] in
+  check_bool "idempotent" true (Relation.equal r (Relation.add pair1 r))
+
+let test_dependencies_of () =
+  let r = Relation.of_list [ pair2; pair3; pair1 ] in
+  check_int "deq depends on two events" 2
+    (List.length (Relation.dependencies_of r Queue_type.deq_inv))
+
+let test_schematize_complete () =
+  (* All distinct-item Enq ≽ Deq;Ok instances, plus same-item — together a
+     complete schema over items {x,y}. *)
+  let all_pairs =
+    List.concat_map
+      (fun i -> List.map (fun j -> (Queue_type.enq_inv i, Queue_type.deq_ok j)) [ "x"; "y" ])
+      [ "x"; "y" ]
+  in
+  let r = Relation.of_list all_pairs in
+  let universe = Serial_spec.event_universe Queue_type.spec ~max_len:3 in
+  let invocations = Queue_type.spec.Serial_spec.invocations in
+  let schemas, leftover = Relation.schematize ~universe ~invocations r in
+  check_int "one complete schema" 1 (List.length schemas);
+  check_int "no leftovers" 0 (List.length leftover)
+
+let test_schematize_partial () =
+  (* Distinct items only: the schema is incomplete, pairs print concretely. *)
+  let r =
+    Relation.of_list
+      [
+        (Queue_type.enq_inv "x", Queue_type.deq_ok "y");
+        (Queue_type.enq_inv "y", Queue_type.deq_ok "x");
+      ]
+  in
+  let universe = Serial_spec.event_universe Queue_type.spec ~max_len:3 in
+  let invocations = Queue_type.spec.Serial_spec.invocations in
+  let schemas, leftover = Relation.schematize ~universe ~invocations r in
+  check_int "no complete schema" 0 (List.length schemas);
+  check_int "two concrete pairs" 2 (List.length leftover)
+
+let test_schematize_int_args_concrete () =
+  (* Integer arguments are never folded: Shift(3) ≽ Shift(2);Ok() is its own
+     schema. *)
+  let r = Relation.of_list [ (Flag_set.shift_inv 3, Flag_set.shift_ok 2) ] in
+  let universe = Serial_spec.event_universe Flag_set.spec ~max_len:3 in
+  let invocations = Flag_set.spec.Serial_spec.invocations in
+  let schemas, leftover = Relation.schematize ~universe ~invocations r in
+  check_int "one schema (no item variables)" 1 (List.length schemas);
+  check_int "no leftovers" 0 (List.length leftover);
+  let rendered = Format.asprintf "%a" Relation.pp_schema (List.hd schemas) in
+  Alcotest.(check string) "rendering" "Shift(3) >= Shift(2);Ok()" rendered
+
+let test_pp_pair () =
+  Alcotest.(check string)
+    "pair rendering" "Enq(x) >= Deq();Ok(y)"
+    (Format.asprintf "%a" Relation.pp_pair pair1)
+
+let suites =
+  [
+    ( "relation",
+      [
+        Alcotest.test_case "set operations" `Quick test_set_operations;
+        Alcotest.test_case "add is idempotent" `Quick test_add_idempotent;
+        Alcotest.test_case "dependencies_of" `Quick test_dependencies_of;
+        Alcotest.test_case "schematize complete" `Quick test_schematize_complete;
+        Alcotest.test_case "schematize partial stays concrete" `Quick test_schematize_partial;
+        Alcotest.test_case "int args stay concrete" `Quick test_schematize_int_args_concrete;
+        Alcotest.test_case "pair rendering" `Quick test_pp_pair;
+      ] );
+  ]

@@ -1,0 +1,206 @@
+open Atomrep_sim
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_engine_orders_by_time () =
+  let engine = Engine.create ~seed:1 in
+  let order = ref [] in
+  Engine.schedule engine ~delay:10.0 (fun () -> order := 2 :: !order);
+  Engine.schedule engine ~delay:5.0 (fun () -> order := 1 :: !order);
+  Engine.schedule engine ~delay:20.0 (fun () -> order := 3 :: !order);
+  Engine.run engine;
+  Alcotest.(check (list int)) "execution order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_engine_fifo_at_same_time () =
+  let engine = Engine.create ~seed:1 in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule engine ~delay:1.0 (fun () -> order := i :: !order)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_engine_now_advances () =
+  let engine = Engine.create ~seed:1 in
+  let seen = ref 0.0 in
+  Engine.schedule engine ~delay:7.5 (fun () -> seen := Engine.now engine);
+  Engine.run engine;
+  check_float "time at event" 7.5 !seen
+
+let test_engine_nested_scheduling () =
+  let engine = Engine.create ~seed:1 in
+  let count = ref 0 in
+  let rec tick n =
+    if n > 0 then begin
+      incr count;
+      Engine.schedule engine ~delay:1.0 (fun () -> tick (n - 1))
+    end
+  in
+  tick 5;
+  Engine.run engine;
+  check_int "all ticks ran" 5 !count
+
+let test_engine_until_horizon () =
+  let engine = Engine.create ~seed:1 in
+  let ran = ref [] in
+  Engine.schedule engine ~delay:5.0 (fun () -> ran := 5 :: !ran);
+  Engine.schedule engine ~delay:50.0 (fun () -> ran := 50 :: !ran);
+  Engine.run ~until:10.0 engine;
+  Alcotest.(check (list int)) "only early event" [ 5 ] (List.rev !ran);
+  check_int "late event still pending" 1 (Engine.pending engine)
+
+let test_network_delivery () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:3 ~latency_mean:2.0 () in
+  let delivered = ref false in
+  Network.send net ~src:0 ~dst:1 (fun () -> delivered := true);
+  Engine.run engine;
+  check_bool "delivered" true !delivered
+
+let test_network_crash_blocks_delivery () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:3 () in
+  Network.crash net 1;
+  let delivered = ref false in
+  Network.send net ~src:0 ~dst:1 (fun () -> delivered := true);
+  Engine.run engine;
+  check_bool "not delivered to crashed site" false !delivered;
+  check_bool "site reported down" false (Network.site_up net 1)
+
+let test_network_recover () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:2 () in
+  Network.crash net 1;
+  Network.recover net 1;
+  check_bool "up again" true (Network.site_up net 1);
+  Alcotest.(check (list int)) "all up" [ 0; 1 ] (Network.up_sites net)
+
+let test_network_partition_blocks_cross_traffic () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:4 () in
+  Network.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  let cross = ref false and intra = ref false in
+  Network.send net ~src:0 ~dst:2 (fun () -> cross := true);
+  Network.send net ~src:0 ~dst:1 (fun () -> intra := true);
+  Engine.run engine;
+  check_bool "cross-partition dropped" false !cross;
+  check_bool "intra-partition delivered" true !intra;
+  check_bool "reachable respects partition" false (Network.reachable net 0 2);
+  Network.heal net;
+  check_bool "healed" true (Network.reachable net 0 2)
+
+let test_network_drop_probability () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:2 ~drop_probability:1.0 () in
+  let delivered = ref false in
+  Network.send net ~src:0 ~dst:1 (fun () -> delivered := true);
+  Engine.run engine;
+  check_bool "always dropped" false !delivered
+
+let test_self_send_never_drops () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:2 ~drop_probability:1.0 () in
+  let delivered = ref false in
+  Network.send net ~src:0 ~dst:0 (fun () -> delivered := true);
+  Engine.run engine;
+  check_bool "self delivery" true !delivered
+
+let test_rpc_roundtrip () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:2 () in
+  let result = ref None in
+  Rpc.call net ~src:0 ~dst:1 ~timeout:100.0
+    ~handler:(fun () -> 42)
+    ~reply:(fun r -> result := r);
+  Engine.run engine;
+  Alcotest.(check (option int)) "roundtrip" (Some 42) !result
+
+let test_rpc_timeout_on_crash () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:2 () in
+  Network.crash net 1;
+  let result = ref (Some 0) in
+  Rpc.call net ~src:0 ~dst:1 ~timeout:30.0
+    ~handler:(fun () -> 42)
+    ~reply:(fun r -> result := r);
+  Engine.run engine;
+  Alcotest.(check (option int)) "timeout" None !result
+
+let test_rpc_reply_exactly_once () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:2 () in
+  let count = ref 0 in
+  Rpc.call net ~src:0 ~dst:1 ~timeout:1000.0
+    ~handler:(fun () -> ())
+    ~reply:(fun _ -> incr count);
+  Engine.run engine;
+  check_int "exactly once" 1 !count
+
+let test_multicast_gathers_all_up () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:4 () in
+  Network.crash net 3;
+  let gathered = ref [] in
+  Rpc.multicast net ~src:0 ~dsts:[ 0; 1; 2; 3 ] ~timeout:30.0
+    ~handler:(fun site -> site * 10)
+    ~gather:(fun replies -> gathered := replies);
+  Engine.run engine;
+  check_int "three replies" 3 (List.length !gathered);
+  check_bool "crashed missing" true (not (List.mem_assoc 3 !gathered))
+
+let test_multicast_empty () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:2 () in
+  let called = ref false in
+  Rpc.multicast net ~src:0 ~dsts:[] ~timeout:10.0
+    ~handler:(fun _ -> ())
+    ~gather:(fun replies -> called := replies = []);
+  Engine.run engine;
+  check_bool "gather called with empty" true !called
+
+let test_fault_crash_recover_cycles () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:1 () in
+  Fault.crash_recover net ~site:0 ~mtbf:10.0 ~mttr:5.0;
+  Engine.run ~until:200.0 engine;
+  (* The process keeps scheduling events forever; reaching the horizon with
+     pending events proves it cycles. *)
+  check_bool "cycle continues" true (Engine.pending engine > 0)
+
+let test_periodic_partition_heals () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:2 () in
+  Fault.periodic_partition net ~groups:[ [ 0 ]; [ 1 ] ] ~every:50.0 ~duration:10.0;
+  let during = ref true and after = ref false in
+  Engine.schedule engine ~delay:55.0 (fun () -> during := Network.reachable net 0 1);
+  Engine.schedule engine ~delay:70.0 (fun () -> after := Network.reachable net 0 1);
+  Engine.run ~until:80.0 engine;
+  check_bool "partitioned during window" false !during;
+  check_bool "healed after window" true !after
+
+let suites =
+  [
+    ( "simulator",
+      [
+        Alcotest.test_case "events ordered by time" `Quick test_engine_orders_by_time;
+        Alcotest.test_case "FIFO at equal times" `Quick test_engine_fifo_at_same_time;
+        Alcotest.test_case "clock advances" `Quick test_engine_now_advances;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+        Alcotest.test_case "horizon" `Quick test_engine_until_horizon;
+        Alcotest.test_case "network delivery" `Quick test_network_delivery;
+        Alcotest.test_case "crash blocks delivery" `Quick test_network_crash_blocks_delivery;
+        Alcotest.test_case "recovery" `Quick test_network_recover;
+        Alcotest.test_case "partition semantics" `Quick test_network_partition_blocks_cross_traffic;
+        Alcotest.test_case "message loss" `Quick test_network_drop_probability;
+        Alcotest.test_case "self-send reliable" `Quick test_self_send_never_drops;
+        Alcotest.test_case "rpc roundtrip" `Quick test_rpc_roundtrip;
+        Alcotest.test_case "rpc timeout" `Quick test_rpc_timeout_on_crash;
+        Alcotest.test_case "rpc replies exactly once" `Quick test_rpc_reply_exactly_once;
+        Alcotest.test_case "multicast gathers" `Quick test_multicast_gathers_all_up;
+        Alcotest.test_case "multicast empty" `Quick test_multicast_empty;
+        Alcotest.test_case "crash/recover cycles" `Quick test_fault_crash_recover_cycles;
+        Alcotest.test_case "periodic partition" `Quick test_periodic_partition_heals;
+      ] );
+  ]

@@ -1,0 +1,93 @@
+open Atomrep_history
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let test_equal_reflexive () =
+  let values =
+    [
+      Value.unit;
+      Value.bool true;
+      Value.int 42;
+      Value.str "x";
+      Value.list [ Value.int 1; Value.str "a" ];
+      Value.pair (Value.int 1) (Value.bool false);
+    ]
+  in
+  List.iter (fun v -> check_bool "v = v" true (Value.equal v v)) values
+
+let test_compare_distinct_constructors () =
+  (* Unit < Bool < Int < Str < List < Pair by construction. *)
+  let ordered =
+    [
+      Value.unit;
+      Value.bool false;
+      Value.int 0;
+      Value.str "";
+      Value.list [];
+      Value.pair Value.unit Value.unit;
+    ]
+  in
+  let rec pairs = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+      check_bool "a < b" true (Value.compare a b < 0);
+      check_bool "b > a" true (Value.compare b a > 0);
+      pairs rest
+  in
+  pairs ordered
+
+let test_compare_ints () =
+  check_bool "1 < 2" true (Value.compare (Value.int 1) (Value.int 2) < 0);
+  check_bool "2 = 2" true (Value.compare (Value.int 2) (Value.int 2) = 0)
+
+let test_compare_lists_prefix () =
+  let shorter = Value.list [ Value.int 1 ] in
+  let longer = Value.list [ Value.int 1; Value.int 2 ] in
+  check_bool "prefix is smaller" true (Value.compare shorter longer < 0)
+
+let test_compare_lists_lexicographic () =
+  let a = Value.list [ Value.int 1; Value.int 9 ] in
+  let b = Value.list [ Value.int 2; Value.int 0 ] in
+  check_bool "lexicographic" true (Value.compare a b < 0)
+
+let test_pair_ordering () =
+  let a = Value.pair (Value.int 1) (Value.int 9) in
+  let b = Value.pair (Value.int 1) (Value.int 10) in
+  check_bool "second component breaks ties" true (Value.compare a b < 0)
+
+let test_to_string () =
+  check_string "unit" "()" (Value.to_string Value.unit);
+  check_string "int" "5" (Value.to_string (Value.int 5));
+  check_string "str" "x" (Value.to_string (Value.str "x"));
+  check_string "list" "[1; 2]" (Value.to_string (Value.list [ Value.int 1; Value.int 2 ]));
+  check_string "pair" "(1, x)" (Value.to_string (Value.pair (Value.int 1) (Value.str "x")))
+
+let test_getters () =
+  check_bool "get_bool" true (Value.get_bool (Value.bool true));
+  check_int "get_int" 7 (Value.get_int (Value.int 7));
+  check_int "get_list length" 2
+    (List.length (Value.get_list (Value.list [ Value.unit; Value.unit ])))
+
+let test_getters_raise () =
+  Alcotest.check_raises "get_int of str" (Invalid_argument "Value.get_int: x") (fun () ->
+      ignore (Value.get_int (Value.str "x")));
+  Alcotest.check_raises "get_bool of int" (Invalid_argument "Value.get_bool: 1")
+    (fun () -> ignore (Value.get_bool (Value.int 1)))
+
+let suites =
+  [
+    ( "value",
+      [
+        Alcotest.test_case "equal is reflexive" `Quick test_equal_reflexive;
+        Alcotest.test_case "constructor ordering" `Quick test_compare_distinct_constructors;
+        Alcotest.test_case "int ordering" `Quick test_compare_ints;
+        Alcotest.test_case "list prefix ordering" `Quick test_compare_lists_prefix;
+        Alcotest.test_case "list lexicographic ordering" `Quick test_compare_lists_lexicographic;
+        Alcotest.test_case "pair ordering" `Quick test_pair_ordering;
+        Alcotest.test_case "printing" `Quick test_to_string;
+        Alcotest.test_case "getters" `Quick test_getters;
+        Alcotest.test_case "getters raise on mismatch" `Quick test_getters_raise;
+      ] );
+  ]
