@@ -5,6 +5,7 @@
                                              and the Bechamel micro-benchmarks
      dune exec bench/main.exe -- e3 e5     — run selected experiments only
      dune exec bench/main.exe -- micro     — micro-benchmarks only
+     dune exec bench/main.exe -- chaos     — timed chaos campaign sweep
 
    Each experiment regenerates one of the paper's figures or worked
    examples (see DESIGN.md's experiment index and EXPERIMENTS.md for the
@@ -135,10 +136,33 @@ let run_micro () =
         results)
     (micro_tests ())
 
+(* Chaos campaign entry: a wall-clock-timed sweep over every scheme and
+   fault profile — the throughput number to watch when optimizing the
+   simulator or the atomicity checkers. *)
+let run_chaos () =
+  let module Campaign = Atomrep_chaos.Campaign in
+  print_newline ();
+  print_endline "Chaos campaign (3 schemes x all profiles x 5 seeds)";
+  print_endline "===================================================";
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Campaign.run_campaign
+      ~schemes:
+        Atomrep_replica.Replicated.[ Static; Hybrid; Locking ]
+      ~profiles:Campaign.builtin_profiles ~seeds:5 ()
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Format.printf "%a" Campaign.pp_report report;
+  Printf.printf "campaign wall time: %.2f s (%.1f runs/s)\n" elapsed
+    (float_of_int report.Campaign.total_runs /. elapsed)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = args = [ "micro" ] in
+  let chaos_only = args = [ "chaos" ] in
   let micro = List.mem "micro" args || args = [] || List.mem "all" args in
-  let ids = List.filter (fun a -> a <> "micro" && a <> "all") args in
-  if not micro_only then run_experiments ids;
-  if micro then run_micro ()
+  let chaos = List.mem "chaos" args in
+  let ids = List.filter (fun a -> a <> "micro" && a <> "all" && a <> "chaos") args in
+  if (not micro_only) && not chaos_only then run_experiments ids;
+  if micro then run_micro ();
+  if chaos then run_chaos ()

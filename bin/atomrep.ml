@@ -4,6 +4,7 @@
      analyze     — dependency relations of a data type
      quorums     — enumerate valid quorum assignments and availabilities
      simulate    — run the replicated-object simulator
+     chaos       — fault-injection campaign over seeds x schemes x profiles
      experiment  — run one of the paper-reproduction experiments
      types       — list the built-in data types *)
 
@@ -168,6 +169,10 @@ let simulate_cmd =
       Printf.printf "mean txn latency: %.1f ms over %.1f ms simulated\n"
         (Summary.mean m.Runtime.txn_latency)
         m.Runtime.duration;
+      Printf.printf
+        "messages: sent=%d dropped=%d duplicated=%d dead-dest=%d rpc-timeouts=%d\n"
+        m.Runtime.msgs_sent m.Runtime.msgs_dropped m.Runtime.msgs_duplicated
+        m.Runtime.msgs_dead_dest m.Runtime.rpc_timeouts;
       (match Runtime.check_atomicity cfg outcome with
        | [] -> print_endline "atomicity check: OK"
        | failures ->
@@ -194,6 +199,121 @@ let simulate_cmd =
   let doc = "Run the replicated-queue simulator" in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg)
+
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let module Campaign = Atomrep_chaos.Campaign in
+  let parse_schemes names =
+    let parse = function
+      | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
+      | "static" -> Ok Atomrep_replica.Replicated.Static
+      | "locking" -> Ok Atomrep_replica.Replicated.Locking
+      | other -> Error (Printf.sprintf "unknown scheme %S (hybrid|static|locking)" other)
+    in
+    List.fold_right
+      (fun name acc ->
+        match acc, parse name with
+        | Error e, _ -> Error e
+        | _, Error e -> Error e
+        | Ok rest, Ok s -> Ok (s :: rest))
+      (String.split_on_char ',' names)
+      (Ok [])
+  in
+  let parse_profiles names =
+    if String.equal names "all" then Ok Campaign.builtin_profiles
+    else
+      List.fold_right
+        (fun name acc ->
+          match acc, Campaign.find_profile name with
+          | Error e, _ -> Error e
+          | _, None ->
+            Error
+              (Printf.sprintf "unknown profile %S; known: all, %s" name
+                 (String.concat ", " Campaign.profile_names))
+          | Ok rest, Some p -> Ok (p :: rest))
+        (String.split_on_char ',' names)
+        (Ok [])
+  in
+  let run schemes profiles seeds txns intensity repro seed =
+    match parse_schemes schemes, parse_profiles profiles with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+    | Ok schemes, Ok profiles ->
+      if repro then begin
+        (* Replay one reproducer tuple per scheme/profile given. *)
+        let failed = ref false in
+        List.iter
+          (fun scheme ->
+            List.iter
+              (fun profile ->
+                let outcome, failures =
+                  Campaign.reproduce ~scheme ~profile ~seed ~n_txns:txns ~intensity ()
+                in
+                Printf.printf "%s/%s seed=%d txns=%d intensity=%g: committed=%d\n"
+                  (Atomrep_replica.Replicated.scheme_name scheme)
+                  profile.Campaign.profile_name seed txns intensity
+                  outcome.Atomrep_replica.Runtime.metrics
+                    .Atomrep_replica.Runtime.committed;
+                match failures with
+                | [] -> print_endline "atomicity check: OK"
+                | fs ->
+                  failed := true;
+                  List.iter
+                    (fun (o, f) -> Printf.printf "ATOMICITY VIOLATION %s: %s\n" o f)
+                    fs)
+              profiles)
+          schemes;
+        if !failed then 1 else 0
+      end
+      else begin
+        let report =
+          Campaign.run_campaign ~n_txns:txns ~intensity ~schemes ~profiles ~seeds ()
+        in
+        Format.printf "%a" Campaign.pp_report report;
+        if report.Campaign.violations = [] then 0 else 1
+      end
+  in
+  let schemes_arg =
+    Arg.(
+      value
+      & opt string "static,hybrid,locking"
+      & info [ "schemes" ] ~docv:"SCHEMES" ~doc:"Comma-separated schemes to sweep.")
+  in
+  let profiles_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "profiles" ] ~docv:"PROFILES"
+          ~doc:"Comma-separated fault profiles, or `all'.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N" ~doc:"Sweep seeds 0..N-1 per scheme x profile.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 30 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per run.")
+  in
+  let intensity_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "intensity" ] ~docv:"K" ~doc:"Fault intensity scale (1.0 = profile default).")
+  in
+  let repro_arg =
+    Arg.(
+      value & flag
+      & info [ "repro" ]
+          ~doc:"Replay a single reproducer tuple (use --seed) instead of sweeping.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for --repro.")
+  in
+  let doc = "Run a fault-injection campaign and check atomicity after every run" in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg $ intensity_arg
+      $ repro_arg $ seed_arg)
 
 (* --- experiment --- *)
 
@@ -356,6 +476,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            analyze_cmd; quorums_cmd; simulate_cmd; experiment_cmd; compare_cmd;
-            witness_cmd; types_cmd;
+            analyze_cmd; quorums_cmd; simulate_cmd; chaos_cmd; experiment_cmd;
+            compare_cmd; witness_cmd; types_cmd;
           ]))

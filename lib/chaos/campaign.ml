@@ -1,0 +1,197 @@
+open Atomrep_replica
+
+type profile = { profile_name : string; nemesis : Nemesis.t }
+
+let builtin_profiles =
+  [
+    {
+      profile_name = "crashes";
+      nemesis = Nemesis.Crash_storm { mtbf = 400.0; mttr = 120.0; amnesia = false };
+    };
+    {
+      profile_name = "amnesia";
+      nemesis = Nemesis.Crash_storm { mtbf = 500.0; mttr = 120.0; amnesia = true };
+    };
+    {
+      profile_name = "partitions";
+      nemesis = Nemesis.Rolling_partition { every = 300.0; duration = 120.0 };
+    };
+    {
+      profile_name = "flaky";
+      nemesis =
+        Nemesis.Flaky_links { drop = 0.05; dup = 0.10; spike = 0.05; one_way = true };
+    };
+    { profile_name = "skew"; nemesis = Nemesis.Skew { every = 150.0; max_skew = 5 } };
+    {
+      profile_name = "flapping";
+      nemesis = Nemesis.Flapping { every = 250.0; down_for = 40.0 };
+    };
+    {
+      profile_name = "storm";
+      nemesis =
+        Nemesis.Compose
+          [
+            Nemesis.Crash_storm { mtbf = 800.0; mttr = 100.0; amnesia = true };
+            Nemesis.Rolling_partition { every = 500.0; duration = 100.0 };
+            Nemesis.Flaky_links { drop = 0.02; dup = 0.05; spike = 0.02; one_way = false };
+            Nemesis.Skew { every = 300.0; max_skew = 3 };
+          ];
+    };
+  ]
+
+let find_profile name =
+  List.find_opt (fun p -> String.equal p.profile_name name) builtin_profiles
+
+let profile_names = List.map (fun p -> p.profile_name) builtin_profiles
+
+type violation = {
+  v_scheme : Replicated.scheme;
+  v_profile : profile;
+  v_seed : int;
+  v_n_txns : int;
+  v_intensity : float;
+  v_failures : (string * string) list;
+}
+
+type cell = {
+  c_scheme : Replicated.scheme;
+  c_profile : string;
+  c_runs : int;
+  c_committed : int;
+  c_aborted : int;
+  c_violations : int;
+}
+
+type report = {
+  cells : cell list;
+  violations : violation list; (* shrunk *)
+  total_runs : int;
+}
+
+let default_base = { Runtime.default_config with horizon = 40_000.0 }
+
+let configure ~base ~scheme ~seed ~n_txns ~intensity profile =
+  {
+    base with
+    Runtime.scheme;
+    seed;
+    n_txns;
+    install_faults =
+      (fun net -> Nemesis.install (Nemesis.scale intensity profile.nemesis) net);
+  }
+
+let check_run cfg =
+  let outcome = Runtime.run cfg in
+  let failures =
+    Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
+  in
+  (outcome, failures)
+
+(* Shrink a violation into the smallest reproducer the bisection finds:
+   first the transaction count (binary search down from the failing count,
+   keeping the invariant that the upper bound still fails), then the fault
+   intensity by repeated halving. Neither dimension is monotone, so the
+   result is a local minimum — which is all a reproducer needs. *)
+let shrink ~base v =
+  let fails n_txns intensity =
+    let cfg =
+      configure ~base ~scheme:v.v_scheme ~seed:v.v_seed ~n_txns ~intensity
+        v.v_profile
+    in
+    snd (check_run cfg) <> []
+  in
+  let rec bisect_txns lo hi =
+    (* invariant: [hi] fails *)
+    if hi - lo <= 1 then hi
+    else begin
+      let mid = (lo + hi) / 2 in
+      if fails mid v.v_intensity then bisect_txns lo mid else bisect_txns mid hi
+    end
+  in
+  let n_txns = bisect_txns 0 v.v_n_txns in
+  let rec soften intensity =
+    let candidate = intensity /. 2.0 in
+    if candidate >= 0.05 && fails n_txns candidate then soften candidate
+    else intensity
+  in
+  let intensity = soften v.v_intensity in
+  let cfg =
+    configure ~base ~scheme:v.v_scheme ~seed:v.v_seed ~n_txns ~intensity v.v_profile
+  in
+  { v with v_n_txns = n_txns; v_intensity = intensity; v_failures = snd (check_run cfg) }
+
+let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0) ~schemes
+    ~profiles ~seeds () =
+  let cells = ref [] in
+  let violations = ref [] in
+  let total = ref 0 in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun profile ->
+          let committed = ref 0 and aborted = ref 0 and bad = ref 0 in
+          for seed = 0 to seeds - 1 do
+            incr total;
+            let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity profile in
+            let outcome, failures = check_run cfg in
+            committed := !committed + outcome.Runtime.metrics.Runtime.committed;
+            aborted := !aborted + outcome.Runtime.metrics.Runtime.aborted;
+            if failures <> [] then begin
+              incr bad;
+              let v =
+                {
+                  v_scheme = scheme;
+                  v_profile = profile;
+                  v_seed = seed;
+                  v_n_txns = n_txns;
+                  v_intensity = intensity;
+                  v_failures = failures;
+                }
+              in
+              violations := shrink ~base v :: !violations
+            end
+          done;
+          cells :=
+            {
+              c_scheme = scheme;
+              c_profile = profile.profile_name;
+              c_runs = seeds;
+              c_committed = !committed;
+              c_aborted = !aborted;
+              c_violations = !bad;
+            }
+            :: !cells)
+        profiles)
+    schemes;
+  { cells = List.rev !cells; violations = List.rev !violations; total_runs = !total }
+
+let reproducer_line v =
+  Printf.sprintf
+    "atomrep chaos --repro --schemes %s --profiles %s --seed %d --txns %d \
+     --intensity %g"
+    (Replicated.scheme_name v.v_scheme)
+    v.v_profile.profile_name v.v_seed v.v_n_txns v.v_intensity
+
+let reproduce ?(base = default_base) ~scheme ~profile ~seed ~n_txns ~intensity () =
+  let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity profile in
+  check_run cfg
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<v 2>VIOLATION %s/%s seed=%d txns=%d intensity=%g@,repro: %s"
+    (Replicated.scheme_name v.v_scheme)
+    v.v_profile.profile_name v.v_seed v.v_n_txns v.v_intensity (reproducer_line v);
+  List.iter (fun (obj, why) -> Format.fprintf ppf "@,%s: %s" obj why) v.v_failures;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-9s %-12s %6s %10s %8s %10s@." "scheme" "profile" "runs"
+    "committed" "aborted" "violations";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-9s %-12s %6d %10d %8d %10d@."
+        (Replicated.scheme_name c.c_scheme)
+        c.c_profile c.c_runs c.c_committed c.c_aborted c.c_violations)
+    r.cells;
+  Format.fprintf ppf "%d runs, %d violation(s)@." r.total_runs
+    (List.length r.violations);
+  List.iter (fun v -> Format.fprintf ppf "%a@." pp_violation v) r.violations

@@ -1,0 +1,99 @@
+(** Chaos campaigns: sweep seeds x schemes x fault profiles, machine-check
+    the local-atomicity oracles after every run, and turn any violation
+    into a deterministic, shrunk reproducer.
+
+    Every run is a fresh {!Atomrep_replica.Runtime.run} whose
+    [install_faults] installs a {!Nemesis} schedule; afterwards
+    {!Atomrep_replica.Runtime.check_atomicity} (the scheme's local
+    atomicity property) and {!Atomrep_replica.Runtime.check_common_order}
+    (one system-wide serialization order) judge the histories. Determinism
+    of the simulator makes a (scheme, profile, seed, n_txns, intensity)
+    tuple a self-contained reproducer, and bisection shrinks it before it
+    is reported. *)
+
+open Atomrep_replica
+
+type profile = { profile_name : string; nemesis : Nemesis.t }
+
+val builtin_profiles : profile list
+(** crashes, amnesia, partitions, flaky, skew, flapping, and the composed
+    storm. *)
+
+val find_profile : string -> profile option
+val profile_names : string list
+
+type violation = {
+  v_scheme : Replicated.scheme;
+  v_profile : profile;
+  v_seed : int;
+  v_n_txns : int;
+  v_intensity : float;
+  v_failures : (string * string) list; (** (object, failure description) *)
+}
+
+type cell = {
+  c_scheme : Replicated.scheme;
+  c_profile : string;
+  c_runs : int;
+  c_committed : int; (** summed over the cell's runs *)
+  c_aborted : int;
+  c_violations : int;
+}
+
+type report = {
+  cells : cell list;
+  violations : violation list; (** already shrunk *)
+  total_runs : int;
+}
+
+val default_base : Runtime.config
+(** The campaign's base configuration: the default replicated queue with a
+    horizon sized for chaos runs. Override [base] to campaign against a
+    different object set (e.g. a deliberately weakened relation). *)
+
+val configure :
+  base:Runtime.config ->
+  scheme:Replicated.scheme ->
+  seed:int ->
+  n_txns:int ->
+  intensity:float ->
+  profile ->
+  Runtime.config
+(** The exact configuration a campaign run uses — exposed so tests can
+    replay a single cell. *)
+
+val check_run : Runtime.config -> Runtime.outcome * (string * string) list
+(** Run once and apply both oracles; an empty failure list means atomic. *)
+
+val shrink : base:Runtime.config -> violation -> violation
+(** Bisect the transaction count down and then halve the fault intensity
+    while the violation persists; returns the smallest reproducer found
+    (a local minimum — neither dimension is monotone). *)
+
+val run_campaign :
+  ?base:Runtime.config ->
+  ?n_txns:int ->
+  ?intensity:float ->
+  schemes:Replicated.scheme list ->
+  profiles:profile list ->
+  seeds:int ->
+  unit ->
+  report
+(** Sweep seeds [0 .. seeds-1] for every scheme x profile pair. *)
+
+val reproduce :
+  ?base:Runtime.config ->
+  scheme:Replicated.scheme ->
+  profile:profile ->
+  seed:int ->
+  n_txns:int ->
+  intensity:float ->
+  unit ->
+  Runtime.outcome * (string * string) list
+(** Replay one reproducer tuple. *)
+
+val reproducer_line : violation -> string
+(** A self-contained [atomrep chaos --repro ...] command line. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,70 @@
+open Atomrep_sim
+
+type t =
+  | Crash_storm of { mtbf : float; mttr : float; amnesia : bool }
+  | Rolling_partition of { every : float; duration : float }
+  | Flaky_links of { drop : float; dup : float; spike : float; one_way : bool }
+  | Skew of { every : float; max_skew : int }
+  | Flapping of { every : float; down_for : float }
+  | Compose of t list
+
+let spike_factor = 20.0
+
+let rec scale k = function
+  | Crash_storm c ->
+    Crash_storm { c with mtbf = c.mtbf /. k; mttr = c.mttr *. k }
+  | Rolling_partition r ->
+    Rolling_partition { every = r.every /. k; duration = r.duration *. k }
+  | Flaky_links f ->
+    Flaky_links { f with drop = f.drop *. k; dup = f.dup *. k; spike = f.spike *. k }
+  | Skew s ->
+    Skew { s with max_skew = int_of_float (Float.round (float_of_int s.max_skew *. k)) }
+  | Flapping f -> Flapping { every = f.every /. k; down_for = f.down_for *. k }
+  | Compose l -> Compose (List.map (scale k) l)
+
+let rec install t net =
+  match t with
+  | Crash_storm { mtbf; mttr; amnesia } ->
+    if amnesia then Fault.crash_amnesia_recover_all net ~mtbf ~mttr
+    else Fault.crash_recover_all net ~mtbf ~mttr
+  | Rolling_partition { every; duration } -> Fault.rolling_partition net ~every ~duration
+  | Flaky_links { drop; dup; spike; one_way } ->
+    Network.set_drop_probability net drop;
+    Network.set_duplication net dup;
+    Network.set_delay_spike net ~probability:spike ~factor:spike_factor;
+    if one_way then Fault.rotating_one_way net ~every:200.0 ~duration:80.0
+  | Skew { every; max_skew } ->
+    for site = 0 to Network.n_sites net - 1 do
+      Fault.clock_skew net ~site ~every ~max_skew
+    done
+  | Flapping { every; down_for } ->
+    (* Stagger the sites' cycles: simultaneous flapping of every site only
+       measures unavailability; staggered flapping races recovery against
+       quorum probes. *)
+    let n = Network.n_sites net in
+    for site = 0 to n - 1 do
+      Fault.flap net ~site
+        ~start:(every *. (1.0 +. (float_of_int site /. float_of_int n)))
+        ~every ~down_for
+    done
+  | Compose l -> List.iter (fun nem -> install nem net) l
+
+let rec pp ppf = function
+  | Crash_storm { mtbf; mttr; amnesia } ->
+    Format.fprintf ppf "crash-storm(mtbf=%g,mttr=%g%s)" mtbf mttr
+      (if amnesia then ",amnesia" else "")
+  | Rolling_partition { every; duration } ->
+    Format.fprintf ppf "rolling-partition(every=%g,for=%g)" every duration
+  | Flaky_links { drop; dup; spike; one_way } ->
+    Format.fprintf ppf "flaky-links(drop=%g,dup=%g,spike=%g%s)" drop dup spike
+      (if one_way then ",one-way" else "")
+  | Skew { every; max_skew } ->
+    Format.fprintf ppf "skew(every=%g,max=%d)" every max_skew
+  | Flapping { every; down_for } ->
+    Format.fprintf ppf "flapping(every=%g,down=%g)" every down_for
+  | Compose l ->
+    Format.fprintf ppf "compose[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)
+      l
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,36 @@
+(** Composable nemesis DSL: declarative fault schedules for chaos
+    campaigns.
+
+    A nemesis is a pure description of a fault schedule; {!install} turns
+    it into event-queue processes on a simulated network (it is designed to
+    be passed as a {!Atomrep_replica.Runtime.config}'s [install_faults]).
+    Because every schedule draws from the simulation engine's seeded RNG,
+    a (seed, nemesis, workload) triple replays deterministically — the
+    foundation for the campaign's self-contained reproducers. *)
+
+type t =
+  | Crash_storm of { mtbf : float; mttr : float; amnesia : bool }
+      (** every site crash/recovers independently (exponential mtbf/mttr);
+          with [amnesia], crashes lose volatile state and recoveries run
+          the rejoin-resync protocol *)
+  | Rolling_partition of { every : float; duration : float }
+      (** periodically isolate one site, rotating the victim *)
+  | Flaky_links of { drop : float; dup : float; spike : float; one_way : bool }
+      (** message loss / duplication / latency-spike (reordering)
+          probabilities; with [one_way], rotating asymmetric link outages *)
+  | Skew of { every : float; max_skew : int }
+      (** bounded clock skew injected into every site's Lamport clock *)
+  | Flapping of { every : float; down_for : float }
+      (** rapid staggered up/down cycling of every site *)
+  | Compose of t list  (** install all of them *)
+
+val scale : float -> t -> t
+(** [scale k t] adjusts the fault intensity: [k = 1.0] is [t] itself,
+    smaller [k] makes every fault rarer, shorter, or less probable.
+    Used by the campaign shrinker to find the gentlest still-failing
+    schedule. *)
+
+val install : t -> Atomrep_sim.Network.t -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

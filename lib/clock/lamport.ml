@@ -22,4 +22,6 @@ let tick t =
 let witness t (ts : Timestamp.t) =
   if ts.counter > t.counter then t.counter <- ts.counter
 
+let skew t amount = if amount > 0 then t.counter <- t.counter + amount
+
 let peek t = { Timestamp.counter = t.counter; site = t.site }

@@ -29,5 +29,12 @@ val witness : t -> Timestamp.t -> unit
     becomes at least the observed counter. Subsequent {!tick}s then exceed
     every witnessed timestamp. *)
 
+val skew : t -> int -> unit
+(** Advance the local counter by the given (non-negative) amount without
+    producing a timestamp — fault injection for bounded clock skew: the
+    site's subsequent timestamps run ahead of real message order, which the
+    timestamp-based schemes must tolerate (correctness never depends on
+    clock synchrony, only liveness and fairness do). *)
+
 val peek : t -> Timestamp.t
 (** Current time without advancing. *)

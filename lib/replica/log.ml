@@ -74,6 +74,15 @@ let gc t =
       | Commit_record _ | Abort_record _ -> true)
     t
 
+let is_committed t action = Option.is_some (commit_ts t action)
+
+let stable t =
+  S.filter
+    (function
+      | Entry e -> is_committed t e.action
+      | Commit_record _ | Abort_record _ -> true)
+    t
+
 let pp ppf t =
   let pp_record ppf = function
     | Entry e ->

@@ -45,3 +45,10 @@ val gc : t -> t
 (** Garbage-collect aborted actions: drop their operation entries while
     keeping the abort records as tombstones — merging with a stale replica
     that still holds such an entry must not resurrect it as tentative. *)
+
+val is_committed : t -> Action.t -> bool
+
+val stable : t -> t
+(** The stable-storage projection: entries of committed actions plus all
+    commit and abort records. Tentative (undecided) entries are the
+    volatile part a crash-with-amnesia loses. *)

@@ -37,7 +37,20 @@ type t = {
   rpc_timeout : float;
 }
 
-let create ~name ~spec ~scheme ~relation ~assignment ~net =
+let create ~name ~spec ~scheme ~relation ~assignment ~net ?(rpc_timeout = 50.0) () =
+  let repos =
+    Array.init (Network.n_sites net) (fun site -> Repository.create ~site)
+  in
+  (* Crash-with-amnesia loses a repository's volatile state; the rejoin
+     protocol restores what reachable peers still hold before the site
+     serves again (state transfer is modeled as instantaneous at
+     recovery). *)
+  Network.on_amnesia net (fun site -> Repository.amnesia repos.(site));
+  Network.on_rejoin net (fun site ->
+      for peer = 0 to Network.n_sites net - 1 do
+        if peer <> site && Network.reachable net site peer then
+          Repository.ingest repos.(site) (Repository.read repos.(peer))
+      done);
   {
     name;
     spec;
@@ -45,14 +58,15 @@ let create ~name ~spec ~scheme ~relation ~assignment ~net =
     table = Conflict_table.of_relation relation;
     assignment;
     net;
-    repos = Array.init (Network.n_sites net) (fun site -> Repository.create ~site);
+    repos;
     own = Hashtbl.create 64;
     observer = [];
-    rpc_timeout = 50.0;
+    rpc_timeout;
   }
 
 let name t = t.name
 let assignment t = t.assignment
+let rpc_timeout t = t.rpc_timeout
 let history t = List.rev t.observer
 let observe t entry = t.observer <- entry :: t.observer
 
@@ -287,10 +301,20 @@ let execute t ~txn ~clock inv ~k =
               end))
 
 let broadcast_status t record ~reachable_from =
+  (* A commit record carries the action's own entries with it: commit is
+     the moment entries become stable, so re-pushing them repairs any
+     repository whose tentative copy was lost to a crash-with-amnesia
+     (appends are idempotent — duplicates are harmless). *)
+  let records =
+    match record with
+    | Log.Commit_record (action, _) ->
+      List.map (fun e -> Log.Entry e) (own_entries t action) @ [ record ]
+    | Log.Entry _ | Log.Abort_record _ -> [ record ]
+  in
   List.iter
     (fun site ->
       Network.send t.net ~src:reachable_from ~dst:site (fun () ->
-          Repository.append t.repos.(site) [ record ]))
+          Repository.append t.repos.(site) records))
     (all_sites t)
 
 let prepared_sites t ~from ~timeout ~k =

@@ -55,10 +55,19 @@ val create :
   relation:Relation.t ->
   assignment:Assignment.t ->
   net:Network.t ->
+  ?rpc_timeout:float ->
+  unit ->
   t
+(** [rpc_timeout] bounds every quorum RPC issued on the object's behalf
+    (default 50). Creation also registers the object's repositories with
+    the network's crash-with-amnesia and rejoin-resync hooks. *)
 
 val name : t -> string
 val assignment : t -> Assignment.t
+
+val rpc_timeout : t -> float
+(** The configured per-RPC timeout, shared by reads, writes, and the commit
+    protocol's prepare probes. *)
 
 val execute :
   t ->

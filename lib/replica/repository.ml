@@ -54,6 +54,10 @@ let ingest t peer_log =
   append t (Log.records peer_log);
   gc t
 
+let amnesia t =
+  t.locks <- [];
+  t.log <- Log.stable t.log
+
 let intentions t = t.locks
 
 let intend t i =

@@ -37,6 +37,12 @@ val ingest : t -> Log.t -> unit
 val gc : t -> unit
 (** Garbage-collect aborted entries ({!Log.gc}). *)
 
+val amnesia : t -> unit
+(** Crash-with-amnesia: drop the volatile state — the lock table and every
+    tentative (undecided) log entry — keeping the stable projection
+    ({!Log.stable}): committed entries and commit/abort records. Models a
+    repository whose log forces to stable storage only at commit. *)
+
 val intentions : t -> intention list
 (** Unresolved intentions held at this repository. *)
 

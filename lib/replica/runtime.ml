@@ -28,6 +28,9 @@ type config = {
   script : Rng.t -> int -> op_request list;
   max_retries : int;
   retry_delay : float;
+  retry_delay_cap : float;
+  rpc_timeout : float;
+  commit_quorum_retries : int;
   install_faults : Network.t -> unit;
   horizon : float;
   anti_entropy_every : float option;
@@ -68,6 +71,9 @@ let default_config =
         [ op ]);
     max_retries = 8;
     retry_delay = 25.0;
+    retry_delay_cap = 400.0;
+    rpc_timeout = 50.0;
+    commit_quorum_retries = 2;
     install_faults = (fun _ -> ());
     horizon = 1_000_000.0;
     anti_entropy_every = None;
@@ -83,6 +89,11 @@ type metrics = {
   ops_done : int;
   txn_latency : Summary.t;
   duration : float;
+  msgs_sent : int;
+  msgs_dropped : int;
+  msgs_duplicated : int;
+  msgs_dead_dest : int;
+  rpc_timeouts : int;
 }
 
 type outcome = {
@@ -115,6 +126,14 @@ let find_object st name =
   match List.assoc_opt name st.objects with
   | Some o -> o
   | None -> invalid_arg ("Runtime: unknown object " ^ name)
+
+(* Capped exponential backoff with jitter: attempt 0 waits around the base
+   delay, each further attempt doubles it up to the cap, and the uniform
+   jitter in [0.5, 1.5) keeps two mutually-refused operations from
+   retrying in lock-step. *)
+let backoff_delay cfg rng ~attempt =
+  let exp = cfg.retry_delay *. (2.0 ** float_of_int attempt) in
+  Float.min exp cfg.retry_delay_cap *. (0.5 +. Rng.float rng 1.0)
 
 (* A blocked operation consults the blocking transaction's coordinator when
    reachable; a finished transaction's status records are re-broadcast so
@@ -187,9 +206,9 @@ let run_txn st index ~arrival =
               st.counters.c_blocked <- st.counters.c_blocked + 1;
               try_resolve st ~home blocker (Replicated.name obj);
               if retries > 0 then begin
-                (* Jittered back-off so two mutually-refused operations do
-                   not retry in lock-step. *)
-                let delay = cfg.retry_delay *. (0.5 +. Rng.float rng 1.0) in
+                let delay =
+                  backoff_delay cfg rng ~attempt:(cfg.max_retries - retries)
+                in
                 Engine.schedule st.engine ~delay (fun () ->
                     attempt obj remaining rest invocation (retries - 1))
               end
@@ -216,9 +235,25 @@ let run_txn st index ~arrival =
                 txn.Txn.touched
             | name :: more ->
               let obj = find_object st name in
-              Replicated.prepared_sites obj ~from:home ~timeout:50.0 ~k:(fun sites ->
-                  if List.length sites >= Replicated.max_final obj then prepare more
-                  else finish_abort `Unavailable ("commit quorum: " ^ name))
+              (* Transient quorum loss (a flapping site, a healing
+                 partition) need not doom the transaction: re-probe a
+                 bounded number of times with backoff before aborting. *)
+              let rec probe tries_left =
+                Replicated.prepared_sites obj ~from:home
+                  ~timeout:(Replicated.rpc_timeout obj) ~k:(fun sites ->
+                    if List.length sites >= Replicated.max_final obj then
+                      prepare more
+                    else if tries_left > 0 then begin
+                      let delay =
+                        backoff_delay cfg rng
+                          ~attempt:(cfg.commit_quorum_retries - tries_left)
+                      in
+                      Engine.schedule st.engine ~delay (fun () ->
+                          probe (tries_left - 1))
+                    end
+                    else finish_abort `Unavailable ("commit quorum: " ^ name))
+              in
+              probe cfg.commit_quorum_retries
           in
           if txn.Txn.touched = [] then begin
             (* Empty transaction: commits vacuously. *)
@@ -288,7 +323,8 @@ let run cfg =
       (fun oc ->
         ( oc.obj_name,
           Replicated.create ~name:oc.obj_name ~spec:oc.obj_spec ~scheme:cfg.scheme
-            ~relation:oc.obj_relation ~assignment:oc.obj_assignment ~net ))
+            ~relation:oc.obj_relation ~assignment:oc.obj_assignment ~net
+            ~rpc_timeout:cfg.rpc_timeout () ))
       cfg.objects
   in
   let st =
@@ -312,6 +348,27 @@ let run cfg =
       cfg;
     }
   in
+  (* Fault schedules inject clock skew through the network so they need no
+     dependency on the clock layer; the runtime owns the clocks, so it
+     supplies the handler. *)
+  Network.set_skew_handler net (fun ~site ~amount ->
+      Lamport.skew st.clocks.(site) amount);
+  (* An amnesiac site may only rejoin once its resync set intersects every
+     final quorum that might hold a tentative entry it lost: for final
+     quorums of size f on n sites that takes n - f + 1 peers, maximized
+     over every operation of every object. *)
+  let resync_quorum =
+    List.fold_left
+      (fun acc oc ->
+        List.fold_left
+          (fun acc (_, s) ->
+            if s.Assignment.final > 0 then
+              max acc (cfg.n_sites - s.Assignment.final + 1)
+            else acc)
+          acc oc.obj_assignment.Assignment.ops)
+      0 cfg.objects
+  in
+  Network.set_resync_quorum net resync_quorum;
   cfg.install_faults net;
   (* Split gossip streams unconditionally so the workload's draws are the
      same whether or not anti-entropy runs. *)
@@ -329,6 +386,7 @@ let run cfg =
     run_txn st i ~arrival:!arrival
   done;
   Engine.run ~until:cfg.horizon engine;
+  let ns = Network.stats net in
   let metrics =
     {
       committed = st.counters.c_committed;
@@ -340,6 +398,11 @@ let run cfg =
       ops_done = st.counters.c_ops;
       txn_latency = st.latencies;
       duration = Engine.now engine;
+      msgs_sent = ns.Network.sent;
+      msgs_dropped = ns.Network.dropped;
+      msgs_duplicated = ns.Network.duplicated;
+      msgs_dead_dest = ns.Network.dead_dest;
+      rpc_timeouts = ns.Network.rpc_timeouts;
     }
   in
   let histories =

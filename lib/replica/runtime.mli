@@ -44,7 +44,13 @@ type config = {
   arrival_mean : float; (** mean transaction inter-arrival time *)
   script : Rng.t -> int -> op_request list; (** per-transaction operations *)
   max_retries : int;
-  retry_delay : float;
+  retry_delay : float; (** base delay for the capped exponential backoff *)
+  retry_delay_cap : float; (** ceiling on the exponential backoff delay *)
+  rpc_timeout : float;
+      (** per-RPC timeout for quorum reads, writes, and commit probes *)
+  commit_quorum_retries : int;
+      (** extra prepare-phase probes (with backoff) before a missing commit
+          quorum aborts the transaction *)
   install_faults : Network.t -> unit;
   horizon : float; (** simulated-time cutoff *)
   anti_entropy_every : float option;
@@ -69,6 +75,11 @@ type metrics = {
   ops_done : int;
   txn_latency : Summary.t;
   duration : float; (** simulated time consumed *)
+  msgs_sent : int;
+  msgs_dropped : int; (** lost to partitions, failed links, or loss *)
+  msgs_duplicated : int;
+  msgs_dead_dest : int; (** delivered while the destination was down *)
+  rpc_timeouts : int;
 }
 
 type outcome = {

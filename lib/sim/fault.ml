@@ -19,6 +19,26 @@ let crash_recover_all net ~mtbf ~mttr =
     crash_recover net ~site ~mtbf ~mttr
   done
 
+let crash_amnesia_recover net ~site ~mtbf ~mttr =
+  let engine = Network.engine net in
+  let rng = Engine.rng engine in
+  let rec up_phase () =
+    Engine.schedule engine ~delay:(Rng.exponential rng mtbf) (fun () ->
+        Network.crash_with_amnesia net site;
+        down_phase ())
+  and down_phase () =
+    Engine.schedule engine ~delay:(Rng.exponential rng mttr) (fun () ->
+        (* Rejoin is quorum-gated: without enough reachable peers to resync
+           from, the site stays down and tries again later. *)
+        if Network.recover_resync net site then up_phase () else down_phase ())
+  in
+  up_phase ()
+
+let crash_amnesia_recover_all net ~mtbf ~mttr =
+  for site = 0 to Network.n_sites net - 1 do
+    crash_amnesia_recover net ~site ~mtbf ~mttr
+  done
+
 let periodic_partition net ~groups ~every ~duration =
   let engine = Network.engine net in
   let rec cycle () =
@@ -27,5 +47,65 @@ let periodic_partition net ~groups ~every ~duration =
         Engine.schedule engine ~delay:duration (fun () ->
             Network.heal net;
             cycle ()))
+  in
+  cycle ()
+
+let rolling_partition net ~every ~duration =
+  let engine = Network.engine net in
+  let n = Network.n_sites net in
+  let all = List.init n Fun.id in
+  let rec cycle victim =
+    Engine.schedule engine ~delay:every (fun () ->
+        let rest = List.filter (fun s -> s <> victim) all in
+        Network.partition net [ [ victim ]; rest ];
+        Engine.schedule engine ~delay:duration (fun () ->
+            Network.heal net;
+            cycle ((victim + 1) mod n)))
+  in
+  if n > 1 then cycle 0
+
+let flap net ~site ~start ~every ~down_for =
+  let engine = Network.engine net in
+  let rec up_phase delay =
+    Engine.schedule engine ~delay (fun () ->
+        Network.crash net site;
+        Engine.schedule engine ~delay:down_for (fun () ->
+            Network.recover net site;
+            up_phase every))
+  in
+  up_phase start
+
+let one_way_outage net ~src ~dst ~every ~duration =
+  let engine = Network.engine net in
+  let rec cycle () =
+    Engine.schedule engine ~delay:every (fun () ->
+        Network.fail_link net ~src ~dst;
+        Engine.schedule engine ~delay:duration (fun () ->
+            Network.heal_link net ~src ~dst;
+            cycle ()))
+  in
+  cycle ()
+
+let rotating_one_way net ~every ~duration =
+  let engine = Network.engine net in
+  let n = Network.n_sites net in
+  let rec cycle k =
+    Engine.schedule engine ~delay:every (fun () ->
+        let src = k mod n and dst = (k + 1) mod n in
+        Network.fail_link net ~src ~dst;
+        Engine.schedule engine ~delay:duration (fun () ->
+            Network.heal_link net ~src ~dst;
+            cycle (k + 1)))
+  in
+  if n > 1 then cycle 0
+
+let clock_skew net ~site ~every ~max_skew =
+  let engine = Network.engine net in
+  let rng = Engine.rng engine in
+  let rec cycle () =
+    Engine.schedule engine ~delay:every (fun () ->
+        if max_skew > 0 then
+          Network.inject_skew net ~site ~amount:(Rng.int rng (max_skew + 1));
+        cycle ())
   in
   cycle ()

@@ -1,4 +1,9 @@
-(** Fault injection schedules for simulation experiments. *)
+(** Fault injection schedules for simulation experiments.
+
+    Every schedule is a pure event-queue process: installing one schedules
+    future network mutations on the simulation engine and returns. Two runs
+    with the same engine seed and the same schedules replay identically —
+    the property the chaos campaign's reproducers rely on. *)
 
 val crash_recover :
   Network.t ->
@@ -11,6 +16,19 @@ val crash_recover :
 
 val crash_recover_all : Network.t -> mtbf:float -> mttr:float -> unit
 
+val crash_amnesia_recover :
+  Network.t ->
+  site:int ->
+  mtbf:float ->
+  mttr:float ->
+  unit
+(** Like {!crash_recover}, but crashes via {!Network.crash_with_amnesia}
+    (volatile state is lost) and recovers via {!Network.recover_resync}
+    (the rejoin protocol re-synchronizes stable state from reachable
+    peers). *)
+
+val crash_amnesia_recover_all : Network.t -> mtbf:float -> mttr:float -> unit
+
 val periodic_partition :
   Network.t ->
   groups:int list list ->
@@ -19,3 +37,28 @@ val periodic_partition :
   unit
 (** Periodically install the given partition for [duration] time units,
     healing in between; first partition after [every]. *)
+
+val rolling_partition : Network.t -> every:float -> duration:float -> unit
+(** Periodically isolate one site from all others for [duration] time
+    units, rotating the victim site each round. *)
+
+val flap :
+  Network.t -> site:int -> start:float -> every:float -> down_for:float -> unit
+(** Site flapping: from [start] on, crash the site every [every] time units
+    and bring it back [down_for] later — rapid, deterministic up/down
+    cycling that races recovery against in-flight quorum probes. *)
+
+val one_way_outage :
+  Network.t -> src:int -> dst:int -> every:float -> duration:float -> unit
+(** Periodically fail the one-way link [src -> dst] for [duration]: the
+    asymmetric failure mode where [dst] hears nothing while its replies
+    still get through. *)
+
+val rotating_one_way : Network.t -> every:float -> duration:float -> unit
+(** Periodic one-way outages rotating over the ring of adjacent site
+    pairs. *)
+
+val clock_skew : Network.t -> site:int -> every:float -> max_skew:int -> unit
+(** Periodically advance the site's logical clock by a uniformly drawn
+    amount in [\[0, max_skew\]] via {!Network.inject_skew} — bounded clock
+    skew for the timestamp-based schemes. *)

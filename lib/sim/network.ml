@@ -1,12 +1,29 @@
 open Atomrep_stats
 
+type stats = {
+  mutable sent : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable dead_dest : int;
+  mutable rpc_timeouts : int;
+}
+
 type t = {
   engine : Engine.t;
   n_sites : int;
   latency_mean : float;
-  drop_probability : float;
+  mutable drop_probability : float;
+  mutable dup_probability : float;
+  mutable spike_probability : float;
+  mutable spike_factor : float;
   up : bool array;
   mutable groups : int array; (* partition group per site *)
+  blocked : (int * int, unit) Hashtbl.t; (* one-way failed links, (src, dst) *)
+  stats : stats;
+  mutable amnesia_listeners : (int -> unit) list;
+  mutable rejoin_listeners : (int -> unit) list;
+  mutable skew_handler : site:int -> amount:int -> unit;
+  mutable resync_quorum : int;
 }
 
 let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
@@ -15,8 +32,17 @@ let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
     n_sites;
     latency_mean;
     drop_probability;
+    dup_probability = 0.0;
+    spike_probability = 0.0;
+    spike_factor = 1.0;
     up = Array.make n_sites true;
     groups = Array.make n_sites 0;
+    blocked = Hashtbl.create 8;
+    stats = { sent = 0; dropped = 0; duplicated = 0; dead_dest = 0; rpc_timeouts = 0 };
+    amnesia_listeners = [];
+    rejoin_listeners = [];
+    skew_handler = (fun ~site:_ ~amount:_ -> ());
+    resync_quorum = 0;
   }
 
 let engine t = t.engine
@@ -25,29 +51,112 @@ let site_up t s = t.up.(s)
 let crash t s = t.up.(s) <- false
 let recover t s = t.up.(s) <- true
 
+let stats t = t.stats
+let note_rpc_timeout t = t.stats.rpc_timeouts <- t.stats.rpc_timeouts + 1
+
+let set_drop_probability t p = t.drop_probability <- p
+let set_duplication t p = t.dup_probability <- p
+
+let set_delay_spike t ~probability ~factor =
+  t.spike_probability <- probability;
+  t.spike_factor <- factor
+
+let link_up t ~src ~dst = not (Hashtbl.mem t.blocked (src, dst))
+let fail_link t ~src ~dst = Hashtbl.replace t.blocked (src, dst) ()
+let heal_link t ~src ~dst = Hashtbl.remove t.blocked (src, dst)
+let heal_all_links t = Hashtbl.reset t.blocked
+
+let on_amnesia t f = t.amnesia_listeners <- f :: t.amnesia_listeners
+let on_rejoin t f = t.rejoin_listeners <- f :: t.rejoin_listeners
+
+let crash_with_amnesia t s =
+  t.up.(s) <- false;
+  List.iter (fun f -> f s) t.amnesia_listeners
+
+let set_resync_quorum t q = t.resync_quorum <- q
+
+(* How many peers [s] could pull state from right now: up, same partition
+   group, both link directions alive. [s] itself may still be down. *)
+let resync_peers t s =
+  let n = ref 0 in
+  for peer = 0 to t.n_sites - 1 do
+    if
+      peer <> s && t.up.(peer)
+      && t.groups.(peer) = t.groups.(s)
+      && (not (Hashtbl.mem t.blocked (s, peer)))
+      && not (Hashtbl.mem t.blocked (peer, s))
+    then incr n
+  done;
+  !n
+
+let recover_resync t s =
+  if resync_peers t s >= t.resync_quorum then begin
+    t.up.(s) <- true;
+    List.iter (fun f -> f s) t.rejoin_listeners;
+    true
+  end
+  else false
+
+let set_skew_handler t f = t.skew_handler <- f
+let inject_skew t ~site ~amount = t.skew_handler ~site ~amount
+
 let partition t groups =
   let assignment = Array.make t.n_sites (-1) in
   List.iteri
     (fun g sites -> List.iter (fun s -> assignment.(s) <- g) sites)
     groups;
-  let next = List.length groups in
-  Array.iteri (fun s g -> if g = -1 then assignment.(s) <- next) assignment;
+  (* Each unassigned site becomes its own singleton group: a site no group
+     claims is isolated, not silently pooled with the other leftovers. *)
+  let next = ref (List.length groups) in
+  Array.iteri
+    (fun s g ->
+      if g = -1 then begin
+        assignment.(s) <- !next;
+        incr next
+      end)
+    assignment;
   t.groups <- assignment
 
 let heal t = t.groups <- Array.make t.n_sites 0
 
-let reachable t a b = t.up.(a) && t.up.(b) && t.groups.(a) = t.groups.(b)
+let reachable t a b =
+  t.up.(a) && t.up.(b)
+  && t.groups.(a) = t.groups.(b)
+  && link_up t ~src:a ~dst:b
+  && link_up t ~src:b ~dst:a
 
 let send t ~src ~dst thunk =
   let rng = Engine.rng t.engine in
+  t.stats.sent <- t.stats.sent + 1;
   let latency = Rng.exponential rng t.latency_mean in
   let same_site = src = dst in
   let dropped =
     (not same_site)
-    && (t.groups.(src) <> t.groups.(dst) || Rng.bernoulli rng t.drop_probability)
+    && (t.groups.(src) <> t.groups.(dst)
+       || (not (link_up t ~src ~dst))
+       || Rng.bernoulli rng t.drop_probability)
   in
-  if not dropped then
-    Engine.schedule t.engine ~delay:latency (fun () -> if t.up.(dst) then thunk ())
+  if dropped then t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    (* A delay spike stretches one message's latency, letting later sends
+       overtake it: latency spikes double as message reordering. *)
+    let latency =
+      if t.spike_probability > 0.0 && Rng.bernoulli rng t.spike_probability then
+        latency *. t.spike_factor
+      else latency
+    in
+    let deliver delay =
+      Engine.schedule t.engine ~delay (fun () ->
+          if t.up.(dst) then thunk ()
+          else t.stats.dead_dest <- t.stats.dead_dest + 1)
+    in
+    deliver latency;
+    if (not same_site) && t.dup_probability > 0.0 && Rng.bernoulli rng t.dup_probability
+    then begin
+      t.stats.duplicated <- t.stats.duplicated + 1;
+      deliver (Rng.exponential rng t.latency_mean)
+    end
+  end
 
 let up_sites t =
   List.filter (fun s -> t.up.(s)) (List.init t.n_sites Fun.id)

@@ -5,10 +5,24 @@
     Messages are closures delivered at the destination after an
     exponentially distributed latency, unless the destination is down at
     delivery time, the message is dropped (link failure), or source and
-    destination lie in different partition groups at send time. A site that
-    crashes loses nothing it already handed to the application — stable
-    storage is the application's concern ({!Atomrep_replica.Repository}
-    keeps its log across crashes, as repositories own stable storage). *)
+    destination lie in different partition groups at send time. Beyond the
+    basic model the network supports a chaos-testing fault surface:
+    probabilistic message duplication, latency spikes (which reorder
+    messages), asymmetric one-way link failures, and crash-with-amnesia
+    where volatile state is lost while stable storage survives — the
+    listeners let {!Atomrep_replica.Repository} owners model the paper's
+    stable-storage split without the network knowing about repositories.
+
+    A site that crashes plainly loses nothing it already handed to the
+    application; only {!crash_with_amnesia} signals volatile-state loss. *)
+
+type stats = {
+  mutable sent : int; (** [send] calls *)
+  mutable dropped : int; (** lost to partitions, failed links, or loss *)
+  mutable duplicated : int; (** extra deliveries scheduled *)
+  mutable dead_dest : int; (** arrived while the destination was down *)
+  mutable rpc_timeouts : int; (** RPCs that gave up waiting (see {!Rpc}) *)
+}
 
 type t
 
@@ -22,19 +36,73 @@ val site_up : t -> int -> bool
 val crash : t -> int -> unit
 val recover : t -> int -> unit
 
+val crash_with_amnesia : t -> int -> unit
+(** Crash the site and fire the {!on_amnesia} listeners: registered owners
+    of volatile per-site state (lock tables, tentative log entries) drop
+    it, while stable state survives. *)
+
+val recover_resync : t -> int -> bool
+(** Attempt recovery of an amnesiac site: if at least {!set_resync_quorum}
+    peers are currently reachable, bring the site up, fire the
+    {!on_rejoin} listeners (which model state transfer from reachable
+    peers), and return [true]; otherwise leave it down and return [false]
+    — the caller retries later. Gating rejoin on a resync quorum is what
+    makes amnesia survivable: a lost tentative entry lives at some final
+    quorum, and a resync set large enough to intersect every final quorum
+    restores it before the site serves reads again. *)
+
+val set_resync_quorum : t -> int -> unit
+(** Peers an amnesiac site must reach before rejoining (default 0: rejoin
+    unconditionally). For final quorums of size [f] on [n] sites, safety
+    needs [n - f + 1]. *)
+
+val on_amnesia : t -> (int -> unit) -> unit
+val on_rejoin : t -> (int -> unit) -> unit
+
 val partition : t -> int list list -> unit
 (** Install a partition: each list is a group; messages between different
-    groups are lost. Sites not listed form an implicit final group. *)
+    groups are lost. Every site not listed in any group forms its own
+    singleton group (it is isolated). *)
 
 val heal : t -> unit
 (** Remove any partition. *)
 
+val fail_link : t -> src:int -> dst:int -> unit
+(** Fail the one-way link [src -> dst]: messages in that direction are
+    dropped; the reverse direction is unaffected. *)
+
+val heal_link : t -> src:int -> dst:int -> unit
+val heal_all_links : t -> unit
+val link_up : t -> src:int -> dst:int -> bool
+
+val set_drop_probability : t -> float -> unit
+val set_duplication : t -> float -> unit
+(** Probability that a delivered message is delivered a second time, at an
+    independently drawn latency. *)
+
+val set_delay_spike : t -> probability:float -> factor:float -> unit
+(** With the given probability a message's latency is multiplied by
+    [factor], letting later messages overtake it (reordering). *)
+
+val set_skew_handler : t -> (site:int -> amount:int -> unit) -> unit
+(** Install the handler {!inject_skew} forwards to. The runtime registers
+    one that advances the site's Lamport clock, so fault schedules can
+    inject bounded clock skew without a dependency on the clock layer. *)
+
+val inject_skew : t -> site:int -> amount:int -> unit
+
 val reachable : t -> int -> int -> bool
-(** Both sites up and in the same partition group. *)
+(** Both sites up, in the same partition group, and linked both ways. *)
 
 val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
 (** Deliver the closure at [dst] (it runs only if [dst] is up at delivery
-    time). Loss, latency and partitions apply; sending to self delivers
-    with latency but never drops. *)
+    time). Loss, latency, duplication and partitions apply; sending to self
+    delivers with latency but never drops or duplicates. *)
 
 val up_sites : t -> int list
+
+val stats : t -> stats
+(** Live counters for this network instance (shared, mutable). *)
+
+val note_rpc_timeout : t -> unit
+(** Record one timed-out RPC (called by {!Rpc}). *)

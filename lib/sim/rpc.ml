@@ -10,7 +10,11 @@ let call net ~src ~dst ~timeout ~handler ~reply =
   Network.send net ~src ~dst (fun () ->
       let response = handler () in
       Network.send net ~src:dst ~dst:src (fun () -> finish (Some response)));
-  Engine.schedule engine ~delay:timeout (fun () -> finish None)
+  Engine.schedule engine ~delay:timeout (fun () ->
+      if not !done_ then begin
+        Network.note_rpc_timeout net;
+        finish None
+      end)
 
 let multicast net ~src ~dsts ~timeout ~handler ~gather =
   let expected = List.length dsts in

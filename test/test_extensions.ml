@@ -324,7 +324,7 @@ let test_anti_entropy_propagates () =
         (Assignment.make ~n_sites:3
            [ ("Enq", { Assignment.initial = 2; final = 2 });
              ("Deq", { Assignment.initial = 2; final = 2 }) ])
-      ~net
+      ~net ()
   in
   (* Seed one repository only; gossip must spread the record everywhere. *)
   Replicated.broadcast_status obj

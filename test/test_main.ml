@@ -7,4 +7,5 @@ let () =
    @ Test_dynamic_dep.suites @ Test_hybrid_dep.suites @ Test_paper.suites
    @ Test_quorum.suites @ Test_clock.suites @ Test_stats.suites
    @ Test_sim.suites @ Test_cc.suites @ Test_replica.suites
-   @ Test_props.suites @ Test_extensions.suites @ Test_gifford.suites @ Test_golden.suites @ Test_integration.suites)
+   @ Test_props.suites @ Test_extensions.suites @ Test_gifford.suites @ Test_golden.suites @ Test_integration.suites
+   @ Test_chaos.suites)

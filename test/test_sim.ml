@@ -91,6 +91,23 @@ let test_network_partition_blocks_cross_traffic () =
   Network.heal net;
   check_bool "healed" true (Network.reachable net 0 2)
 
+(* Regression: sites left out of every group used to be lumped into one
+   shared group, so two unlisted sites could still talk to each other. Each
+   unlisted site must be isolated in its own singleton group. *)
+let test_network_partition_unlisted_sites_isolated () =
+  let engine = Engine.create ~seed:1 in
+  let net = Network.create engine ~n_sites:4 () in
+  Network.partition net [ [ 0; 1 ] ];
+  check_bool "unlisted pair cannot talk" false (Network.reachable net 2 3);
+  check_bool "unlisted cut from listed" false (Network.reachable net 0 2);
+  check_bool "listed group intact" true (Network.reachable net 0 1);
+  let cross = ref false in
+  Network.send net ~src:2 ~dst:3 (fun () -> cross := true);
+  Engine.run engine;
+  check_bool "unlisted-to-unlisted dropped" false !cross;
+  Network.heal net;
+  check_bool "healed" true (Network.reachable net 2 3)
+
 let test_network_drop_probability () =
   let engine = Engine.create ~seed:1 in
   let net = Network.create engine ~n_sites:2 ~drop_probability:1.0 () in
@@ -193,6 +210,8 @@ let suites =
         Alcotest.test_case "crash blocks delivery" `Quick test_network_crash_blocks_delivery;
         Alcotest.test_case "recovery" `Quick test_network_recover;
         Alcotest.test_case "partition semantics" `Quick test_network_partition_blocks_cross_traffic;
+        Alcotest.test_case "partition isolates unlisted sites" `Quick
+          test_network_partition_unlisted_sites_isolated;
         Alcotest.test_case "message loss" `Quick test_network_drop_probability;
         Alcotest.test_case "self-send reliable" `Quick test_self_send_never_drops;
         Alcotest.test_case "rpc roundtrip" `Quick test_rpc_roundtrip;
