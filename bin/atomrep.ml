@@ -122,7 +122,7 @@ let quorums_cmd =
 (* --- simulate --- *)
 
 let simulate_cmd =
-  let run scheme_name n_txns n_sites seed mtbf =
+  let run scheme_name n_txns n_sites seed mtbf reconfigure =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -154,8 +154,10 @@ let simulate_cmd =
                 obj_spec = Queue_type.spec;
                 obj_relation = Static_dep.minimal Queue_type.spec ~max_len:4;
                 obj_assignment = Runtime.default_queue_assignment ~n_sites;
+                obj_members = None;
               };
             ];
+          reconfig = (if reconfigure then Some Runtime.default_reconfig else None);
         }
       in
       let outcome = Runtime.run cfg in
@@ -173,11 +175,21 @@ let simulate_cmd =
         "messages: sent=%d dropped=%d duplicated=%d dead-dest=%d rpc-timeouts=%d\n"
         m.Runtime.msgs_sent m.Runtime.msgs_dropped m.Runtime.msgs_duplicated
         m.Runtime.msgs_dead_dest m.Runtime.rpc_timeouts;
-      (match Runtime.check_atomicity cfg outcome with
+      if reconfigure then
+        Printf.printf
+          "reconfigurations: %d ok (%d refused, %d failed), final epoch %d, \
+           detector transitions %d\n"
+          m.Runtime.reconfigs m.Runtime.reconfigs_refused m.Runtime.reconfigs_failed
+          m.Runtime.final_epoch m.Runtime.suspicion_transitions;
+      (* Both oracles gate the exit code so scripted runs can fail hard. *)
+      let failures =
+        Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
+      in
+      (match failures with
        | [] -> print_endline "atomicity check: OK"
-       | failures ->
-         List.iter (fun (o, f) -> Printf.printf "ATOMICITY VIOLATION %s: %s\n" o f) failures);
-      0
+       | fs ->
+         List.iter (fun (o, f) -> Printf.printf "ATOMICITY VIOLATION %s: %s\n" o f) fs);
+      if failures = [] then 0 else 1
   in
   let scheme_arg =
     Arg.(
@@ -196,9 +208,19 @@ let simulate_cmd =
       value & opt float 0.0
       & info [ "mtbf" ] ~docv:"MS" ~doc:"Mean time between site failures (0 = none).")
   in
+  let reconfigure_arg =
+    Arg.(
+      value & flag
+      & info [ "reconfigure" ]
+          ~doc:
+            "Enable the failure-detector-driven epoch reconfiguration \
+             coordinator (hybrid/locking only; refused under static).")
+  in
   let doc = "Run the replicated-queue simulator" in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg)
+    Term.(
+      const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg
+      $ reconfigure_arg)
 
 (* --- chaos --- *)
 
@@ -235,12 +257,15 @@ let chaos_cmd =
         (String.split_on_char ',' names)
         (Ok [])
   in
-  let run schemes profiles seeds txns intensity repro seed =
+  let run schemes profiles seeds txns intensity repro seed reconfig =
     match parse_schemes schemes, parse_profiles profiles with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
     | Ok schemes, Ok profiles ->
+      let base =
+        if reconfig then Campaign.reconfig_base else Campaign.default_base
+      in
       if repro then begin
         (* Replay one reproducer tuple per scheme/profile given. *)
         let failed = ref false in
@@ -249,7 +274,8 @@ let chaos_cmd =
             List.iter
               (fun profile ->
                 let outcome, failures =
-                  Campaign.reproduce ~scheme ~profile ~seed ~n_txns:txns ~intensity ()
+                  Campaign.reproduce ~base ~scheme ~profile ~seed ~n_txns:txns
+                    ~intensity ()
                 in
                 Printf.printf "%s/%s seed=%d txns=%d intensity=%g: committed=%d\n"
                   (Atomrep_replica.Replicated.scheme_name scheme)
@@ -269,7 +295,8 @@ let chaos_cmd =
       end
       else begin
         let report =
-          Campaign.run_campaign ~n_txns:txns ~intensity ~schemes ~profiles ~seeds ()
+          Campaign.run_campaign ~base ~n_txns:txns ~intensity ~schemes ~profiles
+            ~seeds ()
         in
         Format.printf "%a" Campaign.pp_report report;
         if report.Campaign.violations = [] then 0 else 1
@@ -309,11 +336,19 @@ let chaos_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for --repro.")
   in
+  let reconfig_arg =
+    Arg.(
+      value & flag
+      & info [ "reconfig" ]
+          ~doc:
+            "Campaign against the reconfiguration base: five sites, the \
+             epoch coordinator enabled (pairs well with --profiles kills).")
+  in
   let doc = "Run a fault-injection campaign and check atomicity after every run" in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg $ intensity_arg
-      $ repro_arg $ seed_arg)
+      $ repro_arg $ seed_arg $ reconfig_arg)
 
 (* --- experiment --- *)
 

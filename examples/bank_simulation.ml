@@ -46,6 +46,7 @@ let () =
       obj_spec = Bank_account.spec;
       obj_relation = Static_dep.minimal Bank_account.spec ~max_len:3;
       obj_assignment = majority [ "Deposit"; "Withdraw"; "Balance" ];
+      obj_members = None;
     }
   in
   List.iter

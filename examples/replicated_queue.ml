@@ -41,6 +41,7 @@ let () =
             obj_spec = Queue_type.spec;
             obj_relation = relation;
             obj_assignment = assignment;
+            obj_members = None;
           };
         ];
       script =

@@ -27,6 +27,14 @@ let builtin_profiles =
       nemesis = Nemesis.Flapping { every = 250.0; down_for = 40.0 };
     };
     {
+      (* Progressive permanent site loss: victims die newest-site-first so
+         the monitor (site 0) survives. Unlike the cycling storms, nobody
+         comes back — without reconfiguration, availability only decays. *)
+      profile_name = "kills";
+      nemesis =
+        Nemesis.Staggered_kill { start = 600.0; gap = 1200.0; victims = [ 4; 3; 2 ] };
+    };
+    {
       profile_name = "storm";
       nemesis =
         Nemesis.Compose
@@ -69,6 +77,28 @@ type report = {
 }
 
 let default_base = { Runtime.default_config with horizon = 40_000.0 }
+
+let reconfig_base =
+  let n_sites = 5 in
+  {
+    Runtime.default_config with
+    n_sites;
+    horizon = 8_000.0;
+    arrival_mean = 120.0;
+    objects =
+      [
+        {
+          Runtime.obj_name = "queue";
+          obj_spec = Atomrep_spec.Queue_type.spec;
+          obj_relation =
+            Atomrep_core.Static_dep.minimal Atomrep_spec.Queue_type.spec
+              ~max_len:4;
+          obj_assignment = Runtime.default_queue_assignment ~n_sites;
+          obj_members = None;
+        };
+      ];
+    reconfig = Some Runtime.default_reconfig;
+  }
 
 let configure ~base ~scheme ~seed ~n_txns ~intensity profile =
   {

@@ -16,8 +16,8 @@ open Atomrep_replica
 type profile = { profile_name : string; nemesis : Nemesis.t }
 
 val builtin_profiles : profile list
-(** crashes, amnesia, partitions, flaky, skew, flapping, and the composed
-    storm. *)
+(** crashes, amnesia, partitions, flaky, skew, flapping, kills (staggered
+    permanent site loss), and the composed storm. *)
 
 val find_profile : string -> profile option
 val profile_names : string list
@@ -50,6 +50,14 @@ val default_base : Runtime.config
 (** The campaign's base configuration: the default replicated queue with a
     horizon sized for chaos runs. Override [base] to campaign against a
     different object set (e.g. a deliberately weakened relation). *)
+
+val reconfig_base : Runtime.config
+(** A base sized for reconfiguration campaigns: five sites, a majority
+    queue, a stretched arrival process so the kills profile's staggered
+    site loss lands mid-workload, and the failure-detector-driven
+    coordinator enabled ({!Atomrep_replica.Runtime.default_reconfig}).
+    Pair with the [kills] profile to exercise epoch handoffs under
+    progressive permanent site loss. *)
 
 val configure :
   base:Runtime.config ->

@@ -6,6 +6,7 @@ type t =
   | Flaky_links of { drop : float; dup : float; spike : float; one_way : bool }
   | Skew of { every : float; max_skew : int }
   | Flapping of { every : float; down_for : float }
+  | Staggered_kill of { start : float; gap : float; victims : int list }
   | Compose of t list
 
 let spike_factor = 20.0
@@ -20,6 +21,10 @@ let rec scale k = function
   | Skew s ->
     Skew { s with max_skew = int_of_float (Float.round (float_of_int s.max_skew *. k)) }
   | Flapping f -> Flapping { every = f.every /. k; down_for = f.down_for *. k }
+  | Staggered_kill s ->
+    (* Intensity here is how early and how densely the kills land; the
+       victim list itself is part of the scenario, not the intensity. *)
+    Staggered_kill { s with start = s.start /. k; gap = s.gap /. k }
   | Compose l -> Compose (List.map (scale k) l)
 
 let rec install t net =
@@ -47,6 +52,8 @@ let rec install t net =
         ~start:(every *. (1.0 +. (float_of_int site /. float_of_int n)))
         ~every ~down_for
     done
+  | Staggered_kill { start; gap; victims } ->
+    Fault.staggered_kill net ~start ~gap ~victims
   | Compose l -> List.iter (fun nem -> install nem net) l
 
 let rec pp ppf = function
@@ -62,6 +69,9 @@ let rec pp ppf = function
     Format.fprintf ppf "skew(every=%g,max=%d)" every max_skew
   | Flapping { every; down_for } ->
     Format.fprintf ppf "flapping(every=%g,down=%g)" every down_for
+  | Staggered_kill { start; gap; victims } ->
+    Format.fprintf ppf "staggered-kill(start=%g,gap=%g,victims=[%s])" start gap
+      (String.concat ";" (List.map string_of_int victims))
   | Compose l ->
     Format.fprintf ppf "compose[%a]"
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)

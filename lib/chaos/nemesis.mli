@@ -22,6 +22,12 @@ type t =
       (** bounded clock skew injected into every site's Lamport clock *)
   | Flapping of { every : float; down_for : float }
       (** rapid staggered up/down cycling of every site *)
+  | Staggered_kill of { start : float; gap : float; victims : int list }
+      (** permanently crash each victim in turn, the first at [start] and
+          each next one [gap] later — the progressive-site-loss scenario
+          online reconfiguration exists for. [scale] compresses the
+          schedule (earlier, denser kills); the victim list is part of the
+          scenario and is not scaled. *)
   | Compose of t list  (** install all of them *)
 
 val scale : float -> t -> t

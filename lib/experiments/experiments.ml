@@ -420,6 +420,7 @@ let e8_simulation () =
                     obj_spec = Queue_type.spec;
                     obj_relation = scheme_relation scheme Queue_type.spec;
                     obj_assignment = Runtime.default_queue_assignment ~n_sites:3;
+            obj_members = None;
                   };
                 ];
             }
@@ -495,6 +496,7 @@ let e9_concurrency_sim () =
               obj_spec = spec;
               obj_relation = relation;
               obj_assignment = assignment;
+            obj_members = None;
             };
           ];
         script;

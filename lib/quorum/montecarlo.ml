@@ -20,8 +20,17 @@ let sample_reachable rng model ~client_site =
       List.iteri
         (fun g sites -> List.iter (fun s -> if s < n then group_of.(s) <- g) sites)
         model.groups;
-      let next = List.length model.groups in
-      Array.iteri (fun s g -> if g = -1 then group_of.(s) <- next) group_of
+      (* Each unlisted site is its own singleton group (isolated), matching
+         Network.partition — lumping them into one shared group would let
+         them reach each other through the partition. *)
+      let next = ref (List.length model.groups) in
+      Array.iteri
+        (fun s g ->
+          if g = -1 then begin
+            group_of.(s) <- !next;
+            incr next
+          end)
+        group_of
     end;
     let mine = group_of.(client_site) in
     let reachable =

@@ -1,0 +1,11 @@
+let plan ~live ~ops ~constraints ?(p = 0.9) ?(mix = []) () =
+  let members = List.sort_uniq compare live in
+  let n = List.length members in
+  if n = 0 then None
+  else begin
+    let mix = if mix = [] then List.map (fun op -> (op, 1.0)) ops else mix in
+    let candidates = Assignment.enumerate ~n_sites:n ~ops constraints in
+    match Assignment.best_for_mix ~p ~mix candidates with
+    | None -> None
+    | Some assignment -> Some (members, assignment)
+  end

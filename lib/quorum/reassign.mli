@@ -1,0 +1,27 @@
+(** Availability-maximizing quorum reassignment policy.
+
+    Given a failure detector's view of the live sites, pick the member set
+    and threshold assignment a new epoch should use: all live sites become
+    members, and among the assignments over them that satisfy the type's
+    intersection constraints (via {!Assignment.enumerate}), the one
+    maximizing {!Assignment.workload_availability} wins. This is the
+    paper's availability argument for hybrid/dynamic atomicity (Theorems
+    10–12) made operational: as sites die, quorums migrate to the survivors
+    instead of shrinking toward unavailability. *)
+
+val plan :
+  live:int list ->
+  ops:string list ->
+  constraints:Op_constraint.t list ->
+  ?p:float ->
+  ?mix:(string * float) list ->
+  unit ->
+  (int list * Assignment.t) option
+(** Propose [(members, assignment)] for a new epoch. [live] is the
+    detector's current view (deduplicated and sorted here); [p] (default
+    0.9) is the assumed per-site up-probability used to score candidates;
+    [mix] weights operations in the score and defaults to uniform over
+    [ops]. Returns [None] when no satisfying assignment over the live sites
+    exists — with an empty live view, or constraints no quorum sizes over
+    so few sites can satisfy — in which case the coordinator must keep the
+    old epoch rather than reconfigure into unavailability. *)

@@ -103,6 +103,7 @@ let quorum_reference ~seed ~n_sites ~txns_per_side ~partition_at ~heal_at () =
             obj_spec = register_spec;
             obj_relation = relation;
             obj_assignment = assignment;
+            obj_members = None;
           };
         ];
       n_txns = total;

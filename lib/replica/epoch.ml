@@ -1,0 +1,43 @@
+open Atomrep_quorum
+
+type t = { number : int; members : int list; assignment : Assignment.t }
+
+let make ~number ~members ~assignment =
+  let members = List.sort_uniq compare members in
+  if List.length members <> assignment.Assignment.n_sites then
+    invalid_arg "Epoch.make: assignment sized for a different member count";
+  { number; members; assignment }
+
+let bootstrap ~n_sites ?members assignment =
+  let members =
+    Option.value members ~default:(List.init n_sites Fun.id)
+  in
+  make ~number:0 ~members ~assignment
+
+let number t = t.number
+let members t = t.members
+let assignment t = t.assignment
+
+let intersects ~constraints ~prev ~next =
+  let u = List.length (List.sort_uniq compare (prev.members @ next.members)) in
+  let sizes epoch op =
+    try Some (Assignment.sizes_of epoch.assignment op) with _ -> None
+  in
+  List.for_all
+    (fun (c : Op_constraint.t) ->
+      match
+        ( sizes next c.dependent,
+          sizes prev c.supplier,
+          sizes prev c.dependent,
+          sizes next c.supplier )
+      with
+      | Some ni, Some pf, Some pi, Some nf ->
+        ni.Assignment.initial + pf.Assignment.final > u
+        && pi.Assignment.initial + nf.Assignment.final > u
+      | _ -> false)
+    constraints
+
+let pp ppf t =
+  Format.fprintf ppf "epoch %d over {%s}: %a" t.number
+    (String.concat "," (List.map string_of_int t.members))
+    Assignment.pp t.assignment

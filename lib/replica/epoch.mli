@@ -1,0 +1,44 @@
+(** Epochs: numbered (member set, quorum assignment) configurations.
+
+    The paper's availability theorems for hybrid and dynamic atomicity
+    (Theorems 10–12) rest on quorums being reassignable as timestamps
+    advance. An epoch makes one configuration first-class: a monotonically
+    increasing number, the sites that hold the object's repositories in
+    that configuration, and a threshold assignment sized for exactly that
+    member set. Quorum traffic is stamped with its epoch number and
+    repositories refuse anything older than the newest epoch they have
+    joined, so a reconfiguration cleanly fences the configuration it
+    replaces. *)
+
+open Atomrep_quorum
+
+type t
+
+val make : number:int -> members:int list -> assignment:Assignment.t -> t
+(** [members] is deduplicated and sorted; raises [Invalid_argument] if the
+    assignment's [n_sites] differs from the member count — quorum sizes
+    are meaningful only relative to the set they range over. *)
+
+val bootstrap : n_sites:int -> ?members:int list -> Assignment.t -> t
+(** Epoch 0. [members] defaults to all [n_sites] sites. *)
+
+val number : t -> int
+val members : t -> int list
+val assignment : t -> Assignment.t
+
+val intersects :
+  constraints:Op_constraint.t list -> prev:t -> next:t -> bool
+(** The direct cross-epoch handoff invariant: for every constraint pair
+    [(dependent, supplier)], any [next]-epoch initial quorum of the
+    dependent intersects any [prev]-epoch final quorum of the supplier,
+    and symmetrically any [prev]-epoch initial quorum intersects any
+    [next]-epoch final quorum. Quorums are subsets of different member
+    sets, so the threshold law generalizes from [i + f > n] to
+    [i + f > |members(prev) ∪ members(next)|] — the worst-case spread
+    places both quorums as far apart as the union allows. The forward
+    direction lets post-switch readers see pre-switch state; the backward
+    direction lets operations still in flight across the boundary meet the
+    new epoch's writes. When this fails, the handoff must instead drain
+    the old epoch through the state-transfer barrier. *)
+
+val pp : Format.formatter -> t -> unit

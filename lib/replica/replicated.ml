@@ -29,7 +29,8 @@ type t = {
   spec : Serial_spec.t;
   scheme : scheme;
   table : Conflict_table.t;
-  assignment : Assignment.t;
+  constraints : Op_constraint.t list;
+  mutable current : Epoch.t; (* the configuration quorum traffic targets *)
   net : Network.t;
   repos : Repository.t array;
   own : (Action.t, Log.entry list) Hashtbl.t; (* per-action entry cache *)
@@ -37,7 +38,8 @@ type t = {
   rpc_timeout : float;
 }
 
-let create ~name ~spec ~scheme ~relation ~assignment ~net ?(rpc_timeout = 50.0) () =
+let create ~name ~spec ~scheme ~relation ~assignment ~net ?members
+    ?(rpc_timeout = 50.0) () =
   let repos =
     Array.init (Network.n_sites net) (fun site -> Repository.create ~site)
   in
@@ -56,7 +58,8 @@ let create ~name ~spec ~scheme ~relation ~assignment ~net ?(rpc_timeout = 50.0) 
     spec;
     scheme;
     table = Conflict_table.of_relation relation;
-    assignment;
+    constraints = Op_constraint.of_relation relation;
+    current = Epoch.bootstrap ~n_sites:(Network.n_sites net) ?members assignment;
     net;
     repos;
     own = Hashtbl.create 64;
@@ -65,7 +68,10 @@ let create ~name ~spec ~scheme ~relation ~assignment ~net ?(rpc_timeout = 50.0) 
   }
 
 let name t = t.name
-let assignment t = t.assignment
+let current_epoch t = t.current
+let assignment t = Epoch.assignment t.current
+let constraints t = t.constraints
+let ops t = List.map fst (assignment t).Assignment.ops
 let rpc_timeout t = t.rpc_timeout
 let history t = List.rev t.observer
 let observe t entry = t.observer <- entry :: t.observer
@@ -73,7 +79,7 @@ let observe t entry = t.observer <- entry :: t.observer
 let max_final t =
   List.fold_left
     (fun acc (_, s) -> max acc s.Assignment.final)
-    0 t.assignment.Assignment.ops
+    0 (assignment t).Assignment.ops
 
 let own_entries t action =
   Option.value (Hashtbl.find_opt t.own action) ~default:[]
@@ -179,12 +185,17 @@ let decide t ~(txn : Txn.t) (view : View.t) inv =
            | None -> Error (Rejected "timestamp order violation")
            | Some (res, _) -> Ok res)))
 
-let all_sites t = List.init (Network.n_sites t.net) Fun.id
-
-type read_reply = Busy of Action.t | Logs of Log.t
+type read_reply = Busy of Action.t | Logs of Log.t | Stale_epoch of int
 
 let execute t ~txn ~clock inv ~k =
-  let sizes = Assignment.sizes_of t.assignment inv.Event.Invocation.op in
+  (* Pin the configuration for the whole operation: a reconfiguration that
+     lands mid-flight must not split one quorum access across two epochs.
+     Stale-stamped traffic is refused by advanced repositories, so a pinned
+     operation that straddles a switch fails cleanly and retries under the
+     new epoch. *)
+  let epoch = Epoch.number t.current in
+  let dsts = Epoch.members t.current in
+  let sizes = Assignment.sizes_of (Epoch.assignment t.current) inv.Event.Invocation.op in
   let src = txn.Txn.home_site in
   let action = txn.Txn.action in
   let seq = List.length (own_entries t action) in
@@ -196,61 +207,76 @@ let execute t ~txn ~clock inv ~k =
       (fun site ->
         Network.send t.net ~src ~dst:site (fun () ->
             Repository.release t.repos.(site) action seq))
-      (all_sites t);
+      dsts;
     k result
   in
   let with_view k_view =
     if sizes.Assignment.initial = 0 then k_view Log.empty
     else
-      Rpc.multicast t.net ~src ~dsts:(all_sites t) ~timeout:t.rpc_timeout
+      Rpc.multicast t.net ~src ~dsts ~timeout:t.rpc_timeout
         ~handler:(fun site ->
           let repo = t.repos.(site) in
-          Lamport.witness clock (Repository.high_ts repo);
-          (* The read doubles as lock acquisition: a foreign unresolved
-             intention on a related operation refuses this read; quorum
-             intersection makes any two related operations meet at some
-             repository. *)
-          let conflicting =
-            List.find_opt
-              (fun (i : Repository.intention) ->
-                (not (Action.equal i.i_action action))
-                && Conflict_table.related_ops t.table inv.Event.Invocation.op i.i_op)
-              (Repository.intentions repo)
-          in
-          match conflicting with
-          | Some i -> Busy i.i_action
-          | None ->
-            Repository.intend repo
-              {
-                Repository.i_action = action;
-                i_op = inv.Event.Invocation.op;
-                i_bts = txn.Txn.begin_ts;
-                i_seq = seq;
-              };
-            Logs (Repository.read repo))
-        ~gather:(fun replies ->
-          match
-            List.find_map
-              (fun (_, r) -> match r with Busy b -> Some b | Logs _ -> None)
-              replies
-          with
-          | Some blocker -> release_and_return (Blocked_on blocker)
-          | None ->
-            let logs =
-              List.filter_map
-                (fun (_, r) -> match r with Logs l -> Some l | Busy _ -> None)
-                replies
+          if epoch < Repository.epoch repo then Stale_epoch (Repository.epoch repo)
+          else begin
+            Repository.advance_epoch repo epoch;
+            Lamport.witness clock (Repository.high_ts repo);
+            (* The read doubles as lock acquisition: a foreign unresolved
+               intention on a related operation refuses this read; quorum
+               intersection makes any two related operations meet at some
+               repository. *)
+            let conflicting =
+              List.find_opt
+                (fun (i : Repository.intention) ->
+                  (not (Action.equal i.i_action action))
+                  && Conflict_table.related_ops t.table inv.Event.Invocation.op i.i_op)
+                (Repository.intentions repo)
             in
-            if List.length logs < sizes.Assignment.initial then
-              release_and_return
-                (Unavailable
-                   (Printf.sprintf "initial quorum: %d of %d sites for %s"
-                      (List.length logs) sizes.Assignment.initial
-                      inv.Event.Invocation.op))
-            else begin
-              let view = List.fold_left Log.merge Log.empty logs in
-              k_view view
-            end)
+            match conflicting with
+            | Some i -> Busy i.i_action
+            | None ->
+              Repository.intend repo
+                {
+                  Repository.i_action = action;
+                  i_op = inv.Event.Invocation.op;
+                  i_bts = txn.Txn.begin_ts;
+                  i_seq = seq;
+                };
+              Logs (Repository.read repo)
+          end)
+        ~gather:(fun replies ->
+          let stale =
+            List.find_map
+              (fun (_, r) -> match r with Stale_epoch e -> Some e | _ -> None)
+              replies
+          in
+          match stale with
+          | Some e ->
+            release_and_return
+              (Unavailable
+                 (Printf.sprintf "stale epoch: %d superseded by %d" epoch e))
+          | None ->
+            (match
+               List.find_map
+                 (fun (_, r) -> match r with Busy b -> Some b | _ -> None)
+                 replies
+             with
+             | Some blocker -> release_and_return (Blocked_on blocker)
+             | None ->
+               let logs =
+                 List.filter_map
+                   (fun (_, r) -> match r with Logs l -> Some l | _ -> None)
+                   replies
+               in
+               if List.length logs < sizes.Assignment.initial then
+                 release_and_return
+                   (Unavailable
+                      (Printf.sprintf "initial quorum: %d of %d sites for %s"
+                         (List.length logs) sizes.Assignment.initial
+                         inv.Event.Invocation.op))
+               else begin
+                 let view = List.fold_left Log.merge Log.empty logs in
+                 k_view view
+               end))
   in
   with_view (fun log ->
       (* Merge log knowledge into the front-end clock so the new entry's
@@ -282,12 +308,19 @@ let execute t ~txn ~clock inv ~k =
           release_and_return (Done res)
         end
         else
-          Rpc.multicast t.net ~src ~dsts:(all_sites t) ~timeout:t.rpc_timeout
+          Rpc.multicast t.net ~src ~dsts ~timeout:t.rpc_timeout
             ~handler:(fun site ->
-              (* Entry arrival converts this operation's intention into a
-                 logged tentative entry at the repository. *)
-              Repository.append t.repos.(site) [ Log.Entry entry ])
-            ~gather:(fun acks ->
+              let repo = t.repos.(site) in
+              if epoch < Repository.epoch repo then false
+              else begin
+                Repository.advance_epoch repo epoch;
+                (* Entry arrival converts this operation's intention into a
+                   logged tentative entry at the repository. *)
+                Repository.append repo [ Log.Entry entry ];
+                true
+              end)
+            ~gather:(fun replies ->
+              let acks = List.filter snd replies in
               if List.length acks < sizes.Assignment.final then
                 release_and_return
                   (Unavailable
@@ -311,14 +344,17 @@ let broadcast_status t record ~reachable_from =
       List.map (fun e -> Log.Entry e) (own_entries t action) @ [ record ]
     | Log.Entry _ | Log.Abort_record _ -> [ record ]
   in
+  (* Status records bypass the epoch check: a commit or abort resolves
+     entries wherever they sit, and refusing one at a sealed repository
+     would strand tentative entries there forever. *)
   List.iter
     (fun site ->
       Network.send t.net ~src:reachable_from ~dst:site (fun () ->
           Repository.append t.repos.(site) records))
-    (all_sites t)
+    (Epoch.members t.current)
 
 let prepared_sites t ~from ~timeout ~k =
-  Rpc.multicast t.net ~src:from ~dsts:(all_sites t) ~timeout
+  Rpc.multicast t.net ~src:from ~dsts:(Epoch.members t.current) ~timeout
     ~handler:(fun site -> ignore site)
     ~gather:(fun acks -> k (List.map fst acks))
 
@@ -329,12 +365,17 @@ let repository_log t ~site = Repository.read t.repos.(site)
    runs stay comparable at equal seeds. *)
 let start_anti_entropy t ~rng ~every =
   let engine = Network.engine t.net in
-  let n = Network.n_sites t.net in
   let rec cycle () =
     Engine.schedule engine ~delay:every (fun () ->
+        (* Gossip pairs are drawn from the current epoch's members: sealed
+           ex-members no longer serve quorums, so spreading their logs is
+           the barrier's job (once, at handoff), not gossip's. *)
+        let sites = Array.of_list (Epoch.members t.current) in
+        let n = Array.length sites in
         if n >= 2 then begin
-          let a = Atomrep_stats.Rng.int rng n in
-          let b = (a + 1 + Atomrep_stats.Rng.int rng (n - 1)) mod n in
+          let ai = Atomrep_stats.Rng.int rng n in
+          let bi = (ai + 1 + Atomrep_stats.Rng.int rng (n - 1)) mod n in
+          let a = sites.(ai) and b = sites.(bi) in
           if Network.reachable t.net a b then begin
             let log_a = Repository.read t.repos.(a) in
             let log_b = Repository.read t.repos.(b) in
@@ -347,3 +388,144 @@ let start_anti_entropy t ~rng ~every =
         cycle ())
   in
   cycle ()
+
+(* ------------------------------------------------------------------ *)
+(* Online reconfiguration (paper, §4–5: hybrid and dynamic atomicity   *)
+(* permit reassignment as timestamps advance; static does not).        *)
+
+type reconfig_result =
+  | Reconfigured of int
+  | Refused of string
+  | Failed of string
+
+(* Acks needed to seal the old epoch: a set of n - f + 1 old members
+   intersects every f-sized final quorum, so for each entry that reached a
+   final quorum, at least one sealing site both holds it and was still up
+   to ack — its log (read in the same handler that advances the epoch)
+   carries the entry into the merge. Ops with f = 0 persist nothing. *)
+let seal_need epoch =
+  let n = List.length (Epoch.members epoch) in
+  List.fold_left
+    (fun acc (_, s) ->
+      if s.Assignment.final > 0 then max acc (n - s.Assignment.final + 1)
+      else acc)
+    0 (Epoch.assignment epoch).Assignment.ops
+
+(* Acks needed to install the merged state in the new epoch: a set of
+   n - i + 1 new members intersects every i-sized initial quorum, so every
+   future read meets at least one site that ingested the transferred log.
+   Ops with i = 0 never read. *)
+let transfer_need epoch =
+  let n = List.length (Epoch.members epoch) in
+  List.fold_left
+    (fun acc (_, s) ->
+      if s.Assignment.initial > 0 then max acc (n - s.Assignment.initial + 1)
+      else acc)
+    0 (Epoch.assignment epoch).Assignment.ops
+
+let reconfigure t ~members ~assignment ?(allow_barrier = true)
+    ?(unsafe_no_barrier = false) ~from k =
+  match t.scheme with
+  | Static ->
+    (* Theorem 12's flip side: static atomicity orders actions by Begin
+       timestamp, so an action must be able to read state written by
+       later-started but earlier-committing actions — sound only if the
+       quorums it will meet are known when the type is defined. *)
+    k
+      (Refused
+         "static atomicity fixes quorum assignments when the type is \
+          defined; reassignment requires hybrid or dynamic atomicity \
+          (paper, §4-5)")
+  | Hybrid | Locking ->
+    let members = List.sort_uniq compare members in
+    let n_net = Network.n_sites t.net in
+    if members = [] || List.exists (fun s -> s < 0 || s >= n_net) members then
+      k (Refused "invalid member set")
+    else if assignment.Assignment.n_sites <> List.length members then
+      k (Refused "assignment sized for a different member count")
+    else if not (Assignment.satisfies assignment t.constraints) then
+      k (Refused "assignment violates the type's intersection constraints")
+    else begin
+      let prev = t.current in
+      let next =
+        Epoch.make ~number:(Epoch.number prev + 1) ~members ~assignment
+      in
+      let number = Epoch.number next in
+      if unsafe_no_barrier then begin
+        (* Deliberately broken handoff for negative testing: no invariant
+           check, no seal, no state transfer. If the member sets drift
+           apart, committed state is left behind at ex-members and the
+           atomicity oracles catch the divergence. *)
+        t.current <- next;
+        k (Reconfigured number)
+      end
+      else if Epoch.intersects ~constraints:t.constraints ~prev ~next then begin
+        (* Direct handoff: cross-epoch intersection already guarantees new
+           initial quorums meet old final quorums, so no drain is needed.
+           Epoch advances are fire-and-forget — they only fence stale
+           traffic faster; safety does not depend on their delivery. *)
+        List.iter
+          (fun site ->
+            Network.send t.net ~src:from ~dst:site (fun () ->
+                Repository.advance_epoch t.repos.(site) number))
+          (List.sort_uniq compare (Epoch.members prev @ Epoch.members next));
+        t.current <- next;
+        k (Reconfigured number)
+      end
+      else if not allow_barrier then
+        k
+          (Failed
+             "epochs do not intersect and the state-transfer barrier is \
+              disabled")
+      else begin
+        (* State-transfer barrier: seal the old epoch (advancing each old
+           member fences its future old-epoch appends in the same handler
+           that snapshots its log), merge the sealed logs, install the
+           merge at enough new members, then switch. Either quorum failing
+           aborts the handoff — the system stays in the old epoch, albeit
+           with some members already sealed; the coordinator retries with
+           the same epoch number, which sealed repositories accept. *)
+        let sn = seal_need prev in
+        let seal k_logs =
+          if sn = 0 then k_logs []
+          else
+            Rpc.multicast t.net ~src:from ~dsts:(Epoch.members prev)
+              ~timeout:t.rpc_timeout
+              ~handler:(fun site ->
+                let repo = t.repos.(site) in
+                Repository.advance_epoch repo number;
+                Repository.read repo)
+              ~gather:(fun replies ->
+                if List.length replies < sn then
+                  k
+                    (Failed
+                       (Printf.sprintf "seal quorum: %d of %d old-epoch sites"
+                          (List.length replies) sn))
+                else k_logs (List.map snd replies))
+        in
+        seal (fun logs ->
+            let merged = List.fold_left Log.merge Log.empty logs in
+            let tn = transfer_need next in
+            let transfer k_done =
+              if tn = 0 then k_done ()
+              else
+                Rpc.multicast t.net ~src:from ~dsts:(Epoch.members next)
+                  ~timeout:t.rpc_timeout
+                  ~handler:(fun site ->
+                    let repo = t.repos.(site) in
+                    Repository.advance_epoch repo number;
+                    Repository.ingest repo merged)
+                  ~gather:(fun acks ->
+                    if List.length acks < tn then
+                      k
+                        (Failed
+                           (Printf.sprintf
+                              "transfer quorum: %d of %d new-epoch sites"
+                              (List.length acks) tn))
+                    else k_done ())
+            in
+            transfer (fun () ->
+                t.current <- next;
+                k (Reconfigured number)))
+      end
+    end

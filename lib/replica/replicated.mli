@@ -55,15 +55,33 @@ val create :
   relation:Relation.t ->
   assignment:Assignment.t ->
   net:Network.t ->
+  ?members:int list ->
   ?rpc_timeout:float ->
   unit ->
   t
 (** [rpc_timeout] bounds every quorum RPC issued on the object's behalf
-    (default 50). Creation also registers the object's repositories with
-    the network's crash-with-amnesia and rejoin-resync hooks. *)
+    (default 50). [members] (default: all sites) are epoch 0's repository
+    sites; [assignment] must be sized for exactly that member count.
+    Creation also registers the object's repositories with the network's
+    crash-with-amnesia and rejoin-resync hooks. *)
 
 val name : t -> string
+
+val current_epoch : t -> Epoch.t
+(** The configuration new operations target. Operations pin the epoch at
+    their start; a reconfiguration landing mid-operation makes the pinned
+    epoch stale, the repositories refuse its traffic, and the operation
+    fails over to a retry under the new epoch. *)
+
+val constraints : t -> Op_constraint.t list
+(** The intersection constraints projected from the object's dependency
+    relation — what any epoch's assignment must satisfy. *)
+
+val ops : t -> string list
+(** Operation names of the object's type (from the current assignment). *)
+
 val assignment : t -> Assignment.t
+(** The current epoch's assignment. *)
 
 val rpc_timeout : t -> float
 (** The configured per-RPC timeout, shared by reads, writes, and the commit
@@ -112,3 +130,46 @@ val start_anti_entropy : t -> rng:Atomrep_stats.Rng.t -> every:float -> unit
 
 val repository_log : t -> site:int -> Log.t
 (** Direct (test-only) access to one repository's log. *)
+
+type reconfig_result =
+  | Reconfigured of int (** new epoch number now in force *)
+  | Refused of string
+      (** never permitted: static scheme, or an invalid/unsatisfying plan *)
+  | Failed of string
+      (** this attempt could not complete (quorum unreachable); the old
+          epoch stays in force and the coordinator may retry *)
+
+val reconfigure :
+  t ->
+  members:int list ->
+  assignment:Assignment.t ->
+  ?allow_barrier:bool ->
+  ?unsafe_no_barrier:bool ->
+  from:int ->
+  (reconfig_result -> unit) ->
+  unit
+(** [reconfigure t ~members ~assignment ~from k] hands the object off to a
+    new epoch with the given member set and
+    assignment, coordinated from site [from].
+
+    Refused outright under [Static] — the paper's restriction that static
+    atomicity fixes quorums when the type is defined, while hybrid and
+    dynamic atomicity may reassign them as timestamps advance (§4–5,
+    Theorems 10–12). Under [Hybrid]/[Locking], the plan is validated
+    ([assignment] sized for [members] and satisfying the type's
+    constraints), then one of two safe handoffs runs:
+
+    - if {!Epoch.intersects} holds, the switch is immediate — new initial
+      quorums already meet old final quorums;
+    - otherwise (requires [allow_barrier], default true) a state-transfer
+      barrier drains the old epoch: every old member that acks the seal
+      atomically joins the new epoch (fencing its future old-epoch
+      appends) and returns its log; [n_old - f + 1] acks guarantee the
+      merged log holds every entry any old final quorum accepted; the
+      merge is installed at [n_new - i + 1] new members so every future
+      initial quorum meets it.
+
+    [unsafe_no_barrier] skips both the invariant and the barrier — a
+    deliberately broken handoff kept for negative testing, so chaos
+    campaigns can demonstrate the oracles catching the resulting
+    atomicity violations. *)

@@ -13,10 +13,17 @@ type t = {
   mutable log : Log.t;
   mutable high : Lamport.Timestamp.t;
   mutable locks : intention list;
+  mutable epoch : int;
 }
 
 let create ~site =
-  { site; log = Log.empty; high = Lamport.Timestamp.zero; locks = [] }
+  {
+    site;
+    log = Log.empty;
+    high = Lamport.Timestamp.zero;
+    locks = [];
+    epoch = 0;
+  }
 
 let site t = t.site
 let read t = t.log
@@ -55,8 +62,13 @@ let ingest t peer_log =
   gc t
 
 let amnesia t =
+  (* Epoch membership is stable state: forgetting it would let a recovered
+     site accept quorum traffic from a configuration it already left. *)
   t.locks <- [];
   t.log <- Log.stable t.log
+
+let epoch t = t.epoch
+let advance_epoch t e = if e > t.epoch then t.epoch <- e
 
 let intentions t = t.locks
 

@@ -52,6 +52,20 @@ val intend : t -> intention -> unit
 val release : t -> Action.t -> int -> unit
 (** Drop one intention (back-off path). *)
 
+val epoch : t -> int
+(** The newest epoch this repository has joined (0 at creation). Stored on
+    stable storage: it survives crash-with-amnesia, because a site that
+    forgot it had left an epoch would accept that epoch's stale quorum
+    traffic after recovery. *)
+
+val advance_epoch : t -> int -> unit
+(** Monotone: join the given epoch if it is newer, ignore otherwise.
+    Front-ends stamp quorum reads and appends with their epoch number;
+    {!Atomrep_replica.Replicated} refuses any stamped below {!epoch} and
+    advances the repository on anything newer (epochs are learned from
+    traffic as well as from the reconfiguration coordinator's seal and
+    state-transfer messages). *)
+
 val witness : t -> Lamport.Timestamp.t -> unit
 (** Repositories participate in Lamport-clock gossip: they remember the
     largest entry timestamp seen, which front-ends merge back. *)

@@ -12,9 +12,40 @@ type object_config = {
   obj_spec : Serial_spec.t;
   obj_relation : Relation.t;
   obj_assignment : Assignment.t;
+  obj_members : int list option;
 }
 
 type op_request = { target : string; invocation : Event.Invocation.t }
+
+type reconfig = {
+  probe_every : float;
+  probe_timeout : float;
+  suspect_after : int;
+  check_every : float;
+  cooldown : float;
+  assume_p : float;
+  mix : (string * float) list;
+  monitor : int;
+  allow_barrier : bool;
+  unsafe_no_barrier : bool;
+  plan_override :
+    (live:int list -> n_sites:int -> (int list * Assignment.t) option) option;
+}
+
+let default_reconfig =
+  {
+    probe_every = 40.0;
+    probe_timeout = 25.0;
+    suspect_after = 3;
+    check_every = 60.0;
+    cooldown = 150.0;
+    assume_p = 0.9;
+    mix = [];
+    monitor = 0;
+    allow_barrier = true;
+    unsafe_no_barrier = false;
+    plan_override = None;
+  }
 
 type config = {
   seed : int;
@@ -34,6 +65,7 @@ type config = {
   install_faults : Network.t -> unit;
   horizon : float;
   anti_entropy_every : float option;
+  reconfig : reconfig option;
 }
 
 let default_queue_assignment ~n_sites =
@@ -58,6 +90,7 @@ let default_config =
           obj_spec = Queue_type.spec;
           obj_relation = Static_dep.minimal Queue_type.spec ~max_len:4;
           obj_assignment = default_queue_assignment ~n_sites:3;
+          obj_members = None;
         };
       ];
     n_txns = 20;
@@ -77,6 +110,7 @@ let default_config =
     install_faults = (fun _ -> ());
     horizon = 1_000_000.0;
     anti_entropy_every = None;
+    reconfig = None;
   }
 
 type metrics = {
@@ -94,6 +128,12 @@ type metrics = {
   msgs_duplicated : int;
   msgs_dead_dest : int;
   rpc_timeouts : int;
+  reconfigs : int;
+  reconfigs_refused : int;
+  reconfigs_failed : int;
+  reconfig_latency : Summary.t;
+  suspicion_transitions : int;
+  final_epoch : int;
 }
 
 type outcome = {
@@ -324,7 +364,7 @@ let run cfg =
         ( oc.obj_name,
           Replicated.create ~name:oc.obj_name ~spec:oc.obj_spec ~scheme:cfg.scheme
             ~relation:oc.obj_relation ~assignment:oc.obj_assignment ~net
-            ~rpc_timeout:cfg.rpc_timeout () ))
+            ?members:oc.obj_members ~rpc_timeout:cfg.rpc_timeout () ))
       cfg.objects
   in
   let st =
@@ -379,6 +419,73 @@ let run cfg =
       | Some every -> Replicated.start_anti_entropy obj ~rng:gossip_rng ~every
       | None -> ())
     objects;
+  (* Reconfiguration coordinator: a failure detector feeds a periodic
+     check; when a current member is suspected dead, the policy proposes a
+     new (member set, assignment) over the live view and the handoff runs
+     through Replicated.reconfigure. The detector draws from its own split
+     stream for the same reason gossip does: toggling reconfiguration must
+     not perturb the workload's draws. *)
+  let n_reconfigs = ref 0 in
+  let n_refused = ref 0 in
+  let n_failed = ref 0 in
+  let reconfig_lat = Summary.create () in
+  let detector = ref None in
+  (match cfg.reconfig with
+   | None -> ignore (Rng.split (Engine.rng engine))
+   | Some rc ->
+     let det_rng = Rng.split (Engine.rng engine) in
+     let det =
+       Detector.start net ~rng:det_rng ~probe_every:rc.probe_every
+         ~timeout:rc.probe_timeout ~suspect_after:rc.suspect_after
+         ~monitor:rc.monitor ()
+     in
+     detector := Some det;
+     let in_flight = ref false in
+     let last_done = ref (-.rc.cooldown) in
+     let consider (_, obj) =
+       if
+         (not !in_flight)
+         && Network.site_up net rc.monitor
+         && Engine.now engine -. !last_done >= rc.cooldown
+       then begin
+         let live = Detector.live det in
+         let members = Epoch.members (Replicated.current_epoch obj) in
+         if List.exists (fun s -> not (List.mem s live)) members then begin
+           let plan =
+             match rc.plan_override with
+             | Some f -> f ~live ~n_sites:cfg.n_sites
+             | None ->
+               Reassign.plan ~live ~ops:(Replicated.ops obj)
+                 ~constraints:(Replicated.constraints obj) ~p:rc.assume_p
+                 ~mix:rc.mix ()
+           in
+           match plan with
+           | None -> () (* no satisfying assignment: keep the old epoch *)
+           | Some (members', _) when members' = members -> ()
+           | Some (members', assignment') ->
+             in_flight := true;
+             let t0 = Engine.now engine in
+             Replicated.reconfigure obj ~members:members' ~assignment:assignment'
+               ~allow_barrier:rc.allow_barrier
+               ~unsafe_no_barrier:rc.unsafe_no_barrier ~from:rc.monitor
+               (fun result ->
+                 in_flight := false;
+                 last_done := Engine.now engine;
+                 match result with
+                 | Replicated.Reconfigured _ ->
+                   incr n_reconfigs;
+                   Summary.add reconfig_lat (Engine.now engine -. t0)
+                 | Replicated.Refused _ -> incr n_refused
+                 | Replicated.Failed _ -> incr n_failed)
+         end
+       end
+     in
+     let rec check () =
+       Engine.schedule engine ~delay:rc.check_every (fun () ->
+           List.iter consider objects;
+           check ())
+     in
+     check ());
   let rng = Engine.rng engine in
   let arrival = ref 0.0 in
   for i = 0 to cfg.n_txns - 1 do
@@ -386,6 +493,7 @@ let run cfg =
     run_txn st i ~arrival:!arrival
   done;
   Engine.run ~until:cfg.horizon engine;
+  (match !detector with Some d -> Detector.stop d | None -> ());
   let ns = Network.stats net in
   let metrics =
     {
@@ -403,6 +511,17 @@ let run cfg =
       msgs_duplicated = ns.Network.duplicated;
       msgs_dead_dest = ns.Network.dead_dest;
       rpc_timeouts = ns.Network.rpc_timeouts;
+      reconfigs = !n_reconfigs;
+      reconfigs_refused = !n_refused;
+      reconfigs_failed = !n_failed;
+      reconfig_latency = reconfig_lat;
+      suspicion_transitions =
+        (match !detector with Some d -> Detector.transitions d | None -> 0);
+      final_epoch =
+        List.fold_left
+          (fun acc (_, obj) ->
+            max acc (Epoch.number (Replicated.current_epoch obj)))
+          0 objects;
     }
   in
   let histories =

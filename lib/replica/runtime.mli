@@ -29,9 +29,33 @@ type object_config = {
   obj_spec : Serial_spec.t;
   obj_relation : Relation.t; (** dependency relation for conflict tables *)
   obj_assignment : Assignment.t;
+  obj_members : int list option;
+      (** epoch 0's repository sites (default all sites); the assignment
+          must be sized for exactly this member count *)
 }
 
 type op_request = { target : string; invocation : Event.Invocation.t }
+
+type reconfig = {
+  probe_every : float; (** detector probe period (jittered) *)
+  probe_timeout : float; (** per-probe RPC timeout *)
+  suspect_after : int; (** consecutive misses before suspicion *)
+  check_every : float; (** coordinator wake-up period *)
+  cooldown : float; (** minimum time between reconfiguration attempts *)
+  assume_p : float; (** per-site up-probability the policy scores with *)
+  mix : (string * float) list; (** workload mix for the policy (default uniform) *)
+  monitor : int; (** site hosting the detector and coordinator *)
+  allow_barrier : bool; (** permit the state-transfer barrier handoff *)
+  unsafe_no_barrier : bool;
+      (** negative testing only: skip the invariant and the barrier *)
+  plan_override :
+    (live:int list -> n_sites:int -> (int list * Assignment.t) option) option;
+      (** test hook replacing {!Atomrep_quorum.Reassign.plan} *)
+}
+
+val default_reconfig : reconfig
+(** Probe every 40 with timeout 25, suspect after 3 misses, check every 60
+    with cooldown 150, score at p = 0.9, monitor site 0, barrier allowed. *)
 
 type config = {
   seed : int;
@@ -56,6 +80,12 @@ type config = {
   anti_entropy_every : float option;
       (** start per-object gossip ({!Replicated.start_anti_entropy}) at
           this period *)
+  reconfig : reconfig option;
+      (** enable the failure-detector-driven reconfiguration coordinator:
+          when a current epoch member is suspected dead, propose the best
+          satisfying assignment over the live view and hand off via
+          {!Replicated.reconfigure}. [None] pins epoch 0 for the whole
+          run (the pre-reconfiguration behavior). *)
 }
 
 val default_config : config
@@ -80,6 +110,12 @@ type metrics = {
   msgs_duplicated : int;
   msgs_dead_dest : int; (** delivered while the destination was down *)
   rpc_timeouts : int;
+  reconfigs : int; (** successful epoch handoffs *)
+  reconfigs_refused : int; (** attempts refused (static scheme, bad plan) *)
+  reconfigs_failed : int; (** attempts that lost a seal/transfer quorum *)
+  reconfig_latency : Summary.t; (** wall-clock (simulated) per successful handoff *)
+  suspicion_transitions : int; (** detector churn: raises plus clears *)
+  final_epoch : int; (** largest epoch number in force at the horizon *)
 }
 
 type outcome = {

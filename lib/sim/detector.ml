@@ -1,0 +1,78 @@
+open Atomrep_stats
+
+type t = {
+  net : Network.t;
+  rng : Rng.t;
+  probe_every : float;
+  timeout : float;
+  suspect_after : int;
+  monitor : int;
+  misses : int array;
+  susp : bool array;
+  mutable transitions : int;
+  mutable stopped : bool;
+}
+
+let monitor t = t.monitor
+let suspected t site = t.susp.(site)
+
+let live t =
+  List.filter
+    (fun site -> not t.susp.(site))
+    (List.init (Network.n_sites t.net) Fun.id)
+
+let transitions t = t.transitions
+let stop t = t.stopped <- true
+
+let set_suspected t site v =
+  if t.susp.(site) <> v then begin
+    t.susp.(site) <- v;
+    t.transitions <- t.transitions + 1
+  end
+
+let start net ~rng ?(probe_every = 40.0) ?(timeout = 25.0) ?(suspect_after = 3)
+    ?(monitor = 0) () =
+  let n = Network.n_sites net in
+  let t =
+    {
+      net;
+      rng;
+      probe_every;
+      timeout;
+      suspect_after;
+      monitor;
+      misses = Array.make n 0;
+      susp = Array.make n false;
+      transitions = 0;
+      stopped = false;
+    }
+  in
+  let engine = Network.engine net in
+  let rec probe site =
+    (* Uniform jitter in [0.75, 1.25) of the period keeps per-site probe
+       trains from phase-locking with each other or with the workload. *)
+    let delay = t.probe_every *. (0.75 +. Rng.float t.rng 0.5) in
+    Engine.schedule engine ~delay (fun () ->
+        if not t.stopped then begin
+          if Network.site_up t.net t.monitor then
+            Rpc.call t.net ~src:t.monitor ~dst:site ~timeout:t.timeout
+              ~handler:(fun () -> ())
+              ~reply:(function
+                | Some () ->
+                  t.misses.(site) <- 0;
+                  set_suspected t site false
+                | None ->
+                  (* A probe that dies while the monitor itself is down says
+                     nothing about the target — don't count it. *)
+                  if Network.site_up t.net t.monitor then begin
+                    t.misses.(site) <- t.misses.(site) + 1;
+                    if t.misses.(site) >= t.suspect_after then
+                      set_suspected t site true
+                  end);
+          probe site
+        end)
+  in
+  for site = 0 to n - 1 do
+    if site <> t.monitor then probe site
+  done;
+  t

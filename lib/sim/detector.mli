@@ -1,0 +1,54 @@
+(** Heartbeat failure detector (eventually-perfect style, ◇P in spirit).
+
+    A designated monitor site probes every other site over the simulated
+    network with jittered periods; a site that misses [suspect_after]
+    consecutive probe replies becomes suspected, and any successful reply
+    clears the suspicion. Probes are ordinary {!Rpc} calls, so the detector
+    inherits every failure mode the paper's model admits: a suspicion may
+    mean a crash, a partition separating the site from the monitor, or
+    merely a slow link — the detector cannot tell, which is exactly why
+    reconfiguration driven by it must be safe under false suspicion.
+
+    Determinism: probe jitter draws from the caller-supplied RNG (split it
+    from the engine's stream, as {!Atomrep_replica.Runtime} does for
+    gossip), and probe traffic rides the seeded simulation engine, so a
+    (seed, config) pair replays the exact same suspicion timeline. *)
+
+type t
+
+val start :
+  Network.t ->
+  rng:Atomrep_stats.Rng.t ->
+  ?probe_every:float ->
+  ?timeout:float ->
+  ?suspect_after:int ->
+  ?monitor:int ->
+  unit ->
+  t
+(** Begin probing every non-monitor site. [probe_every] (default 40) is the
+    mean probe period, jittered uniformly in [0.75, 1.25) of itself so
+    probes to different sites do not phase-lock; [timeout] (default 25)
+    bounds each probe RPC; [suspect_after] (default 3) consecutive missed
+    replies raise suspicion; [monitor] (default 0) is the probing site.
+    While the monitor itself is down no probes are sent and timed-out
+    probes are not counted as misses — a dead monitor must not poison its
+    own view of the cluster. *)
+
+val monitor : t -> int
+
+val suspected : t -> int -> bool
+(** Is the site currently suspected? The monitor never suspects itself. *)
+
+val live : t -> int list
+(** The monitor's current view: every site not currently suspected, in
+    ascending order. This is a {e view}, not ground truth — a crashed site
+    stays listed until its misses accumulate, and a slow site may be
+    missing although up. *)
+
+val transitions : t -> int
+(** Number of suspicion-state changes so far (raises plus clears) — the
+    detector's churn, surfaced in {!Atomrep_replica.Runtime.metrics}. *)
+
+val stop : t -> unit
+(** Cease probing: already-scheduled probe events become no-ops, so a
+    bounded-horizon run drains cleanly. *)

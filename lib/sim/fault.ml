@@ -99,6 +99,18 @@ let rotating_one_way net ~every ~duration =
   in
   if n > 1 then cycle 0
 
+let kill net ~site ~at =
+  let engine = Network.engine net in
+  Engine.schedule engine ~delay:at (fun () -> Network.crash net site)
+
+let staggered_kill net ~start ~gap ~victims =
+  let n = Network.n_sites net in
+  List.iteri
+    (fun k site ->
+      if site >= 0 && site < n then
+        kill net ~site ~at:(start +. (float_of_int k *. gap)))
+    victims
+
 let clock_skew net ~site ~every ~max_skew =
   let engine = Network.engine net in
   let rng = Engine.rng engine in

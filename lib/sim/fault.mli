@@ -58,6 +58,21 @@ val rotating_one_way : Network.t -> every:float -> duration:float -> unit
 (** Periodic one-way outages rotating over the ring of adjacent site
     pairs. *)
 
+val kill : Network.t -> site:int -> at:float -> unit
+(** Crash the site at the given simulated time and never recover it — a
+    permanent assassination, unlike the cycling {!crash_recover}. This is
+    the failure mode reconfiguration exists for: the dead site's quorum
+    votes are gone for good and only reassignment restores availability. *)
+
+val staggered_kill :
+  Network.t -> start:float -> gap:float -> victims:int list -> unit
+(** Permanently kill each victim in order, the first at [start] and each
+    subsequent one [gap] later. Victims outside the site range are
+    ignored. Staggering matters: it gives a reconfiguration coordinator a
+    window to move quorums off each corpse before the next one drops,
+    whereas killing a majority at once correctly leaves the safe handoff
+    protocol unable to seal the old epoch. *)
+
 val clock_skew : Network.t -> site:int -> every:float -> max_skew:int -> unit
 (** Periodically advance the site's logical clock by a uniformly drawn
     amount in [\[0, max_skew\]] via {!Network.inject_skew} — bounded clock

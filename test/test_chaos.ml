@@ -237,6 +237,7 @@ let weakened_base =
           obj_spec = spec;
           obj_relation = weak;
           obj_assignment = Runtime.default_queue_assignment ~n_sites:3;
+            obj_members = None;
         };
       ];
   }

@@ -216,6 +216,30 @@ let test_montecarlo_partition_kills_full_quorum () =
   let est = Montecarlo.estimate rng ~trials:2_000 model ~client_site:0 a ~op:"Seal" in
   check_bool "always partitioned, never all-sites" true (est = 0.0)
 
+let test_montecarlo_unlisted_sites_are_isolated () =
+  (* Regression: sites absent from [groups] used to share one implicit
+     group, so a permanently-partitioned model still let two unlisted
+     sites reach each other. Each unlisted site is its own singleton. *)
+  let n = 4 in
+  let a =
+    Assignment.make ~n_sites:n [ ("Write", { Assignment.initial = 2; final = 2 }) ]
+  in
+  let model =
+    {
+      Montecarlo.p_up = Array.make n 1.0;
+      partition_probability = 1.0;
+      groups = [ [ 0; 1 ] ];
+    }
+  in
+  let rng = Rng.create 5 in
+  (* Client at unlisted site 2: it must not reach unlisted site 3, so no
+     2-of-4 quorum is ever available. *)
+  let est = Montecarlo.estimate rng ~trials:2_000 model ~client_site:2 a ~op:"Write" in
+  check_bool "unlisted sites cannot reach each other" true (est = 0.0);
+  (* Client inside the listed group still finds its quorum. *)
+  let est = Montecarlo.estimate rng ~trials:2_000 model ~client_site:0 a ~op:"Write" in
+  check_bool "listed group unaffected" true (est = 1.0)
+
 let test_montecarlo_partition_spares_singleton () =
   let n = 4 in
   let a =
@@ -383,6 +407,8 @@ let suites =
           test_montecarlo_partition_kills_full_quorum;
         Alcotest.test_case "montecarlo: singleton survives" `Quick
           test_montecarlo_partition_spares_singleton;
+        Alcotest.test_case "montecarlo: unlisted sites isolated" `Quick
+          test_montecarlo_unlisted_sites_are_isolated;
         Alcotest.test_case "weighted enumerate" `Quick test_weighted_enumerate_respects_constraints;
         Alcotest.test_case "weighted beats uniform" `Quick test_weighted_beats_uniform_on_reliable_site;
         Alcotest.test_case "log gc" `Quick test_log_gc_drops_aborted_entries;

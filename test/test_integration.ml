@@ -130,6 +130,7 @@ let run_one_object ?(n_txns = 20) ~name ~spec ~ops script scheme seed =
             obj_spec = spec;
             obj_relation = Static_dep.minimal spec ~max_len:3;
             obj_assignment = majority;
+            obj_members = None;
           };
         ];
       script;

@@ -144,6 +144,63 @@ let prop_availability_bounds =
       let v = Atomrep_quorum.Assignment.availability a ~p "Op" in
       v >= -.1e-9 && v <= 1.0 +. 1e-9)
 
+(* Random operation-level constraint sets over a small op alphabet. *)
+let constraints_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 4)
+      (map2
+         (fun d s ->
+           {
+             Atomrep_quorum.Op_constraint.dependent = (if d then "A" else "B");
+             supplier = (if s then "A" else "B");
+             labels = [ "Ok" ];
+           })
+         bool bool))
+
+let prop_enumerate_satisfies =
+  QCheck2.Test.make ~name:"every enumerated assignment satisfies its constraints"
+    ~count:60
+    QCheck2.Gen.(pair (int_range 1 4) constraints_gen)
+    (fun (n_sites, constraints) ->
+      let open Atomrep_quorum in
+      Assignment.enumerate ~n_sites ~ops:[ "A"; "B" ] constraints
+      |> List.for_all (fun a -> Assignment.satisfies a constraints))
+
+let prop_availability_monotone_in_p =
+  QCheck2.Test.make ~name:"availability monotone in site up-probability" ~count:120
+    QCheck2.Gen.(
+      quad (int_range 1 6) (int_range 1 6)
+        (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+    (fun (n, k, p1, p2) ->
+      let open Atomrep_quorum in
+      let k = min k n in
+      let a =
+        Assignment.make ~n_sites:n
+          [ ("Op", { Assignment.initial = k; final = k }) ]
+      in
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Assignment.availability a ~p:lo "Op"
+      <= Assignment.availability a ~p:hi "Op" +. 1e-9)
+
+let prop_reassign_plan_sound =
+  (* Whatever the policy proposes must be usable as an epoch: members are
+     exactly the (deduplicated, sorted) live view, and the assignment both
+     fits the member count and satisfies the constraints. *)
+  QCheck2.Test.make ~name:"reassignment plans are sound" ~count:60
+    QCheck2.Gen.(pair (list_size (int_range 0 6) (int_range 0 5)) constraints_gen)
+    (fun (live, constraints) ->
+      let open Atomrep_quorum in
+      match Reassign.plan ~live ~ops:[ "A"; "B" ] ~constraints () with
+      | None -> true
+      | Some (members, a) ->
+        members = List.sort_uniq compare live
+        && Assignment.satisfies a constraints
+        && (try
+              ignore
+                (Atomrep_replica.Epoch.make ~number:1 ~members ~assignment:a);
+              true
+            with Invalid_argument _ -> false))
+
 let prop_relation_union_still_dependency =
   (* Monotonicity of hybrid validity under union, checked on PROM with a
      small checker. *)
@@ -267,6 +324,9 @@ let suites =
           prop_log_merge_associative;
           prop_quorum_intersection_theorem;
           prop_availability_bounds;
+          prop_enumerate_satisfies;
+          prop_availability_monotone_in_p;
+          prop_reassign_plan_sound;
           prop_relation_union_still_dependency;
           prop_locking_scheduler_dynamic;
           prop_static_scheduler_static;

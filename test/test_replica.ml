@@ -198,6 +198,7 @@ let test_multi_object_transactions () =
           obj_spec = Queue_type.spec;
           obj_relation = relation;
           obj_assignment = assignment;
+            obj_members = None;
         })
       [ "q1"; "q2" ]
   in
