@@ -8,6 +8,10 @@
      dune exec bench/main.exe -- chaos     — timed chaos campaign sweep
      dune exec bench/main.exe -- reconfig  — reconfiguration campaign + on/off
                                              committed-throughput comparison
+     dune exec bench/main.exe -- json      — machine-readable BENCH_3.json
+                                             (per-scheme throughput, abort
+                                             breakdown, latency percentiles,
+                                             tracing on/off wall-clock)
 
    Each experiment regenerates one of the paper's figures or worked
    examples (see DESIGN.md's experiment index and EXPERIMENTS.md for the
@@ -221,21 +225,105 @@ let run_reconfig () =
   if on > off then print_endline "  => reconfiguration strictly improves committed ops"
   else print_endline "  => WARNING: no improvement measured"
 
+(* Machine-readable benchmark record: one fixed-seed run of the default
+   3-site replicated queue per scheme (committed ops, abort breakdown,
+   transaction-latency percentiles) plus the tracing on/off wall-clock
+   comparison. Written to BENCH_<n_sites>.json; the schema is documented in
+   EXPERIMENTS.md. *)
+let run_json () =
+  let module Runtime = Atomrep_replica.Runtime in
+  let module Replicated = Atomrep_replica.Replicated in
+  let module Json = Atomrep_obs.Json in
+  let module Summary = Atomrep_stats.Summary in
+  let seed = 42 and n_txns = 200 in
+  let n_sites = Runtime.default_config.Runtime.n_sites in
+  let cfg scheme trace =
+    { Runtime.default_config with Runtime.seed; n_txns; scheme; trace }
+  in
+  let scheme_entry scheme =
+    let outcome = Runtime.run (cfg scheme None) in
+    let m = outcome.Runtime.metrics in
+    let lat = m.Runtime.txn_latency in
+    Json.Obj
+      [
+        ("scheme", Json.Str (Replicated.scheme_name scheme));
+        ("committed", Json.int m.Runtime.committed);
+        ("aborted", Json.int m.Runtime.aborted);
+        ( "aborts",
+          Json.Obj
+            [
+              ("unavailable", Json.int m.Runtime.unavailable_aborts);
+              ("rejected", Json.int m.Runtime.rejected_aborts);
+              ("conflict", Json.int m.Runtime.conflict_aborts);
+            ] );
+        ("ops_done", Json.int m.Runtime.ops_done);
+        ("blocked_waits", Json.int m.Runtime.blocked_waits);
+        ( "txn_latency",
+          Json.Obj
+            [
+              ("count", Json.int (Summary.count lat));
+              ("mean", Json.Num (Summary.mean lat));
+              ("p50", Json.Num (Summary.percentile lat 0.5));
+              ("p95", Json.Num (Summary.percentile lat 0.95));
+              ("p99", Json.Num (Summary.percentile lat 0.99));
+              ("max", Json.Num (Summary.max_value lat));
+            ] );
+        ("msgs_sent", Json.int m.Runtime.msgs_sent);
+        ("sim_duration", Json.Num m.Runtime.duration);
+      ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let hybrid = Replicated.Hybrid in
+  let _, off_s = time (fun () -> Runtime.run (cfg hybrid None)) in
+  let tr = Atomrep_obs.Trace.create ~n_sites () in
+  let _, on_s = time (fun () -> Runtime.run (cfg hybrid (Some tr))) in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "replicated-queue");
+        ("n_sites", Json.int n_sites);
+        ("seed", Json.int seed);
+        ("n_txns", Json.int n_txns);
+        ( "schemes",
+          Json.List (List.map scheme_entry Replicated.[ Static; Hybrid; Locking ]) );
+        ( "tracing_overhead",
+          Json.Obj
+            [
+              ("off_s", Json.Num off_s);
+              ("on_s", Json.Num on_s);
+              ("ratio", Json.Num (if off_s > 0.0 then on_s /. off_s else 0.0));
+              ("trace_events", Json.int (Atomrep_obs.Trace.length tr));
+            ] );
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%d.json" n_sites in
+  Atomrep_obs.Export.write_file path (Json.to_string doc);
+  Printf.printf "wrote %s (tracing overhead: %.3fs off, %.3fs on, %d events)\n" path
+    off_s on_s (Atomrep_obs.Trace.length tr)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = args = [ "micro" ] in
   let chaos_only = args = [ "chaos" ] in
   let reconfig_only = args = [ "reconfig" ] in
+  let json_only = args = [ "json" ] in
   let micro = List.mem "micro" args || args = [] || List.mem "all" args in
   let chaos = List.mem "chaos" args in
   let reconfig = List.mem "reconfig" args in
+  let json = List.mem "json" args in
   let ids =
     List.filter
-      (fun a -> a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig")
+      (fun a ->
+        a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig" && a <> "json")
       args
   in
-  if (not micro_only) && (not chaos_only) && not reconfig_only then
-    run_experiments ids;
+  if (not micro_only) && (not chaos_only) && (not reconfig_only) && not json_only
+  then run_experiments ids;
   if micro then run_micro ();
   if chaos then run_chaos ();
-  if reconfig then run_reconfig ()
+  if reconfig then run_reconfig ();
+  if json then run_json ()

@@ -13,6 +13,39 @@ open Atomrep_spec
 open Atomrep_core
 open Atomrep_quorum
 open Atomrep_stats
+module Obs = Atomrep_obs
+
+(* Shared observability flags: --trace/--trace-format for the event trace,
+   --metrics-json for the run's metrics registry. *)
+let trace_file_arg =
+  let doc = "Write the run's event trace to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace format: `jsonl' (one event per line) or `chrome' (trace_event \
+     JSON, opens in Perfetto / chrome://tracing)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let metrics_json_arg =
+  let doc = "Write the run's metrics registry as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+let write_trace path fmt trace =
+  let contents =
+    match fmt with
+    | `Chrome -> Obs.Export.chrome_string trace
+    | `Jsonl -> Obs.Export.jsonl trace
+  in
+  Obs.Export.write_file path contents;
+  print_string (Obs.Export.flame trace)
+
+let write_metrics path registry =
+  Obs.Export.write_file path (Obs.Json.to_string (Obs.Metrics.to_json registry))
 
 let find_spec name =
   match Type_registry.find name with
@@ -122,7 +155,8 @@ let quorums_cmd =
 (* --- simulate --- *)
 
 let simulate_cmd =
-  let run scheme_name n_txns n_sites seed mtbf reconfigure =
+  let run scheme_name n_txns n_sites seed mtbf reconfigure trace_file trace_format
+      metrics_json =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -139,6 +173,11 @@ let simulate_cmd =
       let install_faults net =
         if mtbf > 0.0 then Atomrep_sim.Fault.crash_recover_all net ~mtbf ~mttr:150.0
       in
+      let trace =
+        match trace_file with
+        | Some _ -> Some (Obs.Trace.create ~n_sites ())
+        | None -> None
+      in
       let cfg =
         {
           Runtime.default_config with
@@ -147,6 +186,7 @@ let simulate_cmd =
           n_sites;
           seed;
           install_faults;
+          trace;
           objects =
             [
               {
@@ -189,6 +229,12 @@ let simulate_cmd =
        | [] -> print_endline "atomicity check: OK"
        | fs ->
          List.iter (fun (o, f) -> Printf.printf "ATOMICITY VIOLATION %s: %s\n" o f) fs);
+      (match trace_file, trace with
+       | Some path, Some tr -> write_trace path trace_format tr
+       | _ -> ());
+      (match metrics_json with
+       | Some path -> write_metrics path outcome.Runtime.registry
+       | None -> ());
       if failures = [] then 0 else 1
   in
   let scheme_arg =
@@ -220,7 +266,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg
-      $ reconfigure_arg)
+      $ reconfigure_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg)
 
 (* --- chaos --- *)
 
@@ -257,7 +303,8 @@ let chaos_cmd =
         (String.split_on_char ',' names)
         (Ok [])
   in
-  let run schemes profiles seeds txns intensity repro seed reconfig =
+  let run schemes profiles seeds txns intensity repro seed reconfig trace_file
+      trace_format metrics_json postmortem_dir =
     match parse_schemes schemes, parse_profiles profiles with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -267,16 +314,26 @@ let chaos_cmd =
         if reconfig then Campaign.reconfig_base else Campaign.default_base
       in
       if repro then begin
-        (* Replay one reproducer tuple per scheme/profile given. *)
+        (* Replay one reproducer tuple per scheme/profile given; all the
+           replays share one trace bus, so the exported file covers the
+           whole invocation. *)
+        let trace =
+          match trace_file with
+          | Some _ ->
+            Some (Obs.Trace.create ~n_sites:base.Atomrep_replica.Runtime.n_sites ())
+          | None -> None
+        in
         let failed = ref false in
+        let last_registry = ref None in
         List.iter
           (fun scheme ->
             List.iter
               (fun profile ->
                 let outcome, failures =
-                  Campaign.reproduce ~base ~scheme ~profile ~seed ~n_txns:txns
-                    ~intensity ()
+                  Campaign.reproduce ~base ?trace ~scheme ~profile ~seed
+                    ~n_txns:txns ~intensity ()
                 in
+                last_registry := Some outcome.Atomrep_replica.Runtime.registry;
                 Printf.printf "%s/%s seed=%d txns=%d intensity=%g: committed=%d\n"
                   (Atomrep_replica.Replicated.scheme_name scheme)
                   profile.Campaign.profile_name seed txns intensity
@@ -291,12 +348,18 @@ let chaos_cmd =
                     fs)
               profiles)
           schemes;
+        (match trace_file, trace with
+         | Some path, Some tr -> write_trace path trace_format tr
+         | _ -> ());
+        (match metrics_json, !last_registry with
+         | Some path, Some registry -> write_metrics path registry
+         | _ -> ());
         if !failed then 1 else 0
       end
       else begin
         let report =
-          Campaign.run_campaign ~base ~n_txns:txns ~intensity ~schemes ~profiles
-            ~seeds ()
+          Campaign.run_campaign ~base ~n_txns:txns ~intensity ?postmortem_dir
+            ~schemes ~profiles ~seeds ()
         in
         Format.printf "%a" Campaign.pp_report report;
         if report.Campaign.violations = [] then 0 else 1
@@ -344,11 +407,21 @@ let chaos_cmd =
             "Campaign against the reconfiguration base: five sites, the \
              epoch coordinator enabled (pairs well with --profiles kills).")
   in
+  let postmortem_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "postmortem-dir" ] ~docv:"DIR"
+          ~doc:
+            "Replay each shrunk violation under tracing and write a causal \
+             postmortem plus the full trace into $(docv).")
+  in
   let doc = "Run a fault-injection campaign and check atomicity after every run" in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg $ intensity_arg
-      $ repro_arg $ seed_arg $ reconfig_arg)
+      $ repro_arg $ seed_arg $ reconfig_arg $ trace_file_arg $ trace_format_arg
+      $ metrics_json_arg $ postmortem_dir_arg)
 
 (* --- experiment --- *)
 

@@ -1,4 +1,7 @@
 open Atomrep_replica
+module Trace = Atomrep_obs.Trace
+module Export = Atomrep_obs.Export
+module Postmortem = Atomrep_obs.Postmortem
 
 type profile = { profile_name : string; nemesis : Nemesis.t }
 
@@ -59,6 +62,7 @@ type violation = {
   v_n_txns : int;
   v_intensity : float;
   v_failures : (string * string) list;
+  v_postmortem : string option;
 }
 
 type cell = {
@@ -100,7 +104,7 @@ let reconfig_base =
     reconfig = Some Runtime.default_reconfig;
   }
 
-let configure ~base ~scheme ~seed ~n_txns ~intensity profile =
+let configure ~base ~scheme ~seed ~n_txns ~intensity ?trace profile =
   {
     base with
     Runtime.scheme;
@@ -108,6 +112,7 @@ let configure ~base ~scheme ~seed ~n_txns ~intensity profile =
     n_txns;
     install_faults =
       (fun net -> Nemesis.install (Nemesis.scale intensity profile.nemesis) net);
+    trace = (match trace with Some _ -> trace | None -> base.Runtime.trace);
   }
 
 let check_run cfg =
@@ -150,8 +155,53 @@ let shrink ~base v =
   in
   { v with v_n_txns = n_txns; v_intensity = intensity; v_failures = snd (check_run cfg) }
 
-let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0) ~schemes
-    ~profiles ~seeds () =
+let reproducer_line v =
+  Printf.sprintf
+    "atomrep chaos --repro --schemes %s --profiles %s --seed %d --txns %d \
+     --intensity %g"
+    (Replicated.scheme_name v.v_scheme)
+    v.v_profile.profile_name v.v_seed v.v_n_txns v.v_intensity
+
+(* Replay a (shrunk) violation with tracing on and slice the trace to the
+   causal cone of the violating actions. Determinism makes the traced
+   replay produce the same failure the untraced run did. *)
+let trace_violation ?(base = default_base) v =
+  let trace = Trace.create ~n_sites:base.Runtime.n_sites () in
+  let cfg =
+    configure ~base ~scheme:v.v_scheme ~seed:v.v_seed ~n_txns:v.v_n_txns
+      ~intensity:v.v_intensity ~trace v.v_profile
+  in
+  let _, failures = check_run cfg in
+  let header =
+    [
+      ("scheme", Replicated.scheme_name v.v_scheme);
+      ("profile", v.v_profile.profile_name);
+      ("seed", string_of_int v.v_seed);
+      ("txns", string_of_int v.v_n_txns);
+      ("intensity", Printf.sprintf "%g" v.v_intensity);
+      ("repro", reproducer_line v);
+    ]
+  in
+  (trace, Postmortem.build trace ~header ~failures)
+
+let violation_slug v =
+  Printf.sprintf "%s-%s-seed%d"
+    (Replicated.scheme_name v.v_scheme)
+    v.v_profile.profile_name v.v_seed
+
+let write_postmortem ~base ~dir v =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let trace, pm = trace_violation ~base v in
+  let slug = violation_slug v in
+  let pm_path = Filename.concat dir ("postmortem-" ^ slug ^ ".txt") in
+  Export.write_file pm_path (Postmortem.render pm);
+  Export.write_file
+    (Filename.concat dir ("trace-" ^ slug ^ ".jsonl"))
+    (Export.jsonl trace);
+  { v with v_postmortem = Some pm_path }
+
+let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
+    ?postmortem_dir ~schemes ~profiles ~seeds () =
   let cells = ref [] in
   let violations = ref [] in
   let total = ref 0 in
@@ -176,9 +226,16 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0) ~schem
                   v_n_txns = n_txns;
                   v_intensity = intensity;
                   v_failures = failures;
+                  v_postmortem = None;
                 }
               in
-              violations := shrink ~base v :: !violations
+              let v = shrink ~base v in
+              let v =
+                match postmortem_dir with
+                | Some dir -> write_postmortem ~base ~dir v
+                | None -> v
+              in
+              violations := v :: !violations
             end
           done;
           cells :=
@@ -195,21 +252,18 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0) ~schem
     schemes;
   { cells = List.rev !cells; violations = List.rev !violations; total_runs = !total }
 
-let reproducer_line v =
-  Printf.sprintf
-    "atomrep chaos --repro --schemes %s --profiles %s --seed %d --txns %d \
-     --intensity %g"
-    (Replicated.scheme_name v.v_scheme)
-    v.v_profile.profile_name v.v_seed v.v_n_txns v.v_intensity
-
-let reproduce ?(base = default_base) ~scheme ~profile ~seed ~n_txns ~intensity () =
-  let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity profile in
+let reproduce ?(base = default_base) ?trace ~scheme ~profile ~seed ~n_txns
+    ~intensity () =
+  let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity ?trace profile in
   check_run cfg
 
 let pp_violation ppf v =
   Format.fprintf ppf "@[<v 2>VIOLATION %s/%s seed=%d txns=%d intensity=%g@,repro: %s"
     (Replicated.scheme_name v.v_scheme)
     v.v_profile.profile_name v.v_seed v.v_n_txns v.v_intensity (reproducer_line v);
+  (match v.v_postmortem with
+   | Some path -> Format.fprintf ppf "@,postmortem: %s" path
+   | None -> ());
   List.iter (fun (obj, why) -> Format.fprintf ppf "@,%s: %s" obj why) v.v_failures;
   Format.fprintf ppf "@]"
 

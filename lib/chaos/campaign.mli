@@ -29,6 +29,9 @@ type violation = {
   v_n_txns : int;
   v_intensity : float;
   v_failures : (string * string) list; (** (object, failure description) *)
+  v_postmortem : string option;
+      (** path of the written causal postmortem, when the campaign ran with
+          [postmortem_dir] *)
 }
 
 type cell = {
@@ -65,10 +68,12 @@ val configure :
   seed:int ->
   n_txns:int ->
   intensity:float ->
+  ?trace:Atomrep_obs.Trace.t ->
   profile ->
   Runtime.config
 (** The exact configuration a campaign run uses — exposed so tests can
-    replay a single cell. *)
+    replay a single cell. [trace] attaches a bus to the run (defaults to
+    whatever [base] carries). *)
 
 val check_run : Runtime.config -> Runtime.outcome * (string * string) list
 (** Run once and apply both oracles; an empty failure list means atomic. *)
@@ -78,19 +83,34 @@ val shrink : base:Runtime.config -> violation -> violation
     while the violation persists; returns the smallest reproducer found
     (a local minimum — neither dimension is monotone). *)
 
+val trace_violation :
+  ?base:Runtime.config -> violation -> Atomrep_obs.Trace.t * Atomrep_obs.Postmortem.t
+(** Replay a (shrunk) violation with tracing on — determinism reproduces
+    the same failure — and slice the trace to the causal cone of the
+    violating actions. *)
+
+val write_postmortem : base:Runtime.config -> dir:string -> violation -> violation
+(** {!trace_violation}, rendered to [dir/postmortem-<slug>.txt] with the
+    full trace beside it as [dir/trace-<slug>.jsonl]; returns the violation
+    with [v_postmortem] set. Creates [dir] if needed. *)
+
 val run_campaign :
   ?base:Runtime.config ->
   ?n_txns:int ->
   ?intensity:float ->
+  ?postmortem_dir:string ->
   schemes:Replicated.scheme list ->
   profiles:profile list ->
   seeds:int ->
   unit ->
   report
-(** Sweep seeds [0 .. seeds-1] for every scheme x profile pair. *)
+(** Sweep seeds [0 .. seeds-1] for every scheme x profile pair. With
+    [postmortem_dir], every shrunk violation is replayed under tracing and
+    a causal postmortem plus the full trace are written there. *)
 
 val reproduce :
   ?base:Runtime.config ->
+  ?trace:Atomrep_obs.Trace.t ->
   scheme:Replicated.scheme ->
   profile:profile ->
   seed:int ->
@@ -98,7 +118,7 @@ val reproduce :
   intensity:float ->
   unit ->
   Runtime.outcome * (string * string) list
-(** Replay one reproducer tuple. *)
+(** Replay one reproducer tuple, optionally under tracing. *)
 
 val reproducer_line : violation -> string
 (** A self-contained [atomrep chaos --repro ...] command line. *)

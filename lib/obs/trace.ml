@@ -1,0 +1,233 @@
+type kind =
+  | Rpc_send of { src : int; dst : int }
+  | Rpc_recv of { src : int; dst : int }
+  | Rpc_drop of { src : int; dst : int; reason : string }
+  | Rpc_timeout of { src : int; dst : int }
+  | Quorum_read of { op : string; got : int; need : int }
+  | Quorum_append of { op : string; got : int; need : int }
+  | Repo_append of { txn : string; op : string; tentative : bool }
+  | Txn_begin of { txn : string }
+  | Txn_commit of { txn : string }
+  | Txn_abort of { txn : string; reason : string }
+  | Lock_wait of { txn : string; blocker : string }
+  | Lock_grant of { txn : string; op : string }
+  | Epoch_seal of { epoch : int }
+  | Epoch_transfer of { epoch : int }
+  | Epoch_fence of { epoch : int; stale : int }
+  | Crash of { site : int; amnesia : bool }
+  | Recover of { site : int; resynced : bool }
+  | Partition of { n_groups : int }
+  | Heal
+  | Detector_suspect of { site : int }
+  | Detector_trust of { site : int }
+  | Span_begin of { span : int; parent : int option; label : string }
+  | Span_end of { span : int; outcome : string }
+
+type event = {
+  id : int;
+  time : float;
+  site : int;
+  lamport : int;
+  prev : int option;
+  cause : int option;
+  kind : kind;
+}
+
+let dummy_event =
+  { id = -1; time = 0.0; site = -1; lamport = 0; prev = None; cause = None; kind = Heal }
+
+type t = {
+  on : bool;
+  mutable data : event array; (* growable; [size] slots in use *)
+  mutable size : int;
+  mutable now : unit -> float;
+  (* Per-site Lamport counter and last event id; index [site + 1] so the
+     system lane (-1) shares the machinery. *)
+  counters : int array;
+  last : int array;
+  mutable next_span : int;
+}
+
+let create ?(enabled = true) ~n_sites () =
+  {
+    on = enabled;
+    data = Array.make 1024 dummy_event;
+    size = 0;
+    now = (fun () -> 0.0);
+    counters = Array.make (n_sites + 1) 0;
+    last = Array.make (n_sites + 1) (-1);
+    next_span = 0;
+  }
+
+let null = create ~enabled:false ~n_sites:0 ()
+let enabled t = t.on
+let set_clock t f = t.now <- f
+let length t = t.size
+
+let get t id =
+  if id < 0 || id >= t.size then invalid_arg "Trace.get: bad event id";
+  t.data.(id)
+
+let push t e =
+  if t.size = Array.length t.data then begin
+    let bigger = Array.make (2 * t.size) dummy_event in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1
+
+let emit t ~site ?cause kind =
+  if not t.on then -1
+  else begin
+    let lane = site + 1 in
+    let cause = match cause with Some c when c >= 0 -> Some c | _ -> None in
+    let witnessed =
+      match cause with Some c -> (get t c).lamport | None -> t.counters.(lane)
+    in
+    let lamport = max t.counters.(lane) witnessed + 1 in
+    t.counters.(lane) <- lamport;
+    let prev = if t.last.(lane) >= 0 then Some t.last.(lane) else None in
+    let id = t.size in
+    t.last.(lane) <- id;
+    push t { id; time = t.now (); site; lamport; prev; cause; kind };
+    id
+  end
+
+let events t = Array.to_list (Array.sub t.data 0 t.size)
+
+let span_begin t ~site ?parent label =
+  if not t.on then -1
+  else begin
+    let span = t.next_span in
+    t.next_span <- span + 1;
+    let parent = match parent with Some p when p >= 0 -> Some p | _ -> None in
+    ignore (emit t ~site (Span_begin { span; parent; label }));
+    span
+  end
+
+let span_end t ~site ~span ~outcome =
+  if t.on && span >= 0 then ignore (emit t ~site (Span_end { span; outcome }))
+
+type span = {
+  span_id : int;
+  label : string;
+  span_parent : int option;
+  span_site : int;
+  t_begin : float;
+  t_end : float option;
+  span_outcome : string option;
+}
+
+let spans t =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  for i = 0 to t.size - 1 do
+    let e = t.data.(i) in
+    match e.kind with
+    | Span_begin { span; parent; label } ->
+      Hashtbl.replace tbl span
+        {
+          span_id = span;
+          label;
+          span_parent = parent;
+          span_site = e.site;
+          t_begin = e.time;
+          t_end = None;
+          span_outcome = None;
+        };
+      order := span :: !order
+    | Span_end { span; outcome } ->
+      (match Hashtbl.find_opt tbl span with
+       | Some s ->
+         Hashtbl.replace tbl span
+           { s with t_end = Some e.time; span_outcome = Some outcome }
+       | None -> ())
+    | _ -> ()
+  done;
+  List.rev_map (fun id -> Hashtbl.find tbl id) !order
+
+let span_durations t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match s.t_end with
+      | None -> ()
+      | Some te ->
+        let summary =
+          match Hashtbl.find_opt tbl s.label with
+          | Some sum -> sum
+          | None ->
+            let sum = Atomrep_stats.Summary.create () in
+            Hashtbl.add tbl s.label sum;
+            sum
+        in
+        Atomrep_stats.Summary.add summary (te -. s.t_begin))
+    (spans t);
+  Hashtbl.fold (fun label sum acc -> (label, sum) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let kind_label = function
+  | Rpc_send _ -> "rpc_send"
+  | Rpc_recv _ -> "rpc_recv"
+  | Rpc_drop _ -> "rpc_drop"
+  | Rpc_timeout _ -> "rpc_timeout"
+  | Quorum_read _ -> "quorum_read"
+  | Quorum_append _ -> "quorum_append"
+  | Repo_append _ -> "repo_append"
+  | Txn_begin _ -> "txn_begin"
+  | Txn_commit _ -> "txn_commit"
+  | Txn_abort _ -> "txn_abort"
+  | Lock_wait _ -> "lock_wait"
+  | Lock_grant _ -> "lock_grant"
+  | Epoch_seal _ -> "epoch_seal"
+  | Epoch_transfer _ -> "epoch_transfer"
+  | Epoch_fence _ -> "epoch_fence"
+  | Crash _ -> "crash"
+  | Recover _ -> "recover"
+  | Partition _ -> "partition"
+  | Heal -> "heal"
+  | Detector_suspect _ -> "detector_suspect"
+  | Detector_trust _ -> "detector_trust"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+
+let pp_kind ppf = function
+  | Rpc_send { src; dst } -> Format.fprintf ppf "rpc_send %d->%d" src dst
+  | Rpc_recv { src; dst } -> Format.fprintf ppf "rpc_recv %d->%d" src dst
+  | Rpc_drop { src; dst; reason } ->
+    Format.fprintf ppf "rpc_drop %d->%d (%s)" src dst reason
+  | Rpc_timeout { src; dst } -> Format.fprintf ppf "rpc_timeout %d->%d" src dst
+  | Quorum_read { op; got; need } ->
+    Format.fprintf ppf "quorum_read %s %d/%d" op got need
+  | Quorum_append { op; got; need } ->
+    Format.fprintf ppf "quorum_append %s %d/%d" op got need
+  | Repo_append { txn; op; tentative } ->
+    Format.fprintf ppf "repo_append %s.%s%s" txn op
+      (if tentative then " (tentative)" else "")
+  | Txn_begin { txn } -> Format.fprintf ppf "txn_begin %s" txn
+  | Txn_commit { txn } -> Format.fprintf ppf "txn_commit %s" txn
+  | Txn_abort { txn; reason } -> Format.fprintf ppf "txn_abort %s (%s)" txn reason
+  | Lock_wait { txn; blocker } ->
+    Format.fprintf ppf "lock_wait %s on %s" txn blocker
+  | Lock_grant { txn; op } -> Format.fprintf ppf "lock_grant %s.%s" txn op
+  | Epoch_seal { epoch } -> Format.fprintf ppf "epoch_seal ->%d" epoch
+  | Epoch_transfer { epoch } -> Format.fprintf ppf "epoch_transfer ->%d" epoch
+  | Epoch_fence { epoch; stale } ->
+    Format.fprintf ppf "epoch_fence %d fences %d" epoch stale
+  | Crash { site; amnesia } ->
+    Format.fprintf ppf "crash site %d%s" site (if amnesia then " (amnesia)" else "")
+  | Recover { site; resynced } ->
+    Format.fprintf ppf "recover site %d%s" site (if resynced then " (resynced)" else "")
+  | Partition { n_groups } -> Format.fprintf ppf "partition into %d groups" n_groups
+  | Heal -> Format.pp_print_string ppf "heal"
+  | Detector_suspect { site } -> Format.fprintf ppf "detector_suspect site %d" site
+  | Detector_trust { site } -> Format.fprintf ppf "detector_trust site %d" site
+  | Span_begin { span; parent; label } ->
+    Format.fprintf ppf "span_begin #%d %s%s" span label
+      (match parent with Some p -> Printf.sprintf " (in #%d)" p | None -> "")
+  | Span_end { span; outcome } -> Format.fprintf ppf "span_end #%d %s" span outcome
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%8.1f] site=%-2d L=%-5d #%-5d %a" e.time e.site e.lamport
+    e.id pp_kind e.kind

@@ -1,0 +1,109 @@
+(** Causally-ordered trace of protocol events.
+
+    The replication stack emits typed events into a bus; each event is
+    stamped with simulated time, the emitting site, and a per-site Lamport
+    counter. Two happens-before edges are recorded explicitly: per-site
+    program order ([prev], the previous event emitted at the same site) and
+    cross-site causation ([cause], supplied by the emitter — e.g. a message
+    delivery names its send). Together they make the trace a Lamport-style
+    event history over which {!Postmortem} computes causal cones.
+
+    A disabled bus ({!null}, or [create ~enabled:false]) records nothing and
+    draws nothing from any RNG, so instrumented code behaves identically —
+    bit-for-bit — with tracing on or off; only the trace itself differs. *)
+
+type kind =
+  | Rpc_send of { src : int; dst : int }
+  | Rpc_recv of { src : int; dst : int }
+  | Rpc_drop of { src : int; dst : int; reason : string }
+      (** lost in flight ([link]) or delivered to a down site ([dead_dest]) *)
+  | Rpc_timeout of { src : int; dst : int }
+  | Quorum_read of { op : string; got : int; need : int }
+      (** initial-quorum assembly outcome at the front-end *)
+  | Quorum_append of { op : string; got : int; need : int }
+      (** final-quorum append outcome at the front-end *)
+  | Repo_append of { txn : string; op : string; tentative : bool }
+      (** one repository logged an entry (site = the repository) *)
+  | Txn_begin of { txn : string }
+  | Txn_commit of { txn : string }
+  | Txn_abort of { txn : string; reason : string }
+  | Lock_wait of { txn : string; blocker : string }
+      (** blocked on a conflicting uncommitted action's tentative entry *)
+  | Lock_grant of { txn : string; op : string }
+      (** the scheme rule admitted the operation (no conflict in the view) *)
+  | Epoch_seal of { epoch : int }
+  | Epoch_transfer of { epoch : int }
+  | Epoch_fence of { epoch : int; stale : int }
+      (** an operation pinned to [stale] was refused by epoch [epoch] *)
+  | Crash of { site : int; amnesia : bool }
+  | Recover of { site : int; resynced : bool }
+  | Partition of { n_groups : int }
+  | Heal
+  | Detector_suspect of { site : int }
+  | Detector_trust of { site : int }
+  | Span_begin of { span : int; parent : int option; label : string }
+  | Span_end of { span : int; outcome : string }
+
+type event = {
+  id : int; (** global emission index *)
+  time : float; (** simulated time *)
+  site : int; (** emitting site; [-1] for system-level events *)
+  lamport : int; (** per-site Lamport stamp (strictly increasing per site) *)
+  prev : int option; (** previous event at the same site (program order) *)
+  cause : int option; (** cross-site happens-before predecessor *)
+  kind : kind;
+}
+
+type t
+
+val create : ?enabled:bool -> n_sites:int -> unit -> t
+(** A collecting bus for sites [0 .. n_sites-1] plus the system lane [-1]. *)
+
+val null : t
+(** The shared disabled bus: every emit is a no-op. *)
+
+val enabled : t -> bool
+
+val set_clock : t -> (unit -> float) -> unit
+(** Source of simulated time for event stamps (set by whoever attaches the
+    bus to a simulation, e.g. {!Atomrep_sim.Network.set_trace}). Defaults
+    to a constant 0. *)
+
+val emit : t -> site:int -> ?cause:int -> kind -> int
+(** Record an event and return its id, or [-1] when the bus is disabled.
+    A negative [cause] (from a disabled emit) is treated as absent. *)
+
+val events : t -> event list
+(** All events in emission order. *)
+
+val length : t -> int
+val get : t -> int -> event
+(** [get t id] — O(1); raises [Invalid_argument] on an out-of-range id. *)
+
+val span_begin : t -> site:int -> ?parent:int -> string -> int
+(** Open a span (a [Span_begin] event) and return its span id, [-1] when
+    disabled. [parent] is the enclosing span's id. *)
+
+val span_end : t -> site:int -> span:int -> outcome:string -> unit
+(** Close a span. No-op when disabled or when [span] is negative. *)
+
+type span = {
+  span_id : int;
+  label : string;
+  span_parent : int option;
+  span_site : int;
+  t_begin : float;
+  t_end : float option; (** [None]: still open at the horizon *)
+  span_outcome : string option;
+}
+
+val spans : t -> span list
+(** Reconstructed span tree, in open order. *)
+
+val span_durations : t -> (string * Atomrep_stats.Summary.t) list
+(** Per-label duration histograms over the closed spans, label-sorted. *)
+
+val kind_label : kind -> string
+(** Short stable name of the constructor ("rpc_send", "txn_commit", ...). *)
+
+val pp_event : Format.formatter -> event -> unit

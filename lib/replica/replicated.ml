@@ -5,6 +5,7 @@ open Atomrep_quorum
 open Atomrep_sim
 open Atomrep_cc
 open Atomrep_txn
+module Trace = Atomrep_obs.Trace
 
 type scheme = Hybrid | Static | Locking
 
@@ -36,6 +37,7 @@ type t = {
   own : (Action.t, Log.entry list) Hashtbl.t; (* per-action entry cache *)
   mutable observer : Behavioral.entry list; (* reversed *)
   rpc_timeout : float;
+  mutable commit_piggyback : bool;
 }
 
 let create ~name ~spec ~scheme ~relation ~assignment ~net ?members
@@ -65,7 +67,10 @@ let create ~name ~spec ~scheme ~relation ~assignment ~net ?members
     own = Hashtbl.create 64;
     observer = [];
     rpc_timeout;
+    commit_piggyback = true;
   }
+
+let set_commit_piggyback t v = t.commit_piggyback <- v
 
 let name t = t.name
 let current_epoch t = t.current
@@ -187,7 +192,11 @@ let decide t ~(txn : Txn.t) (view : View.t) inv =
 
 type read_reply = Busy of Action.t | Logs of Log.t | Stale_epoch of int
 
-let execute t ~txn ~clock inv ~k =
+let note t ~site ?cause kind =
+  let trc = Network.trace t.net in
+  if Trace.enabled trc then ignore (Trace.emit trc ~site ?cause kind)
+
+let execute t ~txn ~clock ?(span = -1) inv ~k =
   (* Pin the configuration for the whole operation: a reconfiguration that
      lands mid-flight must not split one quorum access across two epochs.
      Stale-stamped traffic is refused by advanced repositories, so a pinned
@@ -199,6 +208,24 @@ let execute t ~txn ~clock inv ~k =
   let src = txn.Txn.home_site in
   let action = txn.Txn.action in
   let seq = List.length (own_entries t action) in
+  let trc = Network.trace t.net in
+  let opname = inv.Event.Invocation.op in
+  let txname = Action.to_string action in
+  let ospan =
+    if Trace.enabled trc then
+      Trace.span_begin trc ~site:src ~parent:span ("op:" ^ opname)
+    else -1
+  in
+  let k result =
+    Trace.span_end trc ~site:src ~span:ospan
+      ~outcome:
+        (match result with
+         | Done _ -> "done"
+         | Blocked_on _ -> "blocked"
+         | Unavailable _ -> "unavailable"
+         | Rejected _ -> "rejected");
+    k result
+  in
   (* Back-off path: withdraw this operation's intentions so concurrent
      conflicting operations are not deadlocked by a blocked or failed
      attempt. *)
@@ -251,6 +278,7 @@ let execute t ~txn ~clock inv ~k =
           in
           match stale with
           | Some e ->
+            note t ~site:src (Trace.Epoch_fence { epoch = e; stale = epoch });
             release_and_return
               (Unavailable
                  (Printf.sprintf "stale epoch: %d superseded by %d" epoch e))
@@ -260,13 +288,24 @@ let execute t ~txn ~clock inv ~k =
                  (fun (_, r) -> match r with Busy b -> Some b | _ -> None)
                  replies
              with
-             | Some blocker -> release_and_return (Blocked_on blocker)
+             | Some blocker ->
+               note t ~site:src
+                 (Trace.Lock_wait
+                    { txn = txname; blocker = Action.to_string blocker });
+               release_and_return (Blocked_on blocker)
              | None ->
                let logs =
                  List.filter_map
                    (fun (_, r) -> match r with Logs l -> Some l | _ -> None)
                    replies
                in
+               note t ~site:src
+                 (Trace.Quorum_read
+                    {
+                      op = opname;
+                      got = List.length logs;
+                      need = sizes.Assignment.initial;
+                    });
                if List.length logs < sizes.Assignment.initial then
                  release_and_return
                    (Unavailable
@@ -291,6 +330,7 @@ let execute t ~txn ~clock inv ~k =
       match decide t ~txn view inv with
       | Error result -> release_and_return result
       | Ok res ->
+        note t ~site:src (Trace.Lock_grant { txn = txname; op = opname });
         let own = own_entries t action in
         let entry =
           {
@@ -317,10 +357,20 @@ let execute t ~txn ~clock inv ~k =
                 (* Entry arrival converts this operation's intention into a
                    logged tentative entry at the repository. *)
                 Repository.append repo [ Log.Entry entry ];
+                note t ~site
+                  (Trace.Repo_append
+                     { txn = txname; op = opname; tentative = true });
                 true
               end)
             ~gather:(fun replies ->
               let acks = List.filter snd replies in
+              note t ~site:src
+                (Trace.Quorum_append
+                   {
+                     op = opname;
+                     got = List.length acks;
+                     need = sizes.Assignment.final;
+                   });
               if List.length acks < sizes.Assignment.final then
                 release_and_return
                   (Unavailable
@@ -340,9 +390,9 @@ let broadcast_status t record ~reachable_from =
      (appends are idempotent — duplicates are harmless). *)
   let records =
     match record with
-    | Log.Commit_record (action, _) ->
+    | Log.Commit_record (action, _) when t.commit_piggyback ->
       List.map (fun e -> Log.Entry e) (own_entries t action) @ [ record ]
-    | Log.Entry _ | Log.Abort_record _ -> [ record ]
+    | Log.Commit_record _ | Log.Entry _ | Log.Abort_record _ -> [ record ]
   in
   (* Status records bypass the epoch check: a commit or abort resolves
      entries wherever they sit, and refusing one at a sealed repository
@@ -350,7 +400,20 @@ let broadcast_status t record ~reachable_from =
   List.iter
     (fun site ->
       Network.send t.net ~src:reachable_from ~dst:site (fun () ->
-          Repository.append t.repos.(site) records))
+          Repository.append t.repos.(site) records;
+          if Trace.enabled (Network.trace t.net) then
+            List.iter
+              (function
+                | Log.Entry e ->
+                  note t ~site
+                    (Trace.Repo_append
+                       {
+                         txn = Action.to_string e.Log.action;
+                         op = e.Log.event.Event.inv.Event.Invocation.op;
+                         tentative = false;
+                       })
+                | Log.Commit_record _ | Log.Abort_record _ -> ())
+              records))
     (Epoch.members t.current)
 
 let prepared_sites t ~from ~timeout ~k =
@@ -470,6 +533,7 @@ let reconfigure t ~members ~assignment ?(allow_barrier = true)
                 Repository.advance_epoch t.repos.(site) number))
           (List.sort_uniq compare (Epoch.members prev @ Epoch.members next));
         t.current <- next;
+        note t ~site:from (Trace.Epoch_transfer { epoch = number });
         k (Reconfigured number)
       end
       else if not allow_barrier then
@@ -486,6 +550,7 @@ let reconfigure t ~members ~assignment ?(allow_barrier = true)
            with some members already sealed; the coordinator retries with
            the same epoch number, which sealed repositories accept. *)
         let sn = seal_need prev in
+        note t ~site:from (Trace.Epoch_seal { epoch = number });
         let seal k_logs =
           if sn = 0 then k_logs []
           else
@@ -526,6 +591,7 @@ let reconfigure t ~members ~assignment ?(allow_barrier = true)
             in
             transfer (fun () ->
                 t.current <- next;
+                note t ~site:from (Trace.Epoch_transfer { epoch = number });
                 k (Reconfigured number)))
       end
     end

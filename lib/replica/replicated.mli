@@ -91,6 +91,7 @@ val execute :
   t ->
   txn:Txn.t ->
   clock:Lamport.t ->
+  ?span:int ->
   Event.Invocation.t ->
   k:(op_result -> unit) ->
   unit
@@ -98,11 +99,21 @@ val execute :
     gather an initial quorum (with RPC timeouts), classify the view, apply
     the scheme rule, and on success write the entry to a final quorum.
     [k] receives the outcome; [Done] responses have already reached their
-    final quorum. *)
+    final quorum. [span] (a trace span id from the network's attached bus,
+    negative = none) becomes the parent of the per-operation span. *)
 
 val broadcast_status : t -> Log.record -> reachable_from:int -> unit
 (** Push a commit/abort record to every repository reachable from the given
-    site — commit-protocol phase 2 and abort/status propagation. *)
+    site — commit-protocol phase 2 and abort/status propagation. Commit
+    records carry the action's own entries with them (idempotent re-push
+    that repairs repositories whose tentative copies were lost to
+    crash-with-amnesia) unless {!set_commit_piggyback} turned that off. *)
+
+val set_commit_piggyback : t -> bool -> unit
+(** Negative testing only: [false] stops commit records from re-pushing
+    their action's entries — half of the pre-fix amnesia behavior the
+    postmortem tests replay (the other half is ungated rejoin). Default
+    [true]. *)
 
 val prepared_sites : t -> from:int -> timeout:float -> k:(int list -> unit) -> unit
 (** Which repository sites answer a prepare probe from [from] —

@@ -6,6 +6,8 @@ open Atomrep_clock
 open Atomrep_sim
 open Atomrep_stats
 open Atomrep_txn
+module Trace = Atomrep_obs.Trace
+module Metrics = Atomrep_obs.Metrics
 
 type object_config = {
   obj_name : string;
@@ -66,6 +68,8 @@ type config = {
   horizon : float;
   anti_entropy_every : float option;
   reconfig : reconfig option;
+  trace : Trace.t option;
+  ungated_rejoin : bool;
 }
 
 let default_queue_assignment ~n_sites =
@@ -111,6 +115,8 @@ let default_config =
     horizon = 1_000_000.0;
     anti_entropy_every = None;
     reconfig = None;
+    trace = None;
+    ungated_rejoin = false;
   }
 
 type metrics = {
@@ -139,16 +145,20 @@ type metrics = {
 type outcome = {
   metrics : metrics;
   histories : (string * Behavioral.t) list;
+  registry : Metrics.t;
 }
 
+(* Registry handles for the hot counters: looked up once at run start so
+   the per-transaction path never hashes a label set. *)
 type counters = {
-  mutable c_committed : int;
-  mutable c_aborted : int;
-  mutable c_unavailable : int;
-  mutable c_rejected : int;
-  mutable c_conflict : int;
-  mutable c_blocked : int;
-  mutable c_ops : int;
+  c_committed : Metrics.counter;
+  c_aborted : Metrics.counter;
+  c_unavailable : Metrics.counter;
+  c_rejected : Metrics.counter;
+  c_conflict : Metrics.counter;
+  c_blocked : Metrics.counter;
+  c_ops : Metrics.counter;
+  c_latency : Metrics.histogram;
 }
 
 type run_state = {
@@ -158,7 +168,7 @@ type run_state = {
   objects : (string * Replicated.t) list;
   txns : (Action.t, Txn.t) Hashtbl.t;
   counters : counters;
-  latencies : Summary.t;
+  registry : Metrics.t;
   cfg : config;
 }
 
@@ -198,13 +208,15 @@ let try_resolve st ~home blocker target =
 let run_txn st index ~arrival =
   let cfg = st.cfg in
   let rng = Engine.rng st.engine in
+  let trc = Network.trace st.net in
   Engine.schedule_at st.engine ~time:arrival (fun () ->
       let home = Rng.int rng cfg.n_sites in
       let action = Action.of_string (Printf.sprintf "T%d" index) in
+      let txname = Action.to_string action in
       if not (Network.site_up st.net home) then begin
         (* The client's site is down: the transaction cannot start. *)
-        st.counters.c_aborted <- st.counters.c_aborted + 1;
-        st.counters.c_unavailable <- st.counters.c_unavailable + 1
+        Metrics.incr st.counters.c_aborted;
+        Metrics.incr st.counters.c_unavailable
       end
       else begin
         let clock = st.clocks.(home) in
@@ -212,13 +224,23 @@ let run_txn st index ~arrival =
         Hashtbl.replace st.txns action txn;
         let script = cfg.script rng index in
         let started = Engine.now st.engine in
+        if Trace.enabled trc then
+          ignore (Trace.emit trc ~site:home (Trace.Txn_begin { txn = txname }));
+        let tspan = Trace.span_begin trc ~site:home "txn" in
+        let commit_span = ref (-1) in
         let finish_abort kind why =
           txn.Txn.status <- Txn.Aborted why;
-          st.counters.c_aborted <- st.counters.c_aborted + 1;
+          Metrics.incr st.counters.c_aborted;
           (match kind with
-           | `Unavailable -> st.counters.c_unavailable <- st.counters.c_unavailable + 1
-           | `Rejected -> st.counters.c_rejected <- st.counters.c_rejected + 1
-           | `Conflict -> st.counters.c_conflict <- st.counters.c_conflict + 1);
+           | `Unavailable -> Metrics.incr st.counters.c_unavailable
+           | `Rejected -> Metrics.incr st.counters.c_rejected
+           | `Conflict -> Metrics.incr st.counters.c_conflict);
+          if Trace.enabled trc then
+            ignore
+              (Trace.emit trc ~site:home
+                 (Trace.Txn_abort { txn = txname; reason = why }));
+          Trace.span_end trc ~site:home ~span:!commit_span ~outcome:"aborted";
+          Trace.span_end trc ~site:home ~span:tspan ~outcome:"aborted";
           List.iter
             (fun name ->
               let obj = find_object st name in
@@ -226,6 +248,12 @@ let run_txn st index ~arrival =
               Replicated.broadcast_status obj (Log.Abort_record action)
                 ~reachable_from:home)
             txn.Txn.touched
+        in
+        let finish_commit () =
+          if Trace.enabled trc then
+            ignore (Trace.emit trc ~site:home (Trace.Txn_commit { txn = txname }));
+          Trace.span_end trc ~site:home ~span:!commit_span ~outcome:"committed";
+          Trace.span_end trc ~site:home ~span:tspan ~outcome:"committed"
         in
         let rec do_ops remaining =
           match remaining with
@@ -238,12 +266,12 @@ let run_txn st index ~arrival =
             end;
             attempt obj remaining rest invocation cfg.max_retries
         and attempt obj remaining rest invocation retries =
-          Replicated.execute obj ~txn ~clock invocation ~k:(function
+          Replicated.execute obj ~txn ~clock ~span:tspan invocation ~k:(function
             | Replicated.Done _ ->
-              st.counters.c_ops <- st.counters.c_ops + 1;
+              Metrics.incr st.counters.c_ops;
               do_ops rest
             | Replicated.Blocked_on blocker ->
-              st.counters.c_blocked <- st.counters.c_blocked + 1;
+              Metrics.incr st.counters.c_blocked;
               try_resolve st ~home blocker (Replicated.name obj);
               if retries > 0 then begin
                 let delay =
@@ -257,14 +285,16 @@ let run_txn st index ~arrival =
             | Replicated.Rejected why -> finish_abort `Rejected why)
         and do_commit () =
           txn.Txn.status <- Txn.Committing;
+          commit_span := Trace.span_begin trc ~site:home ~parent:tspan "commit";
           (* Phase 1: every touched object must show a reachable final
              quorum before the decision. *)
           let rec prepare = function
             | [] ->
               let cts = Lamport.tick clock in
               txn.Txn.status <- Txn.Committed cts;
-              st.counters.c_committed <- st.counters.c_committed + 1;
-              Summary.add st.latencies (Engine.now st.engine -. started);
+              Metrics.incr st.counters.c_committed;
+              Metrics.observe st.counters.c_latency (Engine.now st.engine -. started);
+              finish_commit ();
               List.iter
                 (fun name ->
                   let obj = find_object st name in
@@ -299,8 +329,9 @@ let run_txn st index ~arrival =
             (* Empty transaction: commits vacuously. *)
             let cts = Lamport.tick clock in
             txn.Txn.status <- Txn.Committed cts;
-            st.counters.c_committed <- st.counters.c_committed + 1;
-            Summary.add st.latencies (Engine.now st.engine -. started)
+            Metrics.incr st.counters.c_committed;
+            Metrics.observe st.counters.c_latency (Engine.now st.engine -. started);
+            finish_commit ()
           end
           else prepare txn.Txn.touched
         in
@@ -367,6 +398,10 @@ let run cfg =
             ?members:oc.obj_members ~rpc_timeout:cfg.rpc_timeout () ))
       cfg.objects
   in
+  (match cfg.trace with Some tr -> Network.set_trace net tr | None -> ());
+  let registry = Metrics.create () in
+  let scheme_l = [ ("scheme", Replicated.scheme_name cfg.scheme) ] in
+  let abort_l reason = ("reason", reason) :: scheme_l in
   let st =
     {
       engine;
@@ -376,15 +411,20 @@ let run cfg =
       txns = Hashtbl.create 256;
       counters =
         {
-          c_committed = 0;
-          c_aborted = 0;
-          c_unavailable = 0;
-          c_rejected = 0;
-          c_conflict = 0;
-          c_blocked = 0;
-          c_ops = 0;
+          c_committed = Metrics.counter registry ~labels:scheme_l "txn.committed";
+          c_aborted = Metrics.counter registry ~labels:scheme_l "txn.aborted";
+          c_unavailable =
+            Metrics.counter registry ~labels:(abort_l "unavailable") "txn.aborts";
+          c_rejected =
+            Metrics.counter registry ~labels:(abort_l "rejected") "txn.aborts";
+          c_conflict =
+            Metrics.counter registry ~labels:(abort_l "conflict") "txn.aborts";
+          c_blocked = Metrics.counter registry ~labels:scheme_l "op.blocked_waits";
+          c_ops = Metrics.counter registry ~labels:scheme_l "op.done";
+          c_latency =
+            Metrics.histogram registry ~labels:scheme_l "txn.latency";
         };
-      latencies = Summary.create ();
+      registry;
       cfg;
     }
   in
@@ -408,7 +448,13 @@ let run cfg =
           acc oc.obj_assignment.Assignment.ops)
       0 cfg.objects
   in
-  Network.set_resync_quorum net resync_quorum;
+  (* [ungated_rejoin] reverts both halves of the amnesia fix (rejoin
+     without a resync quorum, commits not re-pushing their entries) so the
+     double-dequeue violation can be replayed under tracing for postmortem
+     tests. *)
+  Network.set_resync_quorum net (if cfg.ungated_rejoin then 0 else resync_quorum);
+  if cfg.ungated_rejoin then
+    List.iter (fun (_, obj) -> Replicated.set_commit_piggyback obj false) objects;
   cfg.install_faults net;
   (* Split gossip streams unconditionally so the workload's draws are the
      same whether or not anti-entropy runs. *)
@@ -425,10 +471,10 @@ let run cfg =
      through Replicated.reconfigure. The detector draws from its own split
      stream for the same reason gossip does: toggling reconfiguration must
      not perturb the workload's draws. *)
-  let n_reconfigs = ref 0 in
-  let n_refused = ref 0 in
-  let n_failed = ref 0 in
-  let reconfig_lat = Summary.create () in
+  let rc_done = Metrics.counter registry ~labels:scheme_l "reconfig.done" in
+  let rc_refused = Metrics.counter registry ~labels:scheme_l "reconfig.refused" in
+  let rc_failed = Metrics.counter registry ~labels:scheme_l "reconfig.failed" in
+  let rc_lat = Metrics.histogram registry ~labels:scheme_l "reconfig.latency" in
   let detector = ref None in
   (match cfg.reconfig with
    | None -> ignore (Rng.split (Engine.rng engine))
@@ -473,10 +519,10 @@ let run cfg =
                  last_done := Engine.now engine;
                  match result with
                  | Replicated.Reconfigured _ ->
-                   incr n_reconfigs;
-                   Summary.add reconfig_lat (Engine.now engine -. t0)
-                 | Replicated.Refused _ -> incr n_refused
-                 | Replicated.Failed _ -> incr n_failed)
+                   Metrics.incr rc_done;
+                   Metrics.observe rc_lat (Engine.now engine -. t0)
+                 | Replicated.Refused _ -> Metrics.incr rc_refused
+                 | Replicated.Failed _ -> Metrics.incr rc_failed)
          end
        end
      in
@@ -495,33 +541,58 @@ let run cfg =
   Engine.run ~until:cfg.horizon engine;
   (match !detector with Some d -> Detector.stop d | None -> ());
   let ns = Network.stats net in
+  (* Mirror the network's counters and the run-level facts into the
+     registry so one JSON export carries everything. *)
+  let g name v = Metrics.set (Metrics.gauge registry name) v in
+  g "net.sent" (float_of_int ns.Network.sent);
+  g "net.dropped" (float_of_int ns.Network.dropped);
+  g "net.duplicated" (float_of_int ns.Network.duplicated);
+  g "net.dead_dest" (float_of_int ns.Network.dead_dest);
+  g "net.rpc_timeouts" (float_of_int ns.Network.rpc_timeouts);
+  g "sim.duration" (Engine.now engine);
+  let suspicion_transitions =
+    match !detector with Some d -> Detector.transitions d | None -> 0
+  in
+  g "detector.transitions" (float_of_int suspicion_transitions);
+  let final_epoch =
+    List.fold_left
+      (fun acc (_, obj) -> max acc (Epoch.number (Replicated.current_epoch obj)))
+      0 objects
+  in
+  g "epoch.final" (float_of_int final_epoch);
+  (* Per-span-kind latency breakdowns, from the trace's closed spans. *)
+  (match cfg.trace with
+   | Some tr ->
+     List.iter
+       (fun (label, s) ->
+         let h = Metrics.histogram registry ~labels:scheme_l ("span." ^ label) in
+         List.iter (Metrics.observe h) (Summary.observations s))
+       (Trace.span_durations tr)
+   | None -> ());
+  let cv labels name = Metrics.counter_value registry ~labels name in
   let metrics =
     {
-      committed = st.counters.c_committed;
-      aborted = st.counters.c_aborted;
-      unavailable_aborts = st.counters.c_unavailable;
-      rejected_aborts = st.counters.c_rejected;
-      conflict_aborts = st.counters.c_conflict;
-      blocked_waits = st.counters.c_blocked;
-      ops_done = st.counters.c_ops;
-      txn_latency = st.latencies;
+      committed = cv scheme_l "txn.committed";
+      aborted = cv scheme_l "txn.aborted";
+      unavailable_aborts = cv (abort_l "unavailable") "txn.aborts";
+      rejected_aborts = cv (abort_l "rejected") "txn.aborts";
+      conflict_aborts = cv (abort_l "conflict") "txn.aborts";
+      blocked_waits = cv scheme_l "op.blocked_waits";
+      ops_done = cv scheme_l "op.done";
+      txn_latency = Metrics.histogram_summary registry ~labels:scheme_l "txn.latency";
       duration = Engine.now engine;
       msgs_sent = ns.Network.sent;
       msgs_dropped = ns.Network.dropped;
       msgs_duplicated = ns.Network.duplicated;
       msgs_dead_dest = ns.Network.dead_dest;
       rpc_timeouts = ns.Network.rpc_timeouts;
-      reconfigs = !n_reconfigs;
-      reconfigs_refused = !n_refused;
-      reconfigs_failed = !n_failed;
-      reconfig_latency = reconfig_lat;
-      suspicion_transitions =
-        (match !detector with Some d -> Detector.transitions d | None -> 0);
-      final_epoch =
-        List.fold_left
-          (fun acc (_, obj) ->
-            max acc (Epoch.number (Replicated.current_epoch obj)))
-          0 objects;
+      reconfigs = cv scheme_l "reconfig.done";
+      reconfigs_refused = cv scheme_l "reconfig.refused";
+      reconfigs_failed = cv scheme_l "reconfig.failed";
+      reconfig_latency =
+        Metrics.histogram_summary registry ~labels:scheme_l "reconfig.latency";
+      suspicion_transitions;
+      final_epoch;
     }
   in
   let histories =
@@ -529,7 +600,7 @@ let run cfg =
       (fun (name, obj) -> (name, model_history st cfg.scheme (Replicated.history obj)))
       objects
   in
-  { metrics; histories }
+  { metrics; histories; registry }
 
 let spec_of (cfg : config) name =
   let oc = List.find (fun oc -> String.equal oc.obj_name name) cfg.objects in

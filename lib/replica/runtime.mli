@@ -86,6 +86,16 @@ type config = {
           satisfying assignment over the live view and hand off via
           {!Replicated.reconfigure}. [None] pins epoch 0 for the whole
           run (the pre-reconfiguration behavior). *)
+  trace : Atomrep_obs.Trace.t option;
+      (** attach a trace bus: the whole stack (network, RPC, detector,
+          quorum protocol, transactions) emits causally linked events into
+          it, and per-span-kind latency histograms land in the registry.
+          [None] (the default) runs the zero-cost disabled path — metrics
+          and histories are bit-identical either way. *)
+  ungated_rejoin : bool;
+      (** negative testing only: let amnesiac sites rejoin without a resync
+          quorum (the pre-fix behavior whose double-dequeue violation the
+          postmortem tests replay). *)
 }
 
 val default_config : config
@@ -122,6 +132,9 @@ type outcome = {
   metrics : metrics;
   histories : (string * Behavioral.t) list;
       (** per-object histories, model-ordered for the scheme *)
+  registry : Atomrep_obs.Metrics.t;
+      (** every counter/gauge/histogram the run recorded — [metrics] is a
+          fixed-shape projection of this; exporters serialize the registry *)
 }
 
 val run : config -> outcome

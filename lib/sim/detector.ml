@@ -27,7 +27,13 @@ let stop t = t.stopped <- true
 let set_suspected t site v =
   if t.susp.(site) <> v then begin
     t.susp.(site) <- v;
-    t.transitions <- t.transitions + 1
+    t.transitions <- t.transitions + 1;
+    let tr = Network.trace t.net in
+    if Atomrep_obs.Trace.enabled tr then
+      ignore
+        (Atomrep_obs.Trace.emit tr ~site:t.monitor
+           (if v then Atomrep_obs.Trace.Detector_suspect { site }
+            else Atomrep_obs.Trace.Detector_trust { site }))
   end
 
 let start net ~rng ?(probe_every = 40.0) ?(timeout = 25.0) ?(suspect_after = 3)

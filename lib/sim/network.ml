@@ -1,4 +1,5 @@
 open Atomrep_stats
+module Trace = Atomrep_obs.Trace
 
 type stats = {
   mutable sent : int;
@@ -24,6 +25,7 @@ type t = {
   mutable rejoin_listeners : (int -> unit) list;
   mutable skew_handler : site:int -> amount:int -> unit;
   mutable resync_quorum : int;
+  mutable trace : Trace.t;
 }
 
 let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
@@ -43,13 +45,29 @@ let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
     rejoin_listeners = [];
     skew_handler = (fun ~site:_ ~amount:_ -> ());
     resync_quorum = 0;
+    trace = Trace.null;
   }
 
 let engine t = t.engine
 let n_sites t = t.n_sites
 let site_up t s = t.up.(s)
-let crash t s = t.up.(s) <- false
-let recover t s = t.up.(s) <- true
+
+let trace t = t.trace
+
+let set_trace t tr =
+  t.trace <- tr;
+  Trace.set_clock tr (fun () -> Engine.now t.engine)
+
+let note t ~site kind =
+  if Trace.enabled t.trace then ignore (Trace.emit t.trace ~site kind)
+
+let crash t s =
+  t.up.(s) <- false;
+  note t ~site:s (Trace.Crash { site = s; amnesia = false })
+
+let recover t s =
+  t.up.(s) <- true;
+  note t ~site:s (Trace.Recover { site = s; resynced = false })
 
 let stats t = t.stats
 let note_rpc_timeout t = t.stats.rpc_timeouts <- t.stats.rpc_timeouts + 1
@@ -71,6 +89,7 @@ let on_rejoin t f = t.rejoin_listeners <- f :: t.rejoin_listeners
 
 let crash_with_amnesia t s =
   t.up.(s) <- false;
+  note t ~site:s (Trace.Crash { site = s; amnesia = true });
   List.iter (fun f -> f s) t.amnesia_listeners
 
 let set_resync_quorum t q = t.resync_quorum <- q
@@ -92,6 +111,7 @@ let resync_peers t s =
 let recover_resync t s =
   if resync_peers t s >= t.resync_quorum then begin
     t.up.(s) <- true;
+    note t ~site:s (Trace.Recover { site = s; resynced = true });
     List.iter (fun f -> f s) t.rejoin_listeners;
     true
   end
@@ -101,6 +121,7 @@ let set_skew_handler t f = t.skew_handler <- f
 let inject_skew t ~site ~amount = t.skew_handler ~site ~amount
 
 let partition t groups =
+  note t ~site:(-1) (Trace.Partition { n_groups = List.length groups });
   let assignment = Array.make t.n_sites (-1) in
   List.iteri
     (fun g sites -> List.iter (fun s -> assignment.(s) <- g) sites)
@@ -117,7 +138,9 @@ let partition t groups =
     assignment;
   t.groups <- assignment
 
-let heal t = t.groups <- Array.make t.n_sites 0
+let heal t =
+  note t ~site:(-1) Trace.Heal;
+  t.groups <- Array.make t.n_sites 0
 
 let reachable t a b =
   t.up.(a) && t.up.(b)
@@ -128,6 +151,11 @@ let reachable t a b =
 let send t ~src ~dst thunk =
   let rng = Engine.rng t.engine in
   t.stats.sent <- t.stats.sent + 1;
+  let sid =
+    if Trace.enabled t.trace then
+      Trace.emit t.trace ~site:src (Trace.Rpc_send { src; dst })
+    else -1
+  in
   let latency = Rng.exponential rng t.latency_mean in
   let same_site = src = dst in
   let dropped =
@@ -136,7 +164,13 @@ let send t ~src ~dst thunk =
        || (not (link_up t ~src ~dst))
        || Rng.bernoulli rng t.drop_probability)
   in
-  if dropped then t.stats.dropped <- t.stats.dropped + 1
+  if dropped then begin
+    t.stats.dropped <- t.stats.dropped + 1;
+    if Trace.enabled t.trace then
+      ignore
+        (Trace.emit t.trace ~site:src ~cause:sid
+           (Trace.Rpc_drop { src; dst; reason = "link" }))
+  end
   else begin
     (* A delay spike stretches one message's latency, letting later sends
        overtake it: latency spikes double as message reordering. *)
@@ -147,8 +181,20 @@ let send t ~src ~dst thunk =
     in
     let deliver delay =
       Engine.schedule t.engine ~delay (fun () ->
-          if t.up.(dst) then thunk ()
-          else t.stats.dead_dest <- t.stats.dead_dest + 1)
+          if t.up.(dst) then begin
+            if Trace.enabled t.trace then
+              ignore
+                (Trace.emit t.trace ~site:dst ~cause:sid
+                   (Trace.Rpc_recv { src; dst }));
+            thunk ()
+          end
+          else begin
+            t.stats.dead_dest <- t.stats.dead_dest + 1;
+            if Trace.enabled t.trace then
+              ignore
+                (Trace.emit t.trace ~site:dst ~cause:sid
+                   (Trace.Rpc_drop { src; dst; reason = "dead_dest" }))
+          end)
     in
     deliver latency;
     if (not same_site) && t.dup_probability > 0.0 && Rng.bernoulli rng t.dup_probability

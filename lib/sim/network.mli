@@ -106,3 +106,13 @@ val stats : t -> stats
 
 val note_rpc_timeout : t -> unit
 (** Record one timed-out RPC (called by {!Rpc}). *)
+
+val set_trace : t -> Atomrep_obs.Trace.t -> unit
+(** Attach a trace bus: the network stamps it with the engine clock and
+    emits RPC send/recv/drop, crash/recover, and partition/heal events.
+    The default bus is {!Atomrep_obs.Trace.null} (disabled, no cost). *)
+
+val trace : t -> Atomrep_obs.Trace.t
+(** The attached bus — layers above the network (RPC timeouts, quorum
+    logic, the runtime) emit through this so one simulation shares one
+    causally linked trace. *)

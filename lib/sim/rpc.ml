@@ -13,6 +13,11 @@ let call net ~src ~dst ~timeout ~handler ~reply =
   Engine.schedule engine ~delay:timeout (fun () ->
       if not !done_ then begin
         Network.note_rpc_timeout net;
+        let tr = Network.trace net in
+        if Atomrep_obs.Trace.enabled tr then
+          ignore
+            (Atomrep_obs.Trace.emit tr ~site:src
+               (Atomrep_obs.Trace.Rpc_timeout { src; dst }));
         finish None
       end)
 

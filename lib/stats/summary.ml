@@ -23,6 +23,7 @@ let add t x =
 
 let count t = t.n
 let total t = t.sum
+let observations t = List.rev t.values
 let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
 
 let stddev t =
@@ -34,15 +35,15 @@ let stddev t =
     sqrt (max var 0.0)
   end
 
-let min_value t = t.vmin
-let max_value t = t.vmax
+let min_value t = if t.n = 0 then 0.0 else t.vmin
+let max_value t = if t.n = 0 then 0.0 else t.vmax
 
 let sorted t =
   match t.sorted with
   | Some a -> a
   | None ->
     let a = Array.of_list t.values in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     t.sorted <- Some a;
     a
 
@@ -50,7 +51,11 @@ let percentile t q =
   let a = sorted t in
   if Array.length a = 0 then 0.0
   else begin
-    let idx = int_of_float (ceil (q *. float_of_int (Array.length a))) - 1 in
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    (* Nearest rank is ceil(q*n); the epsilon guards against products like
+       0.07 *. 100. = 7.000000000000001 ceiling one rank too high. *)
+    let rank = ceil ((q *. float_of_int (Array.length a)) -. 1e-9) in
+    let idx = int_of_float rank - 1 in
     let idx = max 0 (min idx (Array.length a - 1)) in
     a.(idx)
   end

@@ -7,6 +7,10 @@ val create : unit -> t
 val add : t -> float -> unit
 val count : t -> int
 val total : t -> float
+
+val observations : t -> float list
+(** Every recorded observation, in insertion order. *)
+
 val mean : t -> float
 (** Mean of the observations; [0.] when empty. *)
 
@@ -14,11 +18,17 @@ val stddev : t -> float
 (** Sample standard deviation; [0.] with fewer than two observations. *)
 
 val min_value : t -> float
+(** Smallest observation; [0.] when empty (never an infinity, so values
+    serialize cleanly). *)
+
 val max_value : t -> float
+(** Largest observation; [0.] when empty. *)
 
 val percentile : t -> float -> float
-(** [percentile t q] with [q] in [\[0,1\]] by nearest-rank on the sorted
-    sample. Retains all observations; intended for simulation-scale data. *)
+(** [percentile t q] by nearest-rank (rank [ceil q*n]) on the sorted
+    sample; [q] is clamped to [\[0,1\]], so any [q] on a single-sample
+    summary returns that sample and [0.] on an empty one. Retains all
+    observations; intended for simulation-scale data. *)
 
 val confidence95 : t -> float
 (** Half-width of the normal-approximation 95% confidence interval for the

@@ -93,7 +93,40 @@ let test_summary_percentile () =
 let test_summary_empty () =
   let s = Summary.create () in
   check_float "mean of empty" 0.0 (Summary.mean s);
-  check_float "stddev of empty" 0.0 (Summary.stddev s)
+  check_float "stddev of empty" 0.0 (Summary.stddev s);
+  (* Percentiles and extrema of an empty summary are 0, not nan/inf — the
+     JSON exporters rely on this. *)
+  check_float "p50 of empty" 0.0 (Summary.percentile s 0.5);
+  check_float "p99 of empty" 0.0 (Summary.percentile s 0.99);
+  check_float "min of empty" 0.0 (Summary.min_value s);
+  check_float "max of empty" 0.0 (Summary.max_value s)
+
+let test_summary_single_sample () =
+  let s = Summary.create () in
+  Summary.add s 7.0;
+  (* Every percentile of a single observation is that observation. *)
+  List.iter
+    (fun p -> check_float "single sample" 7.0 (Summary.percentile s p))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ]
+
+let test_summary_percentile_ranks () =
+  let s = Summary.create () in
+  (* Insertion order must not matter: add 1..20 shuffled. *)
+  List.iter
+    (fun i -> Summary.add s (float_of_int i))
+    [ 13; 2; 20; 7; 19; 1; 8; 14; 3; 16; 5; 10; 18; 4; 11; 6; 15; 9; 17; 12 ];
+  (* Nearest-rank: p50 of 20 samples is the 10th, p95 the 19th, p99 the
+     20th — the rank computation must not lose the boundary to float
+     rounding (0.95 *. 20. is 18.999...). *)
+  check_float "p50" 10.0 (Summary.percentile s 0.5);
+  check_float "p95" 19.0 (Summary.percentile s 0.95);
+  check_float "p99" 20.0 (Summary.percentile s 0.99)
+
+let test_summary_observations_in_order () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 3.0; 1.0; 2.0 ];
+  check_bool "insertion order preserved" true
+    (Summary.observations s = [ 3.0; 1.0; 2.0 ])
 
 let test_table_rendering () =
   let t = Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
@@ -129,6 +162,11 @@ let suites =
         Alcotest.test_case "summary stddev" `Quick test_summary_stddev;
         Alcotest.test_case "summary percentile" `Quick test_summary_percentile;
         Alcotest.test_case "summary empty" `Quick test_summary_empty;
+        Alcotest.test_case "summary single sample" `Quick test_summary_single_sample;
+        Alcotest.test_case "summary percentile ranks" `Quick
+          test_summary_percentile_ranks;
+        Alcotest.test_case "summary observations order" `Quick
+          test_summary_observations_in_order;
         Alcotest.test_case "table rendering" `Quick test_table_rendering;
         Alcotest.test_case "table arity" `Quick test_table_wrong_arity;
       ] );
