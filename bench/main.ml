@@ -12,6 +12,11 @@
                                              (per-scheme throughput, abort
                                              breakdown, latency percentiles,
                                              tracing on/off wall-clock)
+     dune exec bench/main.exe -- storage   — machine-readable BENCH_4.json
+                                             (per-durability-mode throughput
+                                             under crash+amnesia, recovery
+                                             replay/cost percentiles, and the
+                                             checkpoint-compaction ablation)
 
    Each experiment regenerates one of the paper's figures or worked
    examples (see DESIGN.md's experiment index and EXPERIMENTS.md for the
@@ -305,25 +310,154 @@ let run_json () =
   Printf.printf "wrote %s (tracing overhead: %.3fs off, %.3fs on, %d events)\n" path
     off_s on_s (Atomrep_obs.Trace.length tr)
 
+(* Storage benchmark record: the durability-mode cost/benefit sheet.
+   (1) per-mode (none / wal / wal-group-commit) committed throughput under
+   an amnesia-heavy fixed-seed crash workload, with WAL flush/checkpoint
+   counters and recovery replay-length and modeled-recovery-time
+   percentiles aggregated over the seeds; (2) a checkpoint-compaction
+   on/off ablation showing how compaction bounds replay length. Written to
+   BENCH_4.json; the schema is documented in EXPERIMENTS.md. *)
+let run_storage () =
+  let module Runtime = Atomrep_replica.Runtime in
+  let module Repository = Atomrep_replica.Repository in
+  let module Json = Atomrep_obs.Json in
+  let module Summary = Atomrep_stats.Summary in
+  let n_txns = 120 and seeds = [ 0; 1; 2; 3; 4 ] in
+  let cfg ~seed durability =
+    {
+      Runtime.default_config with
+      Runtime.seed;
+      n_txns;
+      scheme = Atomrep_replica.Replicated.Hybrid;
+      horizon = 40_000.0;
+      install_faults =
+        (fun net ->
+          Atomrep_sim.Fault.crash_amnesia_recover_all net ~mtbf:600.0 ~mttr:120.0);
+      durability;
+    }
+  in
+  let summary_json s =
+    Json.Obj
+      [
+        ("count", Json.int (Summary.count s));
+        ("mean", Json.Num (Summary.mean s));
+        ("p50", Json.Num (Summary.percentile s 0.5));
+        ("p95", Json.Num (Summary.percentile s 0.95));
+        ("max", Json.Num (Summary.max_value s));
+      ]
+  in
+  (* Run one durability mode over every seed and aggregate: counters are
+     summed, the per-run recovery summaries are pooled observation-wise. *)
+  let measure durability =
+    let committed = ref 0 and aborted = ref 0 in
+    let flushes = ref 0 and flushed = ref 0 and ckpts = ref 0 in
+    let recoveries = ref 0 and corrupt = ref 0 in
+    let replay = Summary.create () and cost = Summary.create () in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun seed ->
+        let m = (Runtime.run (cfg ~seed durability)).Runtime.metrics in
+        committed := !committed + m.Runtime.committed;
+        aborted := !aborted + m.Runtime.aborted;
+        flushes := !flushes + m.Runtime.wal_flushes;
+        flushed := !flushed + m.Runtime.wal_flushed_records;
+        ckpts := !ckpts + m.Runtime.wal_checkpoints;
+        recoveries := !recoveries + m.Runtime.recoveries;
+        corrupt := !corrupt + m.Runtime.recoveries_corrupt;
+        List.iter (Summary.add replay) (Summary.observations m.Runtime.recovery_replay);
+        List.iter (Summary.add cost) (Summary.observations m.Runtime.recovery_cost))
+      seeds;
+    let wall = Unix.gettimeofday () -. t0 in
+    ( !committed,
+      Json.Obj
+        [
+          ("committed", Json.int !committed);
+          ("aborted", Json.int !aborted);
+          ("wall_s", Json.Num wall);
+          ( "committed_per_s",
+            Json.Num (if wall > 0.0 then float_of_int !committed /. wall else 0.0) );
+          ("wal_flushes", Json.int !flushes);
+          ("wal_flushed_records", Json.int !flushed);
+          ("wal_checkpoints", Json.int !ckpts);
+          ("recoveries", Json.int !recoveries);
+          ("recoveries_corrupt", Json.int !corrupt);
+          ("recovery_replay", summary_json replay);
+          ("recovery_cost_ms", summary_json cost);
+        ] )
+  in
+  print_newline ();
+  print_endline "Storage benchmark (amnesia-heavy workload, 5 seeds per mode)";
+  print_endline "============================================================";
+  let mode_entry (name, durability) =
+    let committed, entry = measure durability in
+    Printf.printf "  %-16s committed=%d\n%!" name committed;
+    (name, entry)
+  in
+  let modes =
+    [
+      ("none", Repository.Volatile);
+      ("wal", Repository.durable ~segment_records:16 ~checkpoint_every:48 ());
+      ( "wal-group-commit",
+        Repository.durable ~group_commit:true ~segment_records:16
+          ~checkpoint_every:48 () );
+    ]
+  in
+  let mode_entries = List.map mode_entry modes in
+  (* Compaction ablation: same WAL, checkpointing effectively disabled vs
+     the aggressive period above — the delta is the replay length (and
+     modeled recovery time) that checkpoint compaction buys. *)
+  let ablation =
+    List.map
+      (fun (name, checkpoint_every) ->
+        let _, entry =
+          measure
+            (Repository.durable ~segment_records:16 ~checkpoint_every ())
+        in
+        Printf.printf "  compaction %-4s (checkpoint_every=%d)\n%!" name
+          checkpoint_every;
+        (name, entry))
+      [ ("on", 48); ("off", 1_000_000) ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "durability-modes");
+        ("n_sites", Json.int Runtime.default_config.Runtime.n_sites);
+        ("seeds", Json.List (List.map Json.int seeds));
+        ("n_txns", Json.int n_txns);
+        ("workload", Json.Str "hybrid, crash+amnesia mtbf=600 mttr=120");
+        ("modes", Json.Obj (List.map (fun (n, e) -> (n, e)) mode_entries));
+        ("compaction_ablation", Json.Obj ablation);
+      ]
+  in
+  Atomrep_obs.Export.write_file "BENCH_4.json" (Json.to_string doc);
+  print_endline "wrote BENCH_4.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = args = [ "micro" ] in
   let chaos_only = args = [ "chaos" ] in
   let reconfig_only = args = [ "reconfig" ] in
   let json_only = args = [ "json" ] in
+  let storage_only = args = [ "storage" ] in
   let micro = List.mem "micro" args || args = [] || List.mem "all" args in
   let chaos = List.mem "chaos" args in
   let reconfig = List.mem "reconfig" args in
   let json = List.mem "json" args in
+  let storage = List.mem "storage" args in
   let ids =
     List.filter
       (fun a ->
-        a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig" && a <> "json")
+        a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig" && a <> "json"
+        && a <> "storage")
       args
   in
-  if (not micro_only) && (not chaos_only) && (not reconfig_only) && not json_only
+  if
+    (not micro_only) && (not chaos_only) && (not reconfig_only) && (not json_only)
+    && not storage_only
   then run_experiments ids;
   if micro then run_micro ();
   if chaos then run_chaos ();
   if reconfig then run_reconfig ();
-  if json then run_json ()
+  if json then run_json ();
+  if storage then run_storage ()

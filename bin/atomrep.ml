@@ -47,6 +47,43 @@ let write_trace path fmt trace =
 let write_metrics path registry =
   Obs.Export.write_file path (Obs.Json.to_string (Obs.Metrics.to_json registry))
 
+(* Shared durability flag: which stable-storage model backs every
+   repository. `wal' flushes on every append batch; `wal-group-commit'
+   defers the flush barrier until a batch carries a commit/abort record. *)
+let durability_arg =
+  let doc =
+    "Stable-storage model: `none' (volatile repositories, the default), \
+     `wal' (per-site write-ahead log, flushed on every append batch), or \
+     `wal-group-commit' (flush barriers only on batches carrying \
+     commit/abort records)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("none", `None); ("wal", `Wal); ("wal-group-commit", `Wal_gc) ])
+        `None
+    & info [ "durability" ] ~docv:"MODE" ~doc)
+
+let durability_of = function
+  | `None -> Atomrep_replica.Repository.Volatile
+  | `Wal -> Atomrep_replica.Repository.durable ()
+  | `Wal_gc -> Atomrep_replica.Repository.durable ~group_commit:true ()
+
+let print_wal_metrics (m : Atomrep_replica.Runtime.metrics) =
+  let open Atomrep_replica in
+  Printf.printf
+    "wal: flushes=%d (records=%d, lost=%d, disk-full=%d) checkpoints=%d \
+     torn=%d rotted=%d storage-faults=%d\n"
+    m.Runtime.wal_flushes m.Runtime.wal_flushed_records m.Runtime.wal_lost_flushes
+    m.Runtime.wal_full_rejections m.Runtime.wal_checkpoints m.Runtime.wal_torn_writes
+    m.Runtime.wal_rotted m.Runtime.storage_faults;
+  Printf.printf
+    "recovery: %d replays (%d corrupt), mean replay %.1f records, mean cost \
+     %.2f ms\n"
+    m.Runtime.recoveries m.Runtime.recoveries_corrupt
+    (Summary.mean m.Runtime.recovery_replay)
+    (Summary.mean m.Runtime.recovery_cost)
+
 let find_spec name =
   match Type_registry.find name with
   | Some spec -> Ok spec
@@ -155,8 +192,8 @@ let quorums_cmd =
 (* --- simulate --- *)
 
 let simulate_cmd =
-  let run scheme_name n_txns n_sites seed mtbf reconfigure trace_file trace_format
-      metrics_json =
+  let run scheme_name n_txns n_sites seed mtbf reconfigure durability trace_file
+      trace_format metrics_json =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -198,6 +235,7 @@ let simulate_cmd =
               };
             ];
           reconfig = (if reconfigure then Some Runtime.default_reconfig else None);
+          durability = durability_of durability;
         }
       in
       let outcome = Runtime.run cfg in
@@ -221,6 +259,7 @@ let simulate_cmd =
            detector transitions %d\n"
           m.Runtime.reconfigs m.Runtime.reconfigs_refused m.Runtime.reconfigs_failed
           m.Runtime.final_epoch m.Runtime.suspicion_transitions;
+      if durability <> `None then print_wal_metrics m;
       (* Both oracles gate the exit code so scripted runs can fail hard. *)
       let failures =
         Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
@@ -266,7 +305,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg
-      $ reconfigure_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg)
+      $ reconfigure_arg $ durability_arg $ trace_file_arg $ trace_format_arg
+      $ metrics_json_arg)
 
 (* --- chaos --- *)
 
@@ -303,8 +343,8 @@ let chaos_cmd =
         (String.split_on_char ',' names)
         (Ok [])
   in
-  let run schemes profiles seeds txns intensity repro seed reconfig trace_file
-      trace_format metrics_json postmortem_dir =
+  let run schemes profiles seeds txns intensity repro seed reconfig durability
+      trace_file trace_format metrics_json postmortem_dir =
     match parse_schemes schemes, parse_profiles profiles with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -312,6 +352,26 @@ let chaos_cmd =
     | Ok schemes, Ok profiles ->
       let base =
         if reconfig then Campaign.reconfig_base else Campaign.default_base
+      in
+      (* Chaos-tuned durability: small segments and an aggressive checkpoint
+         period (storage_base's tuning) so campaign-length runs roll and
+         compact segments — the storage profiles need something to bite. *)
+      let base =
+        match durability with
+        | `None -> base
+        | `Wal ->
+          {
+            base with
+            Atomrep_replica.Runtime.durability =
+              Atomrep_replica.Repository.durable ~segment_records:16
+                ~checkpoint_every:48 ();
+          }
+        | `Wal_gc ->
+          {
+            base with
+            Atomrep_replica.Runtime.durability =
+              Campaign.storage_base.Atomrep_replica.Runtime.durability;
+          }
       in
       if repro then begin
         (* Replay one reproducer tuple per scheme/profile given; all the
@@ -339,6 +399,8 @@ let chaos_cmd =
                   profile.Campaign.profile_name seed txns intensity
                   outcome.Atomrep_replica.Runtime.metrics
                     .Atomrep_replica.Runtime.committed;
+                if durability <> `None then
+                  print_wal_metrics outcome.Atomrep_replica.Runtime.metrics;
                 match failures with
                 | [] -> print_endline "atomicity check: OK"
                 | fs ->
@@ -420,8 +482,8 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg $ intensity_arg
-      $ repro_arg $ seed_arg $ reconfig_arg $ trace_file_arg $ trace_format_arg
-      $ metrics_json_arg $ postmortem_dir_arg)
+      $ repro_arg $ seed_arg $ reconfig_arg $ durability_arg $ trace_file_arg
+      $ trace_format_arg $ metrics_json_arg $ postmortem_dir_arg)
 
 (* --- experiment --- *)
 

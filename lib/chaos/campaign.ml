@@ -38,6 +38,28 @@ let builtin_profiles =
         Nemesis.Staggered_kill { start = 600.0; gap = 1200.0; victims = [ 4; 3; 2 ] };
     };
     {
+      (* Crash-with-amnesia plus the whole storage fault surface: torn
+         tail writes land exactly at the crashes, bit rot corrupts durable
+         records between them, flush barriers lie, disks fill. Only bites
+         under a [Durable] runtime (e.g. [storage_base]); on volatile
+         repositories the storage faults are no-ops and this reduces to
+         the amnesia profile. *)
+      profile_name = "storage_storm";
+      nemesis =
+        Nemesis.Compose
+          [
+            Nemesis.Crash_storm { mtbf = 600.0; mttr = 120.0; amnesia = true };
+            Nemesis.Storage_faults
+              {
+                torn_every = 500.0;
+                rot_every = 700.0;
+                lost_every = 900.0;
+                full_every = 1500.0;
+                full_for = 200.0;
+              };
+          ];
+    };
+    {
       profile_name = "storm";
       nemesis =
         Nemesis.Compose
@@ -81,6 +103,17 @@ type report = {
 }
 
 let default_base = { Runtime.default_config with horizon = 40_000.0 }
+
+(* Small segments and an aggressive checkpoint period so that chaos-length
+   runs actually roll segments and compact; group commit so torn writes
+   and lost flushes have a mixed (tentative + status) buffer to bite. *)
+let storage_base =
+  {
+    default_base with
+    Runtime.durability =
+      Repository.durable ~group_commit:true ~segment_records:16
+        ~checkpoint_every:48 ();
+  }
 
 let reconfig_base =
   let n_sites = 5 in

@@ -17,7 +17,9 @@ type profile = { profile_name : string; nemesis : Nemesis.t }
 
 val builtin_profiles : profile list
 (** crashes, amnesia, partitions, flaky, skew, flapping, kills (staggered
-    permanent site loss), and the composed storm. *)
+    permanent site loss), storage_storm (amnesia plus torn writes, bit
+    rot, lost flushes, and disk pressure against durable WALs — pair with
+    {!storage_base}), and the composed storm. *)
 
 val find_profile : string -> profile option
 val profile_names : string list
@@ -53,6 +55,12 @@ val default_base : Runtime.config
 (** The campaign's base configuration: the default replicated queue with a
     horizon sized for chaos runs. Override [base] to campaign against a
     different object set (e.g. a deliberately weakened relation). *)
+
+val storage_base : Runtime.config
+(** {!default_base} with WAL-backed (group-commit) repositories, small
+    segments and an aggressive checkpoint period — the base the
+    storage-fault profiles need to bite (on {!default_base}'s volatile
+    repositories they are no-ops). *)
 
 val reconfig_base : Runtime.config
 (** A base sized for reconfiguration campaigns: five sites, a majority

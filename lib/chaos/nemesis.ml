@@ -7,6 +7,13 @@ type t =
   | Skew of { every : float; max_skew : int }
   | Flapping of { every : float; down_for : float }
   | Staggered_kill of { start : float; gap : float; victims : int list }
+  | Storage_faults of {
+      torn_every : float;
+      rot_every : float;
+      lost_every : float;
+      full_every : float;
+      full_for : float;
+    }
   | Compose of t list
 
 let spike_factor = 20.0
@@ -25,6 +32,15 @@ let rec scale k = function
     (* Intensity here is how early and how densely the kills land; the
        victim list itself is part of the scenario, not the intensity. *)
     Staggered_kill { s with start = s.start /. k; gap = s.gap /. k }
+  | Storage_faults s ->
+    Storage_faults
+      {
+        torn_every = s.torn_every /. k;
+        rot_every = s.rot_every /. k;
+        lost_every = s.lost_every /. k;
+        full_every = s.full_every /. k;
+        full_for = s.full_for *. k;
+      }
   | Compose l -> Compose (List.map (scale k) l)
 
 let rec install t net =
@@ -54,6 +70,13 @@ let rec install t net =
     done
   | Staggered_kill { start; gap; victims } ->
     Fault.staggered_kill net ~start ~gap ~victims
+  | Storage_faults { torn_every; rot_every; lost_every; full_every; full_for } ->
+    (* A non-positive period disables that fault class. *)
+    if torn_every > 0.0 then Fault.torn_writes net ~every:torn_every;
+    if rot_every > 0.0 then Fault.bit_rot net ~every:rot_every;
+    if lost_every > 0.0 then Fault.lost_flushes net ~every:lost_every;
+    if full_every > 0.0 then
+      Fault.disk_pressure net ~every:full_every ~duration:full_for
   | Compose l -> List.iter (fun nem -> install nem net) l
 
 let rec pp ppf = function
@@ -72,6 +95,9 @@ let rec pp ppf = function
   | Staggered_kill { start; gap; victims } ->
     Format.fprintf ppf "staggered-kill(start=%g,gap=%g,victims=[%s])" start gap
       (String.concat ";" (List.map string_of_int victims))
+  | Storage_faults { torn_every; rot_every; lost_every; full_every; full_for } ->
+    Format.fprintf ppf "storage(torn=%g,rot=%g,lost=%g,full=%g/%g)" torn_every
+      rot_every lost_every full_every full_for
   | Compose l ->
     Format.fprintf ppf "compose[%a]"
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)

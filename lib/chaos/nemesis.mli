@@ -28,6 +28,21 @@ type t =
           online reconfiguration exists for. [scale] compresses the
           schedule (earlier, denser kills); the victim list is part of the
           scenario and is not scaled. *)
+  | Storage_faults of {
+      torn_every : float;
+      rot_every : float;
+      lost_every : float;
+      full_every : float;
+      full_for : float;
+    }
+      (** storage faults against per-site WALs (requires a [Durable]
+          runtime — see {!Atomrep_replica.Repository.durability}; they are
+          no-ops on volatile repositories): at exponentially distributed
+          intervals a random site gets a torn tail write armed, a durable
+          record bit-rotted, a flush barrier silently lost, or its disk
+          filled for [full_for] time units. Non-positive periods disable
+          that fault class. [scale] makes faults denser and disk pressure
+          longer. *)
   | Compose of t list  (** install all of them *)
 
 val scale : float -> t -> t

@@ -30,6 +30,17 @@ let args_json (kind : Trace.kind) =
     | Trace.Heal -> []
     | Trace.Detector_suspect { site } | Trace.Detector_trust { site } ->
       [ ("site", Json.int site) ]
+    | Trace.Wal_flush { site; records } ->
+      [ ("site", Json.int site); ("records", Json.int records) ]
+    | Trace.Wal_checkpoint { site; kept; dropped_segments } ->
+      [ ("site", Json.int site); ("kept", Json.int kept);
+        ("dropped_segments", Json.int dropped_segments) ]
+    | Trace.Wal_full { site } -> [ ("site", Json.int site) ]
+    | Trace.Wal_replay { site; replayed; truncated; corrupt } ->
+      [ ("site", Json.int site); ("replayed", Json.int replayed);
+        ("truncated", Json.int truncated); ("corrupt", Json.Bool corrupt) ]
+    | Trace.Store_fault { site; fault } ->
+      [ ("site", Json.int site); ("fault", Json.Str fault) ]
     | Trace.Span_begin { span; parent; label } ->
       [ ("span", Json.int span);
         ("parent", match parent with Some p -> Json.int p | None -> Json.Null);

@@ -20,6 +20,11 @@ type kind =
   | Heal
   | Detector_suspect of { site : int }
   | Detector_trust of { site : int }
+  | Wal_flush of { site : int; records : int }
+  | Wal_checkpoint of { site : int; kept : int; dropped_segments : int }
+  | Wal_full of { site : int }
+  | Wal_replay of { site : int; replayed : int; truncated : int; corrupt : bool }
+  | Store_fault of { site : int; fault : string }
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
 
@@ -189,6 +194,11 @@ let kind_label = function
   | Heal -> "heal"
   | Detector_suspect _ -> "detector_suspect"
   | Detector_trust _ -> "detector_trust"
+  | Wal_flush _ -> "wal_flush"
+  | Wal_checkpoint _ -> "wal_checkpoint"
+  | Wal_full _ -> "wal_full"
+  | Wal_replay _ -> "wal_replay"
+  | Store_fault _ -> "store_fault"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
 
@@ -223,6 +233,16 @@ let pp_kind ppf = function
   | Heal -> Format.pp_print_string ppf "heal"
   | Detector_suspect { site } -> Format.fprintf ppf "detector_suspect site %d" site
   | Detector_trust { site } -> Format.fprintf ppf "detector_trust site %d" site
+  | Wal_flush { site; records } ->
+    Format.fprintf ppf "wal_flush site %d (%d records)" site records
+  | Wal_checkpoint { site; kept; dropped_segments } ->
+    Format.fprintf ppf "wal_checkpoint site %d (kept %d, dropped %d segments)" site
+      kept dropped_segments
+  | Wal_full { site } -> Format.fprintf ppf "wal_full site %d" site
+  | Wal_replay { site; replayed; truncated; corrupt } ->
+    Format.fprintf ppf "wal_replay site %d (%d replayed, %d truncated%s)" site
+      replayed truncated (if corrupt then ", CORRUPT" else "")
+  | Store_fault { site; fault } -> Format.fprintf ppf "store_fault site %d (%s)" site fault
   | Span_begin { span; parent; label } ->
     Format.fprintf ppf "span_begin #%d %s%s" span label
       (match parent with Some p -> Printf.sprintf " (in #%d)" p | None -> "")

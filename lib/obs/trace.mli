@@ -41,6 +41,19 @@ type kind =
   | Heal
   | Detector_suspect of { site : int }
   | Detector_trust of { site : int }
+  | Wal_flush of { site : int; records : int }
+      (** a flush barrier persisted this many buffered records *)
+  | Wal_checkpoint of { site : int; kept : int; dropped_segments : int }
+      (** checkpoint compaction: [kept] snapshot payloads replace
+          [dropped_segments] segments *)
+  | Wal_full of { site : int }
+      (** a flush or checkpoint was refused: disk full *)
+  | Wal_replay of { site : int; replayed : int; truncated : int; corrupt : bool }
+      (** recovery replayed the durable prefix; [corrupt] means an invalid
+          record was found before the tail (bit rot detected) and the
+          suffix was discarded pending resync *)
+  | Store_fault of { site : int; fault : string }
+      (** a storage fault was injected at the site's WAL *)
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
 

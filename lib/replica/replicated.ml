@@ -6,6 +6,7 @@ open Atomrep_sim
 open Atomrep_cc
 open Atomrep_txn
 module Trace = Atomrep_obs.Trace
+module Wal = Atomrep_store.Wal
 
 type scheme = Hybrid | Static | Locking
 
@@ -38,23 +39,66 @@ type t = {
   mutable observer : Behavioral.entry list; (* reversed *)
   rpc_timeout : float;
   mutable commit_piggyback : bool;
+  recoveries : Repository.recovery list ref; (* reversed *)
 }
 
 let create ~name ~spec ~scheme ~relation ~assignment ~net ?members
-    ?(rpc_timeout = 50.0) () =
+    ?(durability = Repository.Volatile) ?(rpc_timeout = 50.0) () =
   let repos =
-    Array.init (Network.n_sites net) (fun site -> Repository.create ~site)
+    Array.init (Network.n_sites net) (fun site ->
+        Repository.create ~durability ~site ())
   in
+  let recoveries = ref [] in
   (* Crash-with-amnesia loses a repository's volatile state; the rejoin
      protocol restores what reachable peers still hold before the site
      serves again (state transfer is modeled as instantaneous at
      recovery). *)
   Network.on_amnesia net (fun site -> Repository.amnesia repos.(site));
   Network.on_rejoin net (fun site ->
+      (* A durable repository first replays its WAL: the flushed prefix
+         (truncated at the first torn or corrupt record) comes back from
+         local storage, and only the lost suffix needs the peers. The
+         resync quorum gating this rejoin is what makes a detected-corrupt
+         or truncated log safe to serve again. *)
+      (match Repository.recover repos.(site) with
+       | Some r ->
+         recoveries := r :: !recoveries;
+         let trc = Network.trace net in
+         if Trace.enabled trc then
+           ignore
+             (Trace.emit trc ~site
+                (Trace.Wal_replay
+                   {
+                     site;
+                     replayed = r.Repository.r_replayed;
+                     truncated = r.Repository.r_truncated;
+                     corrupt = r.Repository.r_corrupt;
+                   }))
+       | None -> ());
       for peer = 0 to Network.n_sites net - 1 do
         if peer <> site && Network.reachable net site peer then
           Repository.ingest repos.(site) (Repository.read repos.(peer))
       done);
+  (* Storage faults travel through the network (like amnesia) and land on
+     the per-site WAL; volatile repositories have nothing to corrupt. *)
+  Network.on_storage_fault net (fun site fault ->
+      match Repository.store repos.(site) with
+      | Some wal -> Wal.inject wal fault
+      | None -> ());
+  Array.iter
+    (fun repo ->
+      let site = Repository.site repo in
+      Repository.set_storage_hook repo (fun sn ->
+          let trc = Network.trace net in
+          if Trace.enabled trc then
+            ignore
+              (Trace.emit trc ~site
+                 (match sn with
+                  | Repository.Flushed n -> Trace.Wal_flush { site; records = n }
+                  | Repository.Flush_rejected -> Trace.Wal_full { site }
+                  | Repository.Checkpointed { kept; dropped_segments } ->
+                    Trace.Wal_checkpoint { site; kept; dropped_segments }))))
+    repos;
   {
     name;
     spec;
@@ -68,6 +112,7 @@ let create ~name ~spec ~scheme ~relation ~assignment ~net ?members
     observer = [];
     rpc_timeout;
     commit_piggyback = true;
+    recoveries;
   }
 
 let set_commit_piggyback t v = t.commit_piggyback <- v
@@ -422,6 +467,40 @@ let prepared_sites t ~from ~timeout ~k =
     ~gather:(fun acks -> k (List.map fst acks))
 
 let repository_log t ~site = Repository.read t.repos.(site)
+let repository t ~site = t.repos.(site)
+let recoveries t = List.rev !(t.recoveries)
+
+(* Summed WAL counters over the object's repositories; [None] when the
+   object runs volatile. *)
+let wal_totals t =
+  let acc =
+    {
+      Wal.flushes = 0;
+      flushed_records = 0;
+      lost_flushes = 0;
+      full_rejections = 0;
+      torn_writes = 0;
+      rotted = 0;
+      checkpoints = 0;
+    }
+  in
+  let any = ref false in
+  Array.iter
+    (fun repo ->
+      match Repository.store repo with
+      | None -> ()
+      | Some wal ->
+        any := true;
+        let s = Wal.stats wal in
+        acc.Wal.flushes <- acc.Wal.flushes + s.Wal.flushes;
+        acc.Wal.flushed_records <- acc.Wal.flushed_records + s.Wal.flushed_records;
+        acc.Wal.lost_flushes <- acc.Wal.lost_flushes + s.Wal.lost_flushes;
+        acc.Wal.full_rejections <- acc.Wal.full_rejections + s.Wal.full_rejections;
+        acc.Wal.torn_writes <- acc.Wal.torn_writes + s.Wal.torn_writes;
+        acc.Wal.rotted <- acc.Wal.rotted + s.Wal.rotted;
+        acc.Wal.checkpoints <- acc.Wal.checkpoints + s.Wal.checkpoints)
+    t.repos;
+  if !any then Some acc else None
 
 (* The gossip process draws from its own stream so that enabling or
    disabling it never perturbs the workload's random choices — ablation

@@ -56,14 +56,18 @@ val create :
   assignment:Assignment.t ->
   net:Network.t ->
   ?members:int list ->
+  ?durability:Repository.durability ->
   ?rpc_timeout:float ->
   unit ->
   t
 (** [rpc_timeout] bounds every quorum RPC issued on the object's behalf
     (default 50). [members] (default: all sites) are epoch 0's repository
     sites; [assignment] must be sized for exactly that member count.
-    Creation also registers the object's repositories with the network's
-    crash-with-amnesia and rejoin-resync hooks. *)
+    [durability] (default [Volatile]) selects the repositories' stable
+    storage model — see {!Repository.durability}. Creation also registers
+    the object's repositories with the network's crash-with-amnesia,
+    rejoin-resync, and storage-fault hooks; durable repositories replay
+    their WAL ({!Repository.recover}) before the peer resync runs. *)
 
 val name : t -> string
 
@@ -141,6 +145,18 @@ val start_anti_entropy : t -> rng:Atomrep_stats.Rng.t -> every:float -> unit
 
 val repository_log : t -> site:int -> Log.t
 (** Direct (test-only) access to one repository's log. *)
+
+val repository : t -> site:int -> Repository.t
+(** Direct (test-only) access to one repository — checkpoint forcing and
+    WAL fault injection in the storage tests. *)
+
+val recoveries : t -> Repository.recovery list
+(** Every WAL recovery the object's repositories performed (rejoin order).
+    Empty when running volatile. *)
+
+val wal_totals : t -> Atomrep_store.Wal.stats option
+(** WAL counters summed over the object's repositories; [None] when the
+    object runs volatile. *)
 
 type reconfig_result =
   | Reconfigured of int (** new epoch number now in force *)

@@ -1,5 +1,6 @@
 open Atomrep_history
 open Atomrep_clock
+module Wal = Atomrep_store.Wal
 
 type intention = {
   i_action : Action.t;
@@ -8,25 +9,81 @@ type intention = {
   i_seq : int;
 }
 
+type payload =
+  | P_record of Log.record
+  | P_epoch of int
+  | P_high of Lamport.Timestamp.t
+
+type durability =
+  | Volatile
+  | Durable of { group_commit : bool; segment_records : int; checkpoint_every : int }
+
+let durable ?(group_commit = false) ?(segment_records = 32) ?(checkpoint_every = 64)
+    () =
+  Durable { group_commit; segment_records; checkpoint_every }
+
+type storage_note =
+  | Flushed of int
+  | Flush_rejected
+  | Checkpointed of { kept : int; dropped_segments : int }
+
 type t = {
   site : int;
   mutable log : Log.t;
   mutable high : Lamport.Timestamp.t;
   mutable locks : intention list;
   mutable epoch : int;
+  store : payload Wal.t option;
+  group_commit : bool;
+  checkpoint_every : int;
+  mutable on_storage : storage_note -> unit;
 }
 
-let create ~site =
+type recovery = {
+  r_site : int;
+  r_replayed : int;
+  r_truncated : int;
+  r_corrupt : bool;
+  r_segments : int;
+  r_cost_ms : float;
+}
+
+let create ?(durability = Volatile) ~site () =
+  let store, group_commit, checkpoint_every =
+    match durability with
+    | Volatile -> (None, false, max_int)
+    | Durable { group_commit; segment_records; checkpoint_every } ->
+      (Some (Wal.create ~segment_records ()), group_commit, checkpoint_every)
+  in
   {
     site;
     log = Log.empty;
     high = Lamport.Timestamp.zero;
     locks = [];
     epoch = 0;
+    store;
+    group_commit;
+    checkpoint_every;
+    on_storage = (fun _ -> ());
   }
 
 let site t = t.site
 let read t = t.log
+let store t = t.store
+let set_storage_hook t f = t.on_storage <- f
+
+let ts_max a b = if Lamport.Timestamp.compare a b >= 0 then a else b
+
+(* The largest timestamp the log itself witnesses — what a recovering site
+   can honestly claim to have seen. *)
+let high_of_log log =
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | Log.Entry e -> ts_max acc e.Log.ets
+      | Log.Commit_record (_, ts) -> ts_max acc ts
+      | Log.Abort_record _ -> acc)
+    Lamport.Timestamp.zero (Log.records log)
 
 let witness t ts = if Lamport.Timestamp.compare ts t.high > 0 then t.high <- ts
 
@@ -38,6 +95,37 @@ let drop_intention t action seq =
 
 let drop_action t action =
   t.locks <- List.filter (fun i -> not (Action.equal i.i_action action)) t.locks
+
+(* The checkpoint snapshot is the gc'd log — aborted entries dropped but
+   their abort tombstones kept, so compaction can never resurrect a dead
+   entry at a stale peer — plus the epoch register and the high watermark
+   (gc may drop the entry that carried the maximum timestamp, and a
+   compacted recovery must witness no less than an uncompacted one). *)
+let snapshot_payloads t =
+  List.map (fun r -> P_record r) (Log.records (Log.gc t.log))
+  @ [ P_epoch t.epoch; P_high t.high ]
+
+let checkpoint t =
+  match t.store with
+  | None -> ()
+  | Some wal ->
+    let snapshot = snapshot_payloads t in
+    (match Wal.checkpoint wal snapshot with
+     | Ok dropped ->
+       t.on_storage
+         (Checkpointed { kept = List.length snapshot; dropped_segments = dropped })
+     | Error `Disk_full -> t.on_storage Flush_rejected)
+
+(* A full disk does not stop the repository: it keeps serving from memory
+   with durable state lagging — anything a later crash loses is restored by
+   the quorum-gated resync, exactly like amnesia. *)
+let flush_now t wal =
+  match Wal.flush wal with
+  | Ok 0 -> ()
+  | Ok n ->
+    t.on_storage (Flushed n);
+    if Wal.records_since_checkpoint wal >= t.checkpoint_every then checkpoint t
+  | Error `Disk_full -> t.on_storage Flush_rejected
 
 let append t records =
   List.iter
@@ -51,7 +139,22 @@ let append t records =
          drop_action t a
        | Log.Abort_record a -> drop_action t a);
       t.log <- Log.add t.log r)
-    records
+    records;
+  match t.store with
+  | None -> ()
+  | Some wal ->
+    List.iter (fun r -> Wal.append wal (P_record r)) records;
+    (* Group commit defers the barrier until a batch carries a decision:
+       tentative entries ride in the buffer and are fsynced together with
+       the commit/abort that resolves them. *)
+    let has_status =
+      List.exists
+        (function
+          | Log.Commit_record _ | Log.Abort_record _ -> true
+          | Log.Entry _ -> false)
+        records
+    in
+    if (not t.group_commit) || has_status then flush_now t wal
 
 let high_ts t = t.high
 
@@ -65,10 +168,62 @@ let amnesia t =
   (* Epoch membership is stable state: forgetting it would let a recovered
      site accept quorum traffic from a configuration it already left. *)
   t.locks <- [];
-  t.log <- Log.stable t.log
+  match t.store with
+  | None ->
+    t.log <- Log.stable t.log;
+    (* The high watermark is volatile — it dies with the crash. Recompute
+       it from what stable storage holds: keeping the in-memory value
+       would over-witness timestamps the site never durably saw. *)
+    t.high <- high_of_log t.log
+  | Some wal ->
+    (* With a WAL, *everything* in memory is volatile; the durable prefix
+       comes back via {!recover} at rejoin. *)
+    Wal.crash wal;
+    t.log <- Log.empty;
+    t.high <- Lamport.Timestamp.zero
+
+let recover t =
+  match t.store with
+  | None -> None
+  | Some wal ->
+    let r = Wal.recover wal in
+    let log, high, epoch =
+      List.fold_left
+        (fun (log, high, epoch) p ->
+          match p with
+          | P_record rc -> (Log.add log rc, high, epoch)
+          | P_epoch e -> (log, high, max epoch e)
+          | P_high ts -> (log, ts_max high ts, epoch))
+        (Log.empty, Lamport.Timestamp.zero, t.epoch)
+        (r.Wal.snapshot @ r.Wal.tail)
+    in
+    t.log <- log;
+    t.high <- ts_max high (high_of_log log);
+    t.epoch <- epoch;
+    t.locks <- [];
+    Some
+      {
+        r_site = t.site;
+        r_replayed = r.Wal.replayed;
+        r_truncated = r.Wal.truncated;
+        r_corrupt = r.Wal.corrupt;
+        r_segments = r.Wal.segments_scanned;
+        r_cost_ms = Wal.recovery_cost_ms r;
+      }
 
 let epoch t = t.epoch
-let advance_epoch t e = if e > t.epoch then t.epoch <- e
+
+let advance_epoch t e =
+  if e > t.epoch then begin
+    t.epoch <- e;
+    match t.store with
+    | None -> ()
+    | Some wal ->
+      (* Epoch fencing must be durable regardless of group commit: a site
+         that durably left an epoch may never un-leave it by crashing. *)
+      Wal.append wal (P_epoch e);
+      flush_now t wal
+  end
 
 let intentions t = t.locks
 

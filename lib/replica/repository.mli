@@ -3,12 +3,76 @@
 
     Repositories survive crashes — the log is stable storage; a crashed
     site simply stops answering until it recovers. Message-level behavior
-    (latency, loss, partitions) is the network's concern. *)
+    (latency, loss, partitions) is the network's concern.
+
+    Stable storage comes in two fidelities. [Volatile] is the original
+    model: crash-with-amnesia keeps the {!Atomrep_history.Log.stable}
+    projection by fiat. [Durable] backs the repository with a simulated
+    write-ahead log ({!Atomrep_store.Wal}): every appended record is
+    buffered and made durable by flush barriers, a crash loses the
+    unflushed suffix, and {!recover} replays the checksummed durable
+    prefix — so what survives a crash is exactly what was flushed, not
+    what a projection says should have survived. Intentions (the lock
+    table) are volatile by design in both modes. *)
 
 open Atomrep_history
 open Atomrep_clock
 
 type t
+
+type payload =
+  | P_record of Log.record
+  | P_epoch of int
+  | P_high of Lamport.Timestamp.t
+      (** What a durable repository writes to its WAL: log records as they
+          are appended, epoch joins (always flushed — fencing must hold
+          across crashes), and, inside checkpoint snapshots only, the high
+          watermark (garbage collection may have dropped the entry carrying
+          the maximum timestamp). *)
+
+type durability =
+  | Volatile
+      (** the original model: no WAL; crash-with-amnesia keeps
+          [Log.stable] by fiat *)
+  | Durable of { group_commit : bool; segment_records : int; checkpoint_every : int }
+      (** WAL-backed. [group_commit] defers the flush barrier until a
+          batch carries a commit/abort record (tentative entries ride
+          along); otherwise every append batch flushes. [segment_records]
+          is the WAL segment roll threshold; after a flush leaves
+          [checkpoint_every] or more records beyond the newest checkpoint,
+          the repository checkpoints (compacting every segment into one
+          snapshot record). *)
+
+val durable :
+  ?group_commit:bool ->
+  ?segment_records:int ->
+  ?checkpoint_every:int ->
+  unit ->
+  durability
+(** [Durable] with defaults: per-append flush, 32-record segments,
+    checkpoint every 64 records. *)
+
+type storage_note =
+  | Flushed of int  (** a flush barrier persisted this many records *)
+  | Flush_rejected  (** flush or checkpoint refused: disk full *)
+  | Checkpointed of { kept : int; dropped_segments : int }
+      (** compaction ran: [kept] snapshot payloads replaced
+          [dropped_segments] segments *)
+
+val set_storage_hook : t -> (storage_note -> unit) -> unit
+(** Observe storage activity (trace emission) without this module
+    depending on the observability layer. Default: ignore. *)
+
+type recovery = {
+  r_site : int;
+  r_replayed : int;  (** payloads replayed from the durable prefix *)
+  r_truncated : int;  (** invalid records physically dropped *)
+  r_corrupt : bool;
+      (** an invalid record sat before the tail: detected corruption, not
+          an expected torn tail write *)
+  r_segments : int;  (** segments scanned *)
+  r_cost_ms : float;  (** modeled recovery time (deterministic) *)
+}
 
 type intention = {
   i_action : Action.t;
@@ -24,10 +88,22 @@ type intention = {
     its action's commit or abort record, or by an explicit release when the
     front-end backs off. *)
 
-val create : site:int -> t
+val create : ?durability:durability -> site:int -> unit -> t
+(** Default durability: [Volatile]. *)
+
 val site : t -> int
 val read : t -> Log.t
+
+val store : t -> payload Atomrep_store.Wal.t option
+(** The backing WAL of a [Durable] repository ([None] when volatile) —
+    exposed for fault injection and the storage tests. *)
+
 val append : t -> Log.record list -> unit
+(** Apply the records to the in-memory log (witnessing timestamps and
+    clearing resolved intentions). A durable repository also appends them
+    to its WAL buffer and, unless group commit defers it, issues a flush
+    barrier; a full disk leaves the records volatile (they are restored by
+    resync if lost — see {!durability}). *)
 
 val ingest : t -> Log.t -> unit
 (** Merge a peer repository's log (anti-entropy): every incoming record is
@@ -38,10 +114,35 @@ val gc : t -> unit
 (** Garbage-collect aborted entries ({!Log.gc}). *)
 
 val amnesia : t -> unit
-(** Crash-with-amnesia: drop the volatile state — the lock table and every
-    tentative (undecided) log entry — keeping the stable projection
-    ({!Log.stable}): committed entries and commit/abort records. Models a
-    repository whose log forces to stable storage only at commit. *)
+(** Crash-with-amnesia. [Volatile]: drop the lock table and every
+    tentative (undecided) entry, keep the stable projection ({!Log.stable})
+    and recompute the high watermark from it (the in-memory watermark is
+    volatile — keeping it would over-witness timestamps the site never
+    durably saw). [Durable]: the entire in-memory state is volatile; the
+    WAL records the crash (losing its unflushed buffer, persisting a torn
+    record if one was armed) and the durable prefix returns via
+    {!recover}. The epoch register survives in both modes (see {!epoch}). *)
+
+val recover : t -> recovery option
+(** Crash recovery for a [Durable] repository: scan the WAL, verify
+    checksums, truncate at the first invalid record, and rebuild the log,
+    high watermark, and epoch from the newest checkpoint snapshot plus the
+    record tail. The lock table starts empty. Returns [None] when
+    volatile (rejoin-resync alone restores state). Detected corruption
+    ([r_corrupt]) means the durable suffix was discarded — the caller must
+    hold the site to the quorum-gated resync path so peers restore what
+    the log lost, rather than serving bad records. *)
+
+val checkpoint : t -> unit
+(** Force checkpoint compaction now (normally automatic after flushes per
+    [checkpoint_every]): every WAL segment is replaced by one snapshot of
+    the gc'd log — abort tombstones kept, so compaction can never
+    resurrect a dead entry — plus the epoch and high watermark. No-op when
+    volatile; on a full disk the attempt is noted and dropped. *)
+
+val high_of_log : Log.t -> Lamport.Timestamp.t
+(** The largest entry/commit timestamp the log witnesses — what recovery
+    may honestly claim as the high watermark. *)
 
 val intentions : t -> intention list
 (** Unresolved intentions held at this repository. *)

@@ -70,6 +70,7 @@ type config = {
   reconfig : reconfig option;
   trace : Trace.t option;
   ungated_rejoin : bool;
+  durability : Repository.durability;
 }
 
 let default_queue_assignment ~n_sites =
@@ -117,6 +118,7 @@ let default_config =
     reconfig = None;
     trace = None;
     ungated_rejoin = false;
+    durability = Repository.Volatile;
   }
 
 type metrics = {
@@ -140,6 +142,18 @@ type metrics = {
   reconfig_latency : Summary.t;
   suspicion_transitions : int;
   final_epoch : int;
+  recoveries : int;
+  recoveries_corrupt : int;
+  recovery_replay : Summary.t;
+  recovery_cost : Summary.t;
+  wal_flushes : int;
+  wal_flushed_records : int;
+  wal_lost_flushes : int;
+  wal_full_rejections : int;
+  wal_torn_writes : int;
+  wal_rotted : int;
+  wal_checkpoints : int;
+  storage_faults : int;
 }
 
 type outcome = {
@@ -395,7 +409,8 @@ let run cfg =
         ( oc.obj_name,
           Replicated.create ~name:oc.obj_name ~spec:oc.obj_spec ~scheme:cfg.scheme
             ~relation:oc.obj_relation ~assignment:oc.obj_assignment ~net
-            ?members:oc.obj_members ~rpc_timeout:cfg.rpc_timeout () ))
+            ?members:oc.obj_members ~durability:cfg.durability
+            ~rpc_timeout:cfg.rpc_timeout () ))
       cfg.objects
   in
   (match cfg.trace with Some tr -> Network.set_trace net tr | None -> ());
@@ -560,6 +575,52 @@ let run cfg =
       0 objects
   in
   g "epoch.final" (float_of_int final_epoch);
+  (* Durability: WAL counters summed over objects, plus one observation per
+     recovery into the replay-length and modeled-cost histograms. *)
+  let module Wal = Atomrep_store.Wal in
+  let wal_flushes = ref 0
+  and wal_flushed_records = ref 0
+  and wal_lost_flushes = ref 0
+  and wal_full_rejections = ref 0
+  and wal_torn_writes = ref 0
+  and wal_rotted = ref 0
+  and wal_checkpoints = ref 0 in
+  List.iter
+    (fun (_, obj) ->
+      match Replicated.wal_totals obj with
+      | None -> ()
+      | Some s ->
+        wal_flushes := !wal_flushes + s.Wal.flushes;
+        wal_flushed_records := !wal_flushed_records + s.Wal.flushed_records;
+        wal_lost_flushes := !wal_lost_flushes + s.Wal.lost_flushes;
+        wal_full_rejections := !wal_full_rejections + s.Wal.full_rejections;
+        wal_torn_writes := !wal_torn_writes + s.Wal.torn_writes;
+        wal_rotted := !wal_rotted + s.Wal.rotted;
+        wal_checkpoints := !wal_checkpoints + s.Wal.checkpoints)
+    objects;
+  g "wal.flushes" (float_of_int !wal_flushes);
+  g "wal.flushed_records" (float_of_int !wal_flushed_records);
+  g "wal.lost_flushes" (float_of_int !wal_lost_flushes);
+  g "wal.full_rejections" (float_of_int !wal_full_rejections);
+  g "wal.torn_writes" (float_of_int !wal_torn_writes);
+  g "wal.rotted" (float_of_int !wal_rotted);
+  g "wal.checkpoints" (float_of_int !wal_checkpoints);
+  g "storage.faults" (float_of_int ns.Network.storage_faults);
+  let all_recoveries =
+    List.concat_map (fun (_, obj) -> Replicated.recoveries obj) objects
+  in
+  let recoveries_corrupt =
+    List.length (List.filter (fun r -> r.Repository.r_corrupt) all_recoveries)
+  in
+  g "recovery.count" (float_of_int (List.length all_recoveries));
+  g "recovery.corrupt" (float_of_int recoveries_corrupt);
+  let replay_h = Metrics.histogram registry ~labels:scheme_l "recovery.replay" in
+  let cost_h = Metrics.histogram registry ~labels:scheme_l "recovery.cost_ms" in
+  List.iter
+    (fun r ->
+      Metrics.observe replay_h (float_of_int r.Repository.r_replayed);
+      Metrics.observe cost_h r.Repository.r_cost_ms)
+    all_recoveries;
   (* Per-span-kind latency breakdowns, from the trace's closed spans. *)
   (match cfg.trace with
    | Some tr ->
@@ -593,6 +654,20 @@ let run cfg =
         Metrics.histogram_summary registry ~labels:scheme_l "reconfig.latency";
       suspicion_transitions;
       final_epoch;
+      recoveries = List.length all_recoveries;
+      recoveries_corrupt;
+      recovery_replay =
+        Metrics.histogram_summary registry ~labels:scheme_l "recovery.replay";
+      recovery_cost =
+        Metrics.histogram_summary registry ~labels:scheme_l "recovery.cost_ms";
+      wal_flushes = !wal_flushes;
+      wal_flushed_records = !wal_flushed_records;
+      wal_lost_flushes = !wal_lost_flushes;
+      wal_full_rejections = !wal_full_rejections;
+      wal_torn_writes = !wal_torn_writes;
+      wal_rotted = !wal_rotted;
+      wal_checkpoints = !wal_checkpoints;
+      storage_faults = ns.Network.storage_faults;
     }
   in
   let histories =

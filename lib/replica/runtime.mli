@@ -96,6 +96,11 @@ type config = {
       (** negative testing only: let amnesiac sites rejoin without a resync
           quorum (the pre-fix behavior whose double-dequeue violation the
           postmortem tests replay). *)
+  durability : Repository.durability;
+      (** stable-storage model for every repository (default [Volatile],
+          the original behavior): [Durable] backs each site with a
+          simulated WAL whose flush barriers, crash-truncation and
+          checkpoint compaction the storage fault schedules target. *)
 }
 
 val default_config : config
@@ -126,6 +131,18 @@ type metrics = {
   reconfig_latency : Summary.t; (** wall-clock (simulated) per successful handoff *)
   suspicion_transitions : int; (** detector churn: raises plus clears *)
   final_epoch : int; (** largest epoch number in force at the horizon *)
+  recoveries : int; (** WAL recoveries performed at rejoin *)
+  recoveries_corrupt : int; (** recoveries that detected corruption *)
+  recovery_replay : Summary.t; (** per-recovery replayed-record counts *)
+  recovery_cost : Summary.t; (** per-recovery modeled time (ms) *)
+  wal_flushes : int; (** successful flush barriers, summed over sites *)
+  wal_flushed_records : int;
+  wal_lost_flushes : int; (** flushes a fault silently dropped *)
+  wal_full_rejections : int; (** flushes/checkpoints refused: disk full *)
+  wal_torn_writes : int; (** torn records persisted at crashes *)
+  wal_rotted : int; (** bit-rot corruptions applied *)
+  wal_checkpoints : int;
+  storage_faults : int; (** storage faults injected via the network *)
 }
 
 type outcome = {

@@ -111,6 +111,45 @@ let staggered_kill net ~start ~gap ~victims =
         kill net ~site ~at:(start +. (float_of_int k *. gap)))
     victims
 
+(* Storage-fault schedules share one shape: at exponentially distributed
+   intervals, pick a uniform victim site and deliver one fault through the
+   network's storage listeners. All draws come from the engine RNG, so the
+   schedules replay deterministically like every other fault process. *)
+let storage_cycle net ~every pick =
+  let engine = Network.engine net in
+  let rng = Engine.rng engine in
+  let rec cycle () =
+    Engine.schedule engine ~delay:(Rng.exponential rng every) (fun () ->
+        let site = Rng.int rng (Network.n_sites net) in
+        Network.inject_storage_fault net ~site (pick rng);
+        cycle ())
+  in
+  cycle ()
+
+let torn_writes net ~every =
+  storage_cycle net ~every (fun _ -> Atomrep_store.Wal.Torn_write)
+
+let bit_rot net ~every =
+  (* The victim index is reduced modulo the WAL's durable size at the
+     store, so any draw addresses a valid record. *)
+  storage_cycle net ~every (fun rng -> Atomrep_store.Wal.Bit_rot (Rng.int rng 1_000_000))
+
+let lost_flushes net ~every =
+  storage_cycle net ~every (fun _ -> Atomrep_store.Wal.Lost_flush)
+
+let disk_pressure net ~every ~duration =
+  let engine = Network.engine net in
+  let rng = Engine.rng engine in
+  let rec cycle () =
+    Engine.schedule engine ~delay:(Rng.exponential rng every) (fun () ->
+        let site = Rng.int rng (Network.n_sites net) in
+        Network.inject_storage_fault net ~site Atomrep_store.Wal.Disk_full;
+        Engine.schedule engine ~delay:duration (fun () ->
+            Network.inject_storage_fault net ~site Atomrep_store.Wal.Disk_free);
+        cycle ())
+  in
+  cycle ()
+
 let clock_skew net ~site ~every ~max_skew =
   let engine = Network.engine net in
   let rng = Engine.rng engine in

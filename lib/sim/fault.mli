@@ -73,6 +73,23 @@ val staggered_kill :
     whereas killing a majority at once correctly leaves the safe handoff
     protocol unable to seal the old epoch. *)
 
+val torn_writes : Network.t -> every:float -> unit
+(** At exponentially distributed intervals (mean [every]), arm a torn
+    tail write at a uniformly drawn site: its next crash persists a
+    partial, checksum-invalid record (see {!Atomrep_store.Wal}). *)
+
+val bit_rot : Network.t -> every:float -> unit
+(** Periodically corrupt one durable WAL record at a random site; the
+    store guarantees detection at the next recovery scan. *)
+
+val lost_flushes : Network.t -> every:float -> unit
+(** Periodically arm a lost flush at a random site: the next flush
+    barrier reports success but persists nothing. *)
+
+val disk_pressure : Network.t -> every:float -> duration:float -> unit
+(** Periodically fill a random site's disk for [duration] time units:
+    flushes and checkpoints fail until the pressure clears. *)
+
 val clock_skew : Network.t -> site:int -> every:float -> max_skew:int -> unit
 (** Periodically advance the site's logical clock by a uniformly drawn
     amount in [\[0, max_skew\]] via {!Network.inject_skew} — bounded clock

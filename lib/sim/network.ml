@@ -7,6 +7,7 @@ type stats = {
   mutable duplicated : int;
   mutable dead_dest : int;
   mutable rpc_timeouts : int;
+  mutable storage_faults : int;
 }
 
 type t = {
@@ -23,6 +24,7 @@ type t = {
   stats : stats;
   mutable amnesia_listeners : (int -> unit) list;
   mutable rejoin_listeners : (int -> unit) list;
+  mutable storage_listeners : (int -> Atomrep_store.Wal.fault -> unit) list;
   mutable skew_handler : site:int -> amount:int -> unit;
   mutable resync_quorum : int;
   mutable trace : Trace.t;
@@ -40,9 +42,18 @@ let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
     up = Array.make n_sites true;
     groups = Array.make n_sites 0;
     blocked = Hashtbl.create 8;
-    stats = { sent = 0; dropped = 0; duplicated = 0; dead_dest = 0; rpc_timeouts = 0 };
+    stats =
+      {
+        sent = 0;
+        dropped = 0;
+        duplicated = 0;
+        dead_dest = 0;
+        rpc_timeouts = 0;
+        storage_faults = 0;
+      };
     amnesia_listeners = [];
     rejoin_listeners = [];
+    storage_listeners = [];
     skew_handler = (fun ~site:_ ~amount:_ -> ());
     resync_quorum = 0;
     trace = Trace.null;
@@ -86,6 +97,13 @@ let heal_all_links t = Hashtbl.reset t.blocked
 
 let on_amnesia t f = t.amnesia_listeners <- f :: t.amnesia_listeners
 let on_rejoin t f = t.rejoin_listeners <- f :: t.rejoin_listeners
+let on_storage_fault t f = t.storage_listeners <- f :: t.storage_listeners
+
+let inject_storage_fault t ~site fault =
+  t.stats.storage_faults <- t.stats.storage_faults + 1;
+  note t ~site
+    (Trace.Store_fault { site; fault = Atomrep_store.Wal.fault_label fault });
+  List.iter (fun f -> f site fault) t.storage_listeners
 
 let crash_with_amnesia t s =
   t.up.(s) <- false;

@@ -22,6 +22,7 @@ type stats = {
   mutable duplicated : int; (** extra deliveries scheduled *)
   mutable dead_dest : int; (** arrived while the destination was down *)
   mutable rpc_timeouts : int; (** RPCs that gave up waiting (see {!Rpc}) *)
+  mutable storage_faults : int; (** {!inject_storage_fault} calls *)
 }
 
 type t
@@ -58,6 +59,16 @@ val set_resync_quorum : t -> int -> unit
 
 val on_amnesia : t -> (int -> unit) -> unit
 val on_rejoin : t -> (int -> unit) -> unit
+
+val on_storage_fault : t -> (int -> Atomrep_store.Wal.fault -> unit) -> unit
+(** Register an owner of per-site stable storage: fault schedules deliver
+    storage faults through the network (like amnesia) so the simulator
+    needs no knowledge of repositories or their WALs. *)
+
+val inject_storage_fault : t -> site:int -> Atomrep_store.Wal.fault -> unit
+(** Deliver a storage fault to the site's registered storage listeners and
+    record a [Store_fault] trace event. A no-op (beyond the counter and the
+    event) when nothing is registered or the site runs without a WAL. *)
 
 val partition : t -> int list list -> unit
 (** Install a partition: each list is a group; messages between different

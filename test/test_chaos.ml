@@ -117,7 +117,7 @@ let entry c name seq event =
     }
 
 let test_repository_amnesia_keeps_stable_state () =
-  let repo = Repository.create ~site:0 in
+  let repo = Repository.create ~site:0 () in
   Repository.append repo [ entry 1 "A" 0 (Queue_type.enq "x") ];
   Repository.append repo [ entry 2 "B" 0 (Queue_type.enq "y") ];
   Repository.append repo [ Log.Commit_record (Action.of_string "A", ts 3) ];

@@ -326,7 +326,7 @@ let test_log_gc_tombstone_blocks_resurrection () =
 
 let test_repository_ingest () =
   let open Atomrep_replica in
-  let r1 = Repository.create ~site:0 and r2 = Repository.create ~site:1 in
+  let r1 = Repository.create ~site:0 () and r2 = Repository.create ~site:1 () in
   Repository.append r1 [ entry 1 "A" 0 (Queue_type.enq "x") ];
   Repository.append r2 [ Log.Commit_record (Action.of_string "A", ts 2) ];
   Repository.ingest r2 (Repository.read r1);

@@ -148,7 +148,7 @@ let test_epoch_intersects () =
     (Epoch.intersects ~constraints ~prev ~next:one_foot)
 
 let test_repository_epoch_monotone_and_stable () =
-  let r = Repository.create ~site:0 in
+  let r = Repository.create ~site:0 () in
   check_int "starts at epoch 0" 0 (Repository.epoch r);
   Repository.advance_epoch r 2;
   check_int "advances to newer" 2 (Repository.epoch r);

@@ -47,12 +47,12 @@ let test_log_status_records () =
 (* --- Repository --- *)
 
 let test_repository_stable_storage () =
-  let r = Repository.create ~site:0 in
+  let r = Repository.create ~site:0 () in
   Repository.append r [ entry 1 "A" 0 (Queue_type.enq "x") ];
   check_int "stored" 1 (Log.size (Repository.read r))
 
 let test_repository_intentions_cleared_by_entry () =
-  let r = Repository.create ~site:0 in
+  let r = Repository.create ~site:0 () in
   let a = Action.of_string "A" in
   Repository.intend r { Repository.i_action = a; i_op = "Enq"; i_bts = ts 1; i_seq = 0 };
   check_int "one intention" 1 (List.length (Repository.intentions r));
@@ -60,14 +60,14 @@ let test_repository_intentions_cleared_by_entry () =
   check_int "cleared by its entry" 0 (List.length (Repository.intentions r))
 
 let test_repository_intentions_cleared_by_status () =
-  let r = Repository.create ~site:0 in
+  let r = Repository.create ~site:0 () in
   let a = Action.of_string "A" in
   Repository.intend r { Repository.i_action = a; i_op = "Enq"; i_bts = ts 1; i_seq = 0 };
   Repository.append r [ Log.Abort_record a ];
   check_int "cleared by abort" 0 (List.length (Repository.intentions r))
 
 let test_repository_release () =
-  let r = Repository.create ~site:0 in
+  let r = Repository.create ~site:0 () in
   let a = Action.of_string "A" in
   Repository.intend r { Repository.i_action = a; i_op = "Enq"; i_bts = ts 1; i_seq = 0 };
   Repository.intend r { Repository.i_action = a; i_op = "Deq"; i_bts = ts 1; i_seq = 1 };
