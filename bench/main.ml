@@ -17,6 +17,11 @@
                                              under crash+amnesia, recovery
                                              replay/cost percentiles, and the
                                              checkpoint-compaction ablation)
+     dune exec bench/main.exe -- termination — machine-readable BENCH_5.json
+                                             (per-termination-mode throughput,
+                                             stranded tentative entries, and
+                                             blocked-latency percentiles under
+                                             the coordinator-killer nemesis)
 
    Each experiment regenerates one of the paper's figures or worked
    examples (see DESIGN.md's experiment index and EXPERIMENTS.md for the
@@ -433,6 +438,143 @@ let run_storage () =
   Atomrep_obs.Export.write_file "BENCH_4.json" (Json.to_string doc);
   print_endline "wrote BENCH_4.json"
 
+(* Termination benchmark record: what crash-safe termination buys (and
+   costs) under the coordinator-killer nemesis — commit-window ambushes of
+   coordinator home sites. Per termination mode (none / presumed-abort-only
+   / cooperative, the last with deadlock detection) over fixed seeds:
+   committed throughput, the abort breakdown including presumed and
+   cooperative aborts, stranded tentative entries left at the horizon (the
+   headline: nonzero under `none', zero under `cooperative'), decision-log
+   and redrive counters, blocked-operation latency percentiles, and the
+   oracle verdict for every run. Written to BENCH_5.json; the schema is
+   documented in EXPERIMENTS.md. *)
+let run_termination () =
+  let module Runtime = Atomrep_replica.Runtime in
+  let module Campaign = Atomrep_chaos.Campaign in
+  let module Json = Atomrep_obs.Json in
+  let module Summary = Atomrep_stats.Summary in
+  let n_txns = 120 and seeds = [ 0; 1; 2; 3; 4 ] in
+  let profile =
+    match Campaign.find_profile "coordinator_killer" with
+    | Some p -> p
+    | None -> failwith "coordinator_killer profile missing"
+  in
+  let cfg ~seed ~termination ~deadlock =
+    {
+      Runtime.default_config with
+      Runtime.seed;
+      n_txns;
+      scheme = Atomrep_replica.Replicated.Hybrid;
+      horizon = 40_000.0;
+      install_faults =
+        (fun net -> Atomrep_chaos.Nemesis.install profile.Campaign.nemesis net);
+      termination;
+      deadlock;
+    }
+  in
+  let summary_json s =
+    Json.Obj
+      [
+        ("count", Json.int (Summary.count s));
+        ("mean", Json.Num (Summary.mean s));
+        ("p50", Json.Num (Summary.percentile s 0.5));
+        ("p95", Json.Num (Summary.percentile s 0.95));
+        ("p99", Json.Num (Summary.percentile s 0.99));
+        ("max", Json.Num (Summary.max_value s));
+      ]
+  in
+  let measure ~termination ~deadlock =
+    let committed = ref 0 and aborted = ref 0 in
+    let stranded = ref 0 and violations = ref 0 in
+    let coop_c = ref 0 and coop_a = ref 0 and presumed = ref 0 in
+    let deadlocks = ref 0 and redrives = ref 0 and orphans = ref 0 in
+    let decisions = ref 0 in
+    let blocked = Summary.create () in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun seed ->
+        let config = cfg ~seed ~termination ~deadlock in
+        let outcome = Runtime.run config in
+        let m = outcome.Runtime.metrics in
+        committed := !committed + m.Runtime.committed;
+        aborted := !aborted + m.Runtime.aborted;
+        stranded := !stranded + m.Runtime.stranded_entries;
+        coop_c := !coop_c + m.Runtime.coop_commits;
+        coop_a := !coop_a + m.Runtime.coop_aborts;
+        presumed := !presumed + m.Runtime.presumed_aborts;
+        deadlocks := !deadlocks + m.Runtime.deadlock_aborts;
+        redrives := !redrives + m.Runtime.redrives;
+        orphans := !orphans + m.Runtime.orphans_reaped;
+        decisions := !decisions + m.Runtime.decision_log_writes;
+        List.iter (Summary.add blocked)
+          (Summary.observations m.Runtime.blocked_latency);
+        let failures =
+          Runtime.check_atomicity config outcome
+          @ Runtime.check_common_order config outcome
+        in
+        violations := !violations + List.length failures)
+      seeds;
+    let wall = Unix.gettimeofday () -. t0 in
+    ( (!committed, !stranded, !violations),
+      Json.Obj
+        [
+          ("committed", Json.int !committed);
+          ("aborted", Json.int !aborted);
+          ("stranded_entries", Json.int !stranded);
+          ("coop_commits", Json.int !coop_c);
+          ("coop_aborts", Json.int !coop_a);
+          ("presumed_aborts", Json.int !presumed);
+          ("deadlock_aborts", Json.int !deadlocks);
+          ("redrives", Json.int !redrives);
+          ("orphans_reaped", Json.int !orphans);
+          ("decision_log_writes", Json.int !decisions);
+          ("blocked_latency_ms", summary_json blocked);
+          ("oracle_violations", Json.int !violations);
+          ("wall_s", Json.Num wall);
+          ( "committed_per_s",
+            Json.Num (if wall > 0.0 then float_of_int !committed /. wall else 0.0) );
+        ] )
+  in
+  print_newline ();
+  print_endline "Termination benchmark (coordinator-killer ambush, 5 seeds per mode)";
+  print_endline "===================================================================";
+  let modes =
+    [
+      ("none", Atomrep_txn.Termination.Disabled, Runtime.No_deadlock);
+      ( "presumed-abort-only",
+        Atomrep_txn.Termination.Presumed_abort_only,
+        Runtime.No_deadlock );
+      ("cooperative", Atomrep_txn.Termination.Cooperative, Runtime.Detect);
+    ]
+  in
+  let mode_entries =
+    List.map
+      (fun (name, termination, deadlock) ->
+        let (committed, stranded, violations), entry =
+          measure ~termination ~deadlock
+        in
+        Printf.printf "  %-20s committed=%d stranded=%d violations=%d\n%!" name
+          committed stranded violations;
+        (name, entry))
+      modes
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "crash-safe-termination");
+        ("n_sites", Json.int Runtime.default_config.Runtime.n_sites);
+        ("seeds", Json.List (List.map Json.int seeds));
+        ("n_txns", Json.int n_txns);
+        ( "workload",
+          Json.Str
+            "hybrid, coordinator_killer profile (commit-window ambush p=0.25 \
+             mttr=400 + 2% link flake)" );
+        ("modes", Json.Obj mode_entries);
+      ]
+  in
+  Atomrep_obs.Export.write_file "BENCH_5.json" (Json.to_string doc);
+  print_endline "wrote BENCH_5.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = args = [ "micro" ] in
@@ -440,24 +582,27 @@ let () =
   let reconfig_only = args = [ "reconfig" ] in
   let json_only = args = [ "json" ] in
   let storage_only = args = [ "storage" ] in
+  let termination_only = args = [ "termination" ] in
   let micro = List.mem "micro" args || args = [] || List.mem "all" args in
   let chaos = List.mem "chaos" args in
   let reconfig = List.mem "reconfig" args in
   let json = List.mem "json" args in
   let storage = List.mem "storage" args in
+  let termination = List.mem "termination" args in
   let ids =
     List.filter
       (fun a ->
         a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig" && a <> "json"
-        && a <> "storage")
+        && a <> "storage" && a <> "termination")
       args
   in
   if
     (not micro_only) && (not chaos_only) && (not reconfig_only) && (not json_only)
-    && not storage_only
+    && (not storage_only) && not termination_only
   then run_experiments ids;
   if micro then run_micro ();
   if chaos then run_chaos ();
   if reconfig then run_reconfig ();
   if json then run_json ();
-  if storage then run_storage ()
+  if storage then run_storage ();
+  if termination then run_termination ()

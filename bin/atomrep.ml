@@ -69,6 +69,56 @@ let durability_of = function
   | `Wal -> Atomrep_replica.Repository.durable ()
   | `Wal_gc -> Atomrep_replica.Repository.durable ~group_commit:true ()
 
+(* Shared crash-safe-termination flags (see Runtime.config). *)
+let termination_arg =
+  let doc =
+    "Crash-safe transaction termination: `none' (coordinator crashes \
+     strand in-doubt transactions, the historical behavior), \
+     `presumed-abort-only' (durable commit point, recovery redrive, \
+     presumed abort), or `cooperative' (plus participant-driven quorum \
+     termination and the orphan reaper)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("none", Atomrep_txn.Termination.Disabled);
+             ("presumed-abort-only", Atomrep_txn.Termination.Presumed_abort_only);
+             ("cooperative", Atomrep_txn.Termination.Cooperative);
+           ])
+        Atomrep_txn.Termination.Disabled
+    & info [ "termination" ] ~docv:"MODE" ~doc)
+
+let deadlock_arg =
+  let doc =
+    "Deadlock policy for blocked operations: `none' (backoff and retry \
+     budgets only), `detect' (waits-for cycle detection, youngest victim), \
+     or `wound-wait' (older waiters preempt younger blockers)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("none", Atomrep_replica.Runtime.No_deadlock);
+             ("detect", Atomrep_replica.Runtime.Detect);
+             ("wound-wait", Atomrep_replica.Runtime.Wound_wait);
+           ])
+        Atomrep_replica.Runtime.No_deadlock
+    & info [ "deadlock" ] ~docv:"POLICY" ~doc)
+
+let print_termination_metrics (m : Atomrep_replica.Runtime.metrics) =
+  let open Atomrep_replica in
+  Printf.printf
+    "termination: coop-commits=%d coop-aborts=%d presumed=%d deadlock=%d \
+     redrives=%d orphans-reaped=%d stranded=%d decision-writes=%d mean \
+     blocked %.1f ms\n"
+    m.Runtime.coop_commits m.Runtime.coop_aborts m.Runtime.presumed_aborts
+    m.Runtime.deadlock_aborts m.Runtime.redrives m.Runtime.orphans_reaped
+    m.Runtime.stranded_entries m.Runtime.decision_log_writes
+    (Summary.mean m.Runtime.blocked_latency)
+
 let print_wal_metrics (m : Atomrep_replica.Runtime.metrics) =
   let open Atomrep_replica in
   Printf.printf
@@ -192,8 +242,8 @@ let quorums_cmd =
 (* --- simulate --- *)
 
 let simulate_cmd =
-  let run scheme_name n_txns n_sites seed mtbf reconfigure durability trace_file
-      trace_format metrics_json =
+  let run scheme_name n_txns n_sites seed mtbf reconfigure durability termination
+      deadlock trace_file trace_format metrics_json =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -236,6 +286,8 @@ let simulate_cmd =
             ];
           reconfig = (if reconfigure then Some Runtime.default_reconfig else None);
           durability = durability_of durability;
+          termination;
+          deadlock;
         }
       in
       let outcome = Runtime.run cfg in
@@ -260,6 +312,10 @@ let simulate_cmd =
           m.Runtime.reconfigs m.Runtime.reconfigs_refused m.Runtime.reconfigs_failed
           m.Runtime.final_epoch m.Runtime.suspicion_transitions;
       if durability <> `None then print_wal_metrics m;
+      if
+        termination <> Atomrep_txn.Termination.Disabled
+        || deadlock <> Runtime.No_deadlock
+      then print_termination_metrics m;
       (* Both oracles gate the exit code so scripted runs can fail hard. *)
       let failures =
         Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
@@ -305,8 +361,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg
-      $ reconfigure_arg $ durability_arg $ trace_file_arg $ trace_format_arg
-      $ metrics_json_arg)
+      $ reconfigure_arg $ durability_arg $ termination_arg $ deadlock_arg
+      $ trace_file_arg $ trace_format_arg $ metrics_json_arg)
 
 (* --- chaos --- *)
 
@@ -344,7 +400,7 @@ let chaos_cmd =
         (Ok [])
   in
   let run schemes profiles seeds txns intensity repro seed reconfig durability
-      trace_file trace_format metrics_json postmortem_dir =
+      termination deadlock trace_file trace_format metrics_json postmortem_dir =
     match parse_schemes schemes, parse_profiles profiles with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -373,6 +429,7 @@ let chaos_cmd =
               Campaign.storage_base.Atomrep_replica.Runtime.durability;
           }
       in
+      let base = { base with Atomrep_replica.Runtime.termination; deadlock } in
       if repro then begin
         (* Replay one reproducer tuple per scheme/profile given; all the
            replays share one trace bus, so the exported file covers the
@@ -401,6 +458,11 @@ let chaos_cmd =
                     .Atomrep_replica.Runtime.committed;
                 if durability <> `None then
                   print_wal_metrics outcome.Atomrep_replica.Runtime.metrics;
+                if
+                  termination <> Atomrep_txn.Termination.Disabled
+                  || deadlock <> Atomrep_replica.Runtime.No_deadlock
+                then
+                  print_termination_metrics outcome.Atomrep_replica.Runtime.metrics;
                 match failures with
                 | [] -> print_endline "atomicity check: OK"
                 | fs ->
@@ -482,8 +544,9 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg $ intensity_arg
-      $ repro_arg $ seed_arg $ reconfig_arg $ durability_arg $ trace_file_arg
-      $ trace_format_arg $ metrics_json_arg $ postmortem_dir_arg)
+      $ repro_arg $ seed_arg $ reconfig_arg $ durability_arg $ termination_arg
+      $ deadlock_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg
+      $ postmortem_dir_arg)
 
 (* --- experiment --- *)
 

@@ -1,0 +1,27 @@
+open Atomrep_history
+
+(* One out-edge per waiter: a transaction executes its operations
+   sequentially, so it waits for at most one blocker at a time. *)
+type t = { edges : (Action.t, Action.t) Hashtbl.t }
+
+let create () = { edges = Hashtbl.create 16 }
+let wait t ~waiter ~on = Hashtbl.replace t.edges waiter on
+let clear t waiter = Hashtbl.remove t.edges waiter
+let blocker t waiter = Hashtbl.find_opt t.edges waiter
+let size t = Hashtbl.length t.edges
+
+let cycle_from t ~alive start =
+  (* Walk the out-edge chain from [start]; with one out-edge per node the
+     reachable subgraph is a rho shape, so revisiting [start] is the only
+     way a cycle through it closes. Dead nodes (resolved transactions
+     whose edges are about to be cleared) break the chain. *)
+  let rec walk seen node =
+    match Hashtbl.find_opt t.edges node with
+    | None -> None
+    | Some next ->
+      if not (alive next) then None
+      else if Action.equal next start then Some (List.rev seen)
+      else if List.exists (Action.equal next) seen then None
+      else walk (next :: seen) next
+  in
+  if alive start then walk [ start ] start else None

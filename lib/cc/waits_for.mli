@@ -1,0 +1,31 @@
+(** Waits-for graph for deadlock detection under the locking scheme.
+
+    Each blocked operation adds one edge waiter -> blocker (a transaction
+    runs its operations sequentially, so it has at most one out-edge);
+    the edge is cleared when the operation completes or the waiter
+    resolves. With out-degree <= 1 the graph is a union of rho-shaped
+    chains, so cycle detection from a node is a single walk. *)
+
+open Atomrep_history
+
+type t
+
+val create : unit -> t
+
+val wait : t -> waiter:Action.t -> on:Action.t -> unit
+(** Record (replacing any previous edge) that [waiter] is blocked on
+    [on]. *)
+
+val clear : t -> Action.t -> unit
+(** Drop the waiter's out-edge (operation done, backed off, or the
+    transaction resolved). *)
+
+val blocker : t -> Action.t -> Action.t option
+val size : t -> int
+
+val cycle_from :
+  t -> alive:(Action.t -> bool) -> Action.t -> Action.t list option
+(** The cycle through [start], as the node list starting at [start], if
+    following out-edges from [start] returns to it. Nodes for which
+    [alive] is false (already-resolved transactions whose edges are
+    stale) break the chain. *)

@@ -60,6 +60,21 @@ let builtin_profiles =
           ];
     };
     {
+      (* Ambush coordinators inside the commit window (plus a light link
+         flake so commit broadcasts and vote rounds also lose messages):
+         the in-doubt scenario crash-safe termination exists for. Under a
+         [Disabled]-termination base this strands tentative entries; with
+         termination enabled ([termination_base]) the oracles must still
+         hold and the stranded-entry gauge must drain. *)
+      profile_name = "coordinator_killer";
+      nemesis =
+        Nemesis.Compose
+          [
+            Nemesis.Coordinator_killer { p_kill = 0.25; delay = 4.0; mttr = 400.0 };
+            Nemesis.Flaky_links { drop = 0.02; dup = 0.02; spike = 0.02; one_way = false };
+          ];
+    };
+    {
       profile_name = "storm";
       nemesis =
         Nemesis.Compose
@@ -113,6 +128,18 @@ let storage_base =
     Runtime.durability =
       Repository.durable ~group_commit:true ~segment_records:16
         ~checkpoint_every:48 ();
+  }
+
+(* Crash-safe termination on: the base the coordinator_killer profile is
+   meant to be survived with. Cooperative termination resolves in-doubt
+   transactions whose coordinator is down, the reaper sweeps orphans, and
+   deadlock detection keeps the locking scheme's blocked operations from
+   degenerating into retry-budget aborts under the extra contention. *)
+let termination_base =
+  {
+    default_base with
+    Runtime.termination = Atomrep_txn.Termination.Cooperative;
+    deadlock = Runtime.Detect;
   }
 
 let reconfig_base =

@@ -19,7 +19,10 @@ val builtin_profiles : profile list
 (** crashes, amnesia, partitions, flaky, skew, flapping, kills (staggered
     permanent site loss), storage_storm (amnesia plus torn writes, bit
     rot, lost flushes, and disk pressure against durable WALs — pair with
-    {!storage_base}), and the composed storm. *)
+    {!storage_base}), coordinator_killer (commit-window ambushes plus
+    light link flake — pair with {!termination_base} to prove the
+    termination protocol survives what strands a [Disabled] run), and the
+    composed storm. *)
 
 val find_profile : string -> profile option
 val profile_names : string list
@@ -61,6 +64,11 @@ val storage_base : Runtime.config
     segments and an aggressive checkpoint period — the base the
     storage-fault profiles need to bite (on {!default_base}'s volatile
     repositories they are no-ops). *)
+
+val termination_base : Runtime.config
+(** {!default_base} with [Cooperative] termination and deadlock detection
+    enabled — the base under which the [coordinator_killer] profile must
+    leave zero stranded tentative entries and zero oracle violations. *)
 
 val reconfig_base : Runtime.config
 (** A base sized for reconfiguration campaigns: five sites, a majority

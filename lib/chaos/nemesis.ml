@@ -14,6 +14,7 @@ type t =
       full_every : float;
       full_for : float;
     }
+  | Coordinator_killer of { p_kill : float; delay : float; mttr : float }
   | Compose of t list
 
 let spike_factor = 20.0
@@ -41,6 +42,12 @@ let rec scale k = function
         full_every = s.full_every /. k;
         full_for = s.full_for *. k;
       }
+  | Coordinator_killer c ->
+    (* The ambush delay is the scenario (how deep into the commit window
+       the shot lands); intensity turns up how often it fires and how
+       long the corpse stays down. *)
+    Coordinator_killer
+      { c with p_kill = Float.min 1.0 (c.p_kill *. k); mttr = c.mttr *. k }
   | Compose l -> Compose (List.map (scale k) l)
 
 let rec install t net =
@@ -77,6 +84,8 @@ let rec install t net =
     if lost_every > 0.0 then Fault.lost_flushes net ~every:lost_every;
     if full_every > 0.0 then
       Fault.disk_pressure net ~every:full_every ~duration:full_for
+  | Coordinator_killer { p_kill; delay; mttr } ->
+    Fault.coordinator_killer net ~p_kill ~delay ~mttr
   | Compose l -> List.iter (fun nem -> install nem net) l
 
 let rec pp ppf = function
@@ -98,6 +107,9 @@ let rec pp ppf = function
   | Storage_faults { torn_every; rot_every; lost_every; full_every; full_for } ->
     Format.fprintf ppf "storage(torn=%g,rot=%g,lost=%g,full=%g/%g)" torn_every
       rot_every lost_every full_every full_for
+  | Coordinator_killer { p_kill; delay; mttr } ->
+    Format.fprintf ppf "coordinator-killer(p=%g,delay=%g,mttr=%g)" p_kill delay
+      mttr
   | Compose l ->
     Format.fprintf ppf "compose[%a]"
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)

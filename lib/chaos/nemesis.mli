@@ -43,6 +43,16 @@ type t =
           filled for [full_for] time units. Non-positive periods disable
           that fault class. [scale] makes faults denser and disk pressure
           longer. *)
+  | Coordinator_killer of { p_kill : float; delay : float; mttr : float }
+      (** ambush coordinators in their commit window: whenever a
+          transaction enters phase 2 at its home site, crash that site
+          with probability [p_kill] after an exponential delay of mean
+          [delay] (recovering after mean [mttr]) — a targeted strike on
+          the in-doubt window that the crash-safe termination protocol
+          (decision log, cooperative termination, orphan reaper) must
+          survive without stranding tentative entries. [scale] raises the
+          kill probability (capped at 1) and the repair time; the delay
+          is part of the scenario. *)
   | Compose of t list  (** install all of them *)
 
 val scale : float -> t -> t

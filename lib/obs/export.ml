@@ -41,6 +41,16 @@ let args_json (kind : Trace.kind) =
         ("truncated", Json.int truncated); ("corrupt", Json.Bool corrupt) ]
     | Trace.Store_fault { site; fault } ->
       [ ("site", Json.int site); ("fault", Json.Str fault) ]
+    | Trace.Commit_point { txn } -> [ ("txn", Json.Str txn) ]
+    | Trace.Txn_redrive { txn; outcome } ->
+      [ ("txn", Json.Str txn); ("outcome", Json.Str outcome) ]
+    | Trace.Coop_term { txn; outcome } ->
+      [ ("txn", Json.Str txn); ("outcome", Json.Str outcome) ]
+    | Trace.Orphan_gc { site; resolved } ->
+      [ ("site", Json.int site); ("resolved", Json.int resolved) ]
+    | Trace.Deadlock { victim; cycle } ->
+      [ ("victim", Json.Str victim);
+        ("cycle", Json.List (List.map (fun t -> Json.Str t) cycle)) ]
     | Trace.Span_begin { span; parent; label } ->
       [ ("span", Json.int span);
         ("parent", match parent with Some p -> Json.int p | None -> Json.Null);

@@ -25,6 +25,11 @@ type kind =
   | Wal_full of { site : int }
   | Wal_replay of { site : int; replayed : int; truncated : int; corrupt : bool }
   | Store_fault of { site : int; fault : string }
+  | Commit_point of { txn : string }
+  | Txn_redrive of { txn : string; outcome : string }
+  | Coop_term of { txn : string; outcome : string }
+  | Orphan_gc of { site : int; resolved : int }
+  | Deadlock of { victim : string; cycle : string list }
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
 
@@ -199,6 +204,11 @@ let kind_label = function
   | Wal_full _ -> "wal_full"
   | Wal_replay _ -> "wal_replay"
   | Store_fault _ -> "store_fault"
+  | Commit_point _ -> "commit_point"
+  | Txn_redrive _ -> "txn_redrive"
+  | Coop_term _ -> "coop_term"
+  | Orphan_gc _ -> "orphan_gc"
+  | Deadlock _ -> "deadlock"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
 
@@ -243,6 +253,16 @@ let pp_kind ppf = function
     Format.fprintf ppf "wal_replay site %d (%d replayed, %d truncated%s)" site
       replayed truncated (if corrupt then ", CORRUPT" else "")
   | Store_fault { site; fault } -> Format.fprintf ppf "store_fault site %d (%s)" site fault
+  | Commit_point { txn } -> Format.fprintf ppf "commit_point %s" txn
+  | Txn_redrive { txn; outcome } ->
+    Format.fprintf ppf "txn_redrive %s -> %s" txn outcome
+  | Coop_term { txn; outcome } ->
+    Format.fprintf ppf "coop_term %s -> %s" txn outcome
+  | Orphan_gc { site; resolved } ->
+    Format.fprintf ppf "orphan_gc site %d (%d resolved)" site resolved
+  | Deadlock { victim; cycle } ->
+    Format.fprintf ppf "deadlock victim %s (cycle %s)" victim
+      (String.concat "->" cycle)
   | Span_begin { span; parent; label } ->
     Format.fprintf ppf "span_begin #%d %s%s" span label
       (match parent with Some p -> Printf.sprintf " (in #%d)" p | None -> "")

@@ -54,6 +54,19 @@ type kind =
           suffix was discarded pending resync *)
   | Store_fault of { site : int; fault : string }
       (** a storage fault was injected at the site's WAL *)
+  | Commit_point of { txn : string }
+      (** the coordinator durably logged its commit intent — the decision
+          survives a crash from here on *)
+  | Txn_redrive of { txn : string; outcome : string }
+      (** a recovered coordinator re-drove an in-doubt transaction *)
+  | Coop_term of { txn : string; outcome : string }
+      (** a participant ran cooperative termination for a stuck blocker:
+          outcome is adopted-commit / adopted-abort / coop-commit /
+          presumed-abort / inconclusive *)
+  | Orphan_gc of { site : int; resolved : int }
+      (** the orphan reaper swept the repositories from [site] *)
+  | Deadlock of { victim : string; cycle : string list }
+      (** the waits-for cycle detector sentenced a victim *)
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
 

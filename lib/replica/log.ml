@@ -13,11 +13,18 @@ type record =
   | Entry of entry
   | Commit_record of Action.t * Lamport.Timestamp.t
   | Abort_record of Action.t
+  | Precommit of Action.t * Lamport.Timestamp.t
+  | Preabort of Action.t
 
 module Record_ord = struct
   type t = record
 
-  let rank = function Entry _ -> 0 | Commit_record _ -> 1 | Abort_record _ -> 2
+  let rank = function
+    | Entry _ -> 0
+    | Commit_record _ -> 1
+    | Abort_record _ -> 2
+    | Precommit _ -> 3
+    | Preabort _ -> 4
 
   let compare a b =
     match a, b with
@@ -28,10 +35,12 @@ module Record_ord = struct
         let c = Action.compare e1.action e2.action in
         if c <> 0 then c else Int.compare e1.seq e2.seq
       end
-    | Commit_record (a1, t1), Commit_record (a2, t2) ->
+    | Commit_record (a1, t1), Commit_record (a2, t2)
+    | Precommit (a1, t1), Precommit (a2, t2) ->
       let c = Action.compare a1 a2 in
       if c <> 0 then c else Lamport.Timestamp.compare t1 t2
-    | Abort_record a1, Abort_record a2 -> Action.compare a1 a2
+    | Abort_record a1, Abort_record a2 | Preabort a1, Preabort a2 ->
+      Action.compare a1 a2
     | x, y -> Int.compare (rank x) (rank y)
 end
 
@@ -49,7 +58,7 @@ let entries t =
   S.elements t
   |> List.filter_map (function
        | Entry e -> Some e
-       | Commit_record _ | Abort_record _ -> None)
+       | Commit_record _ | Abort_record _ | Precommit _ | Preabort _ -> None)
   |> List.sort (fun e1 e2 -> Lamport.Timestamp.compare e1.ets e2.ets)
 
 let commit_ts t action =
@@ -57,12 +66,31 @@ let commit_ts t action =
     (fun r acc ->
       match r with
       | Commit_record (a, ts) when Action.equal a action -> Some ts
-      | Entry _ | Commit_record _ | Abort_record _ -> acc)
+      | Entry _ | Commit_record _ | Abort_record _ | Precommit _ | Preabort _ ->
+        acc)
     t None
 
 let is_aborted t action =
   S.exists
-    (function Abort_record a -> Action.equal a action | Entry _ | Commit_record _ -> false)
+    (function
+      | Abort_record a -> Action.equal a action
+      | Entry _ | Commit_record _ | Precommit _ | Preabort _ -> false)
+    t
+
+let precommit_ts t action =
+  S.fold
+    (fun r acc ->
+      match r with
+      | Precommit (a, ts) when Action.equal a action -> Some ts
+      | Entry _ | Commit_record _ | Abort_record _ | Precommit _ | Preabort _ ->
+        acc)
+    t None
+
+let has_preabort t action =
+  S.exists
+    (function
+      | Preabort a -> Action.equal a action
+      | Entry _ | Commit_record _ | Abort_record _ | Precommit _ -> false)
     t
 
 let size = S.cardinal
@@ -71,16 +99,20 @@ let gc t =
   S.filter
     (function
       | Entry e -> not (is_aborted t e.action)
-      | Commit_record _ | Abort_record _ -> true)
+      | Commit_record _ | Abort_record _ | Precommit _ | Preabort _ -> true)
     t
 
 let is_committed t action = Option.is_some (commit_ts t action)
 
 let stable t =
+  (* Termination votes (Precommit/Preabort) are part of the stable
+     projection: the quorum-intersection counting argument behind
+     cooperative termination requires that a repository never forgets a
+     vote, even across a crash with amnesia. *)
   S.filter
     (function
       | Entry e -> is_committed t e.action
-      | Commit_record _ | Abort_record _ -> true)
+      | Commit_record _ | Abort_record _ | Precommit _ | Preabort _ -> true)
     t
 
 let pp ppf t =
@@ -91,5 +123,8 @@ let pp ppf t =
     | Commit_record (a, ts) ->
       Format.fprintf ppf "[commit %a@%a]" Action.pp a Lamport.Timestamp.pp ts
     | Abort_record a -> Format.fprintf ppf "[abort %a]" Action.pp a
+    | Precommit (a, ts) ->
+      Format.fprintf ppf "[precommit %a@%a]" Action.pp a Lamport.Timestamp.pp ts
+    | Preabort a -> Format.fprintf ppf "[preabort %a]" Action.pp a
   in
   Format.pp_print_list ~pp_sep:Format.pp_print_space pp_record ppf (records t)

@@ -25,6 +25,14 @@ type record =
   | Entry of entry
   | Commit_record of Action.t * Lamport.Timestamp.t
   | Abort_record of Action.t
+  | Precommit of Action.t * Lamport.Timestamp.t
+      (** Uncertified, sticky termination vote for commit at the given
+          commit timestamp. Invisible to views (entries stay tentative);
+          a repository holding one refuses to accept a [Preabort] for
+          the same action. *)
+  | Preabort of Action.t
+      (** Uncertified, sticky termination vote for abort; a repository
+          holding one refuses a [Precommit] for the same action. *)
 
 type t
 
@@ -38,6 +46,12 @@ val entries : t -> entry list
 
 val commit_ts : t -> Action.t -> Lamport.Timestamp.t option
 val is_aborted : t -> Action.t -> bool
+
+val precommit_ts : t -> Action.t -> Lamport.Timestamp.t option
+(** The commit timestamp carried by a [Precommit] vote for the action,
+    if this log holds one. *)
+
+val has_preabort : t -> Action.t -> bool
 val size : t -> int
 val pp : Format.formatter -> t -> unit
 
@@ -50,5 +64,7 @@ val is_committed : t -> Action.t -> bool
 
 val stable : t -> t
 (** The stable-storage projection: entries of committed actions plus all
-    commit and abort records. Tentative (undecided) entries are the
-    volatile part a crash-with-amnesia loses. *)
+    commit and abort records and all termination votes (votes must
+    survive crashes or the quorum-counting argument for cooperative
+    termination breaks). Tentative (undecided) entries are the volatile
+    part a crash-with-amnesia loses. *)

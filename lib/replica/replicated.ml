@@ -368,8 +368,9 @@ let execute t ~txn ~clock ?(span = -1) inv ~k =
       List.iter
         (function
           | Log.Entry e -> Lamport.witness clock e.Log.ets
-          | Log.Commit_record (_, ts) -> Lamport.witness clock ts
-          | Log.Abort_record _ -> ())
+          | Log.Commit_record (_, ts) | Log.Precommit (_, ts) ->
+            Lamport.witness clock ts
+          | Log.Abort_record _ | Log.Preabort _ -> ())
         (Log.records log);
       let view = View.classify log in
       match decide t ~txn view inv with
@@ -437,7 +438,9 @@ let broadcast_status t record ~reachable_from =
     match record with
     | Log.Commit_record (action, _) when t.commit_piggyback ->
       List.map (fun e -> Log.Entry e) (own_entries t action) @ [ record ]
-    | Log.Commit_record _ | Log.Entry _ | Log.Abort_record _ -> [ record ]
+    | Log.Commit_record _ | Log.Entry _ | Log.Abort_record _ | Log.Precommit _
+    | Log.Preabort _ ->
+      [ record ]
   in
   (* Status records bypass the epoch check: a commit or abort resolves
      entries wherever they sit, and refusing one at a sealed repository
@@ -457,7 +460,9 @@ let broadcast_status t record ~reachable_from =
                          op = e.Log.event.Event.inv.Event.Invocation.op;
                          tentative = false;
                        })
-                | Log.Commit_record _ | Log.Abort_record _ -> ())
+                | Log.Commit_record _ | Log.Abort_record _ | Log.Precommit _
+                | Log.Preabort _ ->
+                  ())
               records))
     (Epoch.members t.current)
 
@@ -465,6 +470,33 @@ let prepared_sites t ~from ~timeout ~k =
   Rpc.multicast t.net ~src:from ~dsts:(Epoch.members t.current) ~timeout
     ~handler:(fun site -> ignore site)
     ~gather:(fun acks -> k (List.map fst acks))
+
+(* Cooperative-termination quorum rounds. Votes and status polls bypass
+   the epoch fence for the same reason broadcast_status does: they exist
+   to resolve stuck state, and refusing them at a sealed repository would
+   strand it. Safety rests on the sticky-vote rule at each repository
+   plus the vote/veto thresholds intersecting, not on epoch pinning. *)
+
+let quorum_n t = List.length (Epoch.members t.current)
+
+(* Commit certification threshold f: a final quorum's worth of Precommit
+   votes. Abort needs the co-quorum n - f + 1, so any commit vote set and
+   any abort vote set share a repository, whose sticky first vote decides
+   which side can possibly reach its threshold. *)
+let vote_need t = max 1 (max_final t)
+let veto_need t = quorum_n t - vote_need t + 1
+
+let place_vote t record ~from ~k =
+  Rpc.multicast t.net ~src:from ~dsts:(Epoch.members t.current)
+    ~timeout:t.rpc_timeout
+    ~handler:(fun site -> Repository.offer t.repos.(site) record)
+    ~gather:(fun replies -> k (List.map snd replies))
+
+let poll_status t action ~from ~k =
+  Rpc.multicast t.net ~src:from ~dsts:(Epoch.members t.current)
+    ~timeout:t.rpc_timeout
+    ~handler:(fun site -> Repository.status_of t.repos.(site) action)
+    ~gather:(fun replies -> k (List.map snd replies))
 
 let repository_log t ~site = Repository.read t.repos.(site)
 let repository t ~site = t.repos.(site)

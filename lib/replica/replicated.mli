@@ -135,6 +135,41 @@ val max_final : t -> int
 (** Largest final-quorum size over the object's operations — the number of
     acknowledgements the commit protocol requires. *)
 
+val quorum_n : t -> int
+(** Member count of the current epoch. *)
+
+val vote_need : t -> int
+(** Precommit votes required to certify a commit decision for this object:
+    a final quorum's worth ([max 1 (max_final t)]). *)
+
+val veto_need : t -> int
+(** Preabort votes required to certify an abort decision:
+    [quorum_n - vote_need + 1]. Any commit vote set and any abort vote set
+    then intersect at some repository, whose sticky first vote makes at
+    most one side able to reach its threshold — the quorum-intersection
+    argument of Theorems 4/10 applied to termination. *)
+
+val place_vote :
+  t ->
+  Log.record ->
+  from:int ->
+  k:(Repository.status_evidence list -> unit) ->
+  unit
+(** Offer a record (normally a termination vote) to every current member
+    and gather each reachable repository's resulting evidence for the
+    record's action ({!Repository.offer}). Votes bypass the epoch fence,
+    like {!broadcast_status}: they resolve stuck state, and safety rests
+    on vote stickiness plus threshold intersection, not epoch pinning. *)
+
+val poll_status :
+  t ->
+  Atomrep_history.Action.t ->
+  from:int ->
+  k:(Repository.status_evidence list -> unit) ->
+  unit
+(** Read-only status poll: each reachable repository's strongest evidence
+    about the action ({!Repository.status_of}). *)
+
 val start_anti_entropy : t -> rng:Atomrep_stats.Rng.t -> every:float -> unit
 (** Start a background gossip process: at the given period, a random pair
     of mutually reachable repositories exchanges logs (both directions)

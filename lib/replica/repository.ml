@@ -81,8 +81,8 @@ let high_of_log log =
     (fun acc r ->
       match r with
       | Log.Entry e -> ts_max acc e.Log.ets
-      | Log.Commit_record (_, ts) -> ts_max acc ts
-      | Log.Abort_record _ -> acc)
+      | Log.Commit_record (_, ts) | Log.Precommit (_, ts) -> ts_max acc ts
+      | Log.Abort_record _ | Log.Preabort _ -> acc)
     Lamport.Timestamp.zero (Log.records log)
 
 let witness t ts = if Lamport.Timestamp.compare ts t.high > 0 then t.high <- ts
@@ -127,32 +127,59 @@ let flush_now t wal =
     if Wal.records_since_checkpoint wal >= t.checkpoint_every then checkpoint t
   | Error `Disk_full -> t.on_storage Flush_rejected
 
+(* First decision wins: a repository's termination vote is sticky. Once it
+   holds a Preabort (or a certified abort) for an action it refuses the
+   Precommit, and vice versa — this per-site mutual exclusion is what makes
+   the vote-quorum counting argument sound. Certified records are always
+   accepted. Duplicate Precommits must agree on the commit timestamp. *)
+let accepts t r =
+  match r with
+  | Log.Precommit (a, ts) -> (
+    match Log.precommit_ts t.log a with
+    | Some ts' -> Lamport.Timestamp.compare ts ts' = 0
+    | None -> not (Log.has_preabort t.log a || Log.is_aborted t.log a))
+  | Log.Preabort a ->
+    not (Option.is_some (Log.precommit_ts t.log a) || Log.is_committed t.log a)
+  | Log.Entry _ | Log.Commit_record _ | Log.Abort_record _ -> true
+
 let append t records =
-  List.iter
-    (fun r ->
-      (match r with
-       | Log.Entry e ->
-         witness t e.Log.ets;
-         drop_intention t e.Log.action e.Log.seq
-       | Log.Commit_record (a, ts) ->
-         witness t ts;
-         drop_action t a
-       | Log.Abort_record a -> drop_action t a);
-      t.log <- Log.add t.log r)
-    records;
+  let accepted =
+    List.filter
+      (fun r ->
+        let ok = accepts t r in
+        if ok then begin
+          (match r with
+           | Log.Entry e ->
+             witness t e.Log.ets;
+             drop_intention t e.Log.action e.Log.seq
+           | Log.Commit_record (a, ts) ->
+             witness t ts;
+             drop_action t a
+           | Log.Abort_record a -> drop_action t a
+           | Log.Precommit (_, ts) -> witness t ts
+           | Log.Preabort _ -> ());
+          t.log <- Log.add t.log r
+        end;
+        ok)
+      records
+  in
   match t.store with
   | None -> ()
   | Some wal ->
-    List.iter (fun r -> Wal.append wal (P_record r)) records;
+    List.iter (fun r -> Wal.append wal (P_record r)) accepted;
     (* Group commit defers the barrier until a batch carries a decision:
        tentative entries ride in the buffer and are fsynced together with
-       the commit/abort that resolves them. *)
+       the commit/abort that resolves them. Termination votes count as
+       decisions — a vote that is not durable could be forgotten and
+       re-cast the other way, breaking the sticky-vote invariant. *)
     let has_status =
       List.exists
         (function
-          | Log.Commit_record _ | Log.Abort_record _ -> true
+          | Log.Commit_record _ | Log.Abort_record _ | Log.Precommit _
+          | Log.Preabort _ ->
+            true
           | Log.Entry _ -> false)
-        records
+        accepted
     in
     if (not t.group_commit) || has_status then flush_now t wal
 
@@ -232,3 +259,33 @@ let intend t i =
   t.locks <- i :: t.locks
 
 let release t action seq = drop_intention t action seq
+
+type status_evidence =
+  | E_committed of Lamport.Timestamp.t
+  | E_aborted
+  | E_precommit of Lamport.Timestamp.t
+  | E_preabort
+  | E_none
+
+let status_of t action =
+  match Log.commit_ts t.log action with
+  | Some ts -> E_committed ts
+  | None ->
+    if Log.is_aborted t.log action then E_aborted
+    else (
+      match Log.precommit_ts t.log action with
+      | Some ts -> E_precommit ts
+      | None -> if Log.has_preabort t.log action then E_preabort else E_none)
+
+let offer t record =
+  append t [ record ];
+  let action =
+    match record with
+    | Log.Entry e -> e.Log.action
+    | Log.Commit_record (a, _)
+    | Log.Abort_record a
+    | Log.Precommit (a, _)
+    | Log.Preabort a ->
+      a
+  in
+  status_of t action

@@ -103,7 +103,37 @@ val append : t -> Log.record list -> unit
     clearing resolved intentions). A durable repository also appends them
     to its WAL buffer and, unless group commit defers it, issues a flush
     barrier; a full disk leaves the records volatile (they are restored by
-    resync if lost — see {!durability}). *)
+    resync if lost — see {!durability}).
+
+    Termination votes are sticky (first decision wins): a [Precommit] is
+    silently refused when the log already holds a [Preabort] or abort
+    record for the action (or a [Precommit] at a different timestamp),
+    and a [Preabort] is refused when a [Precommit] or commit record is
+    present. Certified commit/abort records are always accepted. Refusal
+    applies on every path that appends — including {!ingest} gossip — so
+    anti-entropy can propagate votes but never flip one. Votes count as
+    status records for group commit: an accepted vote forces the flush
+    barrier, because a vote that is not durable could be forgotten and
+    re-cast the other way. *)
+
+type status_evidence =
+  | E_committed of Lamport.Timestamp.t
+  | E_aborted
+  | E_precommit of Lamport.Timestamp.t
+  | E_preabort
+  | E_none
+      (** What one repository knows about an action's fate, strongest
+          first: a certified decision, a sticky termination vote, or
+          nothing. *)
+
+val status_of : t -> Atomrep_history.Action.t -> status_evidence
+(** Read this repository's strongest evidence about the action. *)
+
+val offer : t -> Log.record -> status_evidence
+(** Append one record (with the sticky-vote rule applied) and return the
+    repository's resulting evidence for that record's action — the reply
+    a termination vote round counts. A refused vote leaves the prior
+    evidence in place, so the caller learns what blocked it. *)
 
 val ingest : t -> Log.t -> unit
 (** Merge a peer repository's log (anti-entropy): every incoming record is

@@ -8,6 +8,7 @@ open Atomrep_stats
 open Atomrep_txn
 module Trace = Atomrep_obs.Trace
 module Metrics = Atomrep_obs.Metrics
+module Waits_for = Atomrep_cc.Waits_for
 
 type object_config = {
   obj_name : string;
@@ -49,6 +50,19 @@ let default_reconfig =
     plan_override = None;
   }
 
+type deadlock_mode = No_deadlock | Detect | Wound_wait
+
+let deadlock_mode_name = function
+  | No_deadlock -> "none"
+  | Detect -> "detect"
+  | Wound_wait -> "wound-wait"
+
+let deadlock_mode_of_string = function
+  | "none" -> Some No_deadlock
+  | "detect" -> Some Detect
+  | "wound-wait" -> Some Wound_wait
+  | _ -> None
+
 type config = {
   seed : int;
   n_sites : int;
@@ -71,6 +85,9 @@ type config = {
   trace : Trace.t option;
   ungated_rejoin : bool;
   durability : Repository.durability;
+  termination : Termination.mode;
+  deadlock : deadlock_mode;
+  reaper_every : float;
 }
 
 let default_queue_assignment ~n_sites =
@@ -119,6 +136,9 @@ let default_config =
     trace = None;
     ungated_rejoin = false;
     durability = Repository.Volatile;
+    termination = Termination.Disabled;
+    deadlock = No_deadlock;
+    reaper_every = 250.0;
   }
 
 type metrics = {
@@ -154,6 +174,15 @@ type metrics = {
   wal_rotted : int;
   wal_checkpoints : int;
   storage_faults : int;
+  coop_commits : int;
+  coop_aborts : int;
+  presumed_aborts : int;
+  deadlock_aborts : int;
+  redrives : int;
+  orphans_reaped : int;
+  stranded_entries : int;
+  decision_log_writes : int;
+  blocked_latency : Summary.t;
 }
 
 type outcome = {
@@ -173,6 +202,13 @@ type counters = {
   c_blocked : Metrics.counter;
   c_ops : Metrics.counter;
   c_latency : Metrics.histogram;
+  c_deadlock : Metrics.counter;
+  c_presumed : Metrics.counter;
+  c_coop_commit : Metrics.counter;
+  c_coop_abort : Metrics.counter;
+  c_redrive : Metrics.counter;
+  c_orphans : Metrics.counter;
+  c_blocked_latency : Metrics.histogram;
 }
 
 type run_state = {
@@ -184,6 +220,11 @@ type run_state = {
   counters : counters;
   registry : Metrics.t;
   cfg : config;
+  term : Termination.t option; (* decision logs, modes <> Disabled *)
+  waits : Waits_for.t;
+  (* Actions with a cooperative-termination round in flight — dedups
+     concurrent participants piling onto the same stuck blocker. *)
+  in_termination : (Action.t, unit) Hashtbl.t;
 }
 
 let find_object st name =
@@ -194,30 +235,217 @@ let find_object st name =
 (* Capped exponential backoff with jitter: attempt 0 waits around the base
    delay, each further attempt doubles it up to the cap, and the uniform
    jitter in [0.5, 1.5) keeps two mutually-refused operations from
-   retrying in lock-step. *)
+   retrying in lock-step. The cap clamps the jittered delay, not just the
+   exponential part, so no delay ever exceeds [retry_delay_cap]. *)
 let backoff_delay cfg rng ~attempt =
   let exp = cfg.retry_delay *. (2.0 ** float_of_int attempt) in
-  Float.min exp cfg.retry_delay_cap *. (0.5 +. Rng.float rng 1.0)
+  Float.min (exp *. (0.5 +. Rng.float rng 1.0)) cfg.retry_delay_cap
+
+let note st ~site kind =
+  let trc = Network.trace st.net in
+  if Trace.enabled trc then ignore (Trace.emit trc ~site kind)
+
+(* Re-push a terminal transaction's status records to every repository of
+   every object it touched (from [from]): lingering tentative entries at
+   any reachable repository resolve, not just the object the caller was
+   blocked on. *)
+let rebroadcast_status st btxn ~from =
+  let action = btxn.Txn.action in
+  List.iter
+    (fun name ->
+      let obj = find_object st name in
+      match btxn.Txn.status with
+      | Txn.Committed ts ->
+        Replicated.broadcast_status obj
+          (Log.Commit_record (action, ts))
+          ~reachable_from:from
+      | Txn.Aborted _ ->
+        Replicated.broadcast_status obj (Log.Abort_record action)
+          ~reachable_from:from
+      | Txn.Running | Txn.Committing -> ())
+    btxn.Txn.touched
+
+(* Finalize a transaction from outside its (dead or stuck) driver: the
+   single Running/Committing -> terminal transition owns the counters, the
+   observer entries, and the status broadcast, so a stranded driver that
+   never wakes and a cooperative participant can never both claim it. *)
+let ext_finalize st btxn ~from outcome =
+  let action = btxn.Txn.action in
+  (match btxn.Txn.status with
+   | Txn.Committed _ | Txn.Aborted _ -> ()
+   | Txn.Running | Txn.Committing ->
+     Waits_for.clear st.waits action;
+     (match outcome with
+      | `Commit cts ->
+        btxn.Txn.status <- Txn.Committed cts;
+        Metrics.incr st.counters.c_committed;
+        note st ~site:from (Trace.Txn_commit { txn = Action.to_string action });
+        List.iter
+          (fun name ->
+            Replicated.observe (find_object st name) (Behavioral.Commit action))
+          btxn.Txn.touched
+      | `Abort (kind, why) ->
+        btxn.Txn.status <- Txn.Aborted why;
+        Metrics.incr st.counters.c_aborted;
+        (match kind with
+         | `Presumed -> Metrics.incr st.counters.c_presumed
+         | `Coop -> Metrics.incr st.counters.c_coop_abort);
+        note st ~site:from
+          (Trace.Txn_abort { txn = Action.to_string action; reason = why });
+        List.iter
+          (fun name ->
+            Replicated.observe (find_object st name) (Behavioral.Abort action))
+          btxn.Txn.touched));
+  rebroadcast_status st btxn ~from
+
+let count_yes_commit cts evs =
+  List.length
+    (List.filter
+       (function
+         | Repository.E_committed _ -> true
+         | Repository.E_precommit ts -> Lamport.Timestamp.compare ts cts = 0
+         | Repository.E_aborted | Repository.E_preabort | Repository.E_none ->
+           false)
+       evs)
+
+let count_yes_abort evs =
+  List.length
+    (List.filter
+       (function
+         | Repository.E_aborted | Repository.E_preabort -> true
+         | Repository.E_committed _ | Repository.E_precommit _
+         | Repository.E_none ->
+           false)
+       evs)
+
+let certified_abort evs =
+  List.exists (function Repository.E_aborted -> true | _ -> false) evs
+
+let certified_commit evs =
+  List.find_map
+    (function Repository.E_committed ts -> Some ts | _ -> None)
+    evs
+
+(* Drive Precommit vote rounds for [btxn] at timestamp [cts] across every
+   object it touched, from site [from]. Commit certifies only when EVERY
+   object yields a full vote quorum (>= vote_need) — counting evidence on
+   one object alone could commit object A while object B certifies abort.
+   [k] gets `Committed, `Aborted (certified abort evidence surfaced), or
+   `Inconclusive (some quorum unreachable; the decision stays open). *)
+let drive_commit_votes st btxn cts ~from ~k =
+  let action = btxn.Txn.action in
+  let rec round = function
+    | [] ->
+      ext_finalize st btxn ~from (`Commit cts);
+      k `Committed
+    | name :: more ->
+      let obj = find_object st name in
+      Replicated.place_vote obj (Log.Precommit (action, cts)) ~from
+        ~k:(fun evs ->
+          if certified_abort evs then begin
+            ext_finalize st btxn ~from (`Abort (`Coop, "termination abort"));
+            k `Aborted
+          end
+          else if count_yes_commit cts evs >= Replicated.vote_need obj then
+            round more
+          else k `Inconclusive)
+  in
+  round btxn.Txn.touched
+
+(* Participant-driven cooperative termination for a stuck blocker.
+   Poll the blocked object's repositories; adopt any certified decision;
+   otherwise (Cooperative mode) either complete a commit the evidence
+   shows was underway, or run a Preabort round: n - f + 1 sticky abort
+   votes on ONE object guarantee no commit quorum of f can ever assemble
+   there (the vote sets intersect), so installing the abort record is
+   safe — presumed abort with a quorum proof. *)
+let cooperative_terminate st btxn target ~from =
+  let action = btxn.Txn.action in
+  if not (Hashtbl.mem st.in_termination action) then begin
+    Hashtbl.replace st.in_termination action ();
+    let obj = find_object st target in
+    let finish outcome =
+      Hashtbl.remove st.in_termination action;
+      note st ~site:from
+        (Trace.Coop_term { txn = Action.to_string action; outcome })
+    in
+    Replicated.poll_status obj action ~from ~k:(fun evs ->
+        match certified_commit evs with
+        | Some cts ->
+          ext_finalize st btxn ~from (`Commit cts);
+          finish "adopted-commit"
+        | None ->
+          if certified_abort evs then begin
+            ext_finalize st btxn ~from (`Abort (`Coop, "termination abort"));
+            finish "adopted-abort"
+          end
+          else (
+            match st.cfg.termination with
+            | Termination.Disabled | Termination.Presumed_abort_only ->
+              (* Passive: without certified evidence the participant keeps
+                 waiting for the coordinator (textbook presumed-abort
+                 blocking). *)
+              finish "inconclusive"
+            | Termination.Cooperative -> (
+              match
+                List.find_map
+                  (function
+                    | Repository.E_precommit ts -> Some ts
+                    | _ -> None)
+                  evs
+              with
+              | Some cts ->
+                (* The coordinator reached its commit point: act as a
+                   substitute coordinator and complete the commit. *)
+                drive_commit_votes st btxn cts ~from ~k:(function
+                  | `Committed ->
+                    Metrics.incr st.counters.c_coop_commit;
+                    finish "coop-commit"
+                  | `Aborted -> finish "adopted-abort"
+                  | `Inconclusive -> finish "inconclusive")
+              | None ->
+                Replicated.place_vote obj (Log.Preabort action) ~from
+                  ~k:(fun evs ->
+                    match certified_commit evs with
+                    | Some cts ->
+                      ext_finalize st btxn ~from (`Commit cts);
+                      finish "adopted-commit"
+                    | None ->
+                      if certified_abort evs then begin
+                        ext_finalize st btxn ~from
+                          (`Abort (`Coop, "termination abort"));
+                        finish "adopted-abort"
+                      end
+                      else if count_yes_abort evs >= Replicated.veto_need obj
+                      then begin
+                        ext_finalize st btxn ~from
+                          (`Abort (`Coop, "presumed abort"));
+                        finish "presumed-abort"
+                      end
+                      else finish "inconclusive"))))
+  end
 
 (* A blocked operation consults the blocking transaction's coordinator when
    reachable; a finished transaction's status records are re-broadcast so
-   lingering tentative entries resolve (presumed-abort style recovery). *)
+   lingering tentative entries resolve on every reachable repository of
+   every touched object. When the coordinator is unreachable, the
+   termination protocol (if enabled) takes over instead of the historical
+   silent give-up. *)
 let try_resolve st ~home blocker target =
   match Hashtbl.find_opt st.txns blocker with
   | None -> ()
   | Some btxn ->
     let coord = btxn.Txn.home_site in
     if Network.reachable st.net home coord then begin
-      let obj = find_object st target in
       match btxn.Txn.status with
-      | Txn.Committed ts ->
-        Replicated.broadcast_status obj
-          (Log.Commit_record (blocker, ts))
-          ~reachable_from:coord
-      | Txn.Aborted _ ->
-        Replicated.broadcast_status obj (Log.Abort_record blocker) ~reachable_from:coord
+      | Txn.Committed _ | Txn.Aborted _ -> rebroadcast_status st btxn ~from:coord
       | Txn.Running | Txn.Committing -> ()
     end
+    else (
+      match st.cfg.termination with
+      | Termination.Disabled -> ()
+      | Termination.Presumed_abort_only | Termination.Cooperative ->
+        cooperative_terminate st btxn target ~from:home)
 
 let run_txn st index ~arrival =
   let cfg = st.cfg in
@@ -242,32 +470,131 @@ let run_txn st index ~arrival =
           ignore (Trace.emit trc ~site:home (Trace.Txn_begin { txn = txname }));
         let tspan = Trace.span_begin trc ~site:home "txn" in
         let commit_span = ref (-1) in
+        (* Every continuation the driver schedules (RPC callback, backoff
+           timer) re-enters through this guard: a transaction someone else
+           finalized stops silently, and a driver whose home site has
+           crashed dies with it — the transaction is stranded until the
+           termination protocol (or nothing, under [Disabled]) picks it
+           up. The guard draws nothing, so fault-free runs are
+           bit-identical to the unguarded driver. *)
+        let step f =
+          match txn.Txn.status with
+          | Txn.Committed _ | Txn.Aborted _ -> ()
+          | Txn.Running | Txn.Committing ->
+            if txn.Txn.stranded then ()
+            else if not (Network.site_up st.net home) then
+              txn.Txn.stranded <- true
+            else f ()
+        in
+        let close_spans outcome =
+          Trace.span_end trc ~site:home ~span:!commit_span ~outcome;
+          Trace.span_end trc ~site:home ~span:tspan ~outcome
+        in
         let finish_abort kind why =
-          txn.Txn.status <- Txn.Aborted why;
-          Metrics.incr st.counters.c_aborted;
-          (match kind with
-           | `Unavailable -> Metrics.incr st.counters.c_unavailable
-           | `Rejected -> Metrics.incr st.counters.c_rejected
-           | `Conflict -> Metrics.incr st.counters.c_conflict);
-          if Trace.enabled trc then
-            ignore
-              (Trace.emit trc ~site:home
-                 (Trace.Txn_abort { txn = txname; reason = why }));
-          Trace.span_end trc ~site:home ~span:!commit_span ~outcome:"aborted";
-          Trace.span_end trc ~site:home ~span:tspan ~outcome:"aborted";
-          List.iter
-            (fun name ->
-              let obj = find_object st name in
-              Replicated.observe obj (Behavioral.Abort action);
-              Replicated.broadcast_status obj (Log.Abort_record action)
-                ~reachable_from:home)
-            txn.Txn.touched
+          match txn.Txn.status with
+          | Txn.Committed _ | Txn.Aborted _ -> ()
+          | Txn.Running | Txn.Committing ->
+            Waits_for.clear st.waits action;
+            txn.Txn.status <- Txn.Aborted why;
+            Metrics.incr st.counters.c_aborted;
+            (match kind with
+             | `Unavailable -> Metrics.incr st.counters.c_unavailable
+             | `Rejected -> Metrics.incr st.counters.c_rejected
+             | `Conflict -> Metrics.incr st.counters.c_conflict
+             | `Deadlock -> Metrics.incr st.counters.c_deadlock);
+            if Trace.enabled trc then
+              ignore
+                (Trace.emit trc ~site:home
+                   (Trace.Txn_abort { txn = txname; reason = why }));
+            close_spans "aborted";
+            List.iter
+              (fun name ->
+                let obj = find_object st name in
+                Replicated.observe obj (Behavioral.Abort action);
+                Replicated.broadcast_status obj (Log.Abort_record action)
+                  ~reachable_from:home)
+              txn.Txn.touched
         in
         let finish_commit () =
+          Waits_for.clear st.waits action;
           if Trace.enabled trc then
             ignore (Trace.emit trc ~site:home (Trace.Txn_commit { txn = txname }));
-          Trace.span_end trc ~site:home ~span:!commit_span ~outcome:"committed";
-          Trace.span_end trc ~site:home ~span:tspan ~outcome:"committed"
+          close_spans "committed"
+        in
+        (* Deadlock handling at the moment an operation reports a blocker.
+           [Detect]: record the waits-for edge and look for a cycle; the
+           youngest participant (largest begin timestamp) is sentenced —
+           its edge is removed so the cycle is broken even before it
+           aborts. [Wound_wait]: an older waiter wounds a younger Running
+           blocker outright (no graph, no cycles possible). Victims other
+           than the current transaction abort at their next attempt
+           entry. *)
+        let on_blocked blocker =
+          match cfg.deadlock with
+          | No_deadlock -> ()
+          | Detect -> (
+            Waits_for.wait st.waits ~waiter:action ~on:blocker;
+            let alive a =
+              match Hashtbl.find_opt st.txns a with
+              | Some t -> (
+                match t.Txn.status with
+                | Txn.Running | Txn.Committing -> t.Txn.doomed = None
+                | Txn.Committed _ | Txn.Aborted _ -> false)
+              | None -> false
+            in
+            match Waits_for.cycle_from st.waits ~alive action with
+            | None -> ()
+            | Some cycle ->
+              let begin_ts a =
+                match Hashtbl.find_opt st.txns a with
+                | Some t -> t.Txn.begin_ts
+                | None -> Lamport.Timestamp.zero
+              in
+              let victim =
+                List.fold_left
+                  (fun v a ->
+                    if Lamport.Timestamp.compare (begin_ts a) (begin_ts v) > 0
+                    then a
+                    else v)
+                  (List.hd cycle) (List.tl cycle)
+              in
+              (match Hashtbl.find_opt st.txns victim with
+               | None -> ()
+               | Some vt ->
+                 vt.Txn.doomed <- Some "deadlock victim";
+                 Waits_for.clear st.waits victim;
+                 if Trace.enabled trc then
+                   ignore
+                     (Trace.emit trc ~site:home
+                        (Trace.Deadlock
+                           {
+                             victim = Action.to_string victim;
+                             cycle = List.map Action.to_string cycle;
+                           }))))
+          | Wound_wait -> (
+            match Hashtbl.find_opt st.txns blocker with
+            | None -> ()
+            | Some bt -> (
+              match bt.Txn.status with
+              | Txn.Running
+                when bt.Txn.doomed = None
+                     && Lamport.Timestamp.compare txn.Txn.begin_ts
+                          bt.Txn.begin_ts
+                        < 0 ->
+                bt.Txn.doomed <- Some "wounded";
+                if Trace.enabled trc then
+                  ignore
+                    (Trace.emit trc ~site:home
+                       (Trace.Deadlock
+                          {
+                            victim = Action.to_string blocker;
+                            cycle =
+                              [
+                                Action.to_string action;
+                                Action.to_string blocker;
+                              ];
+                          }))
+              | _ -> ()))
         in
         let rec do_ops remaining =
           match remaining with
@@ -278,45 +605,154 @@ let run_txn st index ~arrival =
               Txn.touch txn target;
               Replicated.observe obj (Behavioral.Begin action)
             end;
-            attempt obj remaining rest invocation cfg.max_retries
-        and attempt obj remaining rest invocation retries =
-          Replicated.execute obj ~txn ~clock ~span:tspan invocation ~k:(function
-            | Replicated.Done _ ->
-              Metrics.incr st.counters.c_ops;
-              do_ops rest
-            | Replicated.Blocked_on blocker ->
-              Metrics.incr st.counters.c_blocked;
-              try_resolve st ~home blocker (Replicated.name obj);
-              if retries > 0 then begin
-                let delay =
-                  backoff_delay cfg rng ~attempt:(cfg.max_retries - retries)
-                in
-                Engine.schedule st.engine ~delay (fun () ->
-                    attempt obj remaining rest invocation (retries - 1))
-              end
-              else finish_abort `Conflict "conflict retries exhausted"
-            | Replicated.Unavailable why -> finish_abort `Unavailable why
-            | Replicated.Rejected why -> finish_abort `Rejected why)
+            (* Wall-clock the op's blocked period: set at the first refusal,
+               closed when the attempt chain terminates (driver-owned, like
+               the transaction latency histogram). *)
+            attempt obj (ref None) remaining rest invocation cfg.max_retries
+        and attempt obj blocked_at remaining rest invocation retries =
+          let unblocked () =
+            match !blocked_at with
+            | None -> ()
+            | Some t0 ->
+              blocked_at := None;
+              Metrics.observe st.counters.c_blocked_latency
+                (Engine.now st.engine -. t0)
+          in
+          match txn.Txn.doomed with
+          | Some why when cfg.deadlock <> No_deadlock ->
+            unblocked ();
+            finish_abort `Deadlock why
+          | _ ->
+            Replicated.execute obj ~txn ~clock ~span:tspan invocation
+              ~k:(fun result ->
+                step (fun () ->
+                    match result with
+                    | Replicated.Done _ ->
+                      unblocked ();
+                      Waits_for.clear st.waits action;
+                      Metrics.incr st.counters.c_ops;
+                      do_ops rest
+                    | Replicated.Blocked_on blocker ->
+                      Metrics.incr st.counters.c_blocked;
+                      if !blocked_at = None then
+                        blocked_at := Some (Engine.now st.engine);
+                      on_blocked blocker;
+                      (match txn.Txn.doomed with
+                       | Some why when cfg.deadlock <> No_deadlock ->
+                         (* Sentenced as the cycle's victim just now: abort
+                            immediately instead of waiting out a backoff. *)
+                         unblocked ();
+                         finish_abort `Deadlock why
+                       | _ ->
+                         try_resolve st ~home blocker (Replicated.name obj);
+                         if retries > 0 then begin
+                           let delay =
+                             backoff_delay cfg rng
+                               ~attempt:(cfg.max_retries - retries)
+                           in
+                           Engine.schedule st.engine ~delay (fun () ->
+                               step (fun () ->
+                                   attempt obj blocked_at remaining rest
+                                     invocation (retries - 1)))
+                         end
+                         else begin
+                           unblocked ();
+                           finish_abort `Conflict "conflict retries exhausted"
+                         end)
+                    | Replicated.Unavailable why ->
+                      unblocked ();
+                      finish_abort `Unavailable why
+                    | Replicated.Rejected why ->
+                      unblocked ();
+                      finish_abort `Rejected why))
         and do_commit () =
           txn.Txn.status <- Txn.Committing;
+          (* Tell interested fault schedules (the coordinator killer) that
+             this site just entered its commit window. Costs nothing — not
+             even a draw — when nobody listens. *)
+          Network.note_commit_window st.net ~site:home;
           commit_span := Trace.span_begin trc ~site:home ~parent:tspan "commit";
+          let legacy_finalize () =
+            let cts = Lamport.tick clock in
+            txn.Txn.status <- Txn.Committed cts;
+            Metrics.incr st.counters.c_committed;
+            Metrics.observe st.counters.c_latency (Engine.now st.engine -. started);
+            finish_commit ();
+            List.iter
+              (fun name ->
+                let obj = find_object st name in
+                Replicated.observe obj (Behavioral.Commit action);
+                Replicated.broadcast_status obj
+                  (Log.Commit_record (action, cts))
+                  ~reachable_from:home)
+              txn.Txn.touched
+          in
+          (* Phase 2, termination modes: make the decision durable (the
+             commit point), then drive sticky Precommit votes to a full
+             quorum per object. A crash after the commit point leaves the
+             intent in the decision log for the recovered coordinator to
+             re-drive; a crash before it leaves only presumable-abort
+             state. *)
+          let decide () =
+            match st.term with
+            | None -> legacy_finalize ()
+            | Some term ->
+              let cts = Lamport.tick clock in
+              if
+                not
+                  (Termination.log_intent term ~site:home ~action
+                     ~touched:txn.Txn.touched ~cts)
+              then finish_abort `Unavailable "decision log: disk full"
+              else begin
+                if Trace.enabled trc then
+                  ignore
+                    (Trace.emit trc ~site:home
+                       (Trace.Commit_point { txn = txname }));
+                let rec drive tries_left =
+                  drive_commit_votes st txn cts ~from:home ~k:(fun verdict ->
+                      if not (Network.site_up st.net home) then
+                        txn.Txn.stranded <- true
+                      else
+                        match verdict with
+                        | `Committed ->
+                          Metrics.observe st.counters.c_latency
+                            (Engine.now st.engine -. started);
+                          close_spans "committed";
+                          Termination.log_outcome term ~site:home ~action
+                            ~committed:true
+                        | `Aborted ->
+                          close_spans "aborted";
+                          Termination.log_outcome term ~site:home ~action
+                            ~committed:false
+                        | `Inconclusive ->
+                          if tries_left > 0 then begin
+                            let delay =
+                              backoff_delay cfg rng
+                                ~attempt:
+                                  (cfg.commit_quorum_retries - tries_left)
+                            in
+                            Engine.schedule st.engine ~delay (fun () ->
+                                step (fun () -> drive (tries_left - 1)))
+                          end
+                          else begin
+                            (* In doubt: the commit point is durable but
+                               some vote quorum is unreachable. The
+                               decision stays open for redrive at
+                               recovery, cooperative termination, or the
+                               reaper. *)
+                            note st ~site:home
+                              (Trace.Coop_term
+                                 { txn = txname; outcome = "in-doubt" });
+                            close_spans "in-doubt"
+                          end)
+                in
+                drive cfg.commit_quorum_retries
+              end
+          in
           (* Phase 1: every touched object must show a reachable final
              quorum before the decision. *)
           let rec prepare = function
-            | [] ->
-              let cts = Lamport.tick clock in
-              txn.Txn.status <- Txn.Committed cts;
-              Metrics.incr st.counters.c_committed;
-              Metrics.observe st.counters.c_latency (Engine.now st.engine -. started);
-              finish_commit ();
-              List.iter
-                (fun name ->
-                  let obj = find_object st name in
-                  Replicated.observe obj (Behavioral.Commit action);
-                  Replicated.broadcast_status obj
-                    (Log.Commit_record (action, cts))
-                    ~reachable_from:home)
-                txn.Txn.touched
+            | [] -> decide ()
             | name :: more ->
               let obj = find_object st name in
               (* Transient quorum loss (a flapping site, a healing
@@ -325,17 +761,19 @@ let run_txn st index ~arrival =
               let rec probe tries_left =
                 Replicated.prepared_sites obj ~from:home
                   ~timeout:(Replicated.rpc_timeout obj) ~k:(fun sites ->
-                    if List.length sites >= Replicated.max_final obj then
-                      prepare more
-                    else if tries_left > 0 then begin
-                      let delay =
-                        backoff_delay cfg rng
-                          ~attempt:(cfg.commit_quorum_retries - tries_left)
-                      in
-                      Engine.schedule st.engine ~delay (fun () ->
-                          probe (tries_left - 1))
-                    end
-                    else finish_abort `Unavailable ("commit quorum: " ^ name))
+                    step (fun () ->
+                        if List.length sites >= Replicated.max_final obj then
+                          prepare more
+                        else if tries_left > 0 then begin
+                          let delay =
+                            backoff_delay cfg rng
+                              ~attempt:(cfg.commit_quorum_retries - tries_left)
+                          in
+                          Engine.schedule st.engine ~delay (fun () ->
+                              step (fun () -> probe (tries_left - 1)))
+                        end
+                        else
+                          finish_abort `Unavailable ("commit quorum: " ^ name)))
               in
               probe cfg.commit_quorum_retries
           in
@@ -438,9 +876,29 @@ let run cfg =
           c_ops = Metrics.counter registry ~labels:scheme_l "op.done";
           c_latency =
             Metrics.histogram registry ~labels:scheme_l "txn.latency";
+          c_deadlock =
+            Metrics.counter registry ~labels:(abort_l "deadlock") "txn.aborts";
+          c_presumed =
+            Metrics.counter registry ~labels:(abort_l "presumed") "txn.aborts";
+          c_coop_commit =
+            Metrics.counter registry ~labels:scheme_l "term.coop_commits";
+          c_coop_abort =
+            Metrics.counter registry ~labels:scheme_l "term.coop_aborts";
+          c_redrive = Metrics.counter registry ~labels:scheme_l "term.redrives";
+          c_orphans =
+            Metrics.counter registry ~labels:scheme_l "term.orphans_reaped";
+          c_blocked_latency =
+            Metrics.histogram registry ~labels:scheme_l "op.blocked_latency";
         };
       registry;
       cfg;
+      term =
+        (match cfg.termination with
+         | Termination.Disabled -> None
+         | Termination.Presumed_abort_only | Termination.Cooperative ->
+           Some (Termination.create ~n_sites:cfg.n_sites ()));
+      waits = Waits_for.create ();
+      in_termination = Hashtbl.create 16;
     }
   in
   (* Fault schedules inject clock skew through the network so they need no
@@ -470,6 +928,134 @@ let run cfg =
   Network.set_resync_quorum net (if cfg.ungated_rejoin then 0 else resync_quorum);
   if cfg.ungated_rejoin then
     List.iter (fun (_, obj) -> Replicated.set_commit_piggyback obj false) objects;
+  (* Recovery redrive: a recovered coordinator replays its decision log and
+     re-drives every in-doubt intent to a verdict; transactions homed at
+     the site that never reached the commit point cannot have committed
+     (the intent is durable-first), so they are presumed aborted. Sorted
+     iteration keeps the broadcast order — and hence the draw order —
+     independent of hash-table layout. *)
+  (match st.term with
+   | None -> ()
+   | Some term ->
+     Network.on_recover net (fun site ->
+         let in_doubt = Termination.recover term ~site in
+         List.iter
+           (fun (action, _touched, cts) ->
+             match Hashtbl.find_opt st.txns action with
+             | None -> ()
+             | Some btxn ->
+               Metrics.incr st.counters.c_redrive;
+               (match btxn.Txn.status with
+                | Txn.Committed _ | Txn.Aborted _ ->
+                  let committed =
+                    match btxn.Txn.status with
+                    | Txn.Committed _ -> true
+                    | _ -> false
+                  in
+                  Termination.log_outcome term ~site ~action ~committed;
+                  rebroadcast_status st btxn ~from:site;
+                  note st ~site
+                    (Trace.Txn_redrive
+                       {
+                         txn = Action.to_string action;
+                         outcome = (if committed then "committed" else "aborted");
+                       })
+                | Txn.Running | Txn.Committing ->
+                  drive_commit_votes st btxn cts ~from:site ~k:(fun verdict ->
+                      let outcome =
+                        match verdict with
+                        | `Committed ->
+                          Termination.log_outcome term ~site ~action
+                            ~committed:true;
+                          "committed"
+                        | `Aborted ->
+                          Termination.log_outcome term ~site ~action
+                            ~committed:false;
+                          "aborted"
+                        | `Inconclusive -> "in-doubt"
+                      in
+                      note st ~site
+                        (Trace.Txn_redrive
+                           { txn = Action.to_string action; outcome }))))
+           in_doubt;
+         let no_intent a =
+           not (List.exists (fun (a', _, _) -> Action.equal a a') in_doubt)
+         in
+         Hashtbl.fold
+           (fun a btxn acc ->
+             match btxn.Txn.status with
+             | (Txn.Running | Txn.Committing)
+               when btxn.Txn.home_site = site && no_intent a ->
+               (a, btxn) :: acc
+             | _ -> acc)
+           st.txns []
+         |> List.sort (fun (a, _) (b, _) -> Action.compare a b)
+         |> List.iter (fun (_, btxn) ->
+                btxn.Txn.stranded <- true;
+                ext_finalize st btxn ~from:site
+                  (`Abort (`Presumed, "presumed abort")))));
+  (* Orphan reaper ([Cooperative] only): periodically sweep every
+     repository for tentative entries. Entries of terminal transactions
+     get their status records re-pushed; non-terminal transactions whose
+     coordinator is gone (or which sit in the in-doubt commit window) get
+     a cooperative-termination round. Draws nothing when there is nothing
+     to do. *)
+  (match cfg.termination with
+   | Termination.Disabled | Termination.Presumed_abort_only -> ()
+   | Termination.Cooperative ->
+     let rec first_up site =
+       if site >= cfg.n_sites then None
+       else if Network.site_up net site then Some site
+       else first_up (site + 1)
+     in
+     let rec reap () =
+       Engine.schedule engine ~delay:cfg.reaper_every (fun () ->
+           (match first_up 0 with
+            | None -> ()
+            | Some origin ->
+              let seen = Hashtbl.create 16 in
+              List.iter
+                (fun (name, obj) ->
+                  List.iter
+                    (fun site ->
+                      let view =
+                        View.classify (Replicated.repository_log obj ~site)
+                      in
+                      List.iter
+                        (fun (e : Log.entry) ->
+                          if not (Hashtbl.mem seen e.Log.action) then
+                            Hashtbl.replace seen e.Log.action name)
+                        view.View.tentative)
+                    (Epoch.members (Replicated.current_epoch obj)))
+                st.objects;
+              let resolved = ref 0 in
+              Hashtbl.fold (fun a name acc -> (a, name) :: acc) seen []
+              |> List.sort (fun (a, _) (b, _) -> Action.compare a b)
+              |> List.iter (fun (a, target) ->
+                     match Hashtbl.find_opt st.txns a with
+                     | None -> ()
+                     | Some btxn -> (
+                       match btxn.Txn.status with
+                       | Txn.Committed _ | Txn.Aborted _ ->
+                         incr resolved;
+                         Metrics.incr st.counters.c_orphans;
+                         rebroadcast_status st btxn ~from:origin
+                       | Txn.Committing ->
+                         (* In the in-doubt commit window: resolve it. *)
+                         cooperative_terminate st btxn target ~from:origin
+                       | Txn.Running ->
+                         if
+                           btxn.Txn.stranded
+                           || not
+                                (Network.reachable net origin
+                                   btxn.Txn.home_site)
+                         then cooperative_terminate st btxn target ~from:origin));
+              if !resolved > 0 then
+                note st ~site:origin
+                  (Trace.Orphan_gc { site = origin; resolved = !resolved }));
+           reap ())
+     in
+     reap ());
   cfg.install_faults net;
   (* Split gossip streams unconditionally so the workload's draws are the
      same whether or not anti-entropy runs. *)
@@ -606,6 +1192,27 @@ let run cfg =
   g "wal.rotted" (float_of_int !wal_rotted);
   g "wal.checkpoints" (float_of_int !wal_checkpoints);
   g "storage.faults" (float_of_int ns.Network.storage_faults);
+  (* Termination: how many tentative entries are still unresolved at the
+     horizon (orphans the protocol failed — or was not allowed — to
+     reap), and how many decision-log flushes the commit points cost. *)
+  let stranded_entries =
+    List.fold_left
+      (fun acc (_, obj) ->
+        List.fold_left
+          (fun acc site ->
+            acc
+            + List.length
+                (View.classify (Replicated.repository_log obj ~site))
+                  .View.tentative)
+          acc
+          (Epoch.members (Replicated.current_epoch obj)))
+      0 objects
+  in
+  g "term.stranded_entries" (float_of_int stranded_entries);
+  let decision_log_writes =
+    match st.term with Some t -> Termination.writes t | None -> 0
+  in
+  g "term.decision_log_writes" (float_of_int decision_log_writes);
   let all_recoveries =
     List.concat_map (fun (_, obj) -> Replicated.recoveries obj) objects
   in
@@ -668,6 +1275,16 @@ let run cfg =
       wal_rotted = !wal_rotted;
       wal_checkpoints = !wal_checkpoints;
       storage_faults = ns.Network.storage_faults;
+      coop_commits = cv scheme_l "term.coop_commits";
+      coop_aborts = cv scheme_l "term.coop_aborts";
+      presumed_aborts = cv (abort_l "presumed") "txn.aborts";
+      deadlock_aborts = cv (abort_l "deadlock") "txn.aborts";
+      redrives = cv scheme_l "term.redrives";
+      orphans_reaped = cv scheme_l "term.orphans_reaped";
+      stranded_entries;
+      decision_log_writes;
+      blocked_latency =
+        Metrics.histogram_summary registry ~labels:scheme_l "op.blocked_latency";
     }
   in
   let histories =

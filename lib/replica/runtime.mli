@@ -57,6 +57,18 @@ val default_reconfig : reconfig
 (** Probe every 40 with timeout 25, suspect after 3 misses, check every 60
     with cooldown 150, score at p = 0.9, monitor site 0, barrier allowed. *)
 
+type deadlock_mode =
+  | No_deadlock  (** blocked operations rely on backoff and retry budgets *)
+  | Detect
+      (** waits-for graph with cycle detection; the youngest cycle member
+          (largest Begin timestamp) is aborted as the victim *)
+  | Wound_wait
+      (** an older waiter wounds a younger Running blocker outright —
+          preemptive, cycle-free, no graph *)
+
+val deadlock_mode_name : deadlock_mode -> string
+val deadlock_mode_of_string : string -> deadlock_mode option
+
 type config = {
   seed : int;
   n_sites : int;
@@ -101,6 +113,17 @@ type config = {
           the original behavior): [Durable] backs each site with a
           simulated WAL whose flush barriers, crash-truncation and
           checkpoint compaction the storage fault schedules target. *)
+  termination : Atomrep_txn.Termination.mode;
+      (** crash-safe termination (default [Disabled], the historical
+          give-up): [Presumed_abort_only] adds the durable commit point,
+          recovery redrive, and presumed abort for coordinators that died
+          before it; [Cooperative] adds participant-driven quorum
+          termination for unreachable coordinators and the orphan
+          reaper. *)
+  deadlock : deadlock_mode;
+      (** deadlock policy for blocked operations (default [No_deadlock]) *)
+  reaper_every : float;
+      (** orphan-reaper sweep period ([Cooperative] only, default 250) *)
 }
 
 val default_config : config
@@ -109,6 +132,12 @@ val default_config : config
 
 val default_queue_assignment : n_sites:int -> Assignment.t
 (** Majority initial and final quorums for Enq and Deq. *)
+
+val backoff_delay : config -> Rng.t -> attempt:int -> float
+(** The capped exponential backoff with jitter used for conflict retries
+    and commit-quorum re-probes: always within
+    [[0.5 *. retry_delay *. 2^attempt, retry_delay_cap]] (exposed so the
+    bound can be property-tested). *)
 
 type metrics = {
   committed : int;
@@ -143,6 +172,17 @@ type metrics = {
   wal_rotted : int; (** bit-rot corruptions applied *)
   wal_checkpoints : int;
   storage_faults : int; (** storage faults injected via the network *)
+  coop_commits : int; (** commits completed by a substitute coordinator *)
+  coop_aborts : int; (** aborts certified by termination vote rounds *)
+  presumed_aborts : int; (** recovery aborts of intent-less transactions *)
+  deadlock_aborts : int; (** victims of the deadlock policy *)
+  redrives : int; (** in-doubt transactions re-driven at recovery *)
+  orphans_reaped : int; (** terminal transactions the reaper re-broadcast *)
+  stranded_entries : int;
+      (** tentative entries still unresolved at the horizon, summed over
+          every repository of every object *)
+  decision_log_writes : int; (** successful decision-log flushes *)
+  blocked_latency : Summary.t; (** per-operation time spent blocked *)
 }
 
 type outcome = {

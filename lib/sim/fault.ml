@@ -150,6 +150,18 @@ let disk_pressure net ~every ~duration =
   in
   cycle ()
 
+let coordinator_killer net ~p_kill ~delay ~mttr =
+  let engine = Network.engine net in
+  let rng = Engine.rng engine in
+  Network.on_commit_window net (fun site ->
+      if Network.site_up net site && Rng.bernoulli rng p_kill then
+        Engine.schedule engine ~delay:(Rng.exponential rng delay) (fun () ->
+            if Network.site_up net site then begin
+              Network.crash net site;
+              Engine.schedule engine ~delay:(Rng.exponential rng mttr) (fun () ->
+                  if not (Network.site_up net site) then Network.recover net site)
+            end))
+
 let clock_skew net ~site ~every ~max_skew =
   let engine = Network.engine net in
   let rng = Engine.rng engine in

@@ -90,6 +90,18 @@ val disk_pressure : Network.t -> every:float -> duration:float -> unit
 (** Periodically fill a random site's disk for [duration] time units:
     flushes and checkpoints fail until the pressure clears. *)
 
+val coordinator_killer :
+  Network.t -> p_kill:float -> delay:float -> mttr:float -> unit
+(** The termination protocol's targeted adversary: whenever a coordinator
+    enters its commit window ({!Network.note_commit_window}), crash that
+    exact site with probability [p_kill] after an exponential delay of
+    mean [delay] — aimed squarely at the in-doubt window between the
+    durable commit point and the commit broadcasts — and recover it after
+    an exponential repair time of mean [mttr]. Crashes are plain (stable
+    repository state survives, per the paper's model); what is lost is
+    the coordinator's volatile continuation, which is exactly what
+    termination has to compensate for. *)
+
 val clock_skew : Network.t -> site:int -> every:float -> max_skew:int -> unit
 (** Periodically advance the site's logical clock by a uniformly drawn
     amount in [\[0, max_skew\]] via {!Network.inject_skew} — bounded clock

@@ -24,6 +24,8 @@ type t = {
   stats : stats;
   mutable amnesia_listeners : (int -> unit) list;
   mutable rejoin_listeners : (int -> unit) list;
+  mutable recover_listeners : (int -> unit) list;
+  mutable commit_window_listeners : (int -> unit) list;
   mutable storage_listeners : (int -> Atomrep_store.Wal.fault -> unit) list;
   mutable skew_handler : site:int -> amount:int -> unit;
   mutable resync_quorum : int;
@@ -53,6 +55,8 @@ let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
       };
     amnesia_listeners = [];
     rejoin_listeners = [];
+    recover_listeners = [];
+    commit_window_listeners = [];
     storage_listeners = [];
     skew_handler = (fun ~site:_ ~amount:_ -> ());
     resync_quorum = 0;
@@ -78,7 +82,8 @@ let crash t s =
 
 let recover t s =
   t.up.(s) <- true;
-  note t ~site:s (Trace.Recover { site = s; resynced = false })
+  note t ~site:s (Trace.Recover { site = s; resynced = false });
+  List.iter (fun f -> f s) t.recover_listeners
 
 let stats t = t.stats
 let note_rpc_timeout t = t.stats.rpc_timeouts <- t.stats.rpc_timeouts + 1
@@ -97,6 +102,9 @@ let heal_all_links t = Hashtbl.reset t.blocked
 
 let on_amnesia t f = t.amnesia_listeners <- f :: t.amnesia_listeners
 let on_rejoin t f = t.rejoin_listeners <- f :: t.rejoin_listeners
+let on_recover t f = t.recover_listeners <- f :: t.recover_listeners
+let on_commit_window t f = t.commit_window_listeners <- f :: t.commit_window_listeners
+let note_commit_window t ~site = List.iter (fun f -> f site) t.commit_window_listeners
 let on_storage_fault t f = t.storage_listeners <- f :: t.storage_listeners
 
 let inject_storage_fault t ~site fault =
@@ -131,6 +139,7 @@ let recover_resync t s =
     t.up.(s) <- true;
     note t ~site:s (Trace.Recover { site = s; resynced = true });
     List.iter (fun f -> f s) t.rejoin_listeners;
+    List.iter (fun f -> f s) t.recover_listeners;
     true
   end
   else false

@@ -60,6 +60,22 @@ val set_resync_quorum : t -> int -> unit
 val on_amnesia : t -> (int -> unit) -> unit
 val on_rejoin : t -> (int -> unit) -> unit
 
+val on_recover : t -> (int -> unit) -> unit
+(** Fired whenever a site comes back up — by {!recover} and by a
+    successful {!recover_resync} (after the rejoin listeners). The
+    termination layer uses this to replay the site's durable decision log
+    and re-drive in-doubt transactions. *)
+
+val on_commit_window : t -> (int -> unit) -> unit
+(** Fired by {!note_commit_window}: a transaction homed at the site just
+    entered its commit protocol. Targeted nemeses (coordinator killer)
+    listen here; with no listener registered the note costs nothing and
+    draws no randomness. *)
+
+val note_commit_window : t -> site:int -> unit
+(** Announce that a coordinator at [site] entered the [Committing]
+    window (called unconditionally by the runtime). *)
+
 val on_storage_fault : t -> (int -> Atomrep_store.Wal.fault -> unit) -> unit
 (** Register an owner of per-site stable storage: fault schedules deliver
     storage faults through the network (like amnesia) so the simulator

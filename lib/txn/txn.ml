@@ -13,10 +13,20 @@ type t = {
   home_site : int;
   mutable status : status;
   mutable touched : string list;
+  mutable doomed : string option;
+  mutable stranded : bool;
 }
 
 let create ~action ~begin_ts ~home_site =
-  { action; begin_ts; home_site; status = Running; touched = [] }
+  {
+    action;
+    begin_ts;
+    home_site;
+    status = Running;
+    touched = [];
+    doomed = None;
+    stranded = false;
+  }
 
 let touch t name = if not (List.mem name t.touched) then t.touched <- t.touched @ [ name ]
 

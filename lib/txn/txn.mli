@@ -19,6 +19,12 @@ type t = {
   home_site : int; (** front-end site executing this transaction *)
   mutable status : status;
   mutable touched : string list; (** object names, in first-touch order *)
+  mutable doomed : string option;
+      (** deadlock victim sentence: the reason this transaction must abort
+          at its next step (set by the detector, delivered by the runtime) *)
+  mutable stranded : bool;
+      (** the transaction's home site crashed mid-flight and its driver
+          stopped; a recovery or termination protocol must resolve it *)
 }
 
 val create : action:Action.t -> begin_ts:Lamport.Timestamp.t -> home_site:int -> t
