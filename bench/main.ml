@@ -22,6 +22,12 @@
                                              stranded tentative entries, and
                                              blocked-latency percentiles under
                                              the coordinator-killer nemesis)
+     dune exec bench/main.exe -- takeover  — machine-readable BENCH_6.json
+                                             (cooperative vs takeover mode under
+                                             the coordinator-killer nemesis:
+                                             adopted commits, lease/fence
+                                             counters, and a monitor-gated
+                                             takeover_storm campaign)
 
    Each experiment regenerates one of the paper's figures or worked
    examples (see DESIGN.md's experiment index and EXPERIMENTS.md for the
@@ -575,6 +581,178 @@ let run_termination () =
   Atomrep_obs.Export.write_file "BENCH_5.json" (Json.to_string doc);
   print_endline "wrote BENCH_5.json"
 
+(* Takeover benchmark record: what epoch-fenced coordinator takeover buys
+   on top of cooperative termination under the coordinator-killer nemesis —
+   certifiable in-doubt transactions that cooperative termination could
+   only preabort (or leave to the dead coordinator's own recovery) are
+   adopted and committed by a surviving lease holder. Per mode (cooperative
+   / takeover) over fixed seeds: committed throughput, adopted commits,
+   lease/fence/contention counters, the rebroadcast-dedup counter, stranded
+   entries (must stay zero), blocked-latency percentiles, and both the
+   oracle and the no-divergence-monitor verdicts. A monitor-gated
+   takeover_storm campaign (all three schemes) closes the record. Written
+   to BENCH_6.json; the schema is documented in EXPERIMENTS.md. *)
+let run_takeover () =
+  let module Runtime = Atomrep_replica.Runtime in
+  let module Campaign = Atomrep_chaos.Campaign in
+  let module Monitor = Atomrep_obs.Monitor in
+  let module Json = Atomrep_obs.Json in
+  let module Summary = Atomrep_stats.Summary in
+  let n_txns = 120 and seeds = [ 0; 1; 2; 3; 4 ] in
+  let profile =
+    match Campaign.find_profile "coordinator_killer" with
+    | Some p -> p
+    | None -> failwith "coordinator_killer profile missing"
+  in
+  let cfg ~seed ~takeover ~trace =
+    {
+      Runtime.default_config with
+      Runtime.seed;
+      n_txns;
+      scheme = Atomrep_replica.Replicated.Hybrid;
+      horizon = 40_000.0;
+      install_faults =
+        (fun net -> Atomrep_chaos.Nemesis.install profile.Campaign.nemesis net);
+      termination = Atomrep_txn.Termination.Cooperative;
+      deadlock = Runtime.Detect;
+      takeover;
+      trace;
+    }
+  in
+  let summary_json s =
+    Json.Obj
+      [
+        ("count", Json.int (Summary.count s));
+        ("mean", Json.Num (Summary.mean s));
+        ("p50", Json.Num (Summary.percentile s 0.5));
+        ("p95", Json.Num (Summary.percentile s 0.95));
+        ("p99", Json.Num (Summary.percentile s 0.99));
+        ("max", Json.Num (Summary.max_value s));
+      ]
+  in
+  let measure ~takeover =
+    let committed = ref 0 and aborted = ref 0 and stranded = ref 0 in
+    let coop_c = ref 0 and coop_a = ref 0 and redrives = ref 0 in
+    let leases = ref 0 and adoptions = ref 0 and fenced = ref 0 in
+    let contended = ref 0 and suppressed = ref 0 and stranded_live = ref 0 in
+    let violations = ref 0 and divergences = ref 0 in
+    let blocked = Summary.create () in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun seed ->
+        (* A fresh per-run bus: the monitor needs every driver's verdict
+           and txn names repeat across seeds. *)
+        let tr = Atomrep_obs.Trace.create ~n_sites:3 () in
+        let config = cfg ~seed ~takeover ~trace:(Some tr) in
+        let outcome = Runtime.run config in
+        let m = outcome.Runtime.metrics in
+        committed := !committed + m.Runtime.committed;
+        aborted := !aborted + m.Runtime.aborted;
+        stranded := !stranded + m.Runtime.stranded_entries;
+        coop_c := !coop_c + m.Runtime.coop_commits;
+        coop_a := !coop_a + m.Runtime.coop_aborts;
+        redrives := !redrives + m.Runtime.redrives;
+        leases := !leases + m.Runtime.takeover_leases;
+        adoptions := !adoptions + m.Runtime.takeover_adoptions;
+        fenced := !fenced + m.Runtime.takeover_fenced;
+        contended := !contended + m.Runtime.takeover_contended;
+        suppressed := !suppressed + m.Runtime.rebroadcasts_suppressed;
+        stranded_live := !stranded_live + m.Runtime.stranded_live;
+        List.iter (Summary.add blocked)
+          (Summary.observations m.Runtime.blocked_latency);
+        let failures =
+          Runtime.check_atomicity config outcome
+          @ Runtime.check_common_order config outcome
+        in
+        violations := !violations + List.length failures;
+        divergences := !divergences + List.length (Monitor.no_divergence tr))
+      seeds;
+    let wall = Unix.gettimeofday () -. t0 in
+    ( (!committed, !adoptions, !stranded, !violations + !divergences),
+      Json.Obj
+        [
+          ("committed", Json.int !committed);
+          ("aborted", Json.int !aborted);
+          ("stranded_entries", Json.int !stranded);
+          ("coop_commits", Json.int !coop_c);
+          ("coop_aborts", Json.int !coop_a);
+          ("redrives", Json.int !redrives);
+          ("takeover_leases", Json.int !leases);
+          ("takeover_adoptions", Json.int !adoptions);
+          ("takeover_fenced", Json.int !fenced);
+          ("takeover_contended", Json.int !contended);
+          ("rebroadcasts_suppressed", Json.int !suppressed);
+          ("stranded_live", Json.int !stranded_live);
+          ("blocked_latency_ms", summary_json blocked);
+          ("oracle_violations", Json.int !violations);
+          ("monitor_violations", Json.int !divergences);
+          ("wall_s", Json.Num wall);
+          ( "committed_per_s",
+            Json.Num (if wall > 0.0 then float_of_int !committed /. wall else 0.0) );
+        ] )
+  in
+  print_newline ();
+  print_endline "Takeover benchmark (coordinator-killer ambush, 5 seeds per mode)";
+  print_endline "================================================================";
+  let mode_entries =
+    List.map
+      (fun (name, takeover) ->
+        let (committed, adoptions, stranded, bad), entry = measure ~takeover in
+        Printf.printf "  %-12s committed=%d adoptions=%d stranded=%d violations=%d\n%!"
+          name committed adoptions stranded bad;
+        (name, entry))
+      [ ("cooperative", false); ("takeover", true) ]
+  in
+  (* Monitor-gated takeover-storm campaign: every driver of the same
+     transaction dies or returns at the worst moment, across all three
+     schemes; the record is the violation count (gate: zero). *)
+  let storm =
+    match Campaign.find_profile "takeover_storm" with
+    | Some p -> p
+    | None -> failwith "takeover_storm profile missing"
+  in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Campaign.run_campaign ~base:Campaign.takeover_base ~n_txns:40 ~monitor:true
+      ~schemes:Atomrep_replica.Replicated.[ Static; Hybrid; Locking ]
+      ~profiles:[ storm ] ~seeds:10 ()
+  in
+  let storm_wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "  takeover_storm campaign: %d runs, %d violation(s)\n%!"
+    report.Campaign.total_runs
+    (List.length report.Campaign.violations);
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "coordinator-takeover");
+        ("n_sites", Json.int Runtime.default_config.Runtime.n_sites);
+        ("seeds", Json.List (List.map Json.int seeds));
+        ("n_txns", Json.int n_txns);
+        ( "workload",
+          Json.Str
+            "hybrid, coordinator_killer profile (commit-window ambush p=0.25 \
+             mttr=400 + 2% link flake), cooperative termination + deadlock \
+             detection in both modes" );
+        ("modes", Json.Obj mode_entries);
+        ( "storm_campaign",
+          Json.Obj
+            [
+              ("profile", Json.Str "takeover_storm");
+              ( "schemes",
+                Json.List
+                  (List.map (fun s -> Json.Str s) [ "static"; "hybrid"; "locking" ]) );
+              ("seeds", Json.int 10);
+              ("n_txns", Json.int 40);
+              ("monitor", Json.Bool true);
+              ("total_runs", Json.int report.Campaign.total_runs);
+              ("violations", Json.int (List.length report.Campaign.violations));
+              ("wall_s", Json.Num storm_wall);
+            ] );
+      ]
+  in
+  Atomrep_obs.Export.write_file "BENCH_6.json" (Json.to_string doc);
+  print_endline "wrote BENCH_6.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = args = [ "micro" ] in
@@ -583,26 +761,29 @@ let () =
   let json_only = args = [ "json" ] in
   let storage_only = args = [ "storage" ] in
   let termination_only = args = [ "termination" ] in
+  let takeover_only = args = [ "takeover" ] in
   let micro = List.mem "micro" args || args = [] || List.mem "all" args in
   let chaos = List.mem "chaos" args in
   let reconfig = List.mem "reconfig" args in
   let json = List.mem "json" args in
   let storage = List.mem "storage" args in
   let termination = List.mem "termination" args in
+  let takeover = List.mem "takeover" args in
   let ids =
     List.filter
       (fun a ->
         a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig" && a <> "json"
-        && a <> "storage" && a <> "termination")
+        && a <> "storage" && a <> "termination" && a <> "takeover")
       args
   in
   if
     (not micro_only) && (not chaos_only) && (not reconfig_only) && (not json_only)
-    && (not storage_only) && not termination_only
+    && (not storage_only) && (not termination_only) && not takeover_only
   then run_experiments ids;
   if micro then run_micro ();
   if chaos then run_chaos ();
   if reconfig then run_reconfig ();
   if json then run_json ();
   if storage then run_storage ();
-  if termination then run_termination ()
+  if termination then run_termination ();
+  if takeover then run_takeover ()

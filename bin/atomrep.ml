@@ -108,6 +108,25 @@ let deadlock_arg =
         Atomrep_replica.Runtime.No_deadlock
     & info [ "deadlock" ] ~docv:"POLICY" ~doc)
 
+let takeover_arg =
+  let doc =
+    "Coordinator takeover: a participant that finds a dead coordinator's \
+     in-doubt transaction wins an epoch-fenced takeover lease, adopts the \
+     drive from the quorum's sticky votes, and force-writes the adopted \
+     decision to its own durable decision log. Only meaningful with \
+     --termination cooperative."
+  in
+  Arg.(value & flag & info [ "takeover" ] ~doc)
+
+let print_takeover_metrics (m : Atomrep_replica.Runtime.metrics) =
+  let open Atomrep_replica in
+  Printf.printf
+    "takeover: leases=%d adoptions=%d fenced=%d contended=%d \
+     rebroadcasts-suppressed=%d stranded-live=%d\n"
+    m.Runtime.takeover_leases m.Runtime.takeover_adoptions
+    m.Runtime.takeover_fenced m.Runtime.takeover_contended
+    m.Runtime.rebroadcasts_suppressed m.Runtime.stranded_live
+
 let print_termination_metrics (m : Atomrep_replica.Runtime.metrics) =
   let open Atomrep_replica in
   Printf.printf
@@ -243,7 +262,7 @@ let quorums_cmd =
 
 let simulate_cmd =
   let run scheme_name n_txns n_sites seed mtbf reconfigure durability termination
-      deadlock trace_file trace_format metrics_json =
+      deadlock takeover trace_file trace_format metrics_json =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -288,6 +307,7 @@ let simulate_cmd =
           durability = durability_of durability;
           termination;
           deadlock;
+          takeover;
         }
       in
       let outcome = Runtime.run cfg in
@@ -316,6 +336,7 @@ let simulate_cmd =
         termination <> Atomrep_txn.Termination.Disabled
         || deadlock <> Runtime.No_deadlock
       then print_termination_metrics m;
+      if takeover then print_takeover_metrics m;
       (* Both oracles gate the exit code so scripted runs can fail hard. *)
       let failures =
         Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
@@ -362,7 +383,7 @@ let simulate_cmd =
     Term.(
       const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg
       $ reconfigure_arg $ durability_arg $ termination_arg $ deadlock_arg
-      $ trace_file_arg $ trace_format_arg $ metrics_json_arg)
+      $ takeover_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg)
 
 (* --- chaos --- *)
 
@@ -400,7 +421,8 @@ let chaos_cmd =
         (Ok [])
   in
   let run schemes profiles seeds txns intensity repro seed reconfig durability
-      termination deadlock trace_file trace_format metrics_json postmortem_dir =
+      termination deadlock takeover monitor trace_file trace_format metrics_json
+      postmortem_dir =
     match parse_schemes schemes, parse_profiles profiles with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -429,7 +451,9 @@ let chaos_cmd =
               Campaign.storage_base.Atomrep_replica.Runtime.durability;
           }
       in
-      let base = { base with Atomrep_replica.Runtime.termination; deadlock } in
+      let base =
+        { base with Atomrep_replica.Runtime.termination; deadlock; takeover }
+      in
       if repro then begin
         (* Replay one reproducer tuple per scheme/profile given; all the
            replays share one trace bus, so the exported file covers the
@@ -447,8 +471,8 @@ let chaos_cmd =
             List.iter
               (fun profile ->
                 let outcome, failures =
-                  Campaign.reproduce ~base ?trace ~scheme ~profile ~seed
-                    ~n_txns:txns ~intensity ()
+                  Campaign.reproduce ~base ~monitor ?trace ~scheme ~profile
+                    ~seed ~n_txns:txns ~intensity ()
                 in
                 last_registry := Some outcome.Atomrep_replica.Runtime.registry;
                 Printf.printf "%s/%s seed=%d txns=%d intensity=%g: committed=%d\n"
@@ -463,6 +487,8 @@ let chaos_cmd =
                   || deadlock <> Atomrep_replica.Runtime.No_deadlock
                 then
                   print_termination_metrics outcome.Atomrep_replica.Runtime.metrics;
+                if takeover then
+                  print_takeover_metrics outcome.Atomrep_replica.Runtime.metrics;
                 match failures with
                 | [] -> print_endline "atomicity check: OK"
                 | fs ->
@@ -482,8 +508,8 @@ let chaos_cmd =
       end
       else begin
         let report =
-          Campaign.run_campaign ~base ~n_txns:txns ~intensity ?postmortem_dir
-            ~schemes ~profiles ~seeds ()
+          Campaign.run_campaign ~base ~n_txns:txns ~intensity ~monitor
+            ?postmortem_dir ~schemes ~profiles ~seeds ()
         in
         Format.printf "%a" Campaign.pp_report report;
         if report.Campaign.violations = [] then 0 else 1
@@ -531,6 +557,15 @@ let chaos_cmd =
             "Campaign against the reconfiguration base: five sites, the \
              epoch coordinator enabled (pairs well with --profiles kills).")
   in
+  let monitor_arg =
+    Arg.(
+      value & flag
+      & info [ "monitor" ]
+          ~doc:
+            "Trace every run and add the no-divergence monitor to the \
+             oracles: two drivers rendering opposite verdicts for the same \
+             transaction fails the run (pairs with --takeover).")
+  in
   let postmortem_dir_arg =
     Arg.(
       value
@@ -545,8 +580,8 @@ let chaos_cmd =
     Term.(
       const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg $ intensity_arg
       $ repro_arg $ seed_arg $ reconfig_arg $ durability_arg $ termination_arg
-      $ deadlock_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg
-      $ postmortem_dir_arg)
+      $ deadlock_arg $ takeover_arg $ monitor_arg $ trace_file_arg
+      $ trace_format_arg $ metrics_json_arg $ postmortem_dir_arg)
 
 (* --- experiment --- *)
 

@@ -2,6 +2,7 @@ open Atomrep_replica
 module Trace = Atomrep_obs.Trace
 module Export = Atomrep_obs.Export
 module Postmortem = Atomrep_obs.Postmortem
+module Monitor = Atomrep_obs.Monitor
 
 type profile = { profile_name : string; nemesis : Nemesis.t }
 
@@ -75,6 +76,26 @@ let builtin_profiles =
           ];
     };
     {
+      (* Every driver of the same transaction dies or returns at the worst
+         moment: coordinators are ambushed in the commit window and healed
+         back quickly (so the original returns into its fenced re-drive
+         while an adoption is in flight), takers-over are ambushed at
+         their lease bids (so the next contender must out-bid a corpse),
+         rolling partitions split the contenders, and a light link flake
+         loses grant and vote messages. Pair with {!takeover_base}: the
+         takeover protocol must convert the strandings into adopted
+         commits while the no-divergence monitor holds. *)
+      profile_name = "takeover_storm";
+      nemesis =
+        Nemesis.Compose
+          [
+            Nemesis.Coordinator_killer { p_kill = 0.3; delay = 4.0; mttr = 250.0 };
+            Nemesis.Takeover_killer { p_kill = 0.35; delay = 6.0; mttr = 300.0 };
+            Nemesis.Rolling_partition { every = 700.0; duration = 90.0 };
+            Nemesis.Flaky_links { drop = 0.02; dup = 0.02; spike = 0.02; one_way = false };
+          ];
+    };
+    {
       profile_name = "storm";
       nemesis =
         Nemesis.Compose
@@ -142,6 +163,10 @@ let termination_base =
     deadlock = Runtime.Detect;
   }
 
+(* Coordinator takeover on top of the termination base: the base the
+   takeover_storm profile is meant to be survived with. *)
+let takeover_base = { termination_base with Runtime.takeover = true }
+
 let reconfig_base =
   let n_sites = 5 in
   {
@@ -175,10 +200,29 @@ let configure ~base ~scheme ~seed ~n_txns ~intensity ?trace profile =
     trace = (match trace with Some _ -> trace | None -> base.Runtime.trace);
   }
 
-let check_run cfg =
+(* With [monitor], the run is traced (a fresh per-run bus unless the
+   caller attached one — per-run buses keep txn names from colliding
+   across runs) and the no-divergence monitor joins the oracles: any
+   transaction for which two drivers rendered opposite verdicts is a
+   failure. Tracing does not perturb the run (metrics and histories are
+   bit-identical either way), so monitor-gated reproducers still replay. *)
+let check_run ?(monitor = false) cfg =
+  let cfg =
+    if monitor && cfg.Runtime.trace = None then
+      {
+        cfg with
+        Runtime.trace = Some (Trace.create ~n_sites:cfg.Runtime.n_sites ());
+      }
+    else cfg
+  in
   let outcome = Runtime.run cfg in
   let failures =
     Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
+  in
+  let failures =
+    match (monitor, cfg.Runtime.trace) with
+    | true, Some tr -> failures @ Monitor.no_divergence tr
+    | _ -> failures
   in
   (outcome, failures)
 
@@ -187,13 +231,13 @@ let check_run cfg =
    keeping the invariant that the upper bound still fails), then the fault
    intensity by repeated halving. Neither dimension is monotone, so the
    result is a local minimum — which is all a reproducer needs. *)
-let shrink ~base v =
+let shrink ?monitor ~base v =
   let fails n_txns intensity =
     let cfg =
       configure ~base ~scheme:v.v_scheme ~seed:v.v_seed ~n_txns ~intensity
         v.v_profile
     in
-    snd (check_run cfg) <> []
+    snd (check_run ?monitor cfg) <> []
   in
   let rec bisect_txns lo hi =
     (* invariant: [hi] fails *)
@@ -213,7 +257,12 @@ let shrink ~base v =
   let cfg =
     configure ~base ~scheme:v.v_scheme ~seed:v.v_seed ~n_txns ~intensity v.v_profile
   in
-  { v with v_n_txns = n_txns; v_intensity = intensity; v_failures = snd (check_run cfg) }
+  {
+    v with
+    v_n_txns = n_txns;
+    v_intensity = intensity;
+    v_failures = snd (check_run ?monitor cfg);
+  }
 
 let reproducer_line v =
   Printf.sprintf
@@ -225,13 +274,13 @@ let reproducer_line v =
 (* Replay a (shrunk) violation with tracing on and slice the trace to the
    causal cone of the violating actions. Determinism makes the traced
    replay produce the same failure the untraced run did. *)
-let trace_violation ?(base = default_base) v =
+let trace_violation ?monitor ?(base = default_base) v =
   let trace = Trace.create ~n_sites:base.Runtime.n_sites () in
   let cfg =
     configure ~base ~scheme:v.v_scheme ~seed:v.v_seed ~n_txns:v.v_n_txns
       ~intensity:v.v_intensity ~trace v.v_profile
   in
-  let _, failures = check_run cfg in
+  let _, failures = check_run ?monitor cfg in
   let header =
     [
       ("scheme", Replicated.scheme_name v.v_scheme);
@@ -249,9 +298,9 @@ let violation_slug v =
     (Replicated.scheme_name v.v_scheme)
     v.v_profile.profile_name v.v_seed
 
-let write_postmortem ~base ~dir v =
+let write_postmortem ?monitor ~base ~dir v =
   (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
-  let trace, pm = trace_violation ~base v in
+  let trace, pm = trace_violation ?monitor ~base v in
   let slug = violation_slug v in
   let pm_path = Filename.concat dir ("postmortem-" ^ slug ^ ".txt") in
   Export.write_file pm_path (Postmortem.render pm);
@@ -261,7 +310,7 @@ let write_postmortem ~base ~dir v =
   { v with v_postmortem = Some pm_path }
 
 let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
-    ?postmortem_dir ~schemes ~profiles ~seeds () =
+    ?monitor ?postmortem_dir ~schemes ~profiles ~seeds () =
   let cells = ref [] in
   let violations = ref [] in
   let total = ref 0 in
@@ -273,7 +322,7 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
           for seed = 0 to seeds - 1 do
             incr total;
             let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity profile in
-            let outcome, failures = check_run cfg in
+            let outcome, failures = check_run ?monitor cfg in
             committed := !committed + outcome.Runtime.metrics.Runtime.committed;
             aborted := !aborted + outcome.Runtime.metrics.Runtime.aborted;
             if failures <> [] then begin
@@ -289,10 +338,10 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
                   v_postmortem = None;
                 }
               in
-              let v = shrink ~base v in
+              let v = shrink ?monitor ~base v in
               let v =
                 match postmortem_dir with
-                | Some dir -> write_postmortem ~base ~dir v
+                | Some dir -> write_postmortem ?monitor ~base ~dir v
                 | None -> v
               in
               violations := v :: !violations
@@ -312,10 +361,10 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
     schemes;
   { cells = List.rev !cells; violations = List.rev !violations; total_runs = !total }
 
-let reproduce ?(base = default_base) ?trace ~scheme ~profile ~seed ~n_txns
-    ~intensity () =
+let reproduce ?(base = default_base) ?monitor ?trace ~scheme ~profile ~seed
+    ~n_txns ~intensity () =
   let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity ?trace profile in
-  check_run cfg
+  check_run ?monitor cfg
 
 let pp_violation ppf v =
   Format.fprintf ppf "@[<v 2>VIOLATION %s/%s seed=%d txns=%d intensity=%g@,repro: %s"

@@ -21,8 +21,11 @@ val builtin_profiles : profile list
     rot, lost flushes, and disk pressure against durable WALs — pair with
     {!storage_base}), coordinator_killer (commit-window ambushes plus
     light link flake — pair with {!termination_base} to prove the
-    termination protocol survives what strands a [Disabled] run), and the
-    composed storm. *)
+    termination protocol survives what strands a [Disabled] run),
+    takeover_storm (commit-window ambushes with fast coordinator heal,
+    takeover-bid ambushes, rolling partitions, and link flake — pair with
+    {!takeover_base} and [monitor] to prove epoch-fenced adoption never
+    diverges), and the composed storm. *)
 
 val find_profile : string -> profile option
 val profile_names : string list
@@ -70,6 +73,11 @@ val termination_base : Runtime.config
     enabled — the base under which the [coordinator_killer] profile must
     leave zero stranded tentative entries and zero oracle violations. *)
 
+val takeover_base : Runtime.config
+(** {!termination_base} with coordinator takeover on — the base under
+    which the [takeover_storm] profile must convert strandings into
+    adopted commits with zero no-divergence monitor violations. *)
+
 val reconfig_base : Runtime.config
 (** A base sized for reconfiguration campaigns: five sites, a majority
     queue, a stretched arrival process so the kills profile's staggered
@@ -91,21 +99,32 @@ val configure :
     replay a single cell. [trace] attaches a bus to the run (defaults to
     whatever [base] carries). *)
 
-val check_run : Runtime.config -> Runtime.outcome * (string * string) list
-(** Run once and apply both oracles; an empty failure list means atomic. *)
+val check_run :
+  ?monitor:bool -> Runtime.config -> Runtime.outcome * (string * string) list
+(** Run once and apply both oracles; an empty failure list means atomic.
+    With [monitor] (default false), the run is traced (a fresh per-run
+    bus unless the configuration already carries one) and the
+    {!Atomrep_obs.Monitor.no_divergence} check joins the oracles: two
+    drivers rendering opposite verdicts for the same transaction is a
+    failure. Tracing does not perturb the run, so monitor-gated
+    reproducer tuples still replay deterministically. *)
 
-val shrink : base:Runtime.config -> violation -> violation
+val shrink : ?monitor:bool -> base:Runtime.config -> violation -> violation
 (** Bisect the transaction count down and then halve the fault intensity
     while the violation persists; returns the smallest reproducer found
     (a local minimum — neither dimension is monotone). *)
 
 val trace_violation :
-  ?base:Runtime.config -> violation -> Atomrep_obs.Trace.t * Atomrep_obs.Postmortem.t
+  ?monitor:bool ->
+  ?base:Runtime.config ->
+  violation ->
+  Atomrep_obs.Trace.t * Atomrep_obs.Postmortem.t
 (** Replay a (shrunk) violation with tracing on — determinism reproduces
     the same failure — and slice the trace to the causal cone of the
     violating actions. *)
 
-val write_postmortem : base:Runtime.config -> dir:string -> violation -> violation
+val write_postmortem :
+  ?monitor:bool -> base:Runtime.config -> dir:string -> violation -> violation
 (** {!trace_violation}, rendered to [dir/postmortem-<slug>.txt] with the
     full trace beside it as [dir/trace-<slug>.jsonl]; returns the violation
     with [v_postmortem] set. Creates [dir] if needed. *)
@@ -114,6 +133,7 @@ val run_campaign :
   ?base:Runtime.config ->
   ?n_txns:int ->
   ?intensity:float ->
+  ?monitor:bool ->
   ?postmortem_dir:string ->
   schemes:Replicated.scheme list ->
   profiles:profile list ->
@@ -126,6 +146,7 @@ val run_campaign :
 
 val reproduce :
   ?base:Runtime.config ->
+  ?monitor:bool ->
   ?trace:Atomrep_obs.Trace.t ->
   scheme:Replicated.scheme ->
   profile:profile ->

@@ -15,6 +15,7 @@ type t =
       full_for : float;
     }
   | Coordinator_killer of { p_kill : float; delay : float; mttr : float }
+  | Takeover_killer of { p_kill : float; delay : float; mttr : float }
   | Compose of t list
 
 let spike_factor = 20.0
@@ -47,6 +48,10 @@ let rec scale k = function
        the shot lands); intensity turns up how often it fires and how
        long the corpse stays down. *)
     Coordinator_killer
+      { c with p_kill = Float.min 1.0 (c.p_kill *. k); mttr = c.mttr *. k }
+  | Takeover_killer c ->
+    (* Same semantics as the coordinator killer, aimed at takers. *)
+    Takeover_killer
       { c with p_kill = Float.min 1.0 (c.p_kill *. k); mttr = c.mttr *. k }
   | Compose l -> Compose (List.map (scale k) l)
 
@@ -86,6 +91,8 @@ let rec install t net =
       Fault.disk_pressure net ~every:full_every ~duration:full_for
   | Coordinator_killer { p_kill; delay; mttr } ->
     Fault.coordinator_killer net ~p_kill ~delay ~mttr
+  | Takeover_killer { p_kill; delay; mttr } ->
+    Fault.takeover_killer net ~p_kill ~delay ~mttr
   | Compose l -> List.iter (fun nem -> install nem net) l
 
 let rec pp ppf = function
@@ -110,6 +117,8 @@ let rec pp ppf = function
   | Coordinator_killer { p_kill; delay; mttr } ->
     Format.fprintf ppf "coordinator-killer(p=%g,delay=%g,mttr=%g)" p_kill delay
       mttr
+  | Takeover_killer { p_kill; delay; mttr } ->
+    Format.fprintf ppf "takeover-killer(p=%g,delay=%g,mttr=%g)" p_kill delay mttr
   | Compose l ->
     Format.fprintf ppf "compose[%a]"
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)

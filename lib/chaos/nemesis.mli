@@ -53,6 +53,13 @@ type t =
           survive without stranding tentative entries. [scale] raises the
           kill probability (capped at 1) and the repair time; the delay
           is part of the scenario. *)
+  | Takeover_killer of { p_kill : float; delay : float; mttr : float }
+      (** ambush takers-over: whenever a site announces a takeover bid
+          ({!Atomrep_sim.Network.note_takeover}), crash that site with
+          probability [p_kill] after an exponential delay of mean [delay]
+          (recovering after mean [mttr]) — mid-lease-round or
+          mid-adopted-drive, so the next contender must out-bid the dead
+          taker's lease. [scale] behaves like the coordinator killer's. *)
   | Compose of t list  (** install all of them *)
 
 val scale : float -> t -> t

@@ -48,6 +48,14 @@ let args_json (kind : Trace.kind) =
       [ ("txn", Json.Str txn); ("outcome", Json.Str outcome) ]
     | Trace.Orphan_gc { site; resolved } ->
       [ ("site", Json.int site); ("resolved", Json.int resolved) ]
+    | Trace.Txn_decide { txn; site; committed } ->
+      [ ("txn", Json.Str txn); ("site", Json.int site);
+        ("committed", Json.Bool committed) ]
+    | Trace.Takeover_acquire { txn; site; term } ->
+      [ ("txn", Json.Str txn); ("site", Json.int site); ("term", Json.int term) ]
+    | Trace.Takeover_fence { txn; site; term; granted } ->
+      [ ("txn", Json.Str txn); ("site", Json.int site); ("term", Json.int term);
+        ("granted", Json.int granted) ]
     | Trace.Deadlock { victim; cycle } ->
       [ ("victim", Json.Str victim);
         ("cycle", Json.List (List.map (fun t -> Json.Str t) cycle)) ]

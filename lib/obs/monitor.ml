@@ -1,0 +1,48 @@
+type verdict = {
+  d_txn : string;
+  d_commits : int;
+  d_aborts : int;
+  d_sites : int list; (* deciding sites, first-decision order *)
+}
+
+let decisions ?(from_id = 0) trace =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.id >= from_id then
+        match e.Trace.kind with
+        | Trace.Txn_decide { txn; site; committed } ->
+          let v =
+            match Hashtbl.find_opt tbl txn with
+            | Some v -> v
+            | None ->
+              order := txn :: !order;
+              { d_txn = txn; d_commits = 0; d_aborts = 0; d_sites = [] }
+          in
+          let v =
+            if committed then { v with d_commits = v.d_commits + 1 }
+            else { v with d_aborts = v.d_aborts + 1 }
+          in
+          let v =
+            if List.mem site v.d_sites then v
+            else { v with d_sites = v.d_sites @ [ site ] }
+          in
+          Hashtbl.replace tbl txn v
+        | _ -> ())
+    (Trace.events trace);
+  List.rev_map (fun txn -> Hashtbl.find tbl txn) !order
+
+let no_divergence ?from_id trace =
+  List.filter_map
+    (fun v ->
+      if v.d_commits > 0 && v.d_aborts > 0 then
+        Some
+          ( v.d_txn,
+            Printf.sprintf
+              "divergent decisions: %d commit verdict(s) and %d abort \
+               verdict(s) across driver sites [%s]"
+              v.d_commits v.d_aborts
+              (String.concat ";" (List.map string_of_int v.d_sites)) )
+      else None)
+    (decisions ?from_id trace)

@@ -1,0 +1,31 @@
+(** No-divergence monitor over the trace bus.
+
+    Every driver that renders a commit/abort verdict for a transaction —
+    the original coordinator, a recovered coordinator re-driving its
+    decision log, a cooperative participant, or a takeover lease holder —
+    emits a {!Trace.Txn_decide} event at the verdict, {e before} the
+    idempotent finalize guard. The monitor folds those events per
+    transaction and flags any transaction for which two drivers ever
+    decided differently: the one thing the takeover protocol (sticky
+    votes + intersecting thresholds + lease fencing) must make
+    impossible, no matter how many contenders raced.
+
+    Re-deciding the {e same} outcome is expected and legal (redrive and
+    adoption are idempotent); only mixed verdicts are violations. *)
+
+type verdict = {
+  d_txn : string;
+  d_commits : int;  (** commit verdicts rendered *)
+  d_aborts : int;  (** abort verdicts rendered *)
+  d_sites : int list;  (** deciding sites, first-decision order *)
+}
+
+val decisions : ?from_id:int -> Trace.t -> verdict list
+(** Per-transaction decision tallies, in first-decision order. [from_id]
+    restricts the scan to events with id at or above it — use it to scope
+    the monitor to one run when several runs share a bus. *)
+
+val no_divergence : ?from_id:int -> Trace.t -> (string * string) list
+(** [(txn, explanation)] for every transaction with mixed verdicts; empty
+    when no two drivers ever diverged. Shaped like the runtime's oracle
+    failures so campaign gating can concatenate them. *)

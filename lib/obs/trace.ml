@@ -30,6 +30,9 @@ type kind =
   | Coop_term of { txn : string; outcome : string }
   | Orphan_gc of { site : int; resolved : int }
   | Deadlock of { victim : string; cycle : string list }
+  | Txn_decide of { txn : string; site : int; committed : bool }
+  | Takeover_acquire of { txn : string; site : int; term : int }
+  | Takeover_fence of { txn : string; site : int; term : int; granted : int }
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
 
@@ -209,6 +212,9 @@ let kind_label = function
   | Coop_term _ -> "coop_term"
   | Orphan_gc _ -> "orphan_gc"
   | Deadlock _ -> "deadlock"
+  | Txn_decide _ -> "txn_decide"
+  | Takeover_acquire _ -> "takeover_acquire"
+  | Takeover_fence _ -> "takeover_fence"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
 
@@ -263,6 +269,15 @@ let pp_kind ppf = function
   | Deadlock { victim; cycle } ->
     Format.fprintf ppf "deadlock victim %s (cycle %s)" victim
       (String.concat "->" cycle)
+  | Txn_decide { txn; site; committed } ->
+    Format.fprintf ppf "txn_decide %s -> %s (driver at site %d)" txn
+      (if committed then "commit" else "abort")
+      site
+  | Takeover_acquire { txn; site; term } ->
+    Format.fprintf ppf "takeover_acquire %s term %d (site %d)" txn term site
+  | Takeover_fence { txn; site; term; granted } ->
+    Format.fprintf ppf "takeover_fence %s: term %d fenced by %d (site %d)" txn
+      term granted site
   | Span_begin { span; parent; label } ->
     Format.fprintf ppf "span_begin #%d %s%s" span label
       (match parent with Some p -> Printf.sprintf " (in #%d)" p | None -> "")

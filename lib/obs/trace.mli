@@ -67,6 +67,18 @@ type kind =
       (** the orphan reaper swept the repositories from [site] *)
   | Deadlock of { victim : string; cycle : string list }
       (** the waits-for cycle detector sentenced a victim *)
+  | Txn_decide of { txn : string; site : int; committed : bool }
+      (** a driver (coordinator, recovered coordinator, or takeover
+          holder) rendered a commit/abort verdict for the transaction.
+          Emitted at the verdict, before any idempotent finalize guard —
+          so every contending driver's decision lands on the bus and the
+          no-divergence monitor ({!Atomrep_obs.Monitor}) can check that no
+          two drivers ever decided differently *)
+  | Takeover_acquire of { txn : string; site : int; term : int }
+      (** the site won a takeover lease at [term] and adopts the drive *)
+  | Takeover_fence of { txn : string; site : int; term : int; granted : int }
+      (** a driver at stale [term] was refused by a repository holding a
+          lease at [granted] and halted its drive *)
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
 

@@ -486,11 +486,34 @@ let quorum_n t = List.length (Epoch.members t.current)
 let vote_need t = max 1 (max_final t)
 let veto_need t = quorum_n t - vote_need t + 1
 
-let place_vote t record ~from ~k =
+let place_vote ?term t record ~from ~k =
   Rpc.multicast t.net ~src:from ~dsts:(Epoch.members t.current)
     ~timeout:t.rpc_timeout
-    ~handler:(fun site -> Repository.offer t.repos.(site) record)
+    ~handler:(fun site -> Repository.offer ?term t.repos.(site) record)
     ~gather:(fun replies -> k (List.map snd replies))
+
+(* Takeover lease sizing: the lease set must intersect every possible
+   commit vote set (size [vote_need]) AND every abort vote set (size
+   [veto_need]), so a stale driver meets the fence inside any quorum it
+   could otherwise assemble. That takes n - vote_need + 1 = veto_need
+   grants for the former and n - veto_need + 1 = vote_need for the
+   latter — the max of the two thresholds. *)
+let lease_need t = max (vote_need t) (veto_need t)
+
+let takeover_acquire t action ~term ~holder ~from ~k =
+  Rpc.multicast t.net ~src:from ~dsts:(Epoch.members t.current)
+    ~timeout:t.rpc_timeout
+    ~handler:(fun site -> Repository.grant_takeover t.repos.(site) action ~term ~holder)
+    ~gather:(fun replies ->
+      let granted, highest =
+        List.fold_left
+          (fun (g, h) (_, r) ->
+            match r with
+            | Takeover.Granted -> (g + 1, max h term)
+            | Takeover.Fenced grant -> (g, max h grant.Takeover.g_term))
+          (0, 0) replies
+      in
+      k ~granted ~highest)
 
 let poll_status t action ~from ~k =
   Rpc.multicast t.net ~src:from ~dsts:(Epoch.members t.current)

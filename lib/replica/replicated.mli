@@ -150,6 +150,7 @@ val veto_need : t -> int
     argument of Theorems 4/10 applied to termination. *)
 
 val place_vote :
+  ?term:int ->
   t ->
   Log.record ->
   from:int ->
@@ -159,7 +160,31 @@ val place_vote :
     and gather each reachable repository's resulting evidence for the
     record's action ({!Repository.offer}). Votes bypass the epoch fence,
     like {!broadcast_status}: they resolve stuck state, and safety rests
-    on vote stickiness plus threshold intersection, not epoch pinning. *)
+    on vote stickiness plus threshold intersection, not epoch pinning.
+    [term], when given, stamps the votes with the driver's takeover term:
+    repositories holding a newer lease grant answer [E_fenced] instead of
+    recording the vote, halting a stale driver (a returning original
+    coordinator drives at the implicit term [0]). *)
+
+val lease_need : t -> int
+(** Takeover lease grants required before adopting this object's in-doubt
+    transactions: [max vote_need veto_need], so the lease set intersects
+    every possible commit vote set AND every abort vote set — a fenced
+    driver can assemble neither threshold past the fence. *)
+
+val takeover_acquire :
+  t ->
+  Atomrep_history.Action.t ->
+  term:int ->
+  holder:int ->
+  from:int ->
+  k:(granted:int -> highest:int -> unit) ->
+  unit
+(** One takeover lease round: propose [term] for [holder] at every current
+    member ({!Repository.grant_takeover}) and gather [granted] (how many
+    repositories granted it) and [highest] (the highest term any reachable
+    repository has granted — what an out-bid contender must exceed on its
+    next attempt). The lease is held iff [granted >= lease_need]. *)
 
 val poll_status :
   t ->

@@ -1,6 +1,7 @@
 open Atomrep_history
 open Atomrep_clock
 module Wal = Atomrep_store.Wal
+module Takeover = Atomrep_txn.Takeover
 
 type intention = {
   i_action : Action.t;
@@ -37,6 +38,7 @@ type t = {
   group_commit : bool;
   checkpoint_every : int;
   mutable on_storage : storage_note -> unit;
+  takeover : Takeover.t;
 }
 
 type recovery = {
@@ -65,6 +67,7 @@ let create ?(durability = Volatile) ~site () =
     group_commit;
     checkpoint_every;
     on_storage = (fun _ -> ());
+    takeover = Takeover.create ();
   }
 
 let site t = t.site
@@ -193,8 +196,12 @@ let ingest t peer_log =
 
 let amnesia t =
   (* Epoch membership is stable state: forgetting it would let a recovered
-     site accept quorum traffic from a configuration it already left. *)
+     site accept quorum traffic from a configuration it already left.
+     Takeover grants by contrast are deliberately volatile: forgetting a
+     lease only widens who may drive — never what can be decided, which
+     rests on the sticky votes below. *)
   t.locks <- [];
+  Takeover.forget t.takeover;
   match t.store with
   | None ->
     t.log <- Log.stable t.log;
@@ -228,6 +235,7 @@ let recover t =
     t.high <- ts_max high (high_of_log log);
     t.epoch <- epoch;
     t.locks <- [];
+    Takeover.forget t.takeover;
     Some
       {
         r_site = t.site;
@@ -266,6 +274,7 @@ type status_evidence =
   | E_precommit of Lamport.Timestamp.t
   | E_preabort
   | E_none
+  | E_fenced of int
 
 let status_of t action =
   match Log.commit_ts t.log action with
@@ -277,8 +286,7 @@ let status_of t action =
       | Some ts -> E_precommit ts
       | None -> if Log.has_preabort t.log action then E_preabort else E_none)
 
-let offer t record =
-  append t [ record ];
+let offer ?term t record =
   let action =
     match record with
     | Log.Entry e -> e.Log.action
@@ -288,4 +296,25 @@ let offer t record =
     | Log.Preabort a ->
       a
   in
-  status_of t action
+  (* The takeover fence guards only the vote records, and only when the
+     driver identifies itself with a term. Certified commit/abort records
+     are ALWAYS accepted — refusing one could strand resolved state, and
+     agreement never rested on the fence (it rests on vote stickiness):
+     the fence exists so a stale driver halts instead of racing the
+     current lease holder through a whole vote round. *)
+  let fenced =
+    match (record, term) with
+    | (Log.Precommit _ | Log.Preabort _), Some tm ->
+      Takeover.fences t.takeover action ~term:tm
+    | _, _ -> None
+  in
+  match fenced with
+  | Some granted -> E_fenced granted
+  | None ->
+    append t [ record ];
+    status_of t action
+
+let takeover_term t action = Takeover.term_of t.takeover action
+
+let grant_takeover t action ~term ~holder =
+  Takeover.grant t.takeover action ~term ~holder

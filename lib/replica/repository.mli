@@ -122,18 +122,43 @@ type status_evidence =
   | E_precommit of Lamport.Timestamp.t
   | E_preabort
   | E_none
+  | E_fenced of int
       (** What one repository knows about an action's fate, strongest
           first: a certified decision, a sticky termination vote, or
-          nothing. *)
+          nothing. [E_fenced granted] is not evidence about the action at
+          all but a refusal to talk: the offering driver's takeover term
+          is stale ([granted] is the current lease term) and it must stop
+          driving. *)
 
 val status_of : t -> Atomrep_history.Action.t -> status_evidence
-(** Read this repository's strongest evidence about the action. *)
+(** Read this repository's strongest evidence about the action. Never
+    [E_fenced] — reads are not fenced, only vote offers are. *)
 
-val offer : t -> Log.record -> status_evidence
+val offer : ?term:int -> t -> Log.record -> status_evidence
 (** Append one record (with the sticky-vote rule applied) and return the
     repository's resulting evidence for that record's action — the reply
     a termination vote round counts. A refused vote leaves the prior
-    evidence in place, so the caller learns what blocked it. *)
+    evidence in place, so the caller learns what blocked it.
+
+    When [term] is given and the record is a vote ([Precommit] /
+    [Preabort]), the takeover fence applies first: a term strictly below
+    the current lease grant ({!takeover_term}) is refused without
+    touching the log and answered with [E_fenced granted]. Certified
+    commit/abort records and entries are never fenced — refusing one
+    could strand resolved state, and agreement rests on vote stickiness,
+    not on the fence. Without [term] the offer is unfenced (the legacy
+    PR-5 paths). *)
+
+val takeover_term : t -> Action.t -> int
+(** The action's current takeover lease term at this repository; [0] when
+    no lease was ever granted (the original coordinator's implicit term). *)
+
+val grant_takeover :
+  t -> Action.t -> term:int -> holder:int -> Atomrep_txn.Takeover.result
+(** Propose a takeover lease at this repository: granted iff the term is
+    strictly above the current grant (first writer wins a term; re-asking
+    for one's own grant is an idempotent ack). Grants are volatile —
+    crash or amnesia forgets them, which can only widen who may drive. *)
 
 val ingest : t -> Log.t -> unit
 (** Merge a peer repository's log (anti-entropy): every incoming record is

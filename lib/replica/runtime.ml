@@ -88,6 +88,12 @@ type config = {
   termination : Termination.mode;
   deadlock : deadlock_mode;
   reaper_every : float;
+  takeover : bool;
+      (* Coordinator takeover (requires [Cooperative] termination): a
+         participant that finds a dead coordinator's in-doubt transaction
+         wins an epoch-style takeover lease before adopting the drive,
+         and every vote it places is term-stamped so stale drivers are
+         fenced (see DESIGN §3f). *)
 }
 
 let default_queue_assignment ~n_sites =
@@ -139,6 +145,7 @@ let default_config =
     termination = Termination.Disabled;
     deadlock = No_deadlock;
     reaper_every = 250.0;
+    takeover = false;
   }
 
 type metrics = {
@@ -183,6 +190,12 @@ type metrics = {
   stranded_entries : int;
   decision_log_writes : int;
   blocked_latency : Summary.t;
+  takeover_leases : int;
+  takeover_adoptions : int;
+  takeover_fenced : int;
+  takeover_contended : int;
+  rebroadcasts_suppressed : int;
+  stranded_live : int;
 }
 
 type outcome = {
@@ -209,6 +222,12 @@ type counters = {
   c_redrive : Metrics.counter;
   c_orphans : Metrics.counter;
   c_blocked_latency : Metrics.histogram;
+  c_takeover_lease : Metrics.counter;
+  c_takeover_adopt : Metrics.counter;
+  c_takeover_fenced : Metrics.counter;
+  c_takeover_contended : Metrics.counter;
+  c_rebroadcast_suppressed : Metrics.counter;
+  g_stranded_live : Metrics.gauge;
 }
 
 type run_state = {
@@ -225,6 +244,17 @@ type run_state = {
   (* Actions with a cooperative-termination round in flight — dedups
      concurrent participants piling onto the same stuck blocker. *)
   in_termination : (Action.t, unit) Hashtbl.t;
+  (* (blocker, polling site) pairs whose status was already re-broadcast
+     from try_resolve: later polls from the same site suppress the
+     duplicate push and count it instead (the reaper still repairs any
+     repository the one broadcast missed). *)
+  rebroadcasted : (Action.t, int list) Hashtbl.t;
+  (* Highest takeover term seen per action — the next bid must exceed it. *)
+  takeover_terms : (Action.t, int) Hashtbl.t;
+  (* Transactions currently counted in the live stranded gauge; the guard
+     that makes adoption and orphan GC unable to double-decrement. *)
+  counted_stranded : (Action.t, unit) Hashtbl.t;
+  mutable n_stranded_live : int;
 }
 
 let find_object st name =
@@ -244,6 +274,39 @@ let backoff_delay cfg rng ~attempt =
 let note st ~site kind =
   let trc = Network.trace st.net in
   if Trace.enabled trc then ignore (Trace.emit trc ~site kind)
+
+(* A driver rendered a commit/abort verdict for [action] at [site].
+   Emitted at the verdict — before the idempotent finalize guard — so
+   every contending driver's decision reaches the trace bus and the
+   no-divergence monitor can check that no two ever disagreed. *)
+let decide_note st ~site action ~committed =
+  note st ~site (Trace.Txn_decide { txn = Action.to_string action; site; committed })
+
+(* Live stranded-transaction gauge. One increment the first time a
+   transaction is observed stranded (driver died / coordinator found
+   dead), one decrement when an external driver finalizes it — the
+   [counted_stranded] guard is what keeps adoption and a later orphan-GC
+   sweep of the same transaction from double-decrementing. *)
+let set_stranded_gauge st =
+  Metrics.set st.counters.g_stranded_live (float_of_int st.n_stranded_live)
+
+let mark_stranded st btxn =
+  match btxn.Txn.status with
+  | Txn.Committed _ | Txn.Aborted _ -> ()
+  | Txn.Running | Txn.Committing ->
+    let action = btxn.Txn.action in
+    if not (Hashtbl.mem st.counted_stranded action) then begin
+      Hashtbl.replace st.counted_stranded action ();
+      st.n_stranded_live <- st.n_stranded_live + 1;
+      set_stranded_gauge st
+    end
+
+let unmark_stranded st action =
+  if Hashtbl.mem st.counted_stranded action then begin
+    Hashtbl.remove st.counted_stranded action;
+    st.n_stranded_live <- st.n_stranded_live - 1;
+    set_stranded_gauge st
+  end
 
 (* Re-push a terminal transaction's status records to every repository of
    every object it touched (from [from]): lingering tentative entries at
@@ -275,6 +338,7 @@ let ext_finalize st btxn ~from outcome =
    | Txn.Committed _ | Txn.Aborted _ -> ()
    | Txn.Running | Txn.Committing ->
      Waits_for.clear st.waits action;
+     unmark_stranded st action;
      (match outcome with
       | `Commit cts ->
         btxn.Txn.status <- Txn.Committed cts;
@@ -304,7 +368,8 @@ let count_yes_commit cts evs =
        (function
          | Repository.E_committed _ -> true
          | Repository.E_precommit ts -> Lamport.Timestamp.compare ts cts = 0
-         | Repository.E_aborted | Repository.E_preabort | Repository.E_none ->
+         | Repository.E_aborted | Repository.E_preabort | Repository.E_none
+         | Repository.E_fenced _ ->
            false)
        evs)
 
@@ -314,9 +379,14 @@ let count_yes_abort evs =
        (function
          | Repository.E_aborted | Repository.E_preabort -> true
          | Repository.E_committed _ | Repository.E_precommit _
-         | Repository.E_none ->
+         | Repository.E_none | Repository.E_fenced _ ->
            false)
        evs)
+
+let fenced_by evs =
+  List.find_map
+    (function Repository.E_fenced granted -> Some granted | _ -> None)
+    evs
 
 let certified_abort evs =
   List.exists (function Repository.E_aborted -> true | _ -> false) evs
@@ -330,25 +400,44 @@ let certified_commit evs =
    object it touched, from site [from]. Commit certifies only when EVERY
    object yields a full vote quorum (>= vote_need) — counting evidence on
    one object alone could commit object A while object B certifies abort.
-   [k] gets `Committed, `Aborted (certified abort evidence surfaced), or
-   `Inconclusive (some quorum unreachable; the decision stays open). *)
-let drive_commit_votes st btxn cts ~from ~k =
+   [k] gets `Committed, `Aborted (certified abort evidence surfaced),
+   `Fenced (some repository holds a newer takeover lease than [term] —
+   the current lease holder owns the drive now; stop), or `Inconclusive
+   (some quorum unreachable; the decision stays open). [term] stamps the
+   votes with the driver's takeover term; omitted (legacy paths with
+   takeover off) the votes are unfenced. *)
+let drive_commit_votes ?term st btxn cts ~from ~k =
   let action = btxn.Txn.action in
   let rec round = function
     | [] ->
+      decide_note st ~site:from action ~committed:true;
       ext_finalize st btxn ~from (`Commit cts);
       k `Committed
     | name :: more ->
       let obj = find_object st name in
-      Replicated.place_vote obj (Log.Precommit (action, cts)) ~from
+      Replicated.place_vote ?term obj (Log.Precommit (action, cts)) ~from
         ~k:(fun evs ->
-          if certified_abort evs then begin
-            ext_finalize st btxn ~from (`Abort (`Coop, "termination abort"));
-            k `Aborted
-          end
-          else if count_yes_commit cts evs >= Replicated.vote_need obj then
-            round more
-          else k `Inconclusive)
+          match fenced_by evs with
+          | Some granted ->
+            Metrics.incr st.counters.c_takeover_fenced;
+            note st ~site:from
+              (Trace.Takeover_fence
+                 {
+                   txn = Action.to_string action;
+                   site = from;
+                   term = Option.value term ~default:0;
+                   granted;
+                 });
+            k `Fenced
+          | None ->
+            if certified_abort evs then begin
+              decide_note st ~site:from action ~committed:false;
+              ext_finalize st btxn ~from (`Abort (`Coop, "termination abort"));
+              k `Aborted
+            end
+            else if count_yes_commit cts evs >= Replicated.vote_need obj then
+              round more
+            else k `Inconclusive)
   in
   round btxn.Txn.touched
 
@@ -358,71 +447,167 @@ let drive_commit_votes st btxn cts ~from ~k =
    shows was underway, or run a Preabort round: n - f + 1 sticky abort
    votes on ONE object guarantee no commit quorum of f can ever assemble
    there (the vote sets intersect), so installing the abort record is
-   safe — presumed abort with a quorum proof. *)
+   safe — presumed abort with a quorum proof.
+
+   With [takeover] on, the active branch first wins a takeover lease at
+   the blocked object's repositories (a monotone term granted by
+   [lease_need] members — enough to intersect every commit AND abort
+   vote set), stamps its votes with the term so stale drivers fence, and
+   force-writes an adopted commit to its own durable decision log before
+   driving, so a crash of the taker leaves the adoption re-drivable. *)
 let cooperative_terminate st btxn target ~from =
   let action = btxn.Txn.action in
   if not (Hashtbl.mem st.in_termination action) then begin
     Hashtbl.replace st.in_termination action ();
+    mark_stranded st btxn;
     let obj = find_object st target in
     let finish outcome =
       Hashtbl.remove st.in_termination action;
       note st ~site:from
         (Trace.Coop_term { txn = Action.to_string action; outcome })
     in
+    (* Under takeover a terminator is a real contender that can die
+       between its rounds: re-check liveness before starting the next
+       phase, so a dead taker's round ends (releasing the in-flight
+       dedup for the next contender) instead of continuing as a ghost.
+       Replies already in flight still land — messages sent are sent.
+       Without takeover, keep the PR-5 behavior exactly. *)
+    let alive k =
+      if st.cfg.takeover && not (Network.site_up st.net from) then
+        finish "taker-died"
+      else k ()
+    in
+    let adopt_certified evs k =
+      match certified_commit evs with
+      | Some cts ->
+        decide_note st ~site:from action ~committed:true;
+        ext_finalize st btxn ~from (`Commit cts);
+        finish "adopted-commit"
+      | None ->
+        if certified_abort evs then begin
+          decide_note st ~site:from action ~committed:false;
+          ext_finalize st btxn ~from (`Abort (`Coop, "termination abort"));
+          finish "adopted-abort"
+        end
+        else k ()
+    in
+    let preabort_round ?term () =
+      Replicated.place_vote ?term obj (Log.Preabort action) ~from
+        ~k:(fun evs ->
+          match fenced_by evs with
+          | Some granted ->
+            Metrics.incr st.counters.c_takeover_fenced;
+            note st ~site:from
+              (Trace.Takeover_fence
+                 {
+                   txn = Action.to_string action;
+                   site = from;
+                   term = Option.value term ~default:0;
+                   granted;
+                 });
+            finish "fenced"
+          | None ->
+            adopt_certified evs (fun () ->
+                if count_yes_abort evs >= Replicated.veto_need obj then begin
+                  decide_note st ~site:from action ~committed:false;
+                  ext_finalize st btxn ~from (`Abort (`Coop, "presumed abort"));
+                  finish "presumed-abort"
+                end
+                else finish "inconclusive"))
+    in
+    let drive_adopted ?term cts =
+      drive_commit_votes ?term st btxn cts ~from ~k:(function
+        | `Committed ->
+          Metrics.incr st.counters.c_coop_commit;
+          (match term with
+           | Some _ ->
+             Metrics.incr st.counters.c_takeover_adopt;
+             (* The adoption is decided and certified: make the outcome
+                durable at the taker too, closing its intent. *)
+             (match st.term with
+              | Some t ->
+                Termination.log_outcome t ~site:from ~action ~committed:true
+              | None -> ());
+             finish "takeover-commit"
+           | None -> finish "coop-commit")
+        | `Aborted ->
+          (match (term, st.term) with
+           | Some _, Some t ->
+             Termination.log_outcome t ~site:from ~action ~committed:false
+           | _ -> ());
+          finish "adopted-abort"
+        | `Fenced -> finish "fenced"
+        | `Inconclusive -> finish "inconclusive")
+    in
     Replicated.poll_status obj action ~from ~k:(fun evs ->
-        match certified_commit evs with
-        | Some cts ->
-          ext_finalize st btxn ~from (`Commit cts);
-          finish "adopted-commit"
-        | None ->
-          if certified_abort evs then begin
-            ext_finalize st btxn ~from (`Abort (`Coop, "termination abort"));
-            finish "adopted-abort"
-          end
-          else (
+        adopt_certified evs (fun () ->
             match st.cfg.termination with
             | Termination.Disabled | Termination.Presumed_abort_only ->
               (* Passive: without certified evidence the participant keeps
                  waiting for the coordinator (textbook presumed-abort
                  blocking). *)
               finish "inconclusive"
-            | Termination.Cooperative -> (
-              match
+            | Termination.Cooperative ->
+              let precommit =
                 List.find_map
-                  (function
-                    | Repository.E_precommit ts -> Some ts
-                    | _ -> None)
+                  (function Repository.E_precommit ts -> Some ts | _ -> None)
                   evs
-              with
-              | Some cts ->
-                (* The coordinator reached its commit point: act as a
-                   substitute coordinator and complete the commit. *)
-                drive_commit_votes st btxn cts ~from ~k:(function
-                  | `Committed ->
-                    Metrics.incr st.counters.c_coop_commit;
-                    finish "coop-commit"
-                  | `Aborted -> finish "adopted-abort"
-                  | `Inconclusive -> finish "inconclusive")
-              | None ->
-                Replicated.place_vote obj (Log.Preabort action) ~from
-                  ~k:(fun evs ->
-                    match certified_commit evs with
-                    | Some cts ->
-                      ext_finalize st btxn ~from (`Commit cts);
-                      finish "adopted-commit"
-                    | None ->
-                      if certified_abort evs then begin
-                        ext_finalize st btxn ~from
-                          (`Abort (`Coop, "termination abort"));
-                        finish "adopted-abort"
-                      end
-                      else if count_yes_abort evs >= Replicated.veto_need obj
-                      then begin
-                        ext_finalize st btxn ~from
-                          (`Abort (`Coop, "presumed abort"));
-                        finish "presumed-abort"
-                      end
-                      else finish "inconclusive"))))
+              in
+              if not st.cfg.takeover then (
+                match precommit with
+                | Some cts ->
+                  (* The coordinator reached its commit point: act as a
+                     substitute coordinator and complete the commit. *)
+                  drive_adopted cts
+                | None -> preabort_round ())
+              else
+                alive (fun () ->
+                    (* Bid for the takeover lease before driving either
+                       side. The bid announces itself to the fault layer
+                       (the takeover killer ambushes here). *)
+                    Network.note_takeover st.net ~site:from;
+                    let propose =
+                      1
+                      + Option.value ~default:0
+                          (Hashtbl.find_opt st.takeover_terms action)
+                    in
+                    Replicated.takeover_acquire obj action ~term:propose
+                      ~holder:from ~from ~k:(fun ~granted ~highest ->
+                        Hashtbl.replace st.takeover_terms action
+                          (max highest propose);
+                        alive (fun () ->
+                            if granted < Replicated.lease_need obj then begin
+                              Metrics.incr st.counters.c_takeover_contended;
+                              finish "lease-refused"
+                            end
+                            else begin
+                              Metrics.incr st.counters.c_takeover_lease;
+                              note st ~site:from
+                                (Trace.Takeover_acquire
+                                   {
+                                     txn = Action.to_string action;
+                                     site = from;
+                                     term = propose;
+                                   });
+                              match precommit with
+                              | Some cts ->
+                                (* Force-write the adopted decision to the
+                                   taker's own durable decision log first:
+                                   if the taker crashes mid-drive, its
+                                   recovery re-drives the adoption like
+                                   any in-doubt intent of its own. *)
+                                let logged =
+                                  match st.term with
+                                  | Some t ->
+                                    Termination.log_intent t ~site:from
+                                      ~action ~touched:btxn.Txn.touched ~cts
+                                  | None -> false
+                                in
+                                if logged then
+                                  drive_adopted ~term:propose cts
+                                else finish "adoption-log-full"
+                              | None -> preabort_round ~term:propose ()
+                            end)))))
   end
 
 (* A blocked operation consults the blocking transaction's coordinator when
@@ -438,7 +623,23 @@ let try_resolve st ~home blocker target =
     let coord = btxn.Txn.home_site in
     if Network.reachable st.net home coord then begin
       match btxn.Txn.status with
-      | Txn.Committed _ | Txn.Aborted _ -> rebroadcast_status st btxn ~from:coord
+      | Txn.Committed _ | Txn.Aborted _ ->
+        (* Idempotence guard: one status re-broadcast per (blocker,
+           polling site). A blocked operation's retry loop polls here on
+           every backoff; without the guard each poll re-pushed the same
+           records to every repository. Suppressed duplicates are counted;
+           a repository the one broadcast missed (crashed, partitioned) is
+           repaired by the orphan reaper, whose re-pushes stay
+           unconditional. *)
+        let sites =
+          Option.value ~default:[] (Hashtbl.find_opt st.rebroadcasted blocker)
+        in
+        if List.mem home sites then
+          Metrics.incr st.counters.c_rebroadcast_suppressed
+        else begin
+          Hashtbl.replace st.rebroadcasted blocker (home :: sites);
+          rebroadcast_status st btxn ~from:coord
+        end
       | Txn.Running | Txn.Committing -> ()
     end
     else (
@@ -482,8 +683,10 @@ let run_txn st index ~arrival =
           | Txn.Committed _ | Txn.Aborted _ -> ()
           | Txn.Running | Txn.Committing ->
             if txn.Txn.stranded then ()
-            else if not (Network.site_up st.net home) then
-              txn.Txn.stranded <- true
+            else if not (Network.site_up st.net home) then begin
+              txn.Txn.stranded <- true;
+              mark_stranded st txn
+            end
             else f ()
         in
         let close_spans outcome =
@@ -495,6 +698,8 @@ let run_txn st index ~arrival =
           | Txn.Committed _ | Txn.Aborted _ -> ()
           | Txn.Running | Txn.Committing ->
             Waits_for.clear st.waits action;
+            decide_note st ~site:home action ~committed:false;
+            unmark_stranded st action;
             txn.Txn.status <- Txn.Aborted why;
             Metrics.incr st.counters.c_aborted;
             (match kind with
@@ -674,6 +879,7 @@ let run_txn st index ~arrival =
           commit_span := Trace.span_begin trc ~site:home ~parent:tspan "commit";
           let legacy_finalize () =
             let cts = Lamport.tick clock in
+            decide_note st ~site:home action ~committed:true;
             txn.Txn.status <- Txn.Committed cts;
             Metrics.incr st.counters.c_committed;
             Metrics.observe st.counters.c_latency (Engine.now st.engine -. started);
@@ -708,10 +914,17 @@ let run_txn st index ~arrival =
                   ignore
                     (Trace.emit trc ~site:home
                        (Trace.Commit_point { txn = txname }));
+                (* With takeover on, the coordinator identifies itself at
+                   the implicit term 0 so a takeover lease holder fences
+                   it; takeover off leaves the votes unfenced (PR-5). *)
+                let my_term = if cfg.takeover then Some 0 else None in
                 let rec drive tries_left =
-                  drive_commit_votes st txn cts ~from:home ~k:(fun verdict ->
-                      if not (Network.site_up st.net home) then
-                        txn.Txn.stranded <- true
+                  drive_commit_votes ?term:my_term st txn cts ~from:home
+                    ~k:(fun verdict ->
+                      if not (Network.site_up st.net home) then begin
+                        txn.Txn.stranded <- true;
+                        mark_stranded st txn
+                      end
                       else
                         match verdict with
                         | `Committed ->
@@ -724,6 +937,12 @@ let run_txn st index ~arrival =
                           close_spans "aborted";
                           Termination.log_outcome term ~site:home ~action
                             ~committed:false
+                        | `Fenced ->
+                          (* A takeover lease holder owns the drive now:
+                             stop. The intent stays in-doubt at this site
+                             until the holder's broadcast (or this site's
+                             next recovery) resolves it. *)
+                          close_spans "fenced"
                         | `Inconclusive ->
                           if tries_left > 0 then begin
                             let delay =
@@ -780,6 +999,7 @@ let run_txn st index ~arrival =
           if txn.Txn.touched = [] then begin
             (* Empty transaction: commits vacuously. *)
             let cts = Lamport.tick clock in
+            decide_note st ~site:home action ~committed:true;
             txn.Txn.status <- Txn.Committed cts;
             Metrics.incr st.counters.c_committed;
             Metrics.observe st.counters.c_latency (Engine.now st.engine -. started);
@@ -889,6 +1109,19 @@ let run cfg =
             Metrics.counter registry ~labels:scheme_l "term.orphans_reaped";
           c_blocked_latency =
             Metrics.histogram registry ~labels:scheme_l "op.blocked_latency";
+          c_takeover_lease =
+            Metrics.counter registry ~labels:scheme_l "takeover.leases";
+          c_takeover_adopt =
+            Metrics.counter registry ~labels:scheme_l "takeover.adoptions";
+          c_takeover_fenced =
+            Metrics.counter registry ~labels:scheme_l "takeover.fenced";
+          c_takeover_contended =
+            Metrics.counter registry ~labels:scheme_l "takeover.contended";
+          c_rebroadcast_suppressed =
+            Metrics.counter registry ~labels:scheme_l
+              "term.rebroadcasts_suppressed";
+          g_stranded_live =
+            Metrics.gauge registry ~labels:scheme_l "term.stranded_live";
         };
       registry;
       cfg;
@@ -899,6 +1132,10 @@ let run cfg =
            Some (Termination.create ~n_sites:cfg.n_sites ()));
       waits = Waits_for.create ();
       in_termination = Hashtbl.create 16;
+      rebroadcasted = Hashtbl.create 16;
+      takeover_terms = Hashtbl.create 16;
+      counted_stranded = Hashtbl.create 16;
+      n_stranded_live = 0;
     }
   in
   (* Fault schedules inject clock skew through the network so they need no
@@ -961,7 +1198,13 @@ let run cfg =
                          outcome = (if committed then "committed" else "aborted");
                        })
                 | Txn.Running | Txn.Committing ->
-                  drive_commit_votes st btxn cts ~from:site ~k:(fun verdict ->
+                  (* A recovered driver — original coordinator or crashed
+                     taker — redrives at the implicit term 0 (lease terms
+                     are volatile): if a takeover lease holder is active
+                     it fences this redrive and keeps sole ownership. *)
+                  let my_term = if cfg.takeover then Some 0 else None in
+                  drive_commit_votes ?term:my_term st btxn cts ~from:site
+                    ~k:(fun verdict ->
                       let outcome =
                         match verdict with
                         | `Committed ->
@@ -972,6 +1215,7 @@ let run cfg =
                           Termination.log_outcome term ~site ~action
                             ~committed:false;
                           "aborted"
+                        | `Fenced -> "fenced"
                         | `Inconclusive -> "in-doubt"
                       in
                       note st ~site
@@ -992,6 +1236,7 @@ let run cfg =
          |> List.sort (fun (a, _) (b, _) -> Action.compare a b)
          |> List.iter (fun (_, btxn) ->
                 btxn.Txn.stranded <- true;
+                decide_note st ~site btxn.Txn.action ~committed:false;
                 ext_finalize st btxn ~from:site
                   (`Abort (`Presumed, "presumed abort")))));
   (* Orphan reaper ([Cooperative] only): periodically sweep every
@@ -1285,6 +1530,12 @@ let run cfg =
       decision_log_writes;
       blocked_latency =
         Metrics.histogram_summary registry ~labels:scheme_l "op.blocked_latency";
+      takeover_leases = cv scheme_l "takeover.leases";
+      takeover_adoptions = cv scheme_l "takeover.adoptions";
+      takeover_fenced = cv scheme_l "takeover.fenced";
+      takeover_contended = cv scheme_l "takeover.contended";
+      rebroadcasts_suppressed = cv scheme_l "term.rebroadcasts_suppressed";
+      stranded_live = st.n_stranded_live;
     }
   in
   let histories =

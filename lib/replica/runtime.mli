@@ -124,6 +124,14 @@ type config = {
       (** deadlock policy for blocked operations (default [No_deadlock]) *)
   reaper_every : float;
       (** orphan-reaper sweep period ([Cooperative] only, default 250) *)
+  takeover : bool;
+      (** coordinator takeover (default [false]; requires [Cooperative]
+          termination to matter): when cooperative termination finds a
+          blocker whose coordinator is dead, the surviving site first wins
+          an epoch-fenced takeover lease over the blocked object's
+          repositories, stamps its votes with the lease term so stale
+          drivers fence, and force-writes adopted decisions to its own
+          durable decision log before driving them. *)
 }
 
 val default_config : config
@@ -183,6 +191,19 @@ type metrics = {
           every repository of every object *)
   decision_log_writes : int; (** successful decision-log flushes *)
   blocked_latency : Summary.t; (** per-operation time spent blocked *)
+  takeover_leases : int; (** takeover leases won (lease_need grants) *)
+  takeover_adoptions : int;
+      (** in-doubt commits completed under a takeover lease (a subset of
+          [coop_commits]) *)
+  takeover_fenced : int; (** vote rounds rejected as stale by a newer lease *)
+  takeover_contended : int; (** lease bids that failed to reach lease_need *)
+  rebroadcasts_suppressed : int;
+      (** duplicate terminal status re-broadcasts deduplicated per site *)
+  stranded_live : int;
+      (** live gauge of transactions currently observed stranded (blocked
+          on a dead coordinator, not yet resolved) at the horizon — unlike
+          [stranded_entries] this counts transactions, not entries, and is
+          maintained incrementally (strand observed / resolution) *)
 }
 
 type outcome = {

@@ -162,6 +162,25 @@ let coordinator_killer net ~p_kill ~delay ~mttr =
                   if not (Network.site_up net site) then Network.recover net site)
             end))
 
+(* Ambush the taker-over, not the coordinator: whenever a site announces a
+   takeover bid, maybe kill it a moment later — mid-lease-round or
+   mid-adopted-drive — and heal it after a while. Composed with the
+   coordinator killer (and a short coordinator mttr, so the original heals
+   back into its re-drive while the takeover is in flight) this is the
+   takeover-storm scenario: every driver of the same transaction dies or
+   returns at the worst moment. *)
+let takeover_killer net ~p_kill ~delay ~mttr =
+  let engine = Network.engine net in
+  let rng = Engine.rng engine in
+  Network.on_takeover net (fun site ->
+      if Network.site_up net site && Rng.bernoulli rng p_kill then
+        Engine.schedule engine ~delay:(Rng.exponential rng delay) (fun () ->
+            if Network.site_up net site then begin
+              Network.crash net site;
+              Engine.schedule engine ~delay:(Rng.exponential rng mttr) (fun () ->
+                  if not (Network.site_up net site) then Network.recover net site)
+            end))
+
 let clock_skew net ~site ~every ~max_skew =
   let engine = Network.engine net in
   let rng = Engine.rng engine in

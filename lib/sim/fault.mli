@@ -102,6 +102,17 @@ val coordinator_killer :
     the coordinator's volatile continuation, which is exactly what
     termination has to compensate for. *)
 
+val takeover_killer :
+  Network.t -> p_kill:float -> delay:float -> mttr:float -> unit
+(** The takeover protocol's targeted adversary: whenever a site announces
+    a takeover bid ({!Network.note_takeover}), crash that exact site with
+    probability [p_kill] after an exponential delay of mean [delay] —
+    mid-lease-round or mid-adopted-drive — and recover it after an
+    exponential repair of mean [mttr]. Composed with
+    {!coordinator_killer} (short coordinator mttr, so the original heals
+    back into its fenced re-drive while the takeover is in flight) this
+    is the takeover-storm scenario. *)
+
 val clock_skew : Network.t -> site:int -> every:float -> max_skew:int -> unit
 (** Periodically advance the site's logical clock by a uniformly drawn
     amount in [\[0, max_skew\]] via {!Network.inject_skew} — bounded clock

@@ -26,6 +26,7 @@ type t = {
   mutable rejoin_listeners : (int -> unit) list;
   mutable recover_listeners : (int -> unit) list;
   mutable commit_window_listeners : (int -> unit) list;
+  mutable takeover_listeners : (int -> unit) list;
   mutable storage_listeners : (int -> Atomrep_store.Wal.fault -> unit) list;
   mutable skew_handler : site:int -> amount:int -> unit;
   mutable resync_quorum : int;
@@ -57,6 +58,7 @@ let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
     rejoin_listeners = [];
     recover_listeners = [];
     commit_window_listeners = [];
+    takeover_listeners = [];
     storage_listeners = [];
     skew_handler = (fun ~site:_ ~amount:_ -> ());
     resync_quorum = 0;
@@ -105,6 +107,8 @@ let on_rejoin t f = t.rejoin_listeners <- f :: t.rejoin_listeners
 let on_recover t f = t.recover_listeners <- f :: t.recover_listeners
 let on_commit_window t f = t.commit_window_listeners <- f :: t.commit_window_listeners
 let note_commit_window t ~site = List.iter (fun f -> f site) t.commit_window_listeners
+let on_takeover t f = t.takeover_listeners <- f :: t.takeover_listeners
+let note_takeover t ~site = List.iter (fun f -> f site) t.takeover_listeners
 let on_storage_fault t f = t.storage_listeners <- f :: t.storage_listeners
 
 let inject_storage_fault t ~site fault =

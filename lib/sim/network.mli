@@ -76,6 +76,16 @@ val note_commit_window : t -> site:int -> unit
 (** Announce that a coordinator at [site] entered the [Committing]
     window (called unconditionally by the runtime). *)
 
+val on_takeover : t -> (int -> unit) -> unit
+(** Fired by {!note_takeover}: the site just started a takeover lease
+    acquisition for a stuck transaction. Targeted nemeses (the
+    takeover-storm's taker killer) listen here; with no listener the
+    note costs nothing and draws no randomness. *)
+
+val note_takeover : t -> site:int -> unit
+(** Announce that [site] is bidding to take over a dead coordinator's
+    in-doubt transaction. *)
+
 val on_storage_fault : t -> (int -> Atomrep_store.Wal.fault -> unit) -> unit
 (** Register an owner of per-site stable storage: fault schedules deliver
     storage faults through the network (like amnesia) so the simulator

@@ -1,0 +1,33 @@
+open Atomrep_history
+
+type grant = { g_term : int; g_holder : int }
+
+type result = Granted | Fenced of grant
+
+type t = { grants : (Action.t, grant) Hashtbl.t }
+
+let create () = { grants = Hashtbl.create 8 }
+
+let current t action = Hashtbl.find_opt t.grants action
+
+let term_of t action =
+  match current t action with Some g -> g.g_term | None -> 0
+
+let grant t action ~term ~holder =
+  match current t action with
+  | Some g when term < g.g_term -> Fenced g
+  | Some g when term = g.g_term ->
+    (* First writer wins a term: a re-grant to the same holder is an
+       idempotent ack, a second contender proposing the taken term is
+       fenced and must bid higher. *)
+    if g.g_holder = holder then Granted else Fenced g
+  | Some _ | None ->
+    Hashtbl.replace t.grants action { g_term = term; g_holder = holder };
+    Granted
+
+let fences t action ~term =
+  match current t action with
+  | Some g when term < g.g_term -> Some g.g_term
+  | Some _ | None -> None
+
+let forget t = Hashtbl.reset t.grants

@@ -1,0 +1,50 @@
+(** Takeover leases: per-action monotone term grants.
+
+    When cooperative termination adopts a dead coordinator's in-doubt
+    transaction, the adopting site first wins a {e takeover lease}: a term
+    number granted by a quorum of the object's repositories. Each
+    repository keeps one grant cell per action and serves it monotonically
+    — a proposal is granted only if its term is strictly higher than the
+    cell's current term (or idempotently re-acknowledges the current
+    holder). Quorum traffic stamped with a stale term is then refused at
+    the repository ({!fences}), so a returning original coordinator
+    (implicit term 0) or an out-bid contender halts instead of driving
+    votes concurrently with the lease holder.
+
+    Fencing is a liveness/clarity device, not the safety argument:
+    agreement rests on the sticky-vote rule and the intersecting
+    vote/veto thresholds (see DESIGN §3e–f). Grants are therefore kept
+    volatile — a repository that crashes forgets them ({!forget}), which
+    can only widen who may drive, never what can be decided. *)
+
+open Atomrep_history
+
+type grant = { g_term : int; g_holder : int }
+
+type result = Granted | Fenced of grant
+
+type t
+
+val create : unit -> t
+
+val current : t -> Action.t -> grant option
+(** The cell's current grant, if any term was ever granted. *)
+
+val term_of : t -> Action.t -> int
+(** Current granted term; [0] when no lease was ever granted (the
+    implicit term of the original coordinator). *)
+
+val grant : t -> Action.t -> term:int -> holder:int -> result
+(** Propose [term] for [holder]. [Granted] iff [term] is strictly higher
+    than the current grant, or equals it with the same holder (idempotent
+    ack). Otherwise [Fenced] with the winning grant, whose term the loser
+    must out-bid. *)
+
+val fences : t -> Action.t -> term:int -> int option
+(** [Some granted_term] when a message stamped [term] must be refused
+    ([term] is strictly below the current grant); [None] otherwise.
+    Messages at or above the granted term pass — the holder votes with
+    its own term. *)
+
+val forget : t -> unit
+(** Drop every grant (crash amnesia: lease state is volatile). *)

@@ -8,4 +8,5 @@ let () =
    @ Test_quorum.suites @ Test_clock.suites @ Test_stats.suites
    @ Test_sim.suites @ Test_cc.suites @ Test_replica.suites
    @ Test_props.suites @ Test_extensions.suites @ Test_gifford.suites @ Test_golden.suites @ Test_integration.suites
-   @ Test_chaos.suites @ Test_reconfig.suites @ Test_obs.suites @ Test_store.suites @ Test_termination.suites)
+   @ Test_chaos.suites @ Test_reconfig.suites @ Test_obs.suites @ Test_store.suites @ Test_termination.suites
+   @ Test_takeover.suites)

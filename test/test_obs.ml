@@ -252,7 +252,7 @@ let test_postmortem_slices_amnesia_violation () =
     {
       Campaign.v_scheme = Replicated.Static;
       v_profile = storm ();
-      v_seed = 2;
+      v_seed = 41;
       v_n_txns = 60;
       v_intensity = 2.0;
       v_failures = [];
