@@ -28,6 +28,12 @@
                                              adopted commits, lease/fence
                                              counters, and a monitor-gated
                                              takeover_storm campaign)
+     dune exec bench/main.exe -- explore   — machine-readable BENCH_7.json
+                                             (monitored seed-sweep explorer:
+                                             healthy hardened sweep, 1-domain
+                                             vs N-domain wall-clock, the
+                                             ungated-rejoin sweep's shrunk
+                                             reproducer, fixture replays)
 
    Each experiment regenerates one of the paper's figures or worked
    examples (see DESIGN.md's experiment index and EXPERIMENTS.md for the
@@ -711,9 +717,17 @@ let run_takeover () =
     | Some p -> p
     | None -> failwith "takeover_storm profile missing"
   in
+  let storm_monitors =
+    match
+      Atomrep_chaos.Monitors.of_names "commit_atomicity,common_order,no_divergence"
+    with
+    | Ok ms -> ms
+    | Error e -> failwith e
+  in
   let t0 = Unix.gettimeofday () in
   let report =
-    Campaign.run_campaign ~base:Campaign.takeover_base ~n_txns:40 ~monitor:true
+    Campaign.run_campaign ~base:Campaign.takeover_base ~n_txns:40
+      ~monitors:storm_monitors
       ~schemes:Atomrep_replica.Replicated.[ Static; Hybrid; Locking ]
       ~profiles:[ storm ] ~seeds:10 ()
   in
@@ -753,6 +767,178 @@ let run_takeover () =
   Atomrep_obs.Export.write_file "BENCH_6.json" (Json.to_string doc);
   print_endline "wrote BENCH_6.json"
 
+(* E17: the monitored seed-sweep explorer. Part one sweeps a hardened
+   configuration (cooperative termination, deadlock detection, takeover)
+   across two schemes x two adversarial profiles x 64 seeds — 256 runs,
+   every one judged by the full monitor catalogue, expected clean. The
+   same sweep runs once on a single domain and once on the recommended
+   domain count to record the parallel speedup (bounded by the machine:
+   on a single-core container the honest ratio is ~1). Part two flips
+   [ungated_rejoin] on and sweeps the storm profile so the explorer has a
+   real bug to find: the record keeps the violation count and the first
+   shrunk reproducer. Fixture replays close the record. Written to
+   BENCH_7.json; the schema is documented in EXPERIMENTS.md. *)
+let run_explore () =
+  let module Runtime = Atomrep_replica.Runtime in
+  let module Campaign = Atomrep_chaos.Campaign in
+  let module Monitors = Atomrep_chaos.Monitors in
+  let module Explore = Atomrep_chaos.Explore in
+  let module Json = Atomrep_obs.Json in
+  let profile name =
+    match Campaign.find_profile name with
+    | Some p -> p
+    | None -> failwith (name ^ " profile missing")
+  in
+  let hardened =
+    {
+      Campaign.default_base with
+      Runtime.termination = Atomrep_txn.Termination.Cooperative;
+      deadlock = Runtime.Detect;
+      takeover = true;
+    }
+  in
+  let healthy_schemes = [ Atomrep_replica.Replicated.Static; Hybrid ] in
+  let healthy_profiles = [ profile "storm"; profile "coordinator_killer" ] in
+  let seeds = 64 and n_txns = 40 in
+  Printf.printf "explore: healthy hardened sweep (%d seeds/cell)...\n%!" seeds;
+  let healthy ~domains =
+    Explore.sweep ~domains ~n_txns ~base:hardened ~schemes:healthy_schemes
+      ~profiles:healthy_profiles ~seeds ~intensities:[ 1.0 ] ()
+  in
+  let seq = healthy ~domains:1 in
+  let rec_domains = max 1 (Domain.recommended_domain_count ()) in
+  let par = if rec_domains = 1 then seq else healthy ~domains:rec_domains in
+  Printf.printf
+    "  %d runs: %d violation(s); wall 1 domain %.2fs, %d domain(s) %.2fs \
+     (speedup %.2fx)\n%!"
+    seq.Explore.x_tasks
+    (List.length seq.Explore.x_violations)
+    seq.Explore.x_wall_s rec_domains par.Explore.x_wall_s
+    (seq.Explore.x_wall_s /. par.Explore.x_wall_s);
+  Printf.printf "explore: ungated-rejoin sweep...\n%!";
+  let ungated_base = { Campaign.default_base with Runtime.ungated_rejoin = true } in
+  let ungated =
+    Explore.sweep ~domains:rec_domains ~n_txns:60 ~max_shrinks:1
+      ~base:ungated_base
+      ~schemes:[ Atomrep_replica.Replicated.Static ]
+      ~profiles:[ profile "storm" ]
+      ~seeds:64 ~intensities:[ 2.0 ] ()
+  in
+  Printf.printf "  %d runs: %d violation(s), %d shrunk, wall %.2fs\n%!"
+    ungated.Explore.x_tasks
+    (List.length ungated.Explore.x_violations)
+    ungated.Explore.x_shrunk ungated.Explore.x_wall_s;
+  let replays = List.map Explore.replay Explore.fixtures in
+  List.iter
+    (fun (r : Explore.replay_result) ->
+      Printf.printf "  fixture %s: %s\n%!" r.Explore.rr_fixture.Explore.f_name
+        (if r.Explore.rr_ok then "ok" else "REGRESSION"))
+    replays;
+  let violation_json (v : Campaign.violation) =
+    Json.Obj
+      [
+        ("scheme", Json.Str (Atomrep_replica.Replicated.scheme_name v.Campaign.v_scheme));
+        ("profile", Json.Str v.Campaign.v_profile.Campaign.profile_name);
+        ("seed", Json.int v.Campaign.v_seed);
+        ("txns", Json.int v.Campaign.v_n_txns);
+        ("intensity", Json.Num v.Campaign.v_intensity);
+        ("repro", Json.Str (Campaign.reproducer_line v));
+        ( "failures",
+          Json.List
+            (List.map
+               (fun (m, why) ->
+                 Json.Obj [ ("monitor", Json.Str m); ("message", Json.Str why) ])
+               v.Campaign.v_failures) );
+      ]
+  in
+  let sweep_json (r : Explore.report) =
+    Json.Obj
+      [
+        ("runs", Json.int r.Explore.x_tasks);
+        ("committed", Json.int r.Explore.x_committed);
+        ("aborted", Json.int r.Explore.x_aborted);
+        ("violations", Json.int (List.length r.Explore.x_violations));
+        ("shrunk", Json.int r.Explore.x_shrunk);
+        ("domains", Json.int r.Explore.x_domains);
+        ("wall_s", Json.Num r.Explore.x_wall_s);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ( "explore",
+          Json.Obj
+            [
+              ( "monitors",
+                Json.List
+                  (List.map
+                     (fun (e : Monitors.entry) -> Json.Str e.Monitors.e_name)
+                     Monitors.registry) );
+              ( "healthy",
+                Json.Obj
+                  [
+                    ( "schemes",
+                      Json.List (List.map (fun s -> Json.Str s) [ "static"; "hybrid" ]) );
+                    ( "profiles",
+                      Json.List
+                        (List.map
+                           (fun s -> Json.Str s)
+                           [ "storm"; "coordinator_killer" ]) );
+                    ("seeds", Json.int seeds);
+                    ("n_txns", Json.int n_txns);
+                    ("sweep", sweep_json seq);
+                  ] );
+              ( "parallel",
+                Json.Obj
+                  [
+                    ("cores", Json.int rec_domains);
+                    ("wall_1_domain_s", Json.Num seq.Explore.x_wall_s);
+                    ("domains", Json.int par.Explore.x_domains);
+                    ("wall_n_domains_s", Json.Num par.Explore.x_wall_s);
+                    ( "speedup",
+                      Json.Num (seq.Explore.x_wall_s /. par.Explore.x_wall_s) );
+                  ] );
+              ( "ungated_rejoin",
+                Json.Obj
+                  [
+                    ("seeds", Json.int 64);
+                    ("n_txns", Json.int 60);
+                    ("intensity", Json.Num 2.0);
+                    ("sweep", sweep_json ungated);
+                    ( "first_shrunk",
+                      match ungated.Explore.x_violations with
+                      | v :: _ -> violation_json v
+                      | [] -> Json.Null );
+                  ] );
+              ( "fixtures",
+                Json.List
+                  (List.map
+                     (fun (r : Explore.replay_result) ->
+                       Json.Obj
+                         [
+                           ("name", Json.Str r.Explore.rr_fixture.Explore.f_name);
+                           ( "expect_violation",
+                             Json.Bool r.Explore.rr_fixture.Explore.f_expect_violation
+                           );
+                           ("ok", Json.Bool r.Explore.rr_ok);
+                           ( "failures",
+                             Json.List
+                               (List.map
+                                  (fun (m, why) ->
+                                    Json.Obj
+                                      [
+                                        ("monitor", Json.Str m);
+                                        ("message", Json.Str why);
+                                      ])
+                                  r.Explore.rr_failures) );
+                         ])
+                     replays) );
+            ] );
+      ]
+  in
+  Atomrep_obs.Export.write_file "BENCH_7.json" (Json.to_string doc);
+  print_endline "wrote BENCH_7.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = args = [ "micro" ] in
@@ -762,6 +948,7 @@ let () =
   let storage_only = args = [ "storage" ] in
   let termination_only = args = [ "termination" ] in
   let takeover_only = args = [ "takeover" ] in
+  let explore_only = args = [ "explore" ] in
   let micro = List.mem "micro" args || args = [] || List.mem "all" args in
   let chaos = List.mem "chaos" args in
   let reconfig = List.mem "reconfig" args in
@@ -769,16 +956,19 @@ let () =
   let storage = List.mem "storage" args in
   let termination = List.mem "termination" args in
   let takeover = List.mem "takeover" args in
+  let explore = List.mem "explore" args in
   let ids =
     List.filter
       (fun a ->
         a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig" && a <> "json"
-        && a <> "storage" && a <> "termination" && a <> "takeover")
+        && a <> "storage" && a <> "termination" && a <> "takeover"
+        && a <> "explore")
       args
   in
   if
     (not micro_only) && (not chaos_only) && (not reconfig_only) && (not json_only)
-    && (not storage_only) && (not termination_only) && not takeover_only
+    && (not storage_only) && (not termination_only) && (not takeover_only)
+    && not explore_only
   then run_experiments ids;
   if micro then run_micro ();
   if chaos then run_chaos ();
@@ -786,4 +976,5 @@ let () =
   if json then run_json ();
   if storage then run_storage ();
   if termination then run_termination ();
-  if takeover then run_takeover ()
+  if takeover then run_takeover ();
+  if explore then run_explore ()

@@ -47,6 +47,26 @@ let write_trace path fmt trace =
 let write_metrics path registry =
   Obs.Export.write_file path (Obs.Json.to_string (Obs.Metrics.to_json registry))
 
+(* Shared monitor selection: --monitor [SEL] traces the run(s) and gates
+   them on the declarative spec monitors instead of the bare history
+   oracles. A bare --monitor selects the whole catalogue. *)
+let monitor_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "all") (some string) None
+    & info [ "monitor" ] ~docv:"MONITORS"
+        ~doc:
+          (Printf.sprintf
+             "Trace the run(s) and gate them on the selected declarative spec \
+              monitors instead of the bare history oracles; violations make \
+              the exit code nonzero. $(docv) is %s. Bare $(b,--monitor) \
+              selects `all'."
+             Atomrep_chaos.Monitors.selection_doc))
+
+let parse_monitors = function
+  | None -> Ok []
+  | Some sel -> Atomrep_chaos.Monitors.of_names sel
+
 (* Shared durability flag: which stable-storage model backs every
    repository. `wal' flushes on every append batch; `wal-group-commit'
    defers the flush barrier until a batch carries a commit/abort record. *)
@@ -262,7 +282,7 @@ let quorums_cmd =
 
 let simulate_cmd =
   let run scheme_name n_txns n_sites seed mtbf reconfigure durability termination
-      deadlock takeover trace_file trace_format metrics_json =
+      deadlock takeover monitor trace_file trace_format metrics_json =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -270,19 +290,21 @@ let simulate_cmd =
       | "locking" -> Ok Atomrep_replica.Replicated.Locking
       | other -> Error (Printf.sprintf "unknown scheme %S (hybrid|static|locking)" other)
     in
-    match scheme with
-    | Error e ->
+    match scheme, parse_monitors monitor with
+    | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-    | Ok scheme ->
+    | Ok scheme, Ok monitors ->
       let open Atomrep_replica in
       let install_faults net =
         if mtbf > 0.0 then Atomrep_sim.Fault.crash_recover_all net ~mtbf ~mttr:150.0
       in
+      (* Monitors fold the trace, so selecting any forces a bus even when
+         no --trace file was asked for. *)
       let trace =
-        match trace_file with
-        | Some _ -> Some (Obs.Trace.create ~n_sites ())
-        | None -> None
+        match trace_file, monitors with
+        | Some _, _ | None, _ :: _ -> Some (Obs.Trace.create ~n_sites ())
+        | None, [] -> None
       in
       let cfg =
         {
@@ -337,14 +359,30 @@ let simulate_cmd =
         || deadlock <> Runtime.No_deadlock
       then print_termination_metrics m;
       if takeover then print_takeover_metrics m;
-      (* Both oracles gate the exit code so scripted runs can fail hard. *)
+      (* The oracles gate the exit code so scripted runs can fail hard:
+         the two history oracles by default, the selected spec monitors
+         under --monitor. *)
       let failures =
-        Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
+        match monitors, trace with
+        | [], _ | _, None ->
+          Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
+        | entries, Some tr ->
+          Obs.Spec_monitor.failures
+            (Atomrep_chaos.Monitors.run entries
+               { Atomrep_chaos.Monitors.cfg; outcome }
+               tr)
       in
       (match failures with
-       | [] -> print_endline "atomicity check: OK"
-       | fs ->
-         List.iter (fun (o, f) -> Printf.printf "ATOMICITY VIOLATION %s: %s\n" o f) fs);
+       | [] ->
+         if monitors = [] then print_endline "atomicity check: OK"
+         else
+           Printf.printf "monitors: OK (%s)\n"
+             (String.concat ", "
+                (List.map
+                   (fun (e : Atomrep_chaos.Monitors.entry) ->
+                     e.Atomrep_chaos.Monitors.e_name)
+                   monitors))
+       | fs -> List.iter (fun (o, f) -> Printf.printf "VIOLATION %s: %s\n" o f) fs);
       (match trace_file, trace with
        | Some path, Some tr -> write_trace path trace_format tr
        | _ -> ());
@@ -383,51 +421,53 @@ let simulate_cmd =
     Term.(
       const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg
       $ reconfigure_arg $ durability_arg $ termination_arg $ deadlock_arg
-      $ takeover_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg)
+      $ takeover_arg $ monitor_arg $ trace_file_arg $ trace_format_arg
+      $ metrics_json_arg)
 
 (* --- chaos --- *)
 
-let chaos_cmd =
+let parse_schemes names =
+  let parse = function
+    | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
+    | "static" -> Ok Atomrep_replica.Replicated.Static
+    | "locking" -> Ok Atomrep_replica.Replicated.Locking
+    | other -> Error (Printf.sprintf "unknown scheme %S (hybrid|static|locking)" other)
+  in
+  List.fold_right
+    (fun name acc ->
+      match acc, parse name with
+      | Error e, _ -> Error e
+      | _, Error e -> Error e
+      | Ok rest, Ok s -> Ok (s :: rest))
+    (String.split_on_char ',' names)
+    (Ok [])
+
+let parse_profiles names =
   let module Campaign = Atomrep_chaos.Campaign in
-  let parse_schemes names =
-    let parse = function
-      | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
-      | "static" -> Ok Atomrep_replica.Replicated.Static
-      | "locking" -> Ok Atomrep_replica.Replicated.Locking
-      | other -> Error (Printf.sprintf "unknown scheme %S (hybrid|static|locking)" other)
-    in
+  if String.equal names "all" then Ok Campaign.builtin_profiles
+  else
     List.fold_right
       (fun name acc ->
-        match acc, parse name with
+        match acc, Campaign.find_profile name with
         | Error e, _ -> Error e
-        | _, Error e -> Error e
-        | Ok rest, Ok s -> Ok (s :: rest))
+        | _, None ->
+          Error
+            (Printf.sprintf "unknown profile %S; known: all, %s" name
+               (String.concat ", " Campaign.profile_names))
+        | Ok rest, Some p -> Ok (p :: rest))
       (String.split_on_char ',' names)
       (Ok [])
-  in
-  let parse_profiles names =
-    if String.equal names "all" then Ok Campaign.builtin_profiles
-    else
-      List.fold_right
-        (fun name acc ->
-          match acc, Campaign.find_profile name with
-          | Error e, _ -> Error e
-          | _, None ->
-            Error
-              (Printf.sprintf "unknown profile %S; known: all, %s" name
-                 (String.concat ", " Campaign.profile_names))
-          | Ok rest, Some p -> Ok (p :: rest))
-        (String.split_on_char ',' names)
-        (Ok [])
-  in
+
+let chaos_cmd =
+  let module Campaign = Atomrep_chaos.Campaign in
   let run schemes profiles seeds txns intensity repro seed reconfig durability
       termination deadlock takeover monitor trace_file trace_format metrics_json
       postmortem_dir =
-    match parse_schemes schemes, parse_profiles profiles with
-    | Error e, _ | _, Error e ->
+    match parse_schemes schemes, parse_profiles profiles, parse_monitors monitor with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline e;
       1
-    | Ok schemes, Ok profiles ->
+    | Ok schemes, Ok profiles, Ok monitors ->
       let base =
         if reconfig then Campaign.reconfig_base else Campaign.default_base
       in
@@ -471,7 +511,7 @@ let chaos_cmd =
             List.iter
               (fun profile ->
                 let outcome, failures =
-                  Campaign.reproduce ~base ~monitor ?trace ~scheme ~profile
+                  Campaign.reproduce ~base ~monitors ?trace ~scheme ~profile
                     ~seed ~n_txns:txns ~intensity ()
                 in
                 last_registry := Some outcome.Atomrep_replica.Runtime.registry;
@@ -494,7 +534,7 @@ let chaos_cmd =
                 | fs ->
                   failed := true;
                   List.iter
-                    (fun (o, f) -> Printf.printf "ATOMICITY VIOLATION %s: %s\n" o f)
+                    (fun (o, f) -> Printf.printf "VIOLATION %s: %s\n" o f)
                     fs)
               profiles)
           schemes;
@@ -508,7 +548,7 @@ let chaos_cmd =
       end
       else begin
         let report =
-          Campaign.run_campaign ~base ~n_txns:txns ~intensity ~monitor
+          Campaign.run_campaign ~base ~n_txns:txns ~intensity ~monitors
             ?postmortem_dir ~schemes ~profiles ~seeds ()
         in
         Format.printf "%a" Campaign.pp_report report;
@@ -557,15 +597,6 @@ let chaos_cmd =
             "Campaign against the reconfiguration base: five sites, the \
              epoch coordinator enabled (pairs well with --profiles kills).")
   in
-  let monitor_arg =
-    Arg.(
-      value & flag
-      & info [ "monitor" ]
-          ~doc:
-            "Trace every run and add the no-divergence monitor to the \
-             oracles: two drivers rendering opposite verdicts for the same \
-             transaction fails the run (pairs with --takeover).")
-  in
   let postmortem_dir_arg =
     Arg.(
       value
@@ -582,6 +613,285 @@ let chaos_cmd =
       $ repro_arg $ seed_arg $ reconfig_arg $ durability_arg $ termination_arg
       $ deadlock_arg $ takeover_arg $ monitor_arg $ trace_file_arg
       $ trace_format_arg $ metrics_json_arg $ postmortem_dir_arg)
+
+(* --- explore --- *)
+
+let explore_cmd =
+  let module Campaign = Atomrep_chaos.Campaign in
+  let module Monitors = Atomrep_chaos.Monitors in
+  let module Explore = Atomrep_chaos.Explore in
+  let module Json = Obs.Json in
+  let parse_intensities s =
+    List.fold_right
+      (fun tok acc ->
+        match acc with
+        | Error e -> Error e
+        | Ok rest -> (
+          match float_of_string_opt (String.trim tok) with
+          | Some f when f > 0.0 -> Ok (f :: rest)
+          | _ -> Error (Printf.sprintf "bad intensity %S" tok)))
+      (String.split_on_char ',' s)
+      (Ok [])
+  in
+  (* Explore is the monitored sweep: no --monitor means the whole
+     catalogue, unlike chaos where it means the bare history oracles. *)
+  let parse_explore_monitors = function
+    | None -> Ok Monitors.registry
+    | Some sel -> Monitors.of_names sel
+  in
+  let parse_fixtures = function
+    | "all" -> Ok Explore.fixtures
+    | sel ->
+      List.fold_right
+        (fun name acc ->
+          match acc, Explore.find_fixture name with
+          | Error e, _ -> Error e
+          | _, None ->
+            Error
+              (Printf.sprintf "unknown fixture %S; known: all, %s" name
+                 (String.concat ", " Explore.fixture_names))
+          | Ok rest, Some f -> Ok (f :: rest))
+        (String.split_on_char ',' sel)
+        (Ok [])
+  in
+  let failures_json fs =
+    Json.List
+      (List.map
+         (fun (m, why) -> Json.Obj [ ("monitor", Json.Str m); ("message", Json.Str why) ])
+         fs)
+  in
+  let violation_json (v : Campaign.violation) =
+    Json.Obj
+      [
+        ("scheme", Json.Str (Atomrep_replica.Replicated.scheme_name v.Campaign.v_scheme));
+        ("profile", Json.Str v.Campaign.v_profile.Campaign.profile_name);
+        ("seed", Json.int v.Campaign.v_seed);
+        ("txns", Json.int v.Campaign.v_n_txns);
+        ("intensity", Json.Num v.Campaign.v_intensity);
+        ("repro", Json.Str (Campaign.reproducer_line v));
+        ("failures", failures_json v.Campaign.v_failures);
+        ( "postmortem",
+          match v.Campaign.v_postmortem with
+          | Some p -> Json.Str p
+          | None -> Json.Null );
+      ]
+  in
+  let run_replay fixtures monitors =
+    let results = List.map (Explore.replay ~monitors) fixtures in
+    List.iter
+      (fun (r : Explore.replay_result) ->
+        let f = r.Explore.rr_fixture in
+        Printf.printf "fixture %-22s %s\n" f.Explore.f_name
+          (if r.Explore.rr_ok then
+             if f.Explore.f_expect_violation then
+               Printf.sprintf "OK (violation still reproduces: %d failure(s))"
+                 (List.length r.Explore.rr_failures)
+             else "OK (clean, expectations hold)"
+           else "REGRESSION");
+        if not r.Explore.rr_ok then begin
+          if f.Explore.f_expect_violation && r.Explore.rr_failures = [] then
+            Printf.printf "  expected a violation, run was clean\n";
+          List.iter
+            (fun (m, why) -> Printf.printf "  unexpected %s: %s\n" m why)
+            (if f.Explore.f_expect_violation then [] else r.Explore.rr_failures);
+          List.iter
+            (fun (what, why) -> Printf.printf "  check %s: %s\n" what why)
+            r.Explore.rr_checks
+        end)
+      results;
+    if List.for_all (fun r -> r.Explore.rr_ok) results then 0 else 1
+  in
+  let run schemes profiles seeds txns intensities domains monitor durability
+      termination deadlock takeover ungated replay report_file postmortem_dir
+      max_shrinks =
+    match parse_explore_monitors monitor with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok monitors -> (
+      match replay with
+      | Some sel -> (
+        match parse_fixtures sel with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok fixtures -> run_replay fixtures monitors)
+      | None -> (
+        match
+          (parse_schemes schemes, parse_profiles profiles, parse_intensities intensities)
+        with
+        | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+          prerr_endline e;
+          1
+        | Ok schemes, Ok profiles, Ok intensities ->
+          let base =
+            match durability with
+            | `None -> Campaign.default_base
+            | `Wal ->
+              {
+                Campaign.default_base with
+                Atomrep_replica.Runtime.durability =
+                  Atomrep_replica.Repository.durable ~segment_records:16
+                    ~checkpoint_every:48 ();
+              }
+            | `Wal_gc ->
+              {
+                Campaign.default_base with
+                Atomrep_replica.Runtime.durability =
+                  Campaign.storage_base.Atomrep_replica.Runtime.durability;
+              }
+          in
+          let base =
+            {
+              base with
+              Atomrep_replica.Runtime.termination;
+              deadlock;
+              takeover;
+              ungated_rejoin = ungated;
+            }
+          in
+          let domains = if domains <= 0 then None else Some domains in
+          let report =
+            Explore.sweep ?domains ~n_txns:txns ~monitors ~max_shrinks
+              ?postmortem_dir ~base ~schemes ~profiles ~seeds ~intensities ()
+          in
+          Printf.printf
+            "explore: %d runs on %d domain(s) in %.1fs — committed=%d aborted=%d, \
+             %d violation(s)%s\n"
+            report.Explore.x_tasks report.Explore.x_domains report.Explore.x_wall_s
+            report.Explore.x_committed report.Explore.x_aborted
+            (List.length report.Explore.x_violations)
+            (if
+               report.Explore.x_shrunk > 0
+               && report.Explore.x_shrunk < List.length report.Explore.x_violations
+             then Printf.sprintf " (%d shrunk)" report.Explore.x_shrunk
+             else "");
+          List.iter
+            (fun v -> Format.printf "%a@." Campaign.pp_violation v)
+            report.Explore.x_violations;
+          (match report_file with
+           | None -> ()
+           | Some path ->
+             let doc =
+               Json.Obj
+                 [
+                   ( "explore",
+                     Json.Obj
+                       [
+                         ( "monitors",
+                           Json.List
+                             (List.map
+                                (fun (e : Monitors.entry) -> Json.Str e.Monitors.e_name)
+                                monitors) );
+                         ("seeds", Json.int seeds);
+                         ("txns", Json.int txns);
+                         ( "intensities",
+                           Json.List (List.map (fun i -> Json.Num i) intensities) );
+                         ("domains", Json.int report.Explore.x_domains);
+                         ("tasks", Json.int report.Explore.x_tasks);
+                         ("committed", Json.int report.Explore.x_committed);
+                         ("aborted", Json.int report.Explore.x_aborted);
+                         ("wall_s", Json.Num report.Explore.x_wall_s);
+                         ("shrunk", Json.int report.Explore.x_shrunk);
+                         ( "violations",
+                           Json.List (List.map violation_json report.Explore.x_violations)
+                         );
+                       ] );
+                 ]
+             in
+             Obs.Export.write_file path (Json.to_string doc);
+             Printf.printf "wrote %s\n" path);
+          if report.Explore.x_violations = [] then 0 else 1))
+  in
+  let schemes_arg =
+    Arg.(
+      value
+      & opt string "static,hybrid,locking"
+      & info [ "schemes" ] ~docv:"SCHEMES" ~doc:"Comma-separated schemes to sweep.")
+  in
+  let profiles_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "profiles" ] ~docv:"PROFILES"
+          ~doc:"Comma-separated fault profiles, or `all'.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "seeds" ] ~docv:"N" ~doc:"Sweep seeds 0..N-1 per cell.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 30 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per run.")
+  in
+  let intensities_arg =
+    Arg.(
+      value & opt string "1.0"
+      & info [ "intensities" ] ~docv:"LIST"
+          ~doc:"Comma-separated fault intensity scales, one sweep stratum each.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel sweep (0 = the runtime's \
+             recommended count; 1 = sequential). The report is identical \
+             for any value.")
+  in
+  let ungated_arg =
+    Arg.(
+      value & flag
+      & info [ "ungated-rejoin" ]
+          ~doc:
+            "Negative testing: let amnesiac sites rejoin without a resync \
+             quorum (the pre-fix double-dequeue behavior) so the sweep has \
+             a real violation to find and shrink.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "all") (some string) None
+      & info [ "replay" ] ~docv:"FIXTURES"
+          ~doc:
+            (Printf.sprintf
+               "Replay the named regression fixtures instead of sweeping \
+                (comma-separated, or `all'; bare $(b,--replay) means all). \
+                Known fixtures: %s."
+               (String.concat ", " Explore.fixture_names)))
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Write the sweep report as JSON to $(docv).")
+  in
+  let postmortem_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "postmortem-dir" ] ~docv:"DIR"
+          ~doc:
+            "Replay each shrunk violation under tracing and write a causal \
+             postmortem plus the full trace into $(docv).")
+  in
+  let max_shrinks_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-shrinks" ] ~docv:"N"
+          ~doc:
+            "Bisection-shrink at most $(docv) violations (earliest tasks \
+             first); the rest are reported at their original tuples.")
+  in
+  let doc =
+    "Parallel monitored seed sweeps (and regression-fixture replays) with \
+     shrinking"
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg
+      $ intensities_arg $ domains_arg $ monitor_arg $ durability_arg
+      $ termination_arg $ deadlock_arg $ takeover_arg $ ungated_arg $ replay_arg
+      $ report_arg $ postmortem_dir_arg $ max_shrinks_arg)
 
 (* --- experiment --- *)
 
@@ -744,6 +1054,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            analyze_cmd; quorums_cmd; simulate_cmd; chaos_cmd; experiment_cmd;
-            compare_cmd; witness_cmd; types_cmd;
+            analyze_cmd; quorums_cmd; simulate_cmd; chaos_cmd; explore_cmd;
+            experiment_cmd; compare_cmd; witness_cmd; types_cmd;
           ]))

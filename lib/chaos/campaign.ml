@@ -2,7 +2,7 @@ open Atomrep_replica
 module Trace = Atomrep_obs.Trace
 module Export = Atomrep_obs.Export
 module Postmortem = Atomrep_obs.Postmortem
-module Monitor = Atomrep_obs.Monitor
+module Spec_monitor = Atomrep_obs.Spec_monitor
 
 type profile = { profile_name : string; nemesis : Nemesis.t }
 
@@ -200,15 +200,18 @@ let configure ~base ~scheme ~seed ~n_txns ~intensity ?trace profile =
     trace = (match trace with Some _ -> trace | None -> base.Runtime.trace);
   }
 
-(* With [monitor], the run is traced (a fresh per-run bus unless the
-   caller attached one — per-run buses keep txn names from colliding
-   across runs) and the no-divergence monitor joins the oracles: any
-   transaction for which two drivers rendered opposite verdicts is a
-   failure. Tracing does not perturb the run (metrics and histories are
-   bit-identical either way), so monitor-gated reproducers still replay. *)
-let check_run ?(monitor = false) cfg =
+(* With a [monitors] selection, the run is traced (a fresh per-run bus
+   unless the caller attached one — per-run buses keep txn names from
+   colliding across runs) and the selected {!Monitors} entries ARE the
+   oracles: each spec is instantiated fresh for this run (so no verdict
+   bleeds between runs or shrink candidates), folded over the trace, and
+   quiesced. Without a selection the two legacy history oracles gate the
+   run untraced, exactly the original behavior. Tracing does not perturb
+   the run (metrics and histories are bit-identical either way), so
+   monitor-gated reproducers still replay. *)
+let check_run ?(monitors = []) cfg =
   let cfg =
-    if monitor && cfg.Runtime.trace = None then
+    if monitors <> [] && cfg.Runtime.trace = None then
       {
         cfg with
         Runtime.trace = Some (Trace.create ~n_sites:cfg.Runtime.n_sites ());
@@ -216,28 +219,28 @@ let check_run ?(monitor = false) cfg =
     else cfg
   in
   let outcome = Runtime.run cfg in
-  let failures =
-    Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
-  in
-  let failures =
-    match (monitor, cfg.Runtime.trace) with
-    | true, Some tr -> failures @ Monitor.no_divergence tr
-    | _ -> failures
-  in
-  (outcome, failures)
+  match (monitors, cfg.Runtime.trace) with
+  | [], _ | _, None ->
+    ( outcome,
+      Runtime.check_atomicity cfg outcome
+      @ Runtime.check_common_order cfg outcome )
+  | entries, Some tr ->
+    ( outcome,
+      Spec_monitor.failures
+        (Monitors.run entries { Monitors.cfg; outcome } tr) )
 
 (* Shrink a violation into the smallest reproducer the bisection finds:
    first the transaction count (binary search down from the failing count,
    keeping the invariant that the upper bound still fails), then the fault
    intensity by repeated halving. Neither dimension is monotone, so the
    result is a local minimum — which is all a reproducer needs. *)
-let shrink ?monitor ~base v =
+let shrink ?monitors ~base v =
   let fails n_txns intensity =
     let cfg =
       configure ~base ~scheme:v.v_scheme ~seed:v.v_seed ~n_txns ~intensity
         v.v_profile
     in
-    snd (check_run ?monitor cfg) <> []
+    snd (check_run ?monitors cfg) <> []
   in
   let rec bisect_txns lo hi =
     (* invariant: [hi] fails *)
@@ -261,7 +264,7 @@ let shrink ?monitor ~base v =
     v with
     v_n_txns = n_txns;
     v_intensity = intensity;
-    v_failures = snd (check_run ?monitor cfg);
+    v_failures = snd (check_run ?monitors cfg);
   }
 
 let reproducer_line v =
@@ -274,13 +277,13 @@ let reproducer_line v =
 (* Replay a (shrunk) violation with tracing on and slice the trace to the
    causal cone of the violating actions. Determinism makes the traced
    replay produce the same failure the untraced run did. *)
-let trace_violation ?monitor ?(base = default_base) v =
+let trace_violation ?monitors ?(base = default_base) v =
   let trace = Trace.create ~n_sites:base.Runtime.n_sites () in
   let cfg =
     configure ~base ~scheme:v.v_scheme ~seed:v.v_seed ~n_txns:v.v_n_txns
       ~intensity:v.v_intensity ~trace v.v_profile
   in
-  let _, failures = check_run ?monitor cfg in
+  let _, failures = check_run ?monitors cfg in
   let header =
     [
       ("scheme", Replicated.scheme_name v.v_scheme);
@@ -298,9 +301,9 @@ let violation_slug v =
     (Replicated.scheme_name v.v_scheme)
     v.v_profile.profile_name v.v_seed
 
-let write_postmortem ?monitor ~base ~dir v =
+let write_postmortem ?monitors ~base ~dir v =
   (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
-  let trace, pm = trace_violation ?monitor ~base v in
+  let trace, pm = trace_violation ?monitors ~base v in
   let slug = violation_slug v in
   let pm_path = Filename.concat dir ("postmortem-" ^ slug ^ ".txt") in
   Export.write_file pm_path (Postmortem.render pm);
@@ -310,7 +313,7 @@ let write_postmortem ?monitor ~base ~dir v =
   { v with v_postmortem = Some pm_path }
 
 let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
-    ?monitor ?postmortem_dir ~schemes ~profiles ~seeds () =
+    ?monitors ?postmortem_dir ~schemes ~profiles ~seeds () =
   let cells = ref [] in
   let violations = ref [] in
   let total = ref 0 in
@@ -322,7 +325,7 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
           for seed = 0 to seeds - 1 do
             incr total;
             let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity profile in
-            let outcome, failures = check_run ?monitor cfg in
+            let outcome, failures = check_run ?monitors cfg in
             committed := !committed + outcome.Runtime.metrics.Runtime.committed;
             aborted := !aborted + outcome.Runtime.metrics.Runtime.aborted;
             if failures <> [] then begin
@@ -338,10 +341,10 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
                   v_postmortem = None;
                 }
               in
-              let v = shrink ?monitor ~base v in
+              let v = shrink ?monitors ~base v in
               let v =
                 match postmortem_dir with
-                | Some dir -> write_postmortem ?monitor ~base ~dir v
+                | Some dir -> write_postmortem ?monitors ~base ~dir v
                 | None -> v
               in
               violations := v :: !violations
@@ -361,10 +364,10 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
     schemes;
   { cells = List.rev !cells; violations = List.rev !violations; total_runs = !total }
 
-let reproduce ?(base = default_base) ?monitor ?trace ~scheme ~profile ~seed
+let reproduce ?(base = default_base) ?monitors ?trace ~scheme ~profile ~seed
     ~n_txns ~intensity () =
   let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity ?trace profile in
-  check_run ?monitor cfg
+  check_run ?monitors cfg
 
 let pp_violation ppf v =
   Format.fprintf ppf "@[<v 2>VIOLATION %s/%s seed=%d txns=%d intensity=%g@,repro: %s"

@@ -24,8 +24,8 @@ val builtin_profiles : profile list
     termination protocol survives what strands a [Disabled] run),
     takeover_storm (commit-window ambushes with fast coordinator heal,
     takeover-bid ambushes, rolling partitions, and link flake — pair with
-    {!takeover_base} and [monitor] to prove epoch-fenced adoption never
-    diverges), and the composed storm. *)
+    {!takeover_base} and a [monitors] selection to prove epoch-fenced
+    adoption never diverges), and the composed storm. *)
 
 val find_profile : string -> profile option
 val profile_names : string list
@@ -100,22 +100,28 @@ val configure :
     whatever [base] carries). *)
 
 val check_run :
-  ?monitor:bool -> Runtime.config -> Runtime.outcome * (string * string) list
-(** Run once and apply both oracles; an empty failure list means atomic.
-    With [monitor] (default false), the run is traced (a fresh per-run
-    bus unless the configuration already carries one) and the
-    {!Atomrep_obs.Monitor.no_divergence} check joins the oracles: two
-    drivers rendering opposite verdicts for the same transaction is a
-    failure. Tracing does not perturb the run, so monitor-gated
-    reproducer tuples still replay deterministically. *)
+  ?monitors:Monitors.entry list ->
+  Runtime.config ->
+  Runtime.outcome * (string * string) list
+(** Run once and judge it. With no [monitors] selection (the default)
+    the two legacy history oracles gate the run untraced, exactly the
+    pre-monitor behavior. With a selection, the run is traced (a fresh
+    per-run bus unless the configuration already carries one) and the
+    selected {!Monitors} entries {e are} the oracles: each spec is
+    instantiated fresh for this run — no verdict bleeds between runs or
+    shrink candidates — folded over the trace, and quiesced; failures
+    come back in {!Atomrep_obs.Spec_monitor.failures} shape. Tracing
+    does not perturb the run, so monitor-gated reproducer tuples still
+    replay deterministically. *)
 
-val shrink : ?monitor:bool -> base:Runtime.config -> violation -> violation
+val shrink :
+  ?monitors:Monitors.entry list -> base:Runtime.config -> violation -> violation
 (** Bisect the transaction count down and then halve the fault intensity
     while the violation persists; returns the smallest reproducer found
     (a local minimum — neither dimension is monotone). *)
 
 val trace_violation :
-  ?monitor:bool ->
+  ?monitors:Monitors.entry list ->
   ?base:Runtime.config ->
   violation ->
   Atomrep_obs.Trace.t * Atomrep_obs.Postmortem.t
@@ -124,7 +130,11 @@ val trace_violation :
     violating actions. *)
 
 val write_postmortem :
-  ?monitor:bool -> base:Runtime.config -> dir:string -> violation -> violation
+  ?monitors:Monitors.entry list ->
+  base:Runtime.config ->
+  dir:string ->
+  violation ->
+  violation
 (** {!trace_violation}, rendered to [dir/postmortem-<slug>.txt] with the
     full trace beside it as [dir/trace-<slug>.jsonl]; returns the violation
     with [v_postmortem] set. Creates [dir] if needed. *)
@@ -133,7 +143,7 @@ val run_campaign :
   ?base:Runtime.config ->
   ?n_txns:int ->
   ?intensity:float ->
-  ?monitor:bool ->
+  ?monitors:Monitors.entry list ->
   ?postmortem_dir:string ->
   schemes:Replicated.scheme list ->
   profiles:profile list ->
@@ -146,7 +156,7 @@ val run_campaign :
 
 val reproduce :
   ?base:Runtime.config ->
-  ?monitor:bool ->
+  ?monitors:Monitors.entry list ->
   ?trace:Atomrep_obs.Trace.t ->
   scheme:Replicated.scheme ->
   profile:profile ->

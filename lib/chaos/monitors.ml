@@ -1,0 +1,471 @@
+open Atomrep_replica
+module Trace = Atomrep_obs.Trace
+module SM = Atomrep_obs.Spec_monitor
+module Monitor = Atomrep_obs.Monitor
+module Assignment = Atomrep_quorum.Assignment
+module Op_constraint = Atomrep_quorum.Op_constraint
+module Termination = Atomrep_txn.Termination
+
+type ctx = { cfg : Runtime.config; outcome : Runtime.outcome }
+type kind = Safety | Liveness
+
+type entry = {
+  e_name : string;
+  e_doc : string;
+  e_kind : kind;
+  e_spec : ctx -> SM.t;
+}
+
+(* Liveness grace: the whole retry budget (capped backoff x attempts), a
+   few RPC round trips, and two reaper sweeps. An obligation opened closer
+   to the horizon than this never had a fair chance to resolve. *)
+let grace cfg =
+  let retries = float_of_int (cfg.Runtime.max_retries + 1) *. cfg.Runtime.retry_delay_cap in
+  let rpc = 4.0 *. cfg.Runtime.rpc_timeout in
+  let reaper = 2.0 *. cfg.Runtime.reaper_every in
+  Float.max 500.0 (retries +. rpc +. reaper)
+
+(* The end-of-run fairness signal, folded by every liveness monitor: the
+   runtime's final [Quiesce] event says whether the network ended healed
+   and fully live — only then did every open obligation get its chance. *)
+type fairness = { mutable fair : bool; mutable horizon_t : float }
+
+let fold_quiesce f (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Quiesce { up; n_sites; partitioned } ->
+    f.fair <- up = n_sites && not partitioned;
+    f.horizon_t <- e.Trace.time
+  | _ -> ()
+
+(* --- commit_atomicity / common_order -------------------------------- *)
+(* The history-based oracles judge reconstructed behavioral histories,
+   not individual events, so their declarative form is pure at_quiesce:
+   no events observed, the whole check is the quiesce obligation. *)
+
+let outcome_spec ~name check ctx =
+  SM.make ~name
+    ~on:(fun _ -> false)
+    ~init:(fun () -> ())
+    ~step:(fun () _ -> SM.Continue ())
+    ~at_quiesce:(fun () ->
+      List.map
+        (fun (obj, why) -> Printf.sprintf "%s: %s" obj why)
+        (check ctx.cfg ctx.outcome))
+    ()
+
+(* --- quorum_intersection -------------------------------------------- *)
+
+(* Static leg: every object's threshold assignment must satisfy the
+   intersection constraints its dependency relation induces. *)
+let quorum_static ctx =
+  SM.make ~name:"quorum_assignment"
+    ~on:(fun _ -> false)
+    ~init:(fun () -> ())
+    ~step:(fun () _ -> SM.Continue ())
+    ~at_quiesce:(fun () ->
+      List.filter_map
+        (fun (o : Runtime.object_config) ->
+          let constraints = Op_constraint.of_relation o.Runtime.obj_relation in
+          if Assignment.satisfies o.Runtime.obj_assignment constraints then None
+          else
+            Some
+              (Printf.sprintf
+                 "object %s: assignment violates a dependency intersection \
+                  constraint (some initial(dependent) + final(supplier) <= n)"
+                 o.Runtime.obj_name))
+        ctx.cfg.Runtime.objects)
+    ()
+
+type attempt = { a_ok : bool; a_got : int; a_need : int; a_phase : string }
+
+(* Operational leg: per-transaction machine remembering each operation's
+   latest quorum-assembly outcome; committing while any operation's last
+   attempt fell short means the protocol committed without the
+   intersection the scheme's correctness argument assumes. *)
+let quorum_operational () =
+  SM.keyed ~name:"quorum_intersection"
+    ~on:(SM.observes [ "quorum_read"; "quorum_append"; "txn_commit"; "txn_abort" ])
+    ~key:(fun e ->
+      match e.Trace.kind with
+      | Trace.Quorum_read { txn; _ }
+      | Trace.Quorum_append { txn; _ }
+      | Trace.Txn_commit { txn }
+      | Trace.Txn_abort { txn; _ } ->
+        Some txn
+      | _ -> None)
+    ~init:(fun _ -> Hashtbl.create 8)
+    ~step:(fun ops e ->
+      match e.Trace.kind with
+      | Trace.Quorum_read { op; got; need; _ } ->
+        Hashtbl.replace ops op
+          { a_ok = got >= need; a_got = got; a_need = need; a_phase = "initial" };
+        SM.Continue ops
+      | Trace.Quorum_append { op; got; need; _ } ->
+        Hashtbl.replace ops op
+          { a_ok = got >= need; a_got = got; a_need = need; a_phase = "final" };
+        SM.Continue ops
+      | Trace.Txn_abort _ -> SM.Accept
+      | Trace.Txn_commit _ ->
+        let short =
+          Hashtbl.fold
+            (fun op a acc -> if a.a_ok then acc else (op, a) :: acc)
+            ops []
+          |> List.sort compare
+        in
+        if short = [] then SM.Accept
+        else
+          SM.Violate
+            ( ops,
+              String.concat "; "
+                (List.map
+                   (fun (op, a) ->
+                     Printf.sprintf
+                       "committed though %s's last %s quorum got %d of %d" op
+                       a.a_phase a.a_got a.a_need)
+                   short) )
+      | _ -> SM.Continue ops)
+    ()
+
+let quorum_intersection ctx =
+  SM.all ~name:"quorum_intersection"
+    [ quorum_static ctx; quorum_operational () ]
+
+(* --- commit_durability ---------------------------------------------- *)
+
+module IntSet = Set.Make (Int)
+
+type durab = {
+  (* (txn, op) -> distinct repository sites holding the tentative entry *)
+  stored : (string * string, IntSet.t) Hashtbl.t;
+  (* (txn, op) -> write-quorum size of the latest final-quorum append *)
+  need : (string * string, int) Hashtbl.t;
+  (* txn -> ops with a final-quorum obligation, first-seen order *)
+  ops_of : (string, string list) Hashtbl.t;
+}
+
+(* "Nothing is reported committed before a write quorum stored it": the
+   eMonitor_CommitDurability shape — per-entry stored-site sets, checked
+   at the commit event. Repositories emit [Repo_append] when they log the
+   tentative entry, so stored-site counts are ground truth (ack counts at
+   the front-end can only under-report them). With ungated rejoin on
+   volatile repositories a crash-with-amnesia erases the site's log for
+   good, so the site leaves every stored set; gated rejoin resyncs the
+   store from a quorum before the site serves again, and durable
+   repositories keep what their WAL replays — both keep their credit. *)
+let commit_durability ctx =
+  SM.make ~name:"commit_durability"
+    ~on:
+      (SM.observes
+         [ "repo_append"; "quorum_append"; "txn_commit"; "txn_abort"; "crash" ])
+    ~init:(fun () ->
+      { stored = Hashtbl.create 64; need = Hashtbl.create 64; ops_of = Hashtbl.create 32 })
+    ~step:(fun st e ->
+      let gc txn =
+        (match Hashtbl.find_opt st.ops_of txn with
+         | None -> ()
+         | Some ops ->
+           List.iter
+             (fun op ->
+               Hashtbl.remove st.stored (txn, op);
+               Hashtbl.remove st.need (txn, op))
+             ops);
+        Hashtbl.remove st.ops_of txn
+      in
+      match e.Trace.kind with
+      | Trace.Repo_append { txn; op; tentative = true } ->
+        let k = (txn, op) in
+        let s = Option.value ~default:IntSet.empty (Hashtbl.find_opt st.stored k) in
+        Hashtbl.replace st.stored k (IntSet.add e.Trace.site s);
+        SM.Continue st
+      | Trace.Repo_append { tentative = false; _ } -> SM.Continue st
+      | Trace.Quorum_append { txn; op; need; _ } ->
+        Hashtbl.replace st.need (txn, op) need;
+        let ops = Option.value ~default:[] (Hashtbl.find_opt st.ops_of txn) in
+        if not (List.mem op ops) then Hashtbl.replace st.ops_of txn (ops @ [ op ]);
+        SM.Continue st
+      | Trace.Crash { site; amnesia = true }
+        when ctx.cfg.Runtime.durability = Repository.Volatile
+             && ctx.cfg.Runtime.ungated_rejoin ->
+        (* Amnesia wipes a volatile repository, and with rejoin gating
+           disabled nothing ever restores it: whatever the site stored is
+           gone for good. Under gated rejoin the resync protocol rebuilds
+           the store from a quorum before the site serves again, so the
+           copy still counts toward durability. *)
+        Hashtbl.iter
+          (fun k s ->
+            if IntSet.mem site s then Hashtbl.replace st.stored k (IntSet.remove site s))
+          (Hashtbl.copy st.stored);
+        SM.Continue st
+      | Trace.Crash _ -> SM.Continue st
+      | Trace.Txn_abort { txn; _ } ->
+        gc txn;
+        SM.Continue st
+      | Trace.Txn_commit { txn } ->
+        let short =
+          List.filter_map
+            (fun op ->
+              let need = Option.value ~default:0 (Hashtbl.find_opt st.need (txn, op)) in
+              let have =
+                IntSet.cardinal
+                  (Option.value ~default:IntSet.empty
+                     (Hashtbl.find_opt st.stored (txn, op)))
+              in
+              if have >= need then None else Some (op, have, need))
+            (Option.value ~default:[] (Hashtbl.find_opt st.ops_of txn))
+        in
+        gc txn;
+        if short = [] then SM.Continue st
+        else
+          SM.Violate
+            ( st,
+              Printf.sprintf "%s reported committed before a write quorum stored it: %s"
+                txn
+                (String.concat "; "
+                   (List.map
+                      (fun (op, have, need) ->
+                        Printf.sprintf "%s stored at %d site(s), write quorum %d" op
+                          have need)
+                      short)) )
+      | _ -> SM.Continue st)
+    ()
+
+(* --- no_divergence --------------------------------------------------- *)
+
+let no_divergence _ctx = Monitor.spec ()
+
+(* --- stranded_entries ------------------------------------------------ *)
+
+let stranded_entries ctx =
+  SM.make ~name:"stranded_entries"
+    ~on:(SM.observes [ "quiesce" ])
+    ~init:(fun () -> { fair = false; horizon_t = 0.0 })
+    ~step:(fun f e ->
+      fold_quiesce f e;
+      SM.Continue f)
+    ~at_quiesce:(fun f ->
+      let m = ctx.outcome.Runtime.metrics in
+      if not (Termination.cooperative ctx.cfg.Runtime.termination && f.fair) then []
+      else
+        (if m.Runtime.stranded_entries > 0 then
+           [
+             Printf.sprintf
+               "%d tentative entr%s still stranded at the horizon despite \
+                cooperative termination and a healed, fully-live network"
+               m.Runtime.stranded_entries
+               (if m.Runtime.stranded_entries = 1 then "y" else "ies");
+           ]
+         else [])
+        @
+        if m.Runtime.stranded_live <> 0 then
+          [
+            Printf.sprintf
+              "stranded-transaction gauge ended at %d (must drain to 0 under \
+               cooperative termination)"
+              m.Runtime.stranded_live;
+          ]
+        else [])
+    ()
+
+(* --- blocked_liveness ------------------------------------------------ *)
+
+type blocked = {
+  b_waiting : (string, int * float * string) Hashtbl.t;
+      (* txn -> (event id, time, blocker) of the latest unresolved wait *)
+  b_terminal : (string, unit) Hashtbl.t;
+      (* txns that already reached a commit/abort verdict: a later
+         lock_wait is a zombie retry attempt the front-end abandons
+         without another event, not a new obligation *)
+  b_fair : fairness;
+}
+
+let blocked_liveness ctx =
+  let grace = grace ctx.cfg in
+  SM.make ~name:"blocked_liveness"
+    ~on:
+      (SM.observes
+         [ "lock_wait"; "lock_grant"; "txn_commit"; "txn_abort"; "deadlock"; "quiesce" ])
+    ~init:(fun () ->
+      {
+        b_waiting = Hashtbl.create 32;
+        b_terminal = Hashtbl.create 32;
+        b_fair = { fair = false; horizon_t = 0.0 };
+      })
+    ~step:(fun st e ->
+      (match e.Trace.kind with
+       | Trace.Lock_wait { txn; blocker } ->
+         if not (Hashtbl.mem st.b_terminal txn) then
+           Hashtbl.replace st.b_waiting txn (e.Trace.id, e.Trace.time, blocker)
+       | Trace.Lock_grant { txn; _ } -> Hashtbl.remove st.b_waiting txn
+       | Trace.Txn_commit { txn } | Trace.Txn_abort { txn; _ } ->
+         Hashtbl.replace st.b_terminal txn ();
+         Hashtbl.remove st.b_waiting txn
+       | Trace.Deadlock { victim; _ } -> Hashtbl.remove st.b_waiting victim
+       | k -> fold_quiesce st.b_fair { e with Trace.kind = k });
+      SM.Continue st)
+    ~at_quiesce:(fun st ->
+      if not st.b_fair.fair then []
+      else
+        Hashtbl.fold
+          (fun txn (_, t, blocker) acc ->
+            if st.b_fair.horizon_t -. t >= grace then
+              Printf.sprintf
+                "%s blocked on %s at t=%.0f and never resolved in the %.0fms \
+                 before quiesce on a healed, fully-live network"
+                txn blocker t
+                (st.b_fair.horizon_t -. t)
+              :: acc
+            else acc)
+          st.b_waiting []
+        |> List.sort compare)
+    ()
+
+(* --- indoubt_liveness ------------------------------------------------ *)
+
+type indoubt = {
+  i_pending : (string, int * float) Hashtbl.t;
+      (* txn -> (event id, time) of its durable commit point *)
+  i_done : (string, unit) Hashtbl.t;
+      (* txns that already reached a verdict: a commit point re-logged by
+         a redrive or adoption does not reopen the obligation *)
+  i_fair : fairness;
+}
+
+let indoubt_liveness ctx =
+  let grace = grace ctx.cfg in
+  SM.make ~name:"indoubt_liveness"
+    ~on:
+      (SM.observes
+         [
+           "commit_point"; "txn_decide"; "txn_commit"; "txn_abort"; "txn_redrive";
+           "coop_term"; "quiesce";
+         ])
+    ~init:(fun () ->
+      {
+        i_pending = Hashtbl.create 32;
+        i_done = Hashtbl.create 32;
+        i_fair = { fair = false; horizon_t = 0.0 };
+      })
+    ~step:(fun st e ->
+      (match e.Trace.kind with
+       | Trace.Commit_point { txn } ->
+         if not (Hashtbl.mem st.i_pending txn || Hashtbl.mem st.i_done txn) then
+           Hashtbl.replace st.i_pending txn (e.Trace.id, e.Trace.time)
+       | Trace.Txn_decide { txn; _ }
+       | Trace.Txn_commit { txn }
+       | Trace.Txn_abort { txn; _ }
+       | Trace.Txn_redrive { txn; _ }
+       | Trace.Coop_term { txn; _ } ->
+         Hashtbl.replace st.i_done txn ();
+         Hashtbl.remove st.i_pending txn
+       | k -> fold_quiesce st.i_fair { e with Trace.kind = k });
+      SM.Continue st)
+    ~at_quiesce:(fun st ->
+      if not (Termination.enabled ctx.cfg.Runtime.termination && st.i_fair.fair) then
+        []
+      else
+        Hashtbl.fold
+          (fun txn (_, t) acc ->
+            if st.i_fair.horizon_t -. t >= grace then
+              Printf.sprintf
+                "%s logged a durable commit point at t=%.0f but reached no \
+                 verdict in the %.0fms before quiesce despite enabled \
+                 termination and a healed, fully-live network"
+                txn t
+                (st.i_fair.horizon_t -. t)
+              :: acc
+            else acc)
+          st.i_pending []
+        |> List.sort compare)
+    ()
+
+(* --- registry --------------------------------------------------------- *)
+
+let registry =
+  [
+    {
+      e_name = "commit_atomicity";
+      e_doc = "every object's history satisfies the scheme's local atomicity property";
+      e_kind = Safety;
+      e_spec = outcome_spec ~name:"commit_atomicity" Runtime.check_atomicity;
+    };
+    {
+      e_name = "common_order";
+      e_doc = "committed transactions serialize in one system-wide order";
+      e_kind = Safety;
+      e_spec = outcome_spec ~name:"common_order" Runtime.check_common_order;
+    };
+    {
+      e_name = "no_divergence";
+      e_doc = "no two drivers ever render opposite verdicts for a transaction";
+      e_kind = Safety;
+      e_spec = no_divergence;
+    };
+    {
+      e_name = "quorum_intersection";
+      e_doc =
+        "assignments satisfy dependency intersection; no commit after a short quorum";
+      e_kind = Safety;
+      e_spec = quorum_intersection;
+    };
+    {
+      e_name = "commit_durability";
+      e_doc = "nothing is reported committed before a write quorum stored it";
+      e_kind = Safety;
+      e_spec = commit_durability;
+    };
+    {
+      e_name = "stranded_entries";
+      e_doc = "cooperative termination drains every stranded tentative entry";
+      e_kind = Liveness;
+      e_spec = stranded_entries;
+    };
+    {
+      e_name = "blocked_liveness";
+      e_doc = "every blocked operation resolves once partitions heal";
+      e_kind = Liveness;
+      e_spec = blocked_liveness;
+    };
+    {
+      e_name = "indoubt_liveness";
+      e_doc = "every durable commit point reaches a verdict after recovery";
+      e_kind = Liveness;
+      e_spec = indoubt_liveness;
+    };
+  ]
+
+let names = List.map (fun e -> e.e_name) registry
+let find name = List.find_opt (fun e -> String.equal e.e_name name) registry
+
+let of_names spec =
+  match String.trim spec with
+  | "all" -> Ok registry
+  | "safety" -> Ok (List.filter (fun e -> e.e_kind = Safety) registry)
+  | "liveness" -> Ok (List.filter (fun e -> e.e_kind = Liveness) registry)
+  | spec ->
+    let parts =
+      String.split_on_char ',' spec |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if parts = [] then Error "empty monitor selection"
+    else
+      let rec resolve acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+          match find p with
+          | Some e -> resolve (e :: acc) rest
+          | None ->
+            Error
+              (Printf.sprintf "unknown monitor %S (expected all, safety, liveness, %s)"
+                 p
+                 (String.concat ", " names)))
+      in
+      resolve [] parts
+
+let selection_doc =
+  Printf.sprintf "all, safety, liveness, or a comma-separated subset of: %s"
+    (String.concat ", " names)
+
+let conjoin entries ctx =
+  SM.all ~name:"monitors" (List.map (fun e -> e.e_spec ctx) entries)
+
+let run entries ctx trace = SM.run (conjoin entries ctx) trace

@@ -1,0 +1,84 @@
+(** The monitor catalogue: every oracle the chaos campaigns can gate on,
+    expressed as declarative {!Atomrep_obs.Spec_monitor} machines.
+
+    Each entry names a property, says whether it is a safety property
+    (violated by a specific event) or a liveness property (an obligation
+    judged at quiesce, gated on the run's end-of-run fairness signal —
+    the final {!Atomrep_obs.Trace.Quiesce} event), and builds its spec
+    from a {!ctx}: the run's configuration and outcome. Trace-level
+    monitors ignore the context; the history-based oracles
+    ({!Atomrep_replica.Runtime.check_atomicity},
+    {!Atomrep_replica.Runtime.check_common_order}) and the metric-gauge
+    checks close over it, which is what reduces the legacy imperative
+    checkers to thin [at_quiesce] shells of declarative machines.
+
+    The catalogue:
+
+    - [commit_atomicity] — every object's behavioral history satisfies
+      the scheme's local atomicity property (safety, at quiesce).
+    - [common_order] — committed transactions serialize in one
+      system-wide order at every object (safety, at quiesce).
+    - [no_divergence] — no two drivers ever render opposite verdicts for
+      the same transaction (safety, per-txn keyed machine).
+    - [quorum_intersection] — the static assignment satisfies every
+      dependency constraint, and no transaction commits after an
+      operation whose latest quorum attempt fell short (safety).
+    - [commit_durability] — nothing is reported committed before a write
+      quorum of repositories stored each of its final-quorum entries
+      (safety, the eMonitor-CommitDurability shape: per-entry stored-site
+      sets checked at the commit event).
+    - [stranded_entries] — under [Cooperative] termination with fairness,
+      the stranded-entry count and the live stranded-transaction gauge
+      both drain to zero (liveness).
+    - [blocked_liveness] — every operation that blocked resolves (grant,
+      commit, abort, or deadlock sentence) once partitions heal and all
+      sites are back up (liveness, grace-windowed).
+    - [indoubt_liveness] — every durable commit point reaches a verdict
+      (decide, redrive, or cooperative termination) under an enabled
+      termination protocol with fairness (liveness, grace-windowed). *)
+
+open Atomrep_replica
+
+type ctx = {
+  cfg : Runtime.config;
+  outcome : Runtime.outcome;
+}
+(** What a monitor may close over, available once the run finished. *)
+
+type kind = Safety | Liveness
+
+type entry = {
+  e_name : string;
+  e_doc : string;  (** one-line property statement *)
+  e_kind : kind;
+  e_spec : ctx -> Atomrep_obs.Spec_monitor.t;
+}
+
+val registry : entry list
+(** Every monitor, catalogue order. *)
+
+val names : string list
+val find : string -> entry option
+
+val of_names : string -> (entry list, string) result
+(** Parse a [--monitor] selection: ["all"] (the whole catalogue),
+    ["safety"] / ["liveness"] (one kind), or a comma-separated list of
+    entry names. [Error msg] names the first unknown monitor. *)
+
+val selection_doc : string
+(** Help text enumerating the valid selections (for CLI man pages). *)
+
+val conjoin : entry list -> ctx -> Atomrep_obs.Spec_monitor.t
+(** The selected entries as one conjunction (name ["monitors"]), each
+    child short-circuiting independently. *)
+
+val run :
+  entry list -> ctx -> Atomrep_obs.Trace.t -> Atomrep_obs.Spec_monitor.violation list
+(** Instantiate the conjunction fresh — no verdict bleed between runs or
+    shrink candidates — fold the trace, quiesce. *)
+
+val grace : Runtime.config -> float
+(** The liveness grace window (simulated ms): an obligation still open at
+    quiesce is only a violation if it had been open at least this long
+    before the horizon — enough for the configured retry backoff, RPC
+    timeouts, and a reaper sweep to have had their chance. *)

@@ -8,8 +8,10 @@ let args_json (kind : Trace.kind) =
       [ ("src", Json.int src); ("dst", Json.int dst) ]
     | Trace.Rpc_drop { src; dst; reason } ->
       [ ("src", Json.int src); ("dst", Json.int dst); ("reason", Json.Str reason) ]
-    | Trace.Quorum_read { op; got; need } | Trace.Quorum_append { op; got; need } ->
-      [ ("op", Json.Str op); ("got", Json.int got); ("need", Json.int need) ]
+    | Trace.Quorum_read { txn; op; got; need }
+    | Trace.Quorum_append { txn; op; got; need } ->
+      [ ("txn", Json.Str txn); ("op", Json.Str op); ("got", Json.int got);
+        ("need", Json.int need) ]
     | Trace.Repo_append { txn; op; tentative } ->
       [ ("txn", Json.Str txn); ("op", Json.Str op); ("tentative", Json.Bool tentative) ]
     | Trace.Txn_begin { txn } | Trace.Txn_commit { txn } -> [ ("txn", Json.Str txn) ]
@@ -56,6 +58,9 @@ let args_json (kind : Trace.kind) =
     | Trace.Takeover_fence { txn; site; term; granted } ->
       [ ("txn", Json.Str txn); ("site", Json.int site); ("term", Json.int term);
         ("granted", Json.int granted) ]
+    | Trace.Quiesce { up; n_sites; partitioned } ->
+      [ ("up", Json.int up); ("n_sites", Json.int n_sites);
+        ("partitioned", Json.Bool partitioned) ]
     | Trace.Deadlock { victim; cycle } ->
       [ ("victim", Json.Str victim);
         ("cycle", Json.List (List.map (fun t -> Json.Str t) cycle)) ]

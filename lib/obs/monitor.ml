@@ -33,16 +33,66 @@ let decisions ?(from_id = 0) trace =
     (Trace.events trace);
   List.rev_map (fun txn -> Hashtbl.find tbl txn) !order
 
-let no_divergence ?from_id trace =
-  List.filter_map
-    (fun v ->
-      if v.d_commits > 0 && v.d_aborts > 0 then
-        Some
-          ( v.d_txn,
-            Printf.sprintf
-              "divergent decisions: %d commit verdict(s) and %d abort \
-               verdict(s) across driver sites [%s]"
-              v.d_commits v.d_aborts
-              (String.concat ";" (List.map string_of_int v.d_sites)) )
-      else None)
-    (decisions ?from_id trace)
+(* The declarative form: one state machine per transaction folding its
+   Txn_decide events; the first opposite verdict is the counterexample
+   (flagged once — later contradictions of an already-divergent
+   transaction add nothing). *)
+type div_state = {
+  s_commits : int;
+  s_aborts : int;
+  s_sites : int list;
+  s_flagged : bool;
+}
+
+let spec () =
+  Spec_monitor.keyed ~name:"no_divergence"
+    ~on:(Spec_monitor.observes [ "txn_decide" ])
+    ~key:(fun e ->
+      match e.Trace.kind with
+      | Trace.Txn_decide { txn; _ } -> Some txn
+      | _ -> None)
+    ~init:(fun _ -> { s_commits = 0; s_aborts = 0; s_sites = []; s_flagged = false })
+    ~step:(fun s e ->
+      match e.Trace.kind with
+      | Trace.Txn_decide { site; committed; _ } ->
+        let s =
+          if committed then { s with s_commits = s.s_commits + 1 }
+          else { s with s_aborts = s.s_aborts + 1 }
+        in
+        let s =
+          if List.mem site s.s_sites then s
+          else { s with s_sites = s.s_sites @ [ site ] }
+        in
+        if s.s_commits > 0 && s.s_aborts > 0 && not s.s_flagged then
+          Spec_monitor.Violate
+            ( { s with s_flagged = true },
+              Printf.sprintf
+                "divergent decisions: %d commit verdict(s) and %d abort \
+                 verdict(s) across driver sites [%s]"
+                s.s_commits s.s_aborts
+                (String.concat ";" (List.map string_of_int s.s_sites)) )
+        else Spec_monitor.Continue s
+      | _ -> Spec_monitor.Continue s)
+    ()
+
+(* Thin wrapper: run the declarative spec, reshape to the legacy
+   [(txn, explanation)] pairs. The instance name is "no_divergence(<txn>)". *)
+let txn_of_instance monitor =
+  let prefix = "no_divergence(" in
+  let lp = String.length prefix in
+  if
+    String.length monitor > lp + 1
+    && String.sub monitor 0 lp = prefix
+    && monitor.[String.length monitor - 1] = ')'
+  then String.sub monitor lp (String.length monitor - lp - 1)
+  else monitor
+
+let no_divergence ?(from_id = 0) trace =
+  let inst = Spec_monitor.instantiate (spec ()) in
+  List.iter
+    (fun (e : Trace.event) -> if e.Trace.id >= from_id then Spec_monitor.observe inst e)
+    (Trace.events trace);
+  List.map
+    (fun (v : Spec_monitor.violation) ->
+      (txn_of_instance v.Spec_monitor.v_monitor, v.Spec_monitor.v_message))
+    (Spec_monitor.quiesce inst)

@@ -87,8 +87,14 @@ type t = {
 }
 
 let build trace ~header ~failures =
+  (* Scan both sides of each failure: history oracles put the object in
+     the subject and name transactions in the description, while keyed
+     spec monitors carry the transaction in the instance name itself
+     ("no_divergence(T3)"). *)
   let actions =
-    List.concat_map (fun (_, why) -> actions_of_failure why) failures
+    List.concat_map
+      (fun (obj, why) -> actions_of_failure obj @ actions_of_failure why)
+      failures
     |> List.sort_uniq String.compare
   in
   let targets = events_of_actions trace ~actions in

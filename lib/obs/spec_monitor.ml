@@ -1,0 +1,213 @@
+type violation = {
+  v_monitor : string;
+  v_message : string;
+  v_event : int option;
+}
+
+type 's step = Continue of 's | Accept | Violate of 's * string
+
+(* A spec is a recipe for fresh run state: [fresh ()] builds the mutable
+   machine, so instantiating twice never shares state — the no-bleed
+   guarantee the shrinker's candidate runs rely on. *)
+type machine = {
+  m_observe : Trace.event -> violation list;
+  m_quiesce : unit -> violation list;
+  m_live : unit -> int;
+}
+
+type t = { spec_name : string; fresh : unit -> machine }
+
+let name t = t.spec_name
+
+let observes labels =
+  fun kind -> List.mem (Trace.kind_label kind) labels
+
+let make ~name ?(on = fun _ -> true) ~init ~step ?(at_quiesce = fun _ -> [])
+    () =
+  let fresh () =
+    (* [None] = accepted (discharged, nothing to quiesce). *)
+    let state = ref (Some (init ())) in
+    let m_observe (e : Trace.event) =
+      match !state with
+      | None -> []
+      | Some s ->
+        if not (on e.Trace.kind) then []
+        else begin
+          match step s e with
+          | Continue s' ->
+            state := Some s';
+            []
+          | Accept ->
+            state := None;
+            []
+          | Violate (s', msg) ->
+            state := Some s';
+            [ { v_monitor = name; v_message = msg; v_event = Some e.Trace.id } ]
+        end
+    in
+    let m_quiesce () =
+      match !state with
+      | None -> []
+      | Some s ->
+        List.map
+          (fun msg -> { v_monitor = name; v_message = msg; v_event = None })
+          (at_quiesce s)
+    in
+    let m_live () = match !state with Some _ -> 1 | None -> 0 in
+    { m_observe; m_quiesce; m_live }
+  in
+  { spec_name = name; fresh }
+
+let keyed ~name ?(on = fun _ -> true) ~key ~init ~step
+    ?(at_quiesce = fun _ _ -> []) () =
+  let fresh () =
+    let states = Hashtbl.create 32 in
+    (* Insertion order, for deterministic quiesce reports. *)
+    let order = ref [] in
+    let m_observe (e : Trace.event) =
+      if not (on e.Trace.kind) then []
+      else
+        match key e with
+        | None -> []
+        | Some k ->
+          let s =
+            match Hashtbl.find_opt states k with
+            | Some s -> s
+            | None ->
+              let s = init k in
+              Hashtbl.replace states k s;
+              order := k :: !order;
+              s
+          in
+          (match step s e with
+           | Continue s' ->
+             Hashtbl.replace states k s';
+             []
+           | Accept ->
+             Hashtbl.remove states k;
+             []
+           | Violate (s', msg) ->
+             Hashtbl.replace states k s';
+             [
+               {
+                 v_monitor = Printf.sprintf "%s(%s)" name k;
+                 v_message = msg;
+                 v_event = Some e.Trace.id;
+               };
+             ])
+    in
+    let m_quiesce () =
+      List.concat_map
+        (fun k ->
+          match Hashtbl.find_opt states k with
+          | None -> []
+          | Some s ->
+            List.map
+              (fun msg ->
+                {
+                  v_monitor = Printf.sprintf "%s(%s)" name k;
+                  v_message = msg;
+                  v_event = None;
+                })
+              (at_quiesce k s))
+        (List.rev !order)
+    in
+    let m_live () = Hashtbl.length states in
+    { m_observe; m_quiesce; m_live }
+  in
+  { spec_name = name; fresh }
+
+let all ~name children =
+  let fresh () =
+    (* Conjunction with per-child short-circuit: once a child yields its
+       counterexample it is dropped from stepping and quiescing — each
+       child contributes at most its first verdict while the rest keep
+       observing independently. *)
+    let live =
+      ref (List.map (fun c -> (c.fresh (), ref false)) children)
+    in
+    let m_observe e =
+      List.concat_map
+        (fun (m, failed) ->
+          if !failed then []
+          else begin
+            let vs = m.m_observe e in
+            if vs <> [] then failed := true;
+            vs
+          end)
+        !live
+    in
+    let m_quiesce () =
+      List.concat_map
+        (fun (m, failed) -> if !failed then [] else m.m_quiesce ())
+        !live
+    in
+    let m_live () =
+      List.fold_left
+        (fun acc (m, failed) -> if !failed then acc else acc + m.m_live ())
+        0 !live
+    in
+    { m_observe; m_quiesce; m_live }
+  in
+  { spec_name = name; fresh }
+
+type instance = {
+  machine : machine;
+  mutable seen : violation list; (* reverse detection order *)
+  mutable quiesced : violation list option;
+}
+
+let instantiate t = { machine = t.fresh (); seen = []; quiesced = None }
+
+let observe inst e =
+  match inst.quiesced with
+  | Some _ -> ()
+  | None ->
+    List.iter (fun v -> inst.seen <- v :: inst.seen) (inst.machine.m_observe e)
+
+let violations inst = List.rev inst.seen
+let live_instances inst = inst.machine.m_live ()
+
+let quiesce inst =
+  match inst.quiesced with
+  | Some vs -> vs
+  | None ->
+    let vs = List.rev inst.seen @ inst.machine.m_quiesce () in
+    inst.quiesced <- Some vs;
+    vs
+
+let run t trace =
+  let inst = instantiate t in
+  List.iter (observe inst) (Trace.events trace);
+  quiesce inst
+
+let failures vs =
+  List.map
+    (fun v ->
+      let msg =
+        match v.v_event with
+        | Some id -> Printf.sprintf "%s (event #%d)" v.v_message id
+        | None -> Printf.sprintf "%s (at quiesce)" v.v_message
+      in
+      (v.v_monitor, msg))
+    vs
+
+let witness trace v =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "MONITOR VIOLATION %s: %s\n" v.v_monitor v.v_message);
+  (match v.v_event with
+   | None -> Buffer.add_string buf "(liveness verdict at quiesce: no anchor event)\n"
+   | Some id when id < 0 || id >= Trace.length trace ->
+     Buffer.add_string buf (Printf.sprintf "(event #%d outside the trace)\n" id)
+   | Some id ->
+     Buffer.add_string buf
+       (Format.asprintf "violating event: %a\n" Trace.pp_event (Trace.get trace id));
+     let cone = Postmortem.causal_cone trace ~targets:[ id ] in
+     Buffer.add_string buf
+       (Printf.sprintf "causal cone: %d of %d events\n" (List.length cone)
+          (Trace.length trace));
+     List.iter
+       (fun e -> Buffer.add_string buf (Format.asprintf "  %a\n" Trace.pp_event e))
+       cone);
+  Buffer.contents buf

@@ -3,8 +3,8 @@ type kind =
   | Rpc_recv of { src : int; dst : int }
   | Rpc_drop of { src : int; dst : int; reason : string }
   | Rpc_timeout of { src : int; dst : int }
-  | Quorum_read of { op : string; got : int; need : int }
-  | Quorum_append of { op : string; got : int; need : int }
+  | Quorum_read of { txn : string; op : string; got : int; need : int }
+  | Quorum_append of { txn : string; op : string; got : int; need : int }
   | Repo_append of { txn : string; op : string; tentative : bool }
   | Txn_begin of { txn : string }
   | Txn_commit of { txn : string }
@@ -33,6 +33,7 @@ type kind =
   | Txn_decide of { txn : string; site : int; committed : bool }
   | Takeover_acquire of { txn : string; site : int; term : int }
   | Takeover_fence of { txn : string; site : int; term : int; granted : int }
+  | Quiesce of { up : int; n_sites : int; partitioned : bool }
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
 
@@ -215,6 +216,7 @@ let kind_label = function
   | Txn_decide _ -> "txn_decide"
   | Takeover_acquire _ -> "takeover_acquire"
   | Takeover_fence _ -> "takeover_fence"
+  | Quiesce _ -> "quiesce"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
 
@@ -224,10 +226,10 @@ let pp_kind ppf = function
   | Rpc_drop { src; dst; reason } ->
     Format.fprintf ppf "rpc_drop %d->%d (%s)" src dst reason
   | Rpc_timeout { src; dst } -> Format.fprintf ppf "rpc_timeout %d->%d" src dst
-  | Quorum_read { op; got; need } ->
-    Format.fprintf ppf "quorum_read %s %d/%d" op got need
-  | Quorum_append { op; got; need } ->
-    Format.fprintf ppf "quorum_append %s %d/%d" op got need
+  | Quorum_read { txn; op; got; need } ->
+    Format.fprintf ppf "quorum_read %s.%s %d/%d" txn op got need
+  | Quorum_append { txn; op; got; need } ->
+    Format.fprintf ppf "quorum_append %s.%s %d/%d" txn op got need
   | Repo_append { txn; op; tentative } ->
     Format.fprintf ppf "repo_append %s.%s%s" txn op
       (if tentative then " (tentative)" else "")
@@ -278,6 +280,9 @@ let pp_kind ppf = function
   | Takeover_fence { txn; site; term; granted } ->
     Format.fprintf ppf "takeover_fence %s: term %d fenced by %d (site %d)" txn
       term granted site
+  | Quiesce { up; n_sites; partitioned } ->
+    Format.fprintf ppf "quiesce %d/%d sites up%s" up n_sites
+      (if partitioned then ", partitioned" else "")
   | Span_begin { span; parent; label } ->
     Format.fprintf ppf "span_begin #%d %s%s" span label
       (match parent with Some p -> Printf.sprintf " (in #%d)" p | None -> "")

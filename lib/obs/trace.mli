@@ -18,9 +18,9 @@ type kind =
   | Rpc_drop of { src : int; dst : int; reason : string }
       (** lost in flight ([link]) or delivered to a down site ([dead_dest]) *)
   | Rpc_timeout of { src : int; dst : int }
-  | Quorum_read of { op : string; got : int; need : int }
+  | Quorum_read of { txn : string; op : string; got : int; need : int }
       (** initial-quorum assembly outcome at the front-end *)
-  | Quorum_append of { op : string; got : int; need : int }
+  | Quorum_append of { txn : string; op : string; got : int; need : int }
       (** final-quorum append outcome at the front-end *)
   | Repo_append of { txn : string; op : string; tentative : bool }
       (** one repository logged an entry (site = the repository) *)
@@ -79,6 +79,13 @@ type kind =
   | Takeover_fence of { txn : string; site : int; term : int; granted : int }
       (** a driver at stale [term] was refused by a repository holding a
           lease at [granted] and halted its drive *)
+  | Quiesce of { up : int; n_sites : int; partitioned : bool }
+      (** the runtime's end-of-run fairness signal: network state at the
+          horizon ([up] live sites out of [n_sites], partition in force or
+          not). Liveness monitors ({!Atomrep_chaos.Monitors}) treat a trace
+          whose final [Quiesce] shows a healed, fully-live network as one
+          where fairness held — every blocked obligation had its chance to
+          resolve — and only then flag unresolved obligations *)
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
 

@@ -347,6 +347,7 @@ let execute t ~txn ~clock ?(span = -1) inv ~k =
                note t ~site:src
                  (Trace.Quorum_read
                     {
+                      txn = txname;
                       op = opname;
                       got = List.length logs;
                       need = sizes.Assignment.initial;
@@ -413,6 +414,7 @@ let execute t ~txn ~clock ?(span = -1) inv ~k =
               note t ~site:src
                 (Trace.Quorum_append
                    {
+                     txn = txname;
                      op = opname;
                      got = List.length acks;
                      need = sizes.Assignment.final;

@@ -1386,6 +1386,17 @@ let run cfg =
   done;
   Engine.run ~until:cfg.horizon engine;
   (match !detector with Some d -> Detector.stop d | None -> ());
+  (* End-of-run fairness signal: the liveness monitors only indict an
+     unresolved obligation when the final network state shows fairness held
+     (everything healed, everybody up) — a stranded op behind a permanent
+     kill is vacuous, not a violation. *)
+  note st ~site:(-1)
+    (Trace.Quiesce
+       {
+         up = List.length (Network.up_sites net);
+         n_sites = cfg.n_sites;
+         partitioned = Network.partitioned net;
+       });
   let ns = Network.stats net in
   (* Mirror the network's counters and the run-level facts into the
      registry so one JSON export carries everything. *)

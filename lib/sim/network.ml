@@ -173,6 +173,10 @@ let heal t =
   note t ~site:(-1) Trace.Heal;
   t.groups <- Array.make t.n_sites 0
 
+let partitioned t =
+  Hashtbl.length t.blocked > 0
+  || (t.n_sites > 0 && Array.exists (fun g -> g <> t.groups.(0)) t.groups)
+
 let reachable t a b =
   t.up.(a) && t.up.(b)
   && t.groups.(a) = t.groups.(b)

@@ -104,6 +104,12 @@ val partition : t -> int list list -> unit
 val heal : t -> unit
 (** Remove any partition. *)
 
+val partitioned : t -> bool
+(** Is connectivity currently degraded — a partition with more than one
+    group in force, or any one-way failed link? The runtime samples this at
+    the horizon for the {!Atomrep_obs.Trace.Quiesce} fairness signal that
+    gates the liveness monitors. *)
+
 val fail_link : t -> src:int -> dst:int -> unit
 (** Fail the one-way link [src -> dst]: messages in that direction are
     dropped; the reverse direction is unaffected. *)

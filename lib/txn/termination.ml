@@ -15,6 +15,9 @@ let mode_of_string = function
   | "cooperative" -> Some Cooperative
   | _ -> None
 
+let enabled = function Disabled -> false | Presumed_abort_only | Cooperative -> true
+let cooperative = function Cooperative -> true | Disabled | Presumed_abort_only -> false
+
 type decision =
   | Intent of { action : Action.t; touched : string list; cts : Lamport.Timestamp.t }
   | Outcome of { action : Action.t; committed : bool }

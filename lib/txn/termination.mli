@@ -28,6 +28,16 @@ type mode =
 val mode_name : mode -> string
 val mode_of_string : string -> mode option
 
+val enabled : mode -> bool
+(** Any crash-safe termination at all — [mode <> Disabled]. The liveness
+    monitors ({!Atomrep_chaos.Monitors}) only hold in-doubt transactions
+    to an eventually-resolved obligation when some termination protocol
+    exists to resolve them. *)
+
+val cooperative : mode -> bool
+(** Participant-driven termination is on — the only mode under which the
+    stranded-entry gauge is required to drain to zero. *)
+
 type decision =
   | Intent of {
       action : Action.t;

@@ -275,6 +275,142 @@ let test_postmortem_slices_amnesia_violation () =
   check_bool "render mentions the violating actions" true
     (String.length rendered > 0)
 
+(* --- the spec-monitor DSL --- *)
+
+module SM = Atomrep_obs.Spec_monitor
+
+(* An empty trace discharges every spec: nothing is stepped, a single
+   at_quiesce sees only its init state, and a keyed spec never even
+   instantiates. *)
+let test_spec_empty_trace () =
+  let tr = Trace.create ~n_sites:1 () in
+  let never =
+    SM.make ~name:"never"
+      ~init:(fun () -> ())
+      ~step:(fun () _ -> SM.Violate ((), "stepped on an empty trace"))
+      ()
+  in
+  check_bool "nothing stepped" true (SM.run never tr = []);
+  let obligated =
+    SM.keyed ~name:"per_txn"
+      ~key:(fun _ -> Some "T0")
+      ~init:(fun _ -> ())
+      ~step:(fun () _ -> SM.Continue ())
+      ~at_quiesce:(fun _ () -> [ "standing obligation" ])
+      ()
+  in
+  check_bool "keyed: no instance, no obligation" true (SM.run obligated tr = [])
+
+(* Events failing [on] never reach [step]; the quiesce check still judges
+   what the filtered view amounted to. *)
+let test_spec_on_filter () =
+  let tr = Trace.create ~n_sites:1 () in
+  ignore (Trace.emit tr ~site:0 (Trace.Txn_begin { txn = "T0" }));
+  ignore (Trace.emit tr ~site:0 Trace.Heal);
+  let commits_only =
+    SM.make ~name:"commits_only"
+      ~on:(SM.observes [ "txn_commit" ])
+      ~init:(fun () -> 0)
+      ~step:(fun n e ->
+        match e.Trace.kind with
+        | Trace.Txn_commit _ -> SM.Continue (n + 1)
+        | _ -> SM.Violate (n, "stepped on an event outside [on]"))
+      ~at_quiesce:(fun n ->
+        if n = 1 then [] else [ Printf.sprintf "saw %d commit(s)" n ])
+      ()
+  in
+  let vs = SM.run commits_only tr in
+  check_int "only the quiesce obligation fires" 1 (List.length vs);
+  check_bool "no step-anchored violation" true
+    (List.for_all (fun v -> v.SM.v_event = None) vs);
+  ignore (Trace.emit tr ~site:0 (Trace.Txn_commit { txn = "T0" }));
+  check_bool "commit observed, spec discharged" true (SM.run commits_only tr = [])
+
+(* Accept finalizes a keyed instance: its state is GC'd, and a later event
+   under the same key allocates a fresh machine. *)
+let test_spec_keyed_gc () =
+  let open_close =
+    SM.keyed ~name:"txn_open"
+      ~on:(SM.observes [ "txn_begin"; "txn_commit" ])
+      ~key:(fun e ->
+        match e.Trace.kind with
+        | Trace.Txn_begin { txn } | Trace.Txn_commit { txn } -> Some txn
+        | _ -> None)
+      ~init:(fun _ -> ())
+      ~step:(fun () e ->
+        match e.Trace.kind with
+        | Trace.Txn_commit _ -> SM.Accept
+        | _ -> SM.Continue ())
+      ()
+  in
+  let tr = Trace.create ~n_sites:1 () in
+  let inst = SM.instantiate open_close in
+  let feed kind = SM.observe inst (Trace.get tr (Trace.emit tr ~site:0 kind)) in
+  feed (Trace.Txn_begin { txn = "T0" });
+  feed (Trace.Txn_begin { txn = "T1" });
+  check_int "two live instances" 2 (SM.live_instances inst);
+  feed (Trace.Txn_commit { txn = "T0" });
+  check_int "accept GCs T0" 1 (SM.live_instances inst);
+  feed (Trace.Txn_commit { txn = "T1" });
+  check_int "accept GCs T1" 0 (SM.live_instances inst);
+  feed (Trace.Txn_begin { txn = "T0" });
+  check_int "reused key allocates a fresh machine" 1 (SM.live_instances inst);
+  check_bool "no violations" true (SM.quiesce inst = [])
+
+(* A violated child of a conjunction is short-circuited — one
+   counterexample, no quiesce check — while its siblings keep observing
+   every event and still get their own verdicts. *)
+let test_spec_conjunction_short_circuit () =
+  let steps = ref 0 in
+  let tripwire =
+    SM.make ~name:"tripwire"
+      ~init:(fun () -> ())
+      ~step:(fun () _ -> SM.Violate ((), "first event trips"))
+      ~at_quiesce:(fun () -> [ "tripwire quiesce must be skipped" ])
+      ()
+  in
+  let counter =
+    SM.make ~name:"counter"
+      ~init:(fun () -> ())
+      ~step:(fun () _ ->
+        incr steps;
+        SM.Continue ())
+      ~at_quiesce:(fun () -> [ Printf.sprintf "saw %d events" !steps ])
+      ()
+  in
+  let both = SM.all ~name:"both" [ tripwire; counter ] in
+  let tr = Trace.create ~n_sites:1 () in
+  for _ = 1 to 3 do
+    ignore (Trace.emit tr ~site:0 Trace.Heal)
+  done;
+  let names = List.map (fun v -> v.SM.v_monitor) (SM.run both tr) in
+  check_int "tripwire contributes exactly one counterexample" 1
+    (List.length (List.filter (String.equal "tripwire") names));
+  check_int "sibling keeps stepping after the short-circuit" 3 !steps;
+  check_bool "sibling's quiesce verdict still surfaces" true
+    (List.mem "counter" names)
+
+(* The ported commit-atomicity/common-order monitors must agree with the
+   legacy untraced history oracles run for run: same verdict, same failure
+   count. Random seeds on the ungated storm base so both clean and
+   violating runs are exercised. *)
+let prop_monitors_agree_with_legacy_oracles =
+  QCheck2.Test.make ~name:"ported monitors agree with legacy oracles" ~count:25
+    QCheck2.Gen.(pair (oneofl [ Replicated.Static; Replicated.Hybrid ]) (int_bound 999))
+    (fun (scheme, seed) ->
+      let base = { Campaign.default_base with Runtime.ungated_rejoin = true } in
+      let cfg () =
+        Campaign.configure ~base ~scheme ~seed ~n_txns:40 ~intensity:2.0 (storm ())
+      in
+      let monitors =
+        match Monitors.of_names "commit_atomicity,common_order" with
+        | Ok ms -> ms
+        | Error e -> failwith e
+      in
+      let _, legacy = Campaign.check_run (cfg ()) in
+      let _, ported = Campaign.check_run ~monitors (cfg ()) in
+      (legacy = []) = (ported = []) && List.length legacy = List.length ported)
+
 let suites =
   [
     ( "obs",
@@ -301,5 +437,11 @@ let suites =
           test_causal_cone_walks_both_edges;
         Alcotest.test_case "postmortem slices the amnesia violation" `Quick
           test_postmortem_slices_amnesia_violation;
+        Alcotest.test_case "spec DSL: empty trace" `Quick test_spec_empty_trace;
+        Alcotest.test_case "spec DSL: events outside [on]" `Quick test_spec_on_filter;
+        Alcotest.test_case "spec DSL: keyed-instance GC" `Quick test_spec_keyed_gc;
+        Alcotest.test_case "spec DSL: conjunction short-circuit" `Quick
+          test_spec_conjunction_short_circuit;
+        QCheck_alcotest.to_alcotest prop_monitors_agree_with_legacy_oracles;
       ] );
   ]
