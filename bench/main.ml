@@ -28,6 +28,13 @@
                                              adopted commits, lease/fence
                                              counters, and a monitor-gated
                                              takeover_storm campaign)
+     dune exec bench/main.exe -- perf      — machine-readable BENCH_8.json
+                                             (per-scheme committed/s, the
+                                             profiling / tracing / sampled
+                                             tracing overhead ratios, the
+                                             zero-monitor-loss fidelity
+                                             check, profile and time-series
+                                             snapshots)
      dune exec bench/main.exe -- explore   — machine-readable BENCH_7.json
                                              (monitored seed-sweep explorer:
                                              healthy hardened sweep, 1-domain
@@ -259,16 +266,42 @@ let run_json () =
   let module Summary = Atomrep_stats.Summary in
   let seed = 42 and n_txns = 200 in
   let n_sites = Runtime.default_config.Runtime.n_sites in
+  (* Per-scheme conflict relations: the locking scheme's conflict tables
+     come from its dynamic dependency relation (Theorem 10), the timestamp
+     schemes from the static one (Theorem 6). Giving every scheme the
+     static relation — the old behavior — made the hybrid and locking rows
+     byte-identical, because the drivers only differ in their conflict
+     tables on this fault-free workload. *)
+  let relation_for scheme =
+    match scheme with
+    | Replicated.Locking -> Dynamic_dep.minimal Queue_type.spec ~max_len:4
+    | Replicated.Hybrid | Replicated.Static ->
+      Static_dep.minimal Queue_type.spec ~max_len:4
+  in
   let cfg scheme trace =
-    { Runtime.default_config with Runtime.seed; n_txns; scheme; trace }
+    let objects =
+      List.map
+        (fun o -> { o with Runtime.obj_relation = relation_for scheme })
+        Runtime.default_config.Runtime.objects
+    in
+    { Runtime.default_config with Runtime.seed; n_txns; scheme; trace; objects }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
   in
   let scheme_entry scheme =
-    let outcome = Runtime.run (cfg scheme None) in
+    let outcome, wall = time (fun () -> Runtime.run (cfg scheme None)) in
     let m = outcome.Runtime.metrics in
     let lat = m.Runtime.txn_latency in
     Json.Obj
       [
         ("scheme", Json.Str (Replicated.scheme_name scheme));
+        ("wall_s", Json.Num wall);
+        ( "committed_per_s",
+          Json.Num
+            (if wall > 0.0 then float_of_int m.Runtime.committed /. wall else 0.0) );
         ("committed", Json.int m.Runtime.committed);
         ("aborted", Json.int m.Runtime.aborted);
         ( "aborts",
@@ -293,11 +326,6 @@ let run_json () =
         ("msgs_sent", Json.int m.Runtime.msgs_sent);
         ("sim_duration", Json.Num m.Runtime.duration);
       ]
-  in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
   in
   let hybrid = Replicated.Hybrid in
   let _, off_s = time (fun () -> Runtime.run (cfg hybrid None)) in
@@ -939,6 +967,222 @@ let run_explore () =
   Atomrep_obs.Export.write_file "BENCH_7.json" (Json.to_string doc);
   print_endline "wrote BENCH_7.json"
 
+(* Performance-observability benchmark record: what the profiling hooks,
+   the sim-time time-series and per-kind trace sampling cost and buy.
+   (1) per-scheme committed/s with no observability attached — the
+   headline the `atomrep bench-diff` gate tracks under kind "perf";
+   (2) observability overhead: wall clock for bare / profiled /
+   traced-full / traced-sampled runs of the same fixed-seed hybrid
+   workload, with the sampled tracing ratio expected below the
+   full-fidelity one (BENCH_3's ~1.11); (3) the zero-loss check: with
+   sampling forced to keep every kind the monitor catalogue subscribes
+   to, the per-kind monitor-event counts and the monitor verdicts must
+   be identical sampled or not; (4) hot-phase profile and time-series
+   snapshots. Written to BENCH_8.json; the schema is documented in
+   EXPERIMENTS.md. *)
+let run_perf () =
+  let module Runtime = Atomrep_replica.Runtime in
+  let module Replicated = Atomrep_replica.Replicated in
+  let module Monitors = Atomrep_chaos.Monitors in
+  let module Trace = Atomrep_obs.Trace in
+  let module Profile = Atomrep_obs.Profile in
+  let module Timeseries = Atomrep_obs.Timeseries in
+  let module Json = Atomrep_obs.Json in
+  let seed = 42 and n_txns = 200 and reps = 5 and sample_every = 8 in
+  let n_sites = Runtime.default_config.Runtime.n_sites in
+  let cfg ?trace ?(profile = Profile.null) ?(timeseries = Timeseries.null)
+      scheme =
+    {
+      Runtime.default_config with
+      Runtime.seed;
+      n_txns;
+      scheme;
+      trace;
+      profile;
+      timeseries;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  print_newline ();
+  print_endline "Performance-observability benchmark (fixed seed, 5 reps)";
+  print_endline "========================================================";
+  (* (1) Per-scheme baseline throughput, no observability attached. *)
+  let scheme_rows =
+    List.map
+      (fun scheme ->
+        let committed = ref 0 in
+        let _, wall =
+          time (fun () ->
+              for _ = 1 to reps do
+                let m = (Runtime.run (cfg scheme)).Runtime.metrics in
+                committed := !committed + m.Runtime.committed
+              done)
+        in
+        let per_s =
+          if wall > 0.0 then float_of_int !committed /. wall else 0.0
+        in
+        Printf.printf "  %-8s committed=%d (%.0f/s)\n%!"
+          (Replicated.scheme_name scheme)
+          !committed per_s;
+        ( Replicated.scheme_name scheme,
+          Json.Obj
+            [
+              ("committed", Json.int !committed);
+              ("wall_s", Json.Num wall);
+              ("committed_per_s", Json.Num per_s);
+            ] ))
+      Replicated.[ Static; Hybrid; Locking ]
+  in
+  (* (2) Observability overhead on the hybrid workload. *)
+  let monitors = Monitors.registry in
+  let forced = Monitors.forced monitors in
+  (* Interleaved timing: one run of each configuration per round, so
+     clock drift, GC state and cache warmth spread evenly across the four
+     accumulators instead of biasing whichever ran last. *)
+  let bare_s = ref 0.0 and profiled_s = ref 0.0 in
+  let full_s = ref 0.0 and sampled_s = ref 0.0 in
+  let profile = Profile.create () in
+  Profile.set_clock profile Unix.gettimeofday;
+  let traced ~sample () =
+    let tr = Trace.create ~n_sites () in
+    if sample > 1 then Trace.set_sampling tr ~every:sample ~forced ();
+    let outcome = Runtime.run (cfg ~trace:tr Replicated.Hybrid) in
+    (tr, outcome)
+  in
+  let tally acc f =
+    let r, dt = time f in
+    acc := !acc +. dt;
+    r
+  in
+  let last = ref None in
+  for _ = 1 to reps do
+    ignore (tally bare_s (fun () -> Runtime.run (cfg Replicated.Hybrid)));
+    ignore (tally profiled_s (fun () -> Runtime.run (cfg ~profile Replicated.Hybrid)));
+    let full = tally full_s (traced ~sample:1) in
+    let sampled = tally sampled_s (traced ~sample:sample_every) in
+    last := Some (full, sampled)
+  done;
+  let (full_tr, full_outcome), (sampled_tr, sampled_outcome) =
+    match !last with Some r -> r | None -> assert false
+  in
+  let bare_s = !bare_s and profiled_s = !profiled_s in
+  let full_s = !full_s and sampled_s = !sampled_s in
+  let ratio x = if bare_s > 0.0 then x /. bare_s else 0.0 in
+  Printf.printf
+    "  overhead: bare %.3fs, profiled %.3fs (x%.3f), traced %.3fs (x%.3f), \
+     sampled 1/%d %.3fs (x%.3f)\n%!"
+    bare_s profiled_s (ratio profiled_s) full_s (ratio full_s) sample_every
+    sampled_s (ratio sampled_s);
+  if ratio sampled_s >= ratio full_s then
+    print_endline "  WARNING: sampling did not reduce the tracing overhead";
+  (* (3) Zero monitor-visible loss: per-kind counts over the monitored
+     labels, and the verdicts, from the last full vs last sampled run
+     (same seed, same workload). *)
+  let monitor_labels = Monitors.observed_labels monitors in
+  let counts tr =
+    List.map
+      (fun label ->
+        ( label,
+          List.length
+            (List.filter
+               (fun (e : Trace.event) ->
+                 String.equal (Trace.kind_label e.Trace.kind) label)
+               (Trace.events tr)) ))
+      monitor_labels
+  in
+  let full_counts = counts full_tr and sampled_counts = counts sampled_tr in
+  let counts_equal = full_counts = sampled_counts in
+  let verdict outcome tr =
+    Atomrep_obs.Spec_monitor.failures
+      (Monitors.run monitors
+         { Monitors.cfg = cfg ~trace:tr Replicated.Hybrid; outcome }
+         tr)
+  in
+  let full_failures = verdict full_outcome full_tr in
+  let sampled_failures = verdict sampled_outcome sampled_tr in
+  let verdicts_equal = full_failures = sampled_failures in
+  Printf.printf
+    "  fidelity: %d monitored kinds, counts %s, verdicts %s (%d trace events \
+     kept of %d emitted)\n%!"
+    (List.length monitor_labels)
+    (if counts_equal then "identical" else "DIFFER")
+    (if verdicts_equal then "identical" else "DIFFER")
+    (Trace.length sampled_tr)
+    (Trace.length sampled_tr + Trace.sampled_out sampled_tr);
+  (* (4) Snapshots: the hot-phase table and a time-series run. *)
+  let ts = Timeseries.create ~width:500.0 () in
+  let _ = Runtime.run (cfg ~timeseries:ts Replicated.Hybrid) in
+  let phase_json (p : Profile.phase) =
+    Json.Obj
+      [
+        ("subsystem", Json.Str p.Profile.p_subsystem);
+        ("phase", Json.Str p.Profile.p_phase);
+        ("count", Json.int p.Profile.p_count);
+        ("wall_s", Json.Num p.Profile.p_wall);
+        ("minor_words", Json.Num p.Profile.p_minor_words);
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "perf");
+        ("n_sites", Json.int n_sites);
+        ("seed", Json.int seed);
+        ("n_txns", Json.int n_txns);
+        ("reps", Json.int reps);
+        ("schemes", Json.Obj scheme_rows);
+        ( "overhead",
+          Json.Obj
+            [
+              ("bare_s", Json.Num bare_s);
+              ("profiled_s", Json.Num profiled_s);
+              ("traced_full_s", Json.Num full_s);
+              ("traced_sampled_s", Json.Num sampled_s);
+              ("profile_ratio", Json.Num (ratio profiled_s));
+              ("tracing_full_ratio", Json.Num (ratio full_s));
+              ("tracing_sampled_ratio", Json.Num (ratio sampled_s));
+              ("sample_every", Json.int sample_every);
+              ("full_events", Json.int (Trace.length full_tr));
+              ("sampled_kept", Json.int (Trace.length sampled_tr));
+              ("sampled_out", Json.int (Trace.sampled_out sampled_tr));
+            ] );
+        ( "monitor_fidelity",
+          Json.Obj
+            [
+              ( "labels",
+                Json.List (List.map (fun l -> Json.Str l) monitor_labels) );
+              ( "full_counts",
+                Json.Obj
+                  (List.map (fun (l, n) -> (l, Json.int n)) full_counts) );
+              ( "sampled_counts",
+                Json.Obj
+                  (List.map (fun (l, n) -> (l, Json.int n)) sampled_counts) );
+              ("counts_equal", Json.Bool counts_equal);
+              ("verdicts_equal", Json.Bool verdicts_equal);
+              ("full_violations", Json.int (List.length full_failures));
+              ("sampled_violations", Json.int (List.length sampled_failures));
+            ] );
+        ("profile_top", Json.List (List.map phase_json (Profile.top profile ~n:5)));
+        ( "timeseries",
+          Json.Obj
+            [
+              ("width", Json.Num (Timeseries.width ts));
+              ("windows", Json.int (List.length (Timeseries.windows ts)));
+              ("dropped", Json.int (Timeseries.dropped ts));
+              ( "series",
+                Json.List
+                  (List.map (fun s -> Json.Str s) (Timeseries.series_names ts))
+              );
+            ] );
+      ]
+  in
+  Atomrep_obs.Export.write_file "BENCH_8.json" (Json.to_string doc);
+  print_endline "wrote BENCH_8.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = args = [ "micro" ] in
@@ -949,6 +1193,7 @@ let () =
   let termination_only = args = [ "termination" ] in
   let takeover_only = args = [ "takeover" ] in
   let explore_only = args = [ "explore" ] in
+  let perf_only = args = [ "perf" ] in
   let micro = List.mem "micro" args || args = [] || List.mem "all" args in
   let chaos = List.mem "chaos" args in
   let reconfig = List.mem "reconfig" args in
@@ -957,18 +1202,19 @@ let () =
   let termination = List.mem "termination" args in
   let takeover = List.mem "takeover" args in
   let explore = List.mem "explore" args in
+  let perf = List.mem "perf" args in
   let ids =
     List.filter
       (fun a ->
         a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig" && a <> "json"
         && a <> "storage" && a <> "termination" && a <> "takeover"
-        && a <> "explore")
+        && a <> "explore" && a <> "perf")
       args
   in
   if
     (not micro_only) && (not chaos_only) && (not reconfig_only) && (not json_only)
     && (not storage_only) && (not termination_only) && (not takeover_only)
-    && not explore_only
+    && (not explore_only) && not perf_only
   then run_experiments ids;
   if micro then run_micro ();
   if chaos then run_chaos ();
@@ -977,4 +1223,5 @@ let () =
   if storage then run_storage ();
   if termination then run_termination ();
   if takeover then run_takeover ();
-  if explore then run_explore ()
+  if explore then run_explore ();
+  if perf then run_perf ()

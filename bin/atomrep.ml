@@ -47,6 +47,52 @@ let write_trace path fmt trace =
 let write_metrics path registry =
   Obs.Export.write_file path (Obs.Json.to_string (Obs.Metrics.to_json registry))
 
+(* Shared performance-observability flags: --sample thins the trace bus
+   (monitor-subscribed kinds stay full fidelity), --profile turns on the
+   phase profiler, --timeseries samples sim-time windows to a JSON file. *)
+let sample_arg =
+  let doc =
+    "Keep one in $(docv) trace events per kind (deterministic counter, no \
+     RNG). Span and quiesce events, and any kind a selected monitor \
+     subscribes to, are always kept, so monitor verdicts are identical \
+     sampled or not. 1 = full fidelity."
+  in
+  Arg.(value & opt int 1 & info [ "sample" ] ~docv:"N" ~doc)
+
+let profile_flag_arg =
+  let doc =
+    "Profile the run: print the hot-phase table (wall time + minor-heap \
+     allocation per subsystem/phase) after the metrics."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let timeseries_file_arg =
+  let doc =
+    "Sample committed/aborted/blocked rates, WAL flushes, messages, queue \
+     depth and the stranded gauge into fixed-width sim-time windows and \
+     write them as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"FILE" ~doc)
+
+let window_arg =
+  let doc = "Time-series window width in simulated ms." in
+  Arg.(value & opt float 500.0 & info [ "window" ] ~docv:"MS" ~doc)
+
+(* A wall-clock profile: the obs library defaults to Sys.time because it
+   cannot link Unix; the CLI can, so runs measure real elapsed time. *)
+let fresh_profile () =
+  let p = Obs.Profile.create () in
+  Obs.Profile.set_clock p Unix.gettimeofday;
+  p
+
+let print_profile p =
+  Format.printf "%a@?" (Obs.Profile.pp_table ?top:None) p
+
+let write_timeseries path ts =
+  Obs.Export.write_file path (Obs.Json.to_string (Obs.Timeseries.to_json ts));
+  Printf.printf "wrote %s (%d windows)\n" path
+    (List.length (Obs.Timeseries.windows ts))
+
 (* Shared monitor selection: --monitor [SEL] traces the run(s) and gates
    them on the declarative spec monitors instead of the bare history
    oracles. A bare --monitor selects the whole catalogue. *)
@@ -282,7 +328,8 @@ let quorums_cmd =
 
 let simulate_cmd =
   let run scheme_name n_txns n_sites seed mtbf reconfigure durability termination
-      deadlock takeover monitor trace_file trace_format metrics_json =
+      deadlock takeover monitor trace_file trace_format metrics_json sample
+      profile_on ts_file window =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -306,9 +353,22 @@ let simulate_cmd =
         | Some _, _ | None, _ :: _ -> Some (Obs.Trace.create ~n_sites ())
         | None, [] -> None
       in
+      (match trace with
+       | Some tr when sample > 1 ->
+         Obs.Trace.set_sampling tr ~every:sample
+           ~forced:(Atomrep_chaos.Monitors.forced monitors) ()
+       | _ -> ());
+      let profile = if profile_on then fresh_profile () else Obs.Profile.null in
+      let timeseries =
+        match ts_file with
+        | Some _ -> Obs.Timeseries.create ~width:window ()
+        | None -> Obs.Timeseries.null
+      in
       let cfg =
         {
           Runtime.default_config with
+          profile;
+          timeseries;
           scheme;
           n_txns;
           n_sites;
@@ -383,6 +443,17 @@ let simulate_cmd =
                      e.Atomrep_chaos.Monitors.e_name)
                    monitors))
        | fs -> List.iter (fun (o, f) -> Printf.printf "VIOLATION %s: %s\n" o f) fs);
+      (match trace with
+       | Some tr when sample > 1 ->
+         Printf.printf "trace sampling: 1/%d, kept=%d sampled-out=%d\n"
+           (Obs.Trace.sampling tr)
+           (List.length (Obs.Trace.events tr))
+           (Obs.Trace.sampled_out tr)
+       | _ -> ());
+      if profile_on then print_profile profile;
+      (match ts_file with
+       | Some path -> write_timeseries path timeseries
+       | None -> ());
       (match trace_file, trace with
        | Some path, Some tr -> write_trace path trace_format tr
        | _ -> ());
@@ -422,7 +493,8 @@ let simulate_cmd =
       const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg
       $ reconfigure_arg $ durability_arg $ termination_arg $ deadlock_arg
       $ takeover_arg $ monitor_arg $ trace_file_arg $ trace_format_arg
-      $ metrics_json_arg)
+      $ metrics_json_arg $ sample_arg $ profile_flag_arg $ timeseries_file_arg
+      $ window_arg)
 
 (* --- chaos --- *)
 
@@ -462,7 +534,7 @@ let chaos_cmd =
   let module Campaign = Atomrep_chaos.Campaign in
   let run schemes profiles seeds txns intensity repro seed reconfig durability
       termination deadlock takeover monitor trace_file trace_format metrics_json
-      postmortem_dir =
+      postmortem_dir sample =
     match parse_schemes schemes, parse_profiles profiles, parse_monitors monitor with
     | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline e;
@@ -511,8 +583,8 @@ let chaos_cmd =
             List.iter
               (fun profile ->
                 let outcome, failures =
-                  Campaign.reproduce ~base ~monitors ?trace ~scheme ~profile
-                    ~seed ~n_txns:txns ~intensity ()
+                  Campaign.reproduce ~base ~monitors ~sample ?trace ~scheme
+                    ~profile ~seed ~n_txns:txns ~intensity ()
                 in
                 last_registry := Some outcome.Atomrep_replica.Runtime.registry;
                 Printf.printf "%s/%s seed=%d txns=%d intensity=%g: committed=%d\n"
@@ -548,7 +620,7 @@ let chaos_cmd =
       end
       else begin
         let report =
-          Campaign.run_campaign ~base ~n_txns:txns ~intensity ~monitors
+          Campaign.run_campaign ~base ~n_txns:txns ~intensity ~monitors ~sample
             ?postmortem_dir ~schemes ~profiles ~seeds ()
         in
         Format.printf "%a" Campaign.pp_report report;
@@ -612,7 +684,160 @@ let chaos_cmd =
       const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg $ intensity_arg
       $ repro_arg $ seed_arg $ reconfig_arg $ durability_arg $ termination_arg
       $ deadlock_arg $ takeover_arg $ monitor_arg $ trace_file_arg
-      $ trace_format_arg $ metrics_json_arg $ postmortem_dir_arg)
+      $ trace_format_arg $ metrics_json_arg $ postmortem_dir_arg $ sample_arg)
+
+(* --- perf --- *)
+
+let perf_cmd =
+  let run scheme_name n_txns n_sites seed sample window ts_file profile_json =
+    let scheme =
+      match scheme_name with
+      | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
+      | "static" -> Ok Atomrep_replica.Replicated.Static
+      | "locking" -> Ok Atomrep_replica.Replicated.Locking
+      | other -> Error (Printf.sprintf "unknown scheme %S (hybrid|static|locking)" other)
+    in
+    match scheme with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok scheme ->
+      let open Atomrep_replica in
+      let module Monitors = Atomrep_chaos.Monitors in
+      (* Full observability stack on: trace bus (sampled if asked, with the
+         whole monitor catalogue's kinds forced), phase profiler on a real
+         wall clock, and the sim-time time-series — so the hot-phase table
+         includes engine dispatch, trace publish, and monitor stepping. *)
+      let monitors = Monitors.registry in
+      let trace = Obs.Trace.create ~n_sites () in
+      if sample > 1 then
+        Obs.Trace.set_sampling trace ~every:sample
+          ~forced:(Monitors.forced monitors) ();
+      let profile = fresh_profile () in
+      let timeseries = Obs.Timeseries.create ~width:window () in
+      let cfg =
+        {
+          Runtime.default_config with
+          scheme;
+          n_txns;
+          n_sites;
+          seed;
+          trace = Some trace;
+          profile;
+          timeseries;
+          objects =
+            [
+              {
+                Runtime.obj_name = "queue";
+                obj_spec = Queue_type.spec;
+                obj_relation = Static_dep.minimal Queue_type.spec ~max_len:4;
+                obj_assignment = Runtime.default_queue_assignment ~n_sites;
+                obj_members = None;
+              };
+            ];
+        }
+      in
+      let wall0 = Unix.gettimeofday () in
+      let outcome = Runtime.run cfg in
+      let failures =
+        (* Monitors fold the trace after the run; install the profile again
+           so monitor/step shows up in the hot-phase table. *)
+        Obs.Profile.with_current profile (fun () ->
+            Obs.Spec_monitor.failures
+              (Monitors.run monitors { Monitors.cfg; outcome } trace))
+      in
+      let wall = Unix.gettimeofday () -. wall0 in
+      let m = outcome.Runtime.metrics in
+      Printf.printf
+        "scheme=%s txns=%d committed=%d aborted=%d ops=%d over %.1f ms \
+         simulated (%.3f s wall)\n"
+        (Replicated.scheme_name scheme)
+        n_txns m.Runtime.committed m.Runtime.aborted m.Runtime.ops_done
+        m.Runtime.duration wall;
+      Printf.printf "trace: %d events kept, %d sampled out (1/%d per kind)\n"
+        (List.length (Obs.Trace.events trace))
+        (Obs.Trace.sampled_out trace)
+        (Obs.Trace.sampling trace);
+      print_profile profile;
+      write_timeseries ts_file timeseries;
+      (match profile_json with
+       | Some path ->
+         Obs.Export.write_file path (Obs.Json.to_string (Obs.Profile.to_json profile));
+         Printf.printf "wrote %s\n" path
+       | None -> ());
+      (match failures with
+       | [] -> Printf.printf "monitors: OK (%d entries)\n" (List.length monitors)
+       | fs -> List.iter (fun (o, f) -> Printf.printf "VIOLATION %s: %s\n" o f) fs);
+      if failures = [] then 0 else 1
+  in
+  let scheme_arg =
+    Arg.(
+      value & opt string "hybrid"
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"hybrid, static, or locking.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 200 & info [ "txns" ] ~docv:"N" ~doc:"Transactions to run.")
+  in
+  let sites_arg =
+    Arg.(value & opt int 3 & info [ "n"; "sites" ] ~docv:"SITES" ~doc:"Replication degree.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let ts_arg =
+    Arg.(
+      value & opt string "timeseries.json"
+      & info [ "timeseries" ] ~docv:"FILE"
+          ~doc:"Write the sim-time time-series as JSON to $(docv).")
+  in
+  let profile_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-json" ] ~docv:"FILE"
+          ~doc:"Also write the hot-phase profile as JSON to $(docv).")
+  in
+  let doc =
+    "Profile a monitored run: hot-phase table, trace-sampling stats, and a \
+     sim-time time-series"
+  in
+  Cmd.v (Cmd.info "perf" ~doc)
+    Term.(
+      const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ sample_arg
+      $ window_arg $ ts_arg $ profile_json_arg)
+
+(* --- bench-diff --- *)
+
+let bench_diff_cmd =
+  let run dir threshold =
+    let entries = Obs.Bench_diff.scan ~dir in
+    if entries = [] then begin
+      Printf.printf "no BENCH_<n>.json files under %s\n" dir;
+      0
+    end
+    else begin
+      Format.printf "%a@." Obs.Bench_diff.pp_trajectory entries;
+      match Obs.Bench_diff.gate entries ~threshold with
+      | None -> 0
+      | Some v ->
+        Format.printf "%a@." Obs.Bench_diff.pp_verdict v;
+        if v.Obs.Bench_diff.v_regressed then 1 else 0
+    end
+  in
+  let dir_arg =
+    Arg.(
+      value & pos 0 string "."
+      & info [] ~docv:"DIR" ~doc:"Directory holding the BENCH_<n>.json history.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:
+            "Fail (exit 1) when the newest entry's best committed/s falls \
+             more than $(docv) below the most recent earlier entry of the \
+             same bench kind.")
+  in
+  let doc = "Gate the committed BENCH_*.json trajectory against regressions" in
+  Cmd.v (Cmd.info "bench-diff" ~doc) Term.(const run $ dir_arg $ threshold_arg)
 
 (* --- explore --- *)
 
@@ -1054,6 +1279,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            analyze_cmd; quorums_cmd; simulate_cmd; chaos_cmd; explore_cmd;
-            experiment_cmd; compare_cmd; witness_cmd; types_cmd;
+            analyze_cmd; quorums_cmd; simulate_cmd; chaos_cmd; perf_cmd;
+            bench_diff_cmd; explore_cmd; experiment_cmd; compare_cmd;
+            witness_cmd; types_cmd;
           ]))

@@ -209,7 +209,7 @@ let configure ~base ~scheme ~seed ~n_txns ~intensity ?trace profile =
    run untraced, exactly the original behavior. Tracing does not perturb
    the run (metrics and histories are bit-identical either way), so
    monitor-gated reproducers still replay. *)
-let check_run ?(monitors = []) cfg =
+let check_run ?(monitors = []) ?(sample = 1) cfg =
   let cfg =
     if monitors <> [] && cfg.Runtime.trace = None then
       {
@@ -218,6 +218,12 @@ let check_run ?(monitors = []) cfg =
       }
     else cfg
   in
+  (* Optional trace-bus thinning: every kind a selected monitor observes is
+     forced to full fidelity, so sampling can never change a verdict. *)
+  (match cfg.Runtime.trace with
+   | Some tr when sample > 1 ->
+     Trace.set_sampling tr ~every:sample ~forced:(Monitors.forced monitors) ()
+   | _ -> ());
   let outcome = Runtime.run cfg in
   match (monitors, cfg.Runtime.trace) with
   | [], _ | _, None ->
@@ -313,7 +319,7 @@ let write_postmortem ?monitors ~base ~dir v =
   { v with v_postmortem = Some pm_path }
 
 let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
-    ?monitors ?postmortem_dir ~schemes ~profiles ~seeds () =
+    ?monitors ?sample ?postmortem_dir ~schemes ~profiles ~seeds () =
   let cells = ref [] in
   let violations = ref [] in
   let total = ref 0 in
@@ -325,7 +331,7 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
           for seed = 0 to seeds - 1 do
             incr total;
             let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity profile in
-            let outcome, failures = check_run ?monitors cfg in
+            let outcome, failures = check_run ?monitors ?sample cfg in
             committed := !committed + outcome.Runtime.metrics.Runtime.committed;
             aborted := !aborted + outcome.Runtime.metrics.Runtime.aborted;
             if failures <> [] then begin
@@ -364,10 +370,10 @@ let run_campaign ?(base = default_base) ?(n_txns = 30) ?(intensity = 1.0)
     schemes;
   { cells = List.rev !cells; violations = List.rev !violations; total_runs = !total }
 
-let reproduce ?(base = default_base) ?monitors ?trace ~scheme ~profile ~seed
-    ~n_txns ~intensity () =
+let reproduce ?(base = default_base) ?monitors ?sample ?trace ~scheme ~profile
+    ~seed ~n_txns ~intensity () =
   let cfg = configure ~base ~scheme ~seed ~n_txns ~intensity ?trace profile in
-  check_run ?monitors cfg
+  check_run ?monitors ?sample cfg
 
 let pp_violation ppf v =
   Format.fprintf ppf "@[<v 2>VIOLATION %s/%s seed=%d txns=%d intensity=%g@,repro: %s"

@@ -101,6 +101,7 @@ val configure :
 
 val check_run :
   ?monitors:Monitors.entry list ->
+  ?sample:int ->
   Runtime.config ->
   Runtime.outcome * (string * string) list
 (** Run once and judge it. With no [monitors] selection (the default)
@@ -144,6 +145,7 @@ val run_campaign :
   ?n_txns:int ->
   ?intensity:float ->
   ?monitors:Monitors.entry list ->
+  ?sample:int ->
   ?postmortem_dir:string ->
   schemes:Replicated.scheme list ->
   profiles:profile list ->
@@ -157,6 +159,7 @@ val run_campaign :
 val reproduce :
   ?base:Runtime.config ->
   ?monitors:Monitors.entry list ->
+  ?sample:int ->
   ?trace:Atomrep_obs.Trace.t ->
   scheme:Replicated.scheme ->
   profile:profile ->

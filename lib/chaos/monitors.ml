@@ -13,6 +13,7 @@ type entry = {
   e_name : string;
   e_doc : string;
   e_kind : kind;
+  e_observes : string list;
   e_spec : ctx -> SM.t;
 }
 
@@ -386,18 +387,21 @@ let registry =
       e_name = "commit_atomicity";
       e_doc = "every object's history satisfies the scheme's local atomicity property";
       e_kind = Safety;
+      e_observes = [];
       e_spec = outcome_spec ~name:"commit_atomicity" Runtime.check_atomicity;
     };
     {
       e_name = "common_order";
       e_doc = "committed transactions serialize in one system-wide order";
       e_kind = Safety;
+      e_observes = [];
       e_spec = outcome_spec ~name:"common_order" Runtime.check_common_order;
     };
     {
       e_name = "no_divergence";
       e_doc = "no two drivers ever render opposite verdicts for a transaction";
       e_kind = Safety;
+      e_observes = [ "txn_decide" ];
       e_spec = no_divergence;
     };
     {
@@ -405,30 +409,35 @@ let registry =
       e_doc =
         "assignments satisfy dependency intersection; no commit after a short quorum";
       e_kind = Safety;
+      e_observes = [ "quorum_read"; "quorum_append"; "txn_commit"; "txn_abort" ];
       e_spec = quorum_intersection;
     };
     {
       e_name = "commit_durability";
       e_doc = "nothing is reported committed before a write quorum stored it";
       e_kind = Safety;
+      e_observes = [ "repo_append"; "quorum_append"; "txn_commit"; "txn_abort"; "crash" ];
       e_spec = commit_durability;
     };
     {
       e_name = "stranded_entries";
       e_doc = "cooperative termination drains every stranded tentative entry";
       e_kind = Liveness;
+      e_observes = [ "quiesce" ];
       e_spec = stranded_entries;
     };
     {
       e_name = "blocked_liveness";
       e_doc = "every blocked operation resolves once partitions heal";
       e_kind = Liveness;
+      e_observes = [ "lock_wait"; "lock_grant"; "txn_commit"; "txn_abort"; "deadlock"; "quiesce" ];
       e_spec = blocked_liveness;
     };
     {
       e_name = "indoubt_liveness";
       e_doc = "every durable commit point reaches a verdict after recovery";
       e_kind = Liveness;
+      e_observes = [ "commit_point"; "txn_decide"; "txn_commit"; "txn_abort"; "txn_redrive"; "coop_term"; "quiesce" ];
       e_spec = indoubt_liveness;
     };
   ]
@@ -469,3 +478,11 @@ let conjoin entries ctx =
   SM.all ~name:"monitors" (List.map (fun e -> e.e_spec ctx) entries)
 
 let run entries ctx trace = SM.run (conjoin entries ctx) trace
+
+let observed_labels entries =
+  List.concat_map (fun e -> e.e_observes) entries
+  |> List.sort_uniq String.compare
+
+let forced entries =
+  let labels = observed_labels entries in
+  fun kind -> List.mem (Trace.kind_label kind) labels

@@ -51,6 +51,12 @@ type entry = {
   e_name : string;
   e_doc : string;  (** one-line property statement *)
   e_kind : kind;
+  e_observes : string list;
+      (** the {!Atomrep_obs.Trace.kind_label}s the entry's spec subscribes
+          to — static (a spec is only buildable from a post-run {!ctx}),
+          so trace-bus sampling can compute its forced-kind set {e before}
+          the run. A unit test pins each list to the built spec's actual
+          [on] predicate ({!Atomrep_obs.Spec_monitor.observes_kind}). *)
   e_spec : ctx -> Atomrep_obs.Spec_monitor.t;
 }
 
@@ -76,6 +82,15 @@ val run :
   entry list -> ctx -> Atomrep_obs.Trace.t -> Atomrep_obs.Spec_monitor.violation list
 (** Instantiate the conjunction fresh — no verdict bleed between runs or
     shrink candidates — fold the trace, quiesce. *)
+
+val observed_labels : entry list -> string list
+(** Union of the entries' [e_observes] lists, sorted, deduplicated. *)
+
+val forced : entry list -> Atomrep_obs.Trace.kind -> bool
+(** The forced-kind predicate for {!Atomrep_obs.Trace.set_sampling}: any
+    kind some selected monitor subscribes to must stay full fidelity —
+    sampling only thins kinds nothing consumes, so monitor verdicts are
+    identical sampled or not. *)
 
 val grace : Runtime.config -> float
 (** The liveness grace window (simulated ms): an obligation still open at

@@ -1,0 +1,188 @@
+type row = {
+  r_label : string;
+  r_committed : float;
+  r_wall_s : float option;
+  r_per_s : float option;
+}
+
+type entry = {
+  b_file : string;
+  b_index : int;
+  b_kind : string;
+  b_rows : row list;
+}
+
+let num = function Json.Num n -> Some n | _ -> None
+
+(* Harvest every object node carrying a numeric "committed" field, wherever
+   it sits in the file — the BENCH schemas differ per PR (schemes arrays,
+   modes maps, explore sweeps) but all report committed counts, and most
+   report wall_s / committed_per_s beside them. *)
+let rows_of_json json =
+  let acc = ref [] in
+  let label_of_element path j idx =
+    let tag =
+      List.find_map
+        (fun f ->
+          match Json.member f j with Some (Json.Str s) -> Some s | _ -> None)
+        [ "scheme"; "mode"; "name"; "profile" ]
+    in
+    let seg = match tag with Some s -> s | None -> string_of_int idx in
+    if path = "" then seg else path ^ "." ^ seg
+  in
+  let rec walk path j =
+    match j with
+    | Json.Obj fields ->
+      (match Option.bind (Json.member "committed" j) num with
+       | Some committed ->
+         let wall = Option.bind (Json.member "wall_s" j) num in
+         let per_s =
+           match Option.bind (Json.member "committed_per_s" j) num with
+           | Some p -> Some p
+           | None ->
+             (match wall with
+              | Some w when w > 0.0 -> Some (committed /. w)
+              | _ -> None)
+         in
+         acc :=
+           { r_label = path; r_committed = committed; r_wall_s = wall;
+             r_per_s = per_s }
+           :: !acc
+       | None -> ());
+      List.iter
+        (fun (k, v) ->
+          walk (if path = "" then k else path ^ "." ^ k) v)
+        fields
+    | Json.List items ->
+      List.iteri (fun i item -> walk (label_of_element path item i) item) items
+    | _ -> ()
+  in
+  walk "" json;
+  List.rev !acc
+
+let index_of_file file =
+  let base = Filename.basename file in
+  let stem = Filename.remove_extension base in
+  let prefix = "BENCH_" in
+  let plen = String.length prefix in
+  if
+    String.length stem > plen
+    && String.uppercase_ascii (String.sub stem 0 plen) = prefix
+  then int_of_string_opt (String.sub stem plen (String.length stem - plen))
+  else None
+
+let of_json ~file json =
+  let kind =
+    match Json.member "bench" json with
+    | Some (Json.Str s) -> s
+    | _ -> Filename.remove_extension (Filename.basename file)
+  in
+  {
+    b_file = Filename.basename file;
+    b_index = Option.value ~default:(-1) (index_of_file file);
+    b_kind = kind;
+    b_rows = rows_of_json json;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan ~dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           index_of_file f <> None && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  List.filter_map
+    (fun f ->
+      let path = Filename.concat dir f in
+      match Json.parse (read_file path) with
+      | Ok json -> Some (of_json ~file:f json)
+      | Error _ -> None)
+    files
+  |> List.sort (fun a b -> compare a.b_index b.b_index)
+
+(* One comparable figure per entry: the best committed/s any row reports.
+   Cross-PR BENCH files measure different workloads, so the gate only ever
+   compares entries of the same kind — the headline is the within-kind
+   yardstick. *)
+let headline e =
+  List.fold_left
+    (fun acc r ->
+      match (acc, r.r_per_s) with
+      | None, p -> p
+      | Some a, Some p -> Some (Float.max a p)
+      | Some _, None -> acc)
+    None e.b_rows
+
+type verdict = {
+  v_newest : entry;
+  v_baseline : entry option;
+  v_ratio : float option; (* newest headline / baseline headline *)
+  v_regressed : bool;
+}
+
+let gate entries ~threshold =
+  match List.rev entries with
+  | [] -> None
+  | newest :: older_rev ->
+    let baseline =
+      List.find_opt
+        (fun e -> e.b_kind = newest.b_kind && e.b_index < newest.b_index)
+        older_rev
+    in
+    let ratio =
+      match (baseline, headline newest) with
+      | Some b, Some hn ->
+        (match headline b with
+         | Some hb when hb > 0.0 -> Some (hn /. hb)
+         | _ -> None)
+      | _ -> None
+    in
+    let regressed =
+      match ratio with Some r -> r < 1.0 -. threshold | None -> false
+    in
+    Some
+      { v_newest = newest; v_baseline = baseline; v_ratio = ratio;
+        v_regressed = regressed }
+
+let pp_trajectory ppf entries =
+  Format.fprintf ppf "%-14s %-22s %-34s %10s %10s %12s@." "FILE" "KIND" "ROW"
+    "COMMITTED" "WALL(s)" "COMMITTED/s";
+  List.iter
+    (fun e ->
+      match e.b_rows with
+      | [] ->
+        Format.fprintf ppf "%-14s %-22s %-34s %10s %10s %12s@." e.b_file
+          e.b_kind "-" "-" "-" "-"
+      | rows ->
+        List.iter
+          (fun r ->
+            let fo = function
+              | Some v -> Printf.sprintf "%.6g" v
+              | None -> "-"
+            in
+            Format.fprintf ppf "%-14s %-22s %-34s %10.6g %10s %12s@." e.b_file
+              e.b_kind
+              (if r.r_label = "" then "." else r.r_label)
+              r.r_committed (fo r.r_wall_s) (fo r.r_per_s))
+          rows)
+    entries
+
+let pp_verdict ppf v =
+  match v.v_baseline with
+  | None ->
+    Format.fprintf ppf
+      "bench-diff: %s (kind %S) has no earlier entry of its kind — nothing \
+       to gate@."
+      v.v_newest.b_file v.v_newest.b_kind
+  | Some b ->
+    let ratio = match v.v_ratio with Some r -> r | None -> Float.nan in
+    Format.fprintf ppf
+      "bench-diff: %s vs %s (kind %S): headline committed/s ratio %.3f — %s@."
+      v.v_newest.b_file b.b_file v.v_newest.b_kind ratio
+      (if v.v_regressed then "REGRESSED" else "ok")

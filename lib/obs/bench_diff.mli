@@ -1,0 +1,49 @@
+(** Cross-PR BENCH regression gate.
+
+    Parses the committed [BENCH_*.json] history (one file per PR, schemas
+    varying per experiment) into a committed / wall-clock / committed-per-s
+    trajectory, and judges the newest entry against the most recent earlier
+    entry {e of the same kind} (the file's ["bench"] field). Different
+    kinds measure different workloads, so cross-kind comparison would gate
+    on noise; a kind's first entry establishes its baseline and later
+    entries must not fall more than the threshold below it. *)
+
+type row = {
+  r_label : string;  (** dotted JSON path, e.g. ["schemes.hybrid"] *)
+  r_committed : float;
+  r_wall_s : float option;
+  r_per_s : float option;
+      (** ["committed_per_s"] if present, else committed/wall_s *)
+}
+
+type entry = {
+  b_file : string;
+  b_index : int;  (** the N of BENCH_N.json; -1 if unparsable *)
+  b_kind : string;  (** the ["bench"] field, else the filename stem *)
+  b_rows : row list;
+}
+
+val of_json : file:string -> Json.t -> entry
+(** Harvest every object node carrying a numeric ["committed"] field. *)
+
+val scan : dir:string -> entry list
+(** Parse every [BENCH_<n>.json] in [dir], sorted by index. Unparsable
+    files are skipped. *)
+
+val headline : entry -> float option
+(** The entry's comparable figure: its best committed/s over all rows. *)
+
+type verdict = {
+  v_newest : entry;
+  v_baseline : entry option;
+      (** most recent earlier entry of the newest entry's kind *)
+  v_ratio : float option;
+  v_regressed : bool;  (** ratio fell below [1 - threshold] *)
+}
+
+val gate : entry list -> threshold:float -> verdict option
+(** [None] only when [entries] is empty. Without a same-kind baseline (or
+    without comparable headlines) the verdict passes. *)
+
+val pp_trajectory : Format.formatter -> entry list -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -37,6 +37,7 @@ let counter t ?(labels = []) name =
 
 let incr c = c.c <- c.c + 1
 let add c n = c.c <- c.c + n
+let read c = c.c
 
 let gauge t ?(labels = []) name =
   match find_or_add t (key name labels) (fun () -> Gauge { g = 0.0 }) with

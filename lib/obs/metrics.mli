@@ -21,6 +21,10 @@ val counter : t -> ?labels:(string * string) list -> string -> counter
 val incr : counter -> unit
 val add : counter -> int -> unit
 
+val read : counter -> int
+(** Current value via the handle — no registry lookup, so periodic
+    samplers (e.g. {!Timeseries}) can poll hot counters cheaply. *)
+
 val gauge : t -> ?labels:(string * string) list -> string -> gauge
 val set : gauge -> float -> unit
 

@@ -15,9 +15,14 @@ type machine = {
   m_live : unit -> int;
 }
 
-type t = { spec_name : string; fresh : unit -> machine }
+type t = {
+  spec_name : string;
+  spec_on : Trace.kind -> bool; (* static: which kinds the spec observes *)
+  fresh : unit -> machine;
+}
 
 let name t = t.spec_name
+let observes_kind t kind = t.spec_on kind
 
 let observes labels =
   fun kind -> List.mem (Trace.kind_label kind) labels
@@ -56,7 +61,7 @@ let make ~name ?(on = fun _ -> true) ~init ~step ?(at_quiesce = fun _ -> [])
     let m_live () = match !state with Some _ -> 1 | None -> 0 in
     { m_observe; m_quiesce; m_live }
   in
-  { spec_name = name; fresh }
+  { spec_name = name; spec_on = on; fresh }
 
 let keyed ~name ?(on = fun _ -> true) ~key ~init ~step
     ?(at_quiesce = fun _ _ -> []) () =
@@ -115,7 +120,7 @@ let keyed ~name ?(on = fun _ -> true) ~key ~init ~step
     let m_live () = Hashtbl.length states in
     { m_observe; m_quiesce; m_live }
   in
-  { spec_name = name; fresh }
+  { spec_name = name; spec_on = on; fresh }
 
 let all ~name children =
   let fresh () =
@@ -149,7 +154,11 @@ let all ~name children =
     in
     { m_observe; m_quiesce; m_live }
   in
-  { spec_name = name; fresh }
+  {
+    spec_name = name;
+    spec_on = (fun k -> List.exists (fun c -> c.spec_on k) children);
+    fresh;
+  }
 
 type instance = {
   machine : machine;
@@ -178,7 +187,8 @@ let quiesce inst =
 
 let run t trace =
   let inst = instantiate t in
-  List.iter (observe inst) (Trace.events trace);
+  Profile.record ~subsystem:"monitor" "step" (fun () ->
+      List.iter (observe inst) (Trace.events trace));
   quiesce inst
 
 let failures vs =

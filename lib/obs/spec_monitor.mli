@@ -43,6 +43,12 @@ type t
 
 val name : t -> string
 
+val observes_kind : t -> Trace.kind -> bool
+(** Whether the spec's [on] predicate claims the kind — for a conjunction,
+    whether any child's does. This is the static subscription surface the
+    trace-bus sampler must keep at full fidelity ({!Trace.set_sampling}):
+    sampling may only thin kinds no active monitor observes. *)
+
 val observes : string list -> Trace.kind -> bool
 (** [observes labels] is an [on] predicate matching events whose
     {!Trace.kind_label} is listed — the DSL's [on : kind list] clause. *)

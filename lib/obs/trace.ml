@@ -60,7 +60,61 @@ type t = {
   counters : int array;
   last : int array;
   mutable next_span : int;
+  (* Per-kind sampling: keep 1 in [sample_every] events of each kind
+     (deterministic per-kind counters, no RNG), except kinds the
+     [sample_forced] predicate claims — those stay full fidelity. The
+     counters and the forced-decision cache are dense arrays indexed by
+     {!kind_tag}, so the sampled-out path costs two array reads — no
+     hashing, no allocation — and thinning the bus actually saves the
+     wall time the dropped events would have cost. *)
+  mutable sample_every : int;
+  mutable sample_forced : kind -> bool;
+  sample_counts : int array;
+  sample_forced_cache : int array; (* -1 unknown, 0 thinned, 1 forced *)
+  mutable sampled_out : int;
 }
+
+(* Dense tag per kind constructor, for the sampling arrays. *)
+let n_kind_tags = 37
+
+let kind_tag = function
+  | Rpc_send _ -> 0
+  | Rpc_recv _ -> 1
+  | Rpc_drop _ -> 2
+  | Rpc_timeout _ -> 3
+  | Quorum_read _ -> 4
+  | Quorum_append _ -> 5
+  | Repo_append _ -> 6
+  | Txn_begin _ -> 7
+  | Txn_commit _ -> 8
+  | Txn_abort _ -> 9
+  | Lock_wait _ -> 10
+  | Lock_grant _ -> 11
+  | Epoch_seal _ -> 12
+  | Epoch_transfer _ -> 13
+  | Epoch_fence _ -> 14
+  | Crash _ -> 15
+  | Recover _ -> 16
+  | Partition _ -> 17
+  | Heal -> 18
+  | Detector_suspect _ -> 19
+  | Detector_trust _ -> 20
+  | Wal_flush _ -> 21
+  | Wal_checkpoint _ -> 22
+  | Wal_full _ -> 23
+  | Wal_replay _ -> 24
+  | Store_fault _ -> 25
+  | Commit_point _ -> 26
+  | Txn_redrive _ -> 27
+  | Coop_term _ -> 28
+  | Orphan_gc _ -> 29
+  | Deadlock _ -> 30
+  | Txn_decide _ -> 31
+  | Takeover_acquire _ -> 32
+  | Takeover_fence _ -> 33
+  | Quiesce _ -> 34
+  | Span_begin _ -> 35
+  | Span_end _ -> 36
 
 let create ?(enabled = true) ~n_sites () =
   {
@@ -71,6 +125,11 @@ let create ?(enabled = true) ~n_sites () =
     counters = Array.make (n_sites + 1) 0;
     last = Array.make (n_sites + 1) (-1);
     next_span = 0;
+    sample_every = 1;
+    sample_forced = (fun _ -> false);
+    sample_counts = Array.make n_kind_tags 0;
+    sample_forced_cache = Array.make n_kind_tags (-1);
+    sampled_out = 0;
   }
 
 let null = create ~enabled:false ~n_sites:0 ()
@@ -91,21 +150,107 @@ let push t e =
   t.data.(t.size) <- e;
   t.size <- t.size + 1
 
+let kind_label = function
+  | Rpc_send _ -> "rpc_send"
+  | Rpc_recv _ -> "rpc_recv"
+  | Rpc_drop _ -> "rpc_drop"
+  | Rpc_timeout _ -> "rpc_timeout"
+  | Quorum_read _ -> "quorum_read"
+  | Quorum_append _ -> "quorum_append"
+  | Repo_append _ -> "repo_append"
+  | Txn_begin _ -> "txn_begin"
+  | Txn_commit _ -> "txn_commit"
+  | Txn_abort _ -> "txn_abort"
+  | Lock_wait _ -> "lock_wait"
+  | Lock_grant _ -> "lock_grant"
+  | Epoch_seal _ -> "epoch_seal"
+  | Epoch_transfer _ -> "epoch_transfer"
+  | Epoch_fence _ -> "epoch_fence"
+  | Crash _ -> "crash"
+  | Recover _ -> "recover"
+  | Partition _ -> "partition"
+  | Heal -> "heal"
+  | Detector_suspect _ -> "detector_suspect"
+  | Detector_trust _ -> "detector_trust"
+  | Wal_flush _ -> "wal_flush"
+  | Wal_checkpoint _ -> "wal_checkpoint"
+  | Wal_full _ -> "wal_full"
+  | Wal_replay _ -> "wal_replay"
+  | Store_fault _ -> "store_fault"
+  | Commit_point _ -> "commit_point"
+  | Txn_redrive _ -> "txn_redrive"
+  | Coop_term _ -> "coop_term"
+  | Orphan_gc _ -> "orphan_gc"
+  | Deadlock _ -> "deadlock"
+  | Txn_decide _ -> "txn_decide"
+  | Takeover_acquire _ -> "takeover_acquire"
+  | Takeover_fence _ -> "takeover_fence"
+  | Quiesce _ -> "quiesce"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+
+let set_sampling t ~every ?(forced = fun _ -> false) () =
+  t.sample_every <- max 1 every;
+  t.sample_forced <- forced;
+  Array.fill t.sample_counts 0 n_kind_tags 0;
+  Array.fill t.sample_forced_cache 0 n_kind_tags (-1)
+
+let sampling t = t.sample_every
+let sampled_out t = t.sampled_out
+
+(* Structural kinds are never thinned: dropping a span half corrupts the
+   span tree, and the final Quiesce is the fairness signal every liveness
+   monitor folds. Everything else keeps 1 in [sample_every] per kind, on a
+   deterministic per-kind counter — no RNG, so a sampled run draws exactly
+   what the full-fidelity run draws. *)
+let keep t kind =
+  t.sample_every <= 1
+  || (match kind with
+      | Span_begin _ | Span_end _ | Quiesce _ -> true
+      | _ ->
+        (* The forced predicate is pure per kind constructor, so its
+           verdict is cached per tag: steady state is two array reads. *)
+        let tag = kind_tag kind in
+        let forced =
+          match t.sample_forced_cache.(tag) with
+          | -1 ->
+            let f = if t.sample_forced kind then 1 else 0 in
+            t.sample_forced_cache.(tag) <- f;
+            f = 1
+          | f -> f = 1
+        in
+        forced
+        ||
+        let n = t.sample_counts.(tag) in
+        t.sample_counts.(tag) <- n + 1;
+        n mod t.sample_every = 0)
+
+let emit_kept t ~site ~cause kind =
+  let lane = site + 1 in
+  let cause = match cause with Some c when c >= 0 -> Some c | _ -> None in
+  let witnessed =
+    match cause with Some c -> (get t c).lamport | None -> t.counters.(lane)
+  in
+  let lamport = max t.counters.(lane) witnessed + 1 in
+  t.counters.(lane) <- lamport;
+  let prev = if t.last.(lane) >= 0 then Some t.last.(lane) else None in
+  let id = t.size in
+  t.last.(lane) <- id;
+  push t { id; time = t.now (); site; lamport; prev; cause; kind };
+  id
+
 let emit t ~site ?cause kind =
   if not t.on then -1
+  else if not (keep t kind) then begin
+    t.sampled_out <- t.sampled_out + 1;
+    -1
+  end
   else begin
-    let lane = site + 1 in
-    let cause = match cause with Some c when c >= 0 -> Some c | _ -> None in
-    let witnessed =
-      match cause with Some c -> (get t c).lamport | None -> t.counters.(lane)
-    in
-    let lamport = max t.counters.(lane) witnessed + 1 in
-    t.counters.(lane) <- lamport;
-    let prev = if t.last.(lane) >= 0 then Some t.last.(lane) else None in
-    let id = t.size in
-    t.last.(lane) <- id;
-    push t { id; time = t.now (); site; lamport; prev; cause; kind };
-    id
+    let p = Profile.current () in
+    if Profile.enabled p then
+      Profile.time p ~subsystem:"trace" "publish" (fun () ->
+          emit_kept t ~site ~cause kind)
+    else emit_kept t ~site ~cause kind
   end
 
 let events t = Array.to_list (Array.sub t.data 0 t.size)
@@ -180,45 +325,6 @@ let span_durations t =
     (spans t);
   Hashtbl.fold (fun label sum acc -> (label, sum) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let kind_label = function
-  | Rpc_send _ -> "rpc_send"
-  | Rpc_recv _ -> "rpc_recv"
-  | Rpc_drop _ -> "rpc_drop"
-  | Rpc_timeout _ -> "rpc_timeout"
-  | Quorum_read _ -> "quorum_read"
-  | Quorum_append _ -> "quorum_append"
-  | Repo_append _ -> "repo_append"
-  | Txn_begin _ -> "txn_begin"
-  | Txn_commit _ -> "txn_commit"
-  | Txn_abort _ -> "txn_abort"
-  | Lock_wait _ -> "lock_wait"
-  | Lock_grant _ -> "lock_grant"
-  | Epoch_seal _ -> "epoch_seal"
-  | Epoch_transfer _ -> "epoch_transfer"
-  | Epoch_fence _ -> "epoch_fence"
-  | Crash _ -> "crash"
-  | Recover _ -> "recover"
-  | Partition _ -> "partition"
-  | Heal -> "heal"
-  | Detector_suspect _ -> "detector_suspect"
-  | Detector_trust _ -> "detector_trust"
-  | Wal_flush _ -> "wal_flush"
-  | Wal_checkpoint _ -> "wal_checkpoint"
-  | Wal_full _ -> "wal_full"
-  | Wal_replay _ -> "wal_replay"
-  | Store_fault _ -> "store_fault"
-  | Commit_point _ -> "commit_point"
-  | Txn_redrive _ -> "txn_redrive"
-  | Coop_term _ -> "coop_term"
-  | Orphan_gc _ -> "orphan_gc"
-  | Deadlock _ -> "deadlock"
-  | Txn_decide _ -> "txn_decide"
-  | Takeover_acquire _ -> "takeover_acquire"
-  | Takeover_fence _ -> "takeover_fence"
-  | Quiesce _ -> "quiesce"
-  | Span_begin _ -> "span_begin"
-  | Span_end _ -> "span_end"
 
 let pp_kind ppf = function
   | Rpc_send { src; dst } -> Format.fprintf ppf "rpc_send %d->%d" src dst

@@ -115,8 +115,33 @@ val set_clock : t -> (unit -> float) -> unit
     to a constant 0. *)
 
 val emit : t -> site:int -> ?cause:int -> kind -> int
-(** Record an event and return its id, or [-1] when the bus is disabled.
-    A negative [cause] (from a disabled emit) is treated as absent. *)
+(** Record an event and return its id, or [-1] when the bus is disabled or
+    the event was sampled out. A negative [cause] (from a disabled or
+    sampled-out emit) is treated as absent. *)
+
+(** {1 Per-kind sampling}
+
+    [set_sampling ~every] thins the bus to 1 in [every] events per kind, on
+    deterministic per-kind-label counters — no RNG is drawn, so a sampled
+    run behaves bit-for-bit like a full-fidelity run; only the recorded
+    trace thins. Kinds matched by [forced] are exempt and stay full
+    fidelity: pass the union of every active monitor's observed kinds
+    ({!Atomrep_chaos.Monitors.forced}) so monitors never miss an event.
+    Span and Quiesce events are always kept (span-tree integrity, and the
+    fairness signal liveness monitors fold). A sampled-out emit returns
+    [-1], which the causal machinery already treats as "no event". *)
+
+val set_sampling : t -> every:int -> ?forced:(kind -> bool) -> unit -> unit
+(** [every <= 1] restores full fidelity. Resets the per-kind counters.
+    [forced] must depend only on the kind's constructor (e.g. via
+    {!kind_label}), not its payload: its verdict is cached per
+    constructor so the sampled-out path stays allocation-free. *)
+
+val sampling : t -> int
+(** The current 1-in-N period (1 = full fidelity). *)
+
+val sampled_out : t -> int
+(** Events dropped by sampling since creation. *)
 
 val events : t -> event list
 (** All events in emission order. *)

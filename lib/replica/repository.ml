@@ -123,7 +123,7 @@ let checkpoint t =
    with durable state lagging — anything a later crash loses is restored by
    the quorum-gated resync, exactly like amnesia. *)
 let flush_now t wal =
-  match Wal.flush wal with
+  match Atomrep_obs.Profile.record ~subsystem:"wal" "flush" (fun () -> Wal.flush wal) with
   | Ok 0 -> ()
   | Ok n ->
     t.on_storage (Flushed n);

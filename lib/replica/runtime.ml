@@ -8,6 +8,8 @@ open Atomrep_stats
 open Atomrep_txn
 module Trace = Atomrep_obs.Trace
 module Metrics = Atomrep_obs.Metrics
+module Profile = Atomrep_obs.Profile
+module Timeseries = Atomrep_obs.Timeseries
 module Waits_for = Atomrep_cc.Waits_for
 
 type object_config = {
@@ -94,6 +96,17 @@ type config = {
          wins an epoch-style takeover lease before adopting the drive,
          and every vote it places is term-stamped so stale drivers are
          fenced (see DESIGN §3f). *)
+  profile : Profile.t;
+      (* Installed as the ambient profile for the run's extent, so the
+         engine dispatch loop, network sends, trace publishes, quorum
+         gathers and WAL flushes record phase timings against it.
+         [Profile.null] (the default) costs one branch per site. *)
+  timeseries : Timeseries.t;
+      (* When enabled, a periodic engine event samples committed/aborted/
+         blocked deltas, queue depth and WAL flushes into sim-time windows.
+         The sampler draws no RNG and re-arms only while other work is
+         pending, so it never changes what the workload does or when the
+         run ends. *)
 }
 
 let default_queue_assignment ~n_sites =
@@ -146,6 +159,8 @@ let default_config =
     deadlock = No_deadlock;
     reaper_every = 250.0;
     takeover = false;
+    profile = Profile.null;
+    timeseries = Timeseries.null;
   }
 
 type metrics = {
@@ -1055,7 +1070,7 @@ let model_history st scheme observed =
     in
     List.map (fun a -> Behavioral.Begin a) begins @ middles @ commits
 
-let run cfg =
+let run_inner cfg =
   let engine = Engine.create ~seed:cfg.seed in
   let net =
     Network.create engine ~n_sites:cfg.n_sites ~latency_mean:cfg.latency_mean
@@ -1378,6 +1393,55 @@ let run cfg =
            check ())
      in
      check ());
+  (* Time-series sampler: a recurring engine event polling the hot
+     counters into sim-time windows. It draws no RNG and re-arms only
+     while other work is pending, so committed counts and event order are
+     bit-for-bit identical with the sampler on or off — extra heap entries
+     shift absolute sequence numbers but never the relative order of the
+     workload's own events. *)
+  if Timeseries.enabled cfg.timeseries then begin
+    let ts = cfg.timeseries in
+    let s_committed = Timeseries.series ts ~agg:Timeseries.Sum "committed"
+    and s_aborted = Timeseries.series ts ~agg:Timeseries.Sum "aborted"
+    and s_blocked = Timeseries.series ts ~agg:Timeseries.Sum "blocked_waits"
+    and s_wal = Timeseries.series ts ~agg:Timeseries.Sum "wal_flushes"
+    and s_msgs = Timeseries.series ts ~agg:Timeseries.Sum "msgs_sent"
+    and s_queue = Timeseries.series ts ~agg:Timeseries.Max "queue_depth"
+    and s_stranded = Timeseries.series ts ~agg:Timeseries.Last "stranded_live" in
+    let last_committed = ref 0
+    and last_aborted = ref 0
+    and last_blocked = ref 0
+    and last_wal = ref 0
+    and last_msgs = ref 0 in
+    let wal_flushes_now () =
+      List.fold_left
+        (fun acc (_, obj) ->
+          match Replicated.wal_totals obj with
+          | None -> acc
+          | Some s -> acc + s.Atomrep_store.Wal.flushes)
+        0 objects
+    in
+    let interval = Timeseries.width ts /. 2.0 in
+    let rec tick () =
+      Engine.schedule engine ~delay:interval (fun () ->
+          let now = Engine.now engine in
+          let delta s last v =
+            Timeseries.observe ts s ~now (float_of_int (v - !last));
+            last := v
+          in
+          delta s_committed last_committed (Metrics.read st.counters.c_committed);
+          delta s_aborted last_aborted (Metrics.read st.counters.c_aborted);
+          delta s_blocked last_blocked (Metrics.read st.counters.c_blocked);
+          delta s_wal last_wal (wal_flushes_now ());
+          delta s_msgs last_msgs (Network.stats net).Network.sent;
+          Timeseries.observe ts s_queue ~now
+            (float_of_int (Engine.pending engine));
+          Timeseries.observe ts s_stranded ~now
+            (float_of_int st.n_stranded_live);
+          if Engine.pending engine > 0 then tick ())
+    in
+    tick ()
+  end;
   let rng = Engine.rng engine in
   let arrival = ref 0.0 in
   for i = 0 to cfg.n_txns - 1 do
@@ -1385,6 +1449,7 @@ let run cfg =
     run_txn st i ~arrival:!arrival
   done;
   Engine.run ~until:cfg.horizon engine;
+  Timeseries.finish cfg.timeseries ~now:(Engine.now engine);
   (match !detector with Some d -> Detector.stop d | None -> ());
   (* End-of-run fairness signal: the liveness monitors only indict an
      unresolved obligation when the final network state shows fairness held
@@ -1555,6 +1620,14 @@ let run cfg =
       objects
   in
   { metrics; histories; registry }
+
+(* Install the run's profile as the ambient one only when it is enabled:
+   a disabled profile must not mask an outer ambient profile (e.g. a
+   campaign profiling its runs from the CLI). *)
+let run cfg =
+  if Profile.enabled cfg.profile then
+    Profile.with_current cfg.profile (fun () -> run_inner cfg)
+  else run_inner cfg
 
 let spec_of (cfg : config) name =
   let oc = List.find (fun oc -> String.equal oc.obj_name name) cfg.objects in

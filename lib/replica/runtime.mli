@@ -132,6 +132,24 @@ type config = {
           repositories, stamps its votes with the lease term so stale
           drivers fence, and force-writes adopted decisions to its own
           durable decision log before driving them. *)
+  profile : Atomrep_obs.Profile.t;
+      (** phase profiling (default [Atomrep_obs.Profile.null], one branch
+          per instrumentation site): when enabled, it is installed as the
+          ambient profile for the run's extent, and the engine dispatch
+          loop, network sends, trace publishes, quorum gathers and WAL
+          flushes accumulate wall-time + allocation per phase into it.
+          Profiling reads no simulation RNG and never perturbs a run. *)
+  timeseries : Atomrep_obs.Timeseries.t;
+      (** sim-time time-series (default [Atomrep_obs.Timeseries.null]):
+          when enabled, a recurring engine event samples committed /
+          aborted / blocked-wait deltas, WAL flushes, messages sent, event
+          queue depth and the live stranded gauge into the series'
+          fixed-width windows; the run calls [Timeseries.finish] at the
+          horizon. The sampler draws no RNG and re-arms only while other
+          work is pending, so committed work, histories and verdicts are
+          bit-identical with it on or off; only [duration] can extend to
+          the sampler's final (empty) tick, at most half a window past
+          the last real event. *)
 }
 
 val default_config : config

@@ -87,7 +87,10 @@ let run ?until t =
          continue := false
        | Some _ | None ->
          t.clock <- e.time;
-         e.thunk ())
+         (* The dispatch phase wraps every simulated thunk, so the hot-phase
+            table's engine/dispatch row is the whole event loop; nested
+            phases (network send, trace publish, WAL flush) break it down. *)
+         Atomrep_obs.Profile.record ~subsystem:"engine" "dispatch" e.thunk)
   done
 
 let pending t = t.heap.Heap.size

@@ -183,7 +183,7 @@ let reachable t a b =
   && link_up t ~src:a ~dst:b
   && link_up t ~src:b ~dst:a
 
-let send t ~src ~dst thunk =
+let send_impl t ~src ~dst thunk =
   let rng = Engine.rng t.engine in
   t.stats.sent <- t.stats.sent + 1;
   let sid =
@@ -238,6 +238,13 @@ let send t ~src ~dst thunk =
       deliver (Rng.exponential rng t.latency_mean)
     end
   end
+
+let send t ~src ~dst thunk =
+  let p = Atomrep_obs.Profile.current () in
+  if Atomrep_obs.Profile.enabled p then
+    Atomrep_obs.Profile.time p ~subsystem:"network" "send" (fun () ->
+        send_impl t ~src ~dst thunk)
+  else send_impl t ~src ~dst thunk
 
 let up_sites t =
   List.filter (fun s -> t.up.(s)) (List.init t.n_sites Fun.id)

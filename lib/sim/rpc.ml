@@ -31,7 +31,10 @@ let multicast net ~src ~dsts ~timeout ~handler ~gather =
     let complete () =
       if (not !finished) && !answered = expected then begin
         finished := true;
-        gather (List.rev !received)
+        (* The quorum round's synchronous half: reply gathering plus the
+           caller's decision logic (vote counting, view merge, commit). *)
+        Atomrep_obs.Profile.record ~subsystem:"quorum" "gather" (fun () ->
+            gather (List.rev !received))
       end
     in
     List.iter

@@ -46,7 +46,10 @@ let writes t = t.writes
 
 let flushed t d =
   let s = t.sites.(d) in
-  match Wal.flush s.wal with
+  match
+    Atomrep_obs.Profile.record ~subsystem:"wal" "decision_flush" (fun () ->
+        Wal.flush s.wal)
+  with
   | Ok _ ->
     t.writes <- t.writes + 1;
     true

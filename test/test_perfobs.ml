@@ -1,0 +1,557 @@
+(* Performance observability: phase profiler, sim-time time-series
+   windowing, per-kind trace sampling (with the forced-fidelity guard for
+   monitor-subscribed kinds), and the BENCH regression gate. *)
+
+open Atomrep_replica
+open Atomrep_chaos
+module Trace = Atomrep_obs.Trace
+module Profile = Atomrep_obs.Profile
+module Timeseries = Atomrep_obs.Timeseries
+module Bench_diff = Atomrep_obs.Bench_diff
+module Json = Atomrep_obs.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- profile --- *)
+
+let test_profile_records_phases () =
+  let p = Profile.create () in
+  let clock = ref 0.0 in
+  Profile.set_clock p (fun () -> !clock);
+  let v =
+    Profile.time p ~subsystem:"engine" "dispatch" (fun () ->
+        clock := !clock +. 2.0;
+        Profile.time p ~subsystem:"network" "send" (fun () ->
+            clock := !clock +. 1.0;
+            7))
+  in
+  check_int "thunk value returned" 7 v;
+  ignore (Profile.time p ~subsystem:"engine" "dispatch" (fun () -> ()));
+  let phases = Profile.phases p in
+  check_int "two phases" 2 (List.length phases);
+  (* Hottest first: dispatch accumulated 3.0 — its own 2.0 plus the
+     nested send's 1.0, since phases are inclusive — and send 1.0. *)
+  let hot = List.hd phases in
+  check_string "hottest is dispatch" "dispatch" hot.Profile.p_phase;
+  check_string "subsystem kept" "engine" hot.Profile.p_subsystem;
+  check_int "dispatch counted twice" 2 hot.Profile.p_count;
+  check_bool "inclusive wall" true (abs_float (hot.Profile.p_wall -. 3.0) < 1e-9);
+  check_bool "total wall sums phases" true
+    (abs_float (Profile.total_wall p -. 4.0) < 1e-9);
+  check_int "top 1" 1 (List.length (Profile.top p ~n:1))
+
+let test_profile_null_is_inert () =
+  check_bool "null disabled" false (Profile.enabled Profile.null);
+  let v = Profile.time Profile.null ~subsystem:"x" "y" (fun () -> 3) in
+  check_int "thunk still runs" 3 v;
+  check_int "nothing recorded" 0 (List.length (Profile.phases Profile.null))
+
+let test_profile_exception_still_counts () =
+  let p = Profile.create () in
+  (try
+     Profile.time p ~subsystem:"wal" "flush" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match Profile.phases p with
+  | [ c ] -> check_int "partial measurement recorded" 1 c.Profile.p_count
+  | l -> Alcotest.failf "expected one phase, got %d" (List.length l)
+
+let test_profile_ambient_install () =
+  let p = Profile.create () in
+  check_bool "default ambient disabled" false (Profile.enabled (Profile.current ()));
+  let r =
+    Profile.with_current p (fun () ->
+        check_bool "installed" true (Profile.enabled (Profile.current ()));
+        Profile.record ~subsystem:"trace" "publish" (fun () -> 11))
+  in
+  check_int "record returns" 11 r;
+  check_bool "restored after" false (Profile.enabled (Profile.current ()));
+  check_int "recorded against installed profile" 1
+    (List.length (Profile.phases p));
+  (* Restore also on exceptions. *)
+  (try Profile.with_current p (fun () -> failwith "boom") with Failure _ -> ());
+  check_bool "restored after raise" false (Profile.enabled (Profile.current ()))
+
+let test_profile_json_shape () =
+  let p = Profile.create () in
+  ignore (Profile.time p ~subsystem:"a" "b" (fun () -> ()));
+  match Profile.to_json p with
+  | Json.Obj [ ("phases", Json.List [ Json.Obj fields ]) ] ->
+    check_bool "has subsystem" true (List.mem_assoc "subsystem" fields);
+    check_bool "has wall_s" true (List.mem_assoc "wall_s" fields)
+  | _ -> Alcotest.fail "unexpected profile json shape"
+
+(* --- timeseries windowing --- *)
+
+let test_timeseries_empty_gap_windows () =
+  let ts = Timeseries.create ~width:10.0 () in
+  let s = Timeseries.series ts ~agg:Timeseries.Sum "c" in
+  Timeseries.observe ts s ~now:1.0 5.0;
+  (* Skip windows 1 and 2 entirely: they must materialize empty. *)
+  Timeseries.observe ts s ~now:35.0 2.0;
+  Timeseries.finish ts ~now:40.0;
+  let ws = Timeseries.windows ts in
+  check_int "four windows" 4 (List.length ws);
+  (match ws with
+   | [ w0; w1; w2; w3 ] ->
+     check_bool "w0 sum" true (Timeseries.value w0 s = Some 5.0);
+     check_bool "gap w1 empty" true (Timeseries.value w1 s = None);
+     check_bool "gap w2 empty" true (Timeseries.value w2 s = None);
+     check_bool "w3 sum" true (Timeseries.value w3 s = Some 2.0);
+     check_int "indices consecutive" 3 w3.Timeseries.w_index;
+     check_bool "all complete" true
+       (List.for_all (fun w -> w.Timeseries.w_complete) ws)
+   | _ -> Alcotest.fail "bad windows");
+  (* CSV keeps the empty rows (no holes). *)
+  let lines = String.split_on_char '\n' (String.trim (Timeseries.to_csv ts)) in
+  check_int "header + 4 rows" 5 (List.length lines)
+
+let test_timeseries_single_sample_run () =
+  let ts = Timeseries.create ~width:10.0 () in
+  let s = Timeseries.series ts "g" in
+  Timeseries.observe ts s ~now:3.0 42.0;
+  Timeseries.finish ts ~now:3.5;
+  match Timeseries.windows ts with
+  | [ w ] ->
+    check_bool "value kept" true (Timeseries.value w s = Some 42.0);
+    check_bool "partial final window" false w.Timeseries.w_complete;
+    check_bool "nominal until" true (w.Timeseries.w_until = 10.0)
+  | ws -> Alcotest.failf "expected one window, got %d" (List.length ws)
+
+let test_timeseries_boundary_lands_later () =
+  let ts = Timeseries.create ~width:10.0 () in
+  let s = Timeseries.series ts ~agg:Timeseries.Sum "c" in
+  Timeseries.observe ts s ~now:0.0 1.0;
+  (* Exactly on the boundary: half-open windows put it in window 1. *)
+  Timeseries.observe ts s ~now:10.0 1.0;
+  Timeseries.finish ts ~now:20.0;
+  match Timeseries.windows ts with
+  | [ w0; w1 ] ->
+    check_bool "first window keeps only its own" true
+      (Timeseries.value w0 s = Some 1.0);
+    check_bool "boundary event in later window" true
+      (Timeseries.value w1 s = Some 1.0)
+  | ws -> Alcotest.failf "expected two windows, got %d" (List.length ws)
+
+let test_timeseries_run_ends_mid_window () =
+  let ts = Timeseries.create ~width:10.0 () in
+  let s = Timeseries.series ts ~agg:Timeseries.Max "q" in
+  Timeseries.observe ts s ~now:2.0 3.0;
+  Timeseries.observe ts s ~now:12.0 9.0;
+  Timeseries.observe ts s ~now:13.0 4.0;
+  Timeseries.finish ts ~now:15.0;
+  (match Timeseries.windows ts with
+   | [ w0; w1 ] ->
+     check_bool "w0 complete" true w0.Timeseries.w_complete;
+     check_bool "w1 incomplete" false w1.Timeseries.w_complete;
+     check_bool "max aggregation" true (Timeseries.value w1 s = Some 9.0)
+   | ws -> Alcotest.failf "expected two windows, got %d" (List.length ws));
+  (* finish is idempotent and later observations are ignored. *)
+  Timeseries.finish ts ~now:99.0;
+  Timeseries.observe ts s ~now:50.0 100.0;
+  check_int "still two windows" 2 (List.length (Timeseries.windows ts))
+
+let test_timeseries_empty_run () =
+  let ts = Timeseries.create ~width:10.0 () in
+  let _s = Timeseries.series ts "g" in
+  Timeseries.finish ts ~now:0.0;
+  check_int "no windows for an empty run" 0 (List.length (Timeseries.windows ts));
+  check_int "nothing dropped" 0 (Timeseries.dropped ts)
+
+let test_timeseries_ring_overflow () =
+  let ts = Timeseries.create ~capacity:3 ~width:1.0 () in
+  let s = Timeseries.series ts ~agg:Timeseries.Sum "c" in
+  for i = 0 to 9 do
+    Timeseries.observe ts s ~now:(float_of_int i) 1.0
+  done;
+  Timeseries.finish ts ~now:10.0;
+  check_int "ring keeps capacity" 3 (List.length (Timeseries.windows ts));
+  check_int "dropped counted" 7 (Timeseries.dropped ts);
+  match Timeseries.windows ts with
+  | w :: _ -> check_int "oldest surviving window" 7 w.Timeseries.w_index
+  | [] -> Alcotest.fail "no windows"
+
+let test_timeseries_registration_freezes () =
+  let ts = Timeseries.create ~width:1.0 () in
+  let s = Timeseries.series ts "a" in
+  Timeseries.observe ts s ~now:0.0 1.0;
+  match Timeseries.series ts "b" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "registration after first observation must raise"
+
+(* --- trace sampling --- *)
+
+let rpc i = Trace.Rpc_send { src = i mod 3; dst = (i + 1) mod 3 }
+
+let test_sampling_deterministic_thinning () =
+  let tr = Trace.create ~n_sites:3 () in
+  Trace.set_sampling tr ~every:4 ();
+  let ids = List.init 20 (fun i -> Trace.emit tr ~site:0 (rpc i)) in
+  let kept = List.filter (fun id -> id >= 0) ids in
+  check_int "1 in 4 kept" 5 (List.length kept);
+  check_int "dropped counted" 15 (Trace.sampled_out tr);
+  (* The very first event of a kind is always kept (counter starts at 0),
+     and sampled-out emits return -1. *)
+  check_bool "first kept" true (List.hd ids >= 0);
+  check_int "second dropped" (-1) (List.nth ids 1);
+  (* Per-kind counters: a different kind starts its own counter. *)
+  let c = Trace.emit tr ~site:0 (Trace.Txn_begin { txn = "T0" }) in
+  check_bool "new kind's first event kept" true (c >= 0)
+
+let test_sampling_keeps_spans_and_quiesce () =
+  let tr = Trace.create ~n_sites:1 () in
+  Trace.set_sampling tr ~every:1000 ();
+  let spans = List.init 5 (fun _ -> Trace.span_begin tr ~site:0 "op") in
+  List.iter (fun s -> Trace.span_end tr ~site:0 ~span:s ~outcome:"ok") spans;
+  ignore
+    (Trace.emit tr ~site:(-1)
+       (Trace.Quiesce { up = 1; n_sites = 1; partitioned = false }));
+  check_bool "all spans kept" true (List.for_all (fun s -> s >= 0) spans);
+  check_int "5 begin + 5 end + quiesce" 11 (Trace.length tr);
+  check_int "nothing sampled out" 0 (Trace.sampled_out tr)
+
+let test_sampling_forced_kinds_full_fidelity () =
+  let tr = Trace.create ~n_sites:3 () in
+  let forced k = String.equal (Trace.kind_label k) "txn_commit" in
+  Trace.set_sampling tr ~every:10 ~forced ();
+  for i = 0 to 19 do
+    ignore (Trace.emit tr ~site:0 (rpc i));
+    ignore
+      (Trace.emit tr ~site:0 (Trace.Txn_commit { txn = Printf.sprintf "T%d" i }))
+  done;
+  let events = Trace.events tr in
+  let count label =
+    List.length
+      (List.filter
+         (fun (e : Trace.event) ->
+           String.equal (Trace.kind_label e.Trace.kind) label)
+         events)
+  in
+  check_int "forced kind kept fully" 20 (count "txn_commit");
+  check_int "unforced kind thinned" 2 (count "rpc_send");
+  (* Restoring full fidelity resets the counters. *)
+  Trace.set_sampling tr ~every:1 ();
+  ignore (Trace.emit tr ~site:0 (rpc 0));
+  check_int "full fidelity again" 23 (Trace.length tr)
+
+(* The guard the whole design rests on: a monitored run under sampling
+   reaches the same verdicts as the full-fidelity run at the same seed,
+   because every kind some active monitor subscribes to is forced. *)
+let monitored_verdicts ~sample ~seed =
+  let monitors = Monitors.registry in
+  let trace = Trace.create ~n_sites:3 () in
+  if sample > 1 then
+    Trace.set_sampling trace ~every:sample ~forced:(Monitors.forced monitors) ();
+  let cfg =
+    Campaign.configure ~base:Campaign.default_base ~scheme:Replicated.Static
+      ~seed ~n_txns:20 ~intensity:1.0 ~trace
+      (match Campaign.find_profile "storm" with
+       | Some p -> p
+       | None -> Alcotest.fail "storm profile missing")
+  in
+  let outcome = Runtime.run cfg in
+  let violations = Monitors.run monitors { Monitors.cfg; outcome } trace in
+  let counts =
+    List.map
+      (fun label ->
+        ( label,
+          List.length
+            (List.filter
+               (fun (e : Trace.event) ->
+                 String.equal (Trace.kind_label e.Trace.kind) label)
+               (Trace.events trace)) ))
+      (Monitors.observed_labels monitors)
+  in
+  (Atomrep_obs.Spec_monitor.failures violations, counts, Trace.length trace)
+
+let test_sampling_never_hides_monitor_events () =
+  List.iter
+    (fun seed ->
+      let full_failures, full_counts, full_len =
+        monitored_verdicts ~sample:1 ~seed
+      in
+      let sampled_failures, sampled_counts, sampled_len =
+        monitored_verdicts ~sample:7 ~seed
+      in
+      check_bool "verdicts identical" true (full_failures = sampled_failures);
+      check_bool "monitor-kind counts identical" true
+        (full_counts = sampled_counts);
+      check_bool "bus actually thinned" true (sampled_len < full_len))
+    [ 0; 3; 11 ]
+
+(* Drift guard for the catalogue's static subscription lists: every label
+   in [e_observes] must be a kind the built spec's [on] predicate accepts,
+   and no representative kind outside the list may be accepted — otherwise
+   sampling could thin an event a monitor needed. *)
+let test_observes_matches_spec_on () =
+  let cfg = Runtime.default_config in
+  let outcome = Runtime.run { cfg with Runtime.n_txns = 3 } in
+  let ctx = { Monitors.cfg; outcome } in
+  let representatives =
+    [
+      Trace.Txn_decide { txn = "T"; site = 0; committed = true };
+      Trace.Quorum_read { txn = "T"; op = "Deq"; got = 1; need = 1 };
+      Trace.Quorum_append { txn = "T"; op = "Enq"; got = 1; need = 1 };
+      Trace.Txn_commit { txn = "T" };
+      Trace.Txn_abort { txn = "T"; reason = "r" };
+      Trace.Repo_append { txn = "T"; op = "Enq"; tentative = true };
+      Trace.Crash { site = 0; amnesia = false };
+      Trace.Quiesce { up = 3; n_sites = 3; partitioned = false };
+      Trace.Lock_wait { txn = "T"; blocker = "U" };
+      Trace.Lock_grant { txn = "T"; op = "Enq" };
+      Trace.Deadlock { victim = "T"; cycle = [ "T"; "U" ] };
+      Trace.Commit_point { txn = "T" };
+      Trace.Txn_redrive { txn = "T"; outcome = "commit" };
+      Trace.Coop_term { txn = "T"; outcome = "coop-commit" };
+      Trace.Rpc_send { src = 0; dst = 1 };
+      Trace.Txn_begin { txn = "T" };
+    ]
+  in
+  List.iter
+    (fun (e : Monitors.entry) ->
+      let spec = e.Monitors.e_spec ctx in
+      List.iter
+        (fun kind ->
+          let label = Trace.kind_label kind in
+          let listed = List.mem label e.Monitors.e_observes in
+          let observed = Atomrep_obs.Spec_monitor.observes_kind spec kind in
+          check_bool
+            (Printf.sprintf "%s/%s: e_observes matches spec.on"
+               e.Monitors.e_name label)
+            listed observed)
+        representatives)
+    Monitors.registry;
+  (* And the forced predicate is exactly the union of the lists. *)
+  let forced = Monitors.forced Monitors.registry in
+  check_bool "union forces txn_decide" true
+    (forced (Trace.Txn_decide { txn = "T"; site = 0; committed = true }));
+  check_bool "union spares rpc_send" false
+    (forced (Trace.Rpc_send { src = 0; dst = 1 }))
+
+(* --- runtime integration: profile + timeseries on a real run --- *)
+
+let test_run_with_profile_and_timeseries () =
+  let profile = Profile.create () in
+  let timeseries = Timeseries.create ~width:500.0 () in
+  let cfg =
+    { Runtime.default_config with Runtime.n_txns = 30; profile; timeseries }
+  in
+  let with_obs = Runtime.run cfg in
+  let bare =
+    Runtime.run { cfg with Runtime.profile = Profile.null; timeseries = Timeseries.null }
+  in
+  (* Observability must not perturb the simulation. *)
+  check_int "committed identical" bare.Runtime.metrics.Runtime.committed
+    with_obs.Runtime.metrics.Runtime.committed;
+  check_int "messages identical" bare.Runtime.metrics.Runtime.msgs_sent
+    with_obs.Runtime.metrics.Runtime.msgs_sent;
+  let phase_names =
+    List.map
+      (fun p -> p.Profile.p_subsystem ^ "/" ^ p.Profile.p_phase)
+      (Profile.phases profile)
+  in
+  check_bool "engine dispatch profiled" true
+    (List.mem "engine/dispatch" phase_names);
+  check_bool "network send profiled" true (List.mem "network/send" phase_names);
+  check_bool "quorum gather profiled" true
+    (List.mem "quorum/gather" phase_names);
+  let ws = Timeseries.windows timeseries in
+  check_bool "windows sampled" true (List.length ws > 0);
+  let committed =
+    match
+      List.filter_map
+        (fun name -> if name = "committed" then Some name else None)
+        (Timeseries.series_names timeseries)
+    with
+    | [] -> false
+    | _ -> true
+  in
+  check_bool "committed series registered" true committed;
+  (* The per-window committed deltas sum to the run's committed count. *)
+  let s =
+    (* series handles aren't exposed post-hoc; re-derive via to_json *)
+    match Timeseries.to_json timeseries with
+    | Json.Obj fields -> (
+      match List.assoc_opt "windows" fields with
+      | Some (Json.List ws) ->
+        List.fold_left
+          (fun acc w ->
+            match w with
+            | Json.Obj wf -> (
+              match List.assoc_opt "values" wf with
+              | Some (Json.Obj vals) -> (
+                match List.assoc_opt "committed" vals with
+                | Some (Json.Num n) -> acc + int_of_float n
+                | _ -> acc)
+              | _ -> acc)
+            | _ -> acc)
+          0 ws
+      | _ -> -1)
+    | _ -> -1
+  in
+  check_int "window deltas sum to committed"
+    bare.Runtime.metrics.Runtime.committed s
+
+(* --- bench-diff --- *)
+
+let bench_json ~kind ~per_s =
+  Json.Obj
+    [
+      ("bench", Json.Str kind);
+      ( "schemes",
+        Json.Obj
+          [
+            ( "hybrid",
+              Json.Obj
+                [
+                  ("committed", Json.int 100);
+                  ("wall_s", Json.Num 1.0);
+                  ("committed_per_s", Json.Num per_s);
+                ] );
+          ] );
+    ]
+
+let test_bench_diff_harvest () =
+  let entry =
+    Bench_diff.of_json ~file:"BENCH_9.json" (bench_json ~kind:"perf" ~per_s:500.0)
+  in
+  check_int "index parsed" 9 entry.Bench_diff.b_index;
+  check_string "kind from bench field" "perf" entry.Bench_diff.b_kind;
+  (match entry.Bench_diff.b_rows with
+   | [ r ] ->
+     check_string "dotted label" "schemes.hybrid" r.Bench_diff.r_label;
+     check_bool "per_s preferred" true (r.Bench_diff.r_per_s = Some 500.0)
+   | rows -> Alcotest.failf "expected one row, got %d" (List.length rows));
+  check_bool "headline" true (Bench_diff.headline entry = Some 500.0);
+  (* Kind falls back to the filename stem without a bench field. *)
+  let bare =
+    Bench_diff.of_json ~file:"BENCH_2.json"
+      (Json.Obj [ ("x", Json.Obj [ ("committed", Json.int 5) ]) ])
+  in
+  check_string "stem fallback" "BENCH_2" bare.Bench_diff.b_kind
+
+let test_bench_diff_gate_same_kind_only () =
+  let entry ~file ~kind ~per_s = Bench_diff.of_json ~file (bench_json ~kind ~per_s) in
+  (* A regression in "perf" is judged against the previous "perf" entry,
+     skipping an interleaved entry of another kind. *)
+  let entries =
+    [
+      entry ~file:"BENCH_3.json" ~kind:"perf" ~per_s:1000.0;
+      entry ~file:"BENCH_4.json" ~kind:"other" ~per_s:9999.0;
+      entry ~file:"BENCH_5.json" ~kind:"perf" ~per_s:700.0;
+    ]
+  in
+  (match Bench_diff.gate entries ~threshold:0.2 with
+   | Some v ->
+     check_bool "regressed vs same-kind baseline" true v.Bench_diff.v_regressed;
+     (match v.Bench_diff.v_baseline with
+      | Some b -> check_string "baseline file" "BENCH_3.json" b.Bench_diff.b_file
+      | None -> Alcotest.fail "expected a baseline");
+     check_bool "ratio 0.7" true
+       (match v.Bench_diff.v_ratio with
+        | Some r -> abs_float (r -. 0.7) < 1e-9
+        | None -> false)
+   | None -> Alcotest.fail "expected a verdict");
+  (* Within threshold: passes. *)
+  let ok =
+    [
+      entry ~file:"BENCH_3.json" ~kind:"perf" ~per_s:1000.0;
+      entry ~file:"BENCH_5.json" ~kind:"perf" ~per_s:900.0;
+    ]
+  in
+  (match Bench_diff.gate ok ~threshold:0.2 with
+   | Some v -> check_bool "10% dip passes" false v.Bench_diff.v_regressed
+   | None -> Alcotest.fail "expected a verdict");
+  (* First entry of a kind has no baseline and passes. *)
+  let first =
+    [
+      entry ~file:"BENCH_3.json" ~kind:"other" ~per_s:1000.0;
+      entry ~file:"BENCH_8.json" ~kind:"perf" ~per_s:1.0;
+    ]
+  in
+  match Bench_diff.gate first ~threshold:0.2 with
+  | Some v ->
+    check_bool "no baseline" true (v.Bench_diff.v_baseline = None);
+    check_bool "passes" false v.Bench_diff.v_regressed
+  | None -> Alcotest.fail "expected a verdict"
+
+let test_bench_diff_scan_and_injected_regression () =
+  (* A scratch BENCH history on disk: scan must sort by index, skip
+     unparsable files, and the gate must trip on an injected regression —
+     the library half of what CI's `atomrep bench-diff` step exercises. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench_diff_test_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name doc =
+    Atomrep_obs.Export.write_file (Filename.concat dir name) (Json.to_string doc)
+  in
+  write "BENCH_8.json" (bench_json ~kind:"perf" ~per_s:1000.0);
+  write "BENCH_3.json" (bench_json ~kind:"replicated-queue" ~per_s:500.0);
+  Atomrep_obs.Export.write_file (Filename.concat dir "BENCH_junk.json") "not json";
+  let entries = Bench_diff.scan ~dir in
+  check_int "junk skipped, two entries" 2 (List.length entries);
+  check_bool "sorted by index" true
+    (List.map (fun e -> e.Bench_diff.b_index) entries = [ 3; 8 ]);
+  (match Bench_diff.gate entries ~threshold:0.2 with
+   | Some v ->
+     check_bool "cross-kind newest passes (no baseline)" false
+       v.Bench_diff.v_regressed
+   | None -> Alcotest.fail "expected a verdict");
+  (* Inject a regression: a newer perf entry at a fifth the throughput. *)
+  write "BENCH_9.json" (bench_json ~kind:"perf" ~per_s:200.0);
+  (match Bench_diff.gate (Bench_diff.scan ~dir) ~threshold:0.2 with
+   | Some v ->
+     check_bool "injected regression trips the gate" true
+       v.Bench_diff.v_regressed
+   | None -> Alcotest.fail "expected a verdict");
+  List.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    [ "BENCH_3.json"; "BENCH_8.json"; "BENCH_9.json"; "BENCH_junk.json" ];
+  Sys.rmdir dir
+
+let suites =
+  [
+    ( "perfobs",
+      [
+        Alcotest.test_case "profile records phases" `Quick test_profile_records_phases;
+        Alcotest.test_case "profile null is inert" `Quick test_profile_null_is_inert;
+        Alcotest.test_case "profile counts on exception" `Quick
+          test_profile_exception_still_counts;
+        Alcotest.test_case "profile ambient install/restore" `Quick
+          test_profile_ambient_install;
+        Alcotest.test_case "profile json shape" `Quick test_profile_json_shape;
+        Alcotest.test_case "timeseries: gap windows materialize empty" `Quick
+          test_timeseries_empty_gap_windows;
+        Alcotest.test_case "timeseries: single sample, partial window" `Quick
+          test_timeseries_single_sample_run;
+        Alcotest.test_case "timeseries: boundary event lands later" `Quick
+          test_timeseries_boundary_lands_later;
+        Alcotest.test_case "timeseries: run ends mid-window" `Quick
+          test_timeseries_run_ends_mid_window;
+        Alcotest.test_case "timeseries: empty run" `Quick test_timeseries_empty_run;
+        Alcotest.test_case "timeseries: ring overflow" `Quick
+          test_timeseries_ring_overflow;
+        Alcotest.test_case "timeseries: registration freezes" `Quick
+          test_timeseries_registration_freezes;
+        Alcotest.test_case "sampling: deterministic thinning" `Quick
+          test_sampling_deterministic_thinning;
+        Alcotest.test_case "sampling: spans and quiesce kept" `Quick
+          test_sampling_keeps_spans_and_quiesce;
+        Alcotest.test_case "sampling: forced kinds full fidelity" `Quick
+          test_sampling_forced_kinds_full_fidelity;
+        Alcotest.test_case "sampling: monitors never lose events" `Quick
+          test_sampling_never_hides_monitor_events;
+        Alcotest.test_case "e_observes matches spec.on" `Quick
+          test_observes_matches_spec_on;
+        Alcotest.test_case "run with profile + timeseries" `Quick
+          test_run_with_profile_and_timeseries;
+        Alcotest.test_case "bench-diff: harvest" `Quick test_bench_diff_harvest;
+        Alcotest.test_case "bench-diff: same-kind gate" `Quick
+          test_bench_diff_gate_same_kind_only;
+        Alcotest.test_case "bench-diff: scan + injected regression" `Quick
+          test_bench_diff_scan_and_injected_regression;
+      ] );
+  ]
