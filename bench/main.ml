@@ -1183,6 +1183,203 @@ let run_perf () =
   Atomrep_obs.Export.write_file "BENCH_8.json" (Json.to_string doc);
   print_endline "wrote BENCH_8.json"
 
+(* Overload bench: offered-load-vs-goodput curves per scheme, admission
+   on vs off, on identical open-loop arrival plans. Goodput counts only
+   timely commits (arrival-to-commit sojourn within the admission
+   deadline): an open-loop client has abandoned a late response, so a
+   late commit is wasted work. Every point is monitor-gated (the full
+   catalogue, shed-safety included). The headline the `atomrep
+   bench-diff` gate tracks under kind "load" is the goodput at the knee:
+   the admission-on goodput at the highest offered load — the plateau a
+   gracefully degrading system must hold while the ungated baseline
+   collapses. Written to BENCH_9.json; schema in EXPERIMENTS.md. *)
+let run_load () =
+  let module Runtime = Atomrep_replica.Runtime in
+  let module Replicated = Atomrep_replica.Replicated in
+  let module Monitors = Atomrep_chaos.Monitors in
+  let module Trace = Atomrep_obs.Trace in
+  let module Json = Atomrep_obs.Json in
+  let module Openloop = Atomrep_workload.Openloop in
+  let module Summary = Atomrep_stats.Summary in
+  let plan_seed = 97 and engine_seed = 42 in
+  let base_rate = 0.010 (* txns per simulated ms: 10/s at mult 1 *) in
+  let horizon = 12_000.0 and deadline = 1_000.0 in
+  let mults = [ 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ] in
+  let schemes = Replicated.[ Static; Hybrid; Locking ] in
+  let monitors = Monitors.registry in
+  print_newline ();
+  print_endline "Overload benchmark: open-loop goodput, admission on vs off";
+  print_endline "==========================================================";
+  Printf.printf
+    "  one hot queue, plan seed %d, %.0f/s base offered load, %.0f ms \
+     deadline\n%!"
+    plan_seed (base_rate *. 1000.0) deadline;
+  let point scheme mult admission_on =
+    (* The plan depends only on the multiplier: every scheme and both
+       admission settings replay byte-identical arrivals and scripts. *)
+    let plan =
+      Openloop.plan ~profile:Openloop.Queue_fanout ~n_objects:1 ~n_sites:3
+        ~n_sessions:6 ~seed:plan_seed ~rate:(base_rate *. mult) ~horizon ()
+    in
+    let trace = Trace.create ~n_sites:3 () in
+    let base =
+      {
+        Runtime.default_config with
+        Runtime.scheme;
+        seed = engine_seed;
+        horizon = horizon +. 28_000.0 (* drain: let the ungated pile finish *);
+        timely_bound = deadline;
+        trace = Some trace;
+      }
+    in
+    let cfg =
+      if admission_on then
+        {
+          (Openloop.apply plan base) with
+          Runtime.admission =
+            Some
+              {
+                Runtime.max_in_flight = 8;
+                queue_limit = 16;
+                deadline;
+                adm_shed_policy = Runtime.Shed_reads_first;
+                adm_breaker = Some Runtime.default_breaker;
+              };
+          retry_budget = 12;
+        }
+      else Openloop.apply plan base
+    in
+    let outcome = Runtime.run cfg in
+    let m = outcome.Runtime.metrics in
+    let violations =
+      Atomrep_obs.Spec_monitor.failures
+        (Monitors.run monitors { Monitors.cfg; outcome } trace)
+    in
+    let goodput =
+      if m.Runtime.duration > 0.0 then
+        float_of_int m.Runtime.timely_commits /. m.Runtime.duration *. 1000.0
+      else 0.0
+    in
+    let offered = float_of_int (Openloop.n_txns plan) /. horizon *. 1000.0 in
+    Printf.printf
+      "  %-8s x%-4.1f adm=%-3s offered=%6.1f/s goodput=%6.2f/s committed=%d \
+       timely=%d shed=%d retries=%d%s\n%!"
+      (Replicated.scheme_name scheme)
+      mult
+      (if admission_on then "on" else "off")
+      offered goodput m.Runtime.committed m.Runtime.timely_commits
+      m.Runtime.shed m.Runtime.retries_spent
+      (if violations = [] then ""
+       else Printf.sprintf "  VIOLATIONS=%d" (List.length violations));
+    let json =
+      Json.Obj
+        [
+          ( "name",
+            Json.Str
+              (Printf.sprintf "%s/%s/x%g"
+                 (Replicated.scheme_name scheme)
+                 (if admission_on then "on" else "off")
+                 mult) );
+          ("mult", Json.Num mult);
+          ("offered_per_s", Json.Num offered);
+          ("arrivals", Json.int (Openloop.n_txns plan));
+          ("committed", Json.int m.Runtime.committed);
+          ("timely", Json.int m.Runtime.timely_commits);
+          ("committed_per_s", Json.Num goodput);
+          ("aborted", Json.int m.Runtime.aborted);
+          ("shed", Json.int m.Runtime.shed);
+          ("retries_spent", Json.int m.Runtime.retries_spent);
+          ( "retries_budget_exhausted",
+            Json.int m.Runtime.retries_budget_exhausted );
+          ("breaker_trips", Json.int m.Runtime.breaker_trips);
+          ( "sojourn_p50_ms",
+            Json.Num (Summary.percentile m.Runtime.sojourn 0.5) );
+          ( "sojourn_p99_ms",
+            Json.Num (Summary.percentile m.Runtime.sojourn 0.99) );
+          ("violations", Json.int (List.length violations));
+        ]
+    in
+    (goodput, List.length violations, json)
+  in
+  let total_violations = ref 0 in
+  let scheme_sections =
+    List.map
+      (fun scheme ->
+        let rows_on = ref [] and rows_off = ref [] in
+        let curve admission_on acc =
+          List.map
+            (fun mult ->
+              let gp, viols, json = point scheme mult admission_on in
+              total_violations := !total_violations + viols;
+              acc := json :: !acc;
+              (mult, gp))
+            mults
+        in
+        let on_curve = curve true rows_on in
+        let off_curve = curve false rows_off in
+        let peak c = List.fold_left (fun a (_, g) -> Float.max a g) 0.0 c in
+        let at_top c = snd (List.nth c (List.length c - 1)) in
+        let on_peak = peak on_curve and off_peak = peak off_curve in
+        let retention =
+          if on_peak > 0.0 then at_top on_curve /. on_peak else 0.0
+        in
+        let collapse =
+          if off_peak > 0.0 then at_top off_curve /. off_peak else 0.0
+        in
+        Printf.printf
+          "  %-8s admission-on holds %.0f%% of its %.2f/s peak at x%g; \
+           ungated falls to %.0f%% of %.2f/s\n%!"
+          (Replicated.scheme_name scheme)
+          (100.0 *. retention) on_peak
+          (List.nth mults (List.length mults - 1))
+          (100.0 *. collapse) off_peak;
+        ( Replicated.scheme_name scheme,
+          Json.Obj
+            [
+              ("admission_on", Json.List (List.rev !rows_on));
+              ("admission_off", Json.List (List.rev !rows_off));
+              ("on_peak_goodput", Json.Num on_peak);
+              ("off_peak_goodput", Json.Num off_peak);
+              ("on_retention_at_top", Json.Num retention);
+              ("off_retention_at_top", Json.Num collapse);
+            ] ))
+      schemes
+  in
+  (* The knee headline: admission-on goodput at the top multiplier for
+     the locking scheme — the scheme whose ungated baseline collapses
+     hardest, so the number the admission machinery earns. *)
+  let goodput_at_knee =
+    match List.assoc_opt "locking" scheme_sections with
+    | Some (Json.Obj fields) ->
+      (match List.assoc_opt "on_peak_goodput" fields with
+       | Some (Json.Num n) ->
+         (match List.assoc_opt "on_retention_at_top" fields with
+          | Some (Json.Num r) -> n *. r
+          | _ -> n)
+       | _ -> 0.0)
+    | _ -> 0.0
+  in
+  Printf.printf "  goodput at knee (locking, admission on): %.2f/s, %d \
+                 monitor violations\n%!"
+    goodput_at_knee !total_violations;
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "load");
+        ("headline", Json.Num goodput_at_knee);
+        ("plan_seed", Json.int plan_seed);
+        ("engine_seed", Json.int engine_seed);
+        ("base_rate_per_s", Json.Num (base_rate *. 1000.0));
+        ("horizon_ms", Json.Num horizon);
+        ("deadline_ms", Json.Num deadline);
+        ("multipliers", Json.List (List.map (fun m -> Json.Num m) mults));
+        ("monitor_violations", Json.int !total_violations);
+        ("schemes", Json.Obj scheme_sections);
+      ]
+  in
+  Atomrep_obs.Export.write_file "BENCH_9.json" (Json.to_string doc);
+  print_endline "wrote BENCH_9.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = args = [ "micro" ] in
@@ -1194,6 +1391,7 @@ let () =
   let takeover_only = args = [ "takeover" ] in
   let explore_only = args = [ "explore" ] in
   let perf_only = args = [ "perf" ] in
+  let load_only = args = [ "load" ] in
   let micro = List.mem "micro" args || args = [] || List.mem "all" args in
   let chaos = List.mem "chaos" args in
   let reconfig = List.mem "reconfig" args in
@@ -1203,18 +1401,19 @@ let () =
   let takeover = List.mem "takeover" args in
   let explore = List.mem "explore" args in
   let perf = List.mem "perf" args in
+  let load = List.mem "load" args in
   let ids =
     List.filter
       (fun a ->
         a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig" && a <> "json"
         && a <> "storage" && a <> "termination" && a <> "takeover"
-        && a <> "explore" && a <> "perf")
+        && a <> "explore" && a <> "perf" && a <> "load")
       args
   in
   if
     (not micro_only) && (not chaos_only) && (not reconfig_only) && (not json_only)
     && (not storage_only) && (not termination_only) && (not takeover_only)
-    && (not explore_only) && not perf_only
+    && (not explore_only) && (not perf_only) && not load_only
   then run_experiments ids;
   if micro then run_micro ();
   if chaos then run_chaos ();
@@ -1224,4 +1423,5 @@ let () =
   if termination then run_termination ();
   if takeover then run_takeover ();
   if explore then run_explore ();
-  if perf then run_perf ()
+  if perf then run_perf ();
+  if load then run_load ()

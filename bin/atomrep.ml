@@ -184,6 +184,19 @@ let takeover_arg =
   in
   Arg.(value & flag & info [ "takeover" ] ~doc)
 
+(* Shared retry-budget flag: caps retry amplification (conflict backoffs,
+   commit-quorum re-probes, and commit re-drives all spend from one
+   per-transaction pot). 0 keeps the historical unlimited behavior. *)
+let retry_budget_arg =
+  let doc =
+    "Per-transaction retry budget shared by conflict backoffs, commit-quorum \
+     re-probes and commit re-drives; exhaustion aborts the transaction \
+     (or gives the commit drive up as in-doubt). 0 = unlimited."
+  in
+  Arg.(value & opt int 0 & info [ "retry-budget" ] ~docv:"N" ~doc)
+
+let retry_budget_of n = if n <= 0 then max_int else n
+
 let print_takeover_metrics (m : Atomrep_replica.Runtime.metrics) =
   let open Atomrep_replica in
   Printf.printf
@@ -328,8 +341,8 @@ let quorums_cmd =
 
 let simulate_cmd =
   let run scheme_name n_txns n_sites seed mtbf reconfigure durability termination
-      deadlock takeover monitor trace_file trace_format metrics_json sample
-      profile_on ts_file window =
+      deadlock takeover retry_budget monitor trace_file trace_format metrics_json
+      sample profile_on ts_file window =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -390,6 +403,7 @@ let simulate_cmd =
           termination;
           deadlock;
           takeover;
+          retry_budget = retry_budget_of retry_budget;
         }
       in
       let outcome = Runtime.run cfg in
@@ -419,6 +433,9 @@ let simulate_cmd =
         || deadlock <> Runtime.No_deadlock
       then print_termination_metrics m;
       if takeover then print_takeover_metrics m;
+      if retry_budget > 0 then
+        Printf.printf "retries: spent=%d budget-exhausted=%d\n"
+          m.Runtime.retries_spent m.Runtime.retries_budget_exhausted;
       (* The oracles gate the exit code so scripted runs can fail hard:
          the two history oracles by default, the selected spec monitors
          under --monitor. *)
@@ -492,9 +509,9 @@ let simulate_cmd =
     Term.(
       const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg
       $ reconfigure_arg $ durability_arg $ termination_arg $ deadlock_arg
-      $ takeover_arg $ monitor_arg $ trace_file_arg $ trace_format_arg
-      $ metrics_json_arg $ sample_arg $ profile_flag_arg $ timeseries_file_arg
-      $ window_arg)
+      $ takeover_arg $ retry_budget_arg $ monitor_arg $ trace_file_arg
+      $ trace_format_arg $ metrics_json_arg $ sample_arg $ profile_flag_arg
+      $ timeseries_file_arg $ window_arg)
 
 (* --- chaos --- *)
 
@@ -532,16 +549,23 @@ let parse_profiles names =
 
 let chaos_cmd =
   let module Campaign = Atomrep_chaos.Campaign in
-  let run schemes profiles seeds txns intensity repro seed reconfig durability
-      termination deadlock takeover monitor trace_file trace_format metrics_json
-      postmortem_dir sample =
+  let run schemes profiles seeds txns intensity repro seed reconfig overload
+      durability termination deadlock takeover retry_budget monitor trace_file
+      trace_format metrics_json postmortem_dir sample =
     match parse_schemes schemes, parse_profiles profiles, parse_monitors monitor with
     | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline e;
       1
     | Ok schemes, Ok profiles, Ok monitors ->
       let base =
-        if reconfig then Campaign.reconfig_base else Campaign.default_base
+        if overload then Campaign.overload_base
+        else if reconfig then Campaign.reconfig_base
+        else Campaign.default_base
+      in
+      let base =
+        if retry_budget > 0 then
+          { base with Atomrep_replica.Runtime.retry_budget }
+        else base
       in
       (* Chaos-tuned durability: small segments and an aggressive checkpoint
          period (storage_base's tuning) so campaign-length runs roll and
@@ -669,6 +693,17 @@ let chaos_cmd =
             "Campaign against the reconfiguration base: five sites, the \
              epoch coordinator enabled (pairs well with --profiles kills).")
   in
+  let overload_arg =
+    Arg.(
+      value & flag
+      & info [ "overload" ]
+          ~doc:
+            "Campaign against the overload base: a precomputed flash-crowd \
+             open-loop arrival plan over admission control, shed-by-class, \
+             a finite retry budget and the per-site circuit breaker (pairs \
+             with --profiles overload_storm and the shed_safety monitor). \
+             --txns caps how many planned arrivals are dispatched.")
+  in
   let postmortem_dir_arg =
     Arg.(
       value
@@ -682,9 +717,299 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg $ intensity_arg
-      $ repro_arg $ seed_arg $ reconfig_arg $ durability_arg $ termination_arg
-      $ deadlock_arg $ takeover_arg $ monitor_arg $ trace_file_arg
-      $ trace_format_arg $ metrics_json_arg $ postmortem_dir_arg $ sample_arg)
+      $ repro_arg $ seed_arg $ reconfig_arg $ overload_arg $ durability_arg
+      $ termination_arg $ deadlock_arg $ takeover_arg $ retry_budget_arg
+      $ monitor_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg
+      $ postmortem_dir_arg $ sample_arg)
+
+(* --- load --- *)
+
+let load_cmd =
+  let module Openloop = Atomrep_workload.Openloop in
+  let run scheme_name seed plan_seed rate mult curve load_profile n_objects
+      zipf sessions n_sites horizon drain no_admission max_in_flight queue_limit
+      deadline shed_policy no_breaker retry_budget termination deadlock monitor
+      trace_file trace_format metrics_json sample ts_file window =
+    let scheme =
+      match scheme_name with
+      | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
+      | "static" -> Ok Atomrep_replica.Replicated.Static
+      | "locking" -> Ok Atomrep_replica.Replicated.Locking
+      | other -> Error (Printf.sprintf "unknown scheme %S (hybrid|static|locking)" other)
+    in
+    let load_profile =
+      match Openloop.profile_of_string load_profile with
+      | Some p -> Ok p
+      | None ->
+        Error
+          (Printf.sprintf
+             "unknown load profile %S (read-mostly|write-heavy|queue-fanout)"
+             load_profile)
+    in
+    let shed_policy =
+      match Atomrep_replica.Runtime.shed_policy_of_string shed_policy with
+      | Some p -> Ok p
+      | None ->
+        Error
+          (Printf.sprintf "unknown shed policy %S (reject-newest|shed-reads-first)"
+             shed_policy)
+    in
+    match scheme, load_profile, shed_policy, parse_monitors monitor with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      prerr_endline e;
+      1
+    | Ok scheme, Ok load_profile, Ok shed_policy, Ok monitors ->
+      let open Atomrep_replica in
+      let curve =
+        match curve with
+        | `Constant -> Openloop.Constant
+        | `Ramp -> Openloop.Ramp 4.0
+        | `Diurnal -> Openloop.Diurnal { trough = 0.3; period = horizon /. 2.0 }
+        | `Flash_crowd ->
+          Openloop.Flash_crowd
+            { at = horizon /. 4.0; duration = horizon /. 8.0; mult = 6.0 }
+      in
+      let plan_seed = if plan_seed < 0 then seed else plan_seed in
+      let plan =
+        Openloop.plan ~curve ~profile:load_profile ~n_objects ~zipf_theta:zipf
+          ~n_sites ~n_sessions:sessions ~seed:plan_seed
+          ~rate:(rate *. mult /. 1000.0) ~horizon ()
+      in
+      let admission =
+        if no_admission then None
+        else
+          Some
+            {
+              Runtime.max_in_flight;
+              queue_limit;
+              deadline = (if deadline <= 0.0 then Float.infinity else deadline);
+              adm_shed_policy = shed_policy;
+              adm_breaker =
+                (if no_breaker then None else Some Runtime.default_breaker);
+            }
+      in
+      let trace =
+        match trace_file, monitors with
+        | Some _, _ | None, _ :: _ -> Some (Obs.Trace.create ~n_sites ())
+        | None, [] -> None
+      in
+      (match trace with
+       | Some tr when sample > 1 ->
+         Obs.Trace.set_sampling tr ~every:sample
+           ~forced:(Atomrep_chaos.Monitors.forced monitors) ()
+       | _ -> ());
+      let timeseries =
+        match ts_file with
+        | Some _ -> Obs.Timeseries.create ~width:window ()
+        | None -> Obs.Timeseries.null
+      in
+      let cfg =
+        Openloop.apply plan
+          {
+            Runtime.default_config with
+            scheme;
+            seed;
+            n_sites;
+            horizon = horizon +. drain;
+            termination;
+            deadlock;
+            admission;
+            retry_budget = retry_budget_of retry_budget;
+            trace;
+            timeseries;
+          }
+      in
+      let outcome = Runtime.run cfg in
+      let m = outcome.Runtime.metrics in
+      let offered = Openloop.n_txns plan in
+      Printf.printf
+        "plan: %d arrivals over %.0f ms (curve=%s profile=%s objects=%d \
+         zipf=%.2f sessions=%d seed=%d)\n"
+        offered horizon (Openloop.curve_name curve)
+        (Openloop.profile_name load_profile)
+        n_objects zipf sessions plan_seed;
+      Printf.printf
+        "scheme=%s admission=%s offered=%.1f/s committed=%d aborted=%d \
+         (shed=%d unavailable=%d conflict=%d)\n"
+        (Replicated.scheme_name scheme)
+        (if no_admission then "off" else "on")
+        (float_of_int offered /. horizon *. 1000.0)
+        m.Runtime.committed m.Runtime.aborted m.Runtime.shed
+        m.Runtime.unavailable_aborts m.Runtime.conflict_aborts;
+      Printf.printf "goodput=%.2f/s over %.1f ms simulated\n"
+        (if m.Runtime.duration > 0.0 then
+           float_of_int m.Runtime.committed /. m.Runtime.duration *. 1000.0
+         else 0.0)
+        m.Runtime.duration;
+      Printf.printf "retries: spent=%d budget-exhausted=%d breaker-trips=%d\n"
+        m.Runtime.retries_spent m.Runtime.retries_budget_exhausted
+        m.Runtime.breaker_trips;
+      if Summary.count m.Runtime.sojourn > 0 then
+        Printf.printf "sojourn: mean=%.1f ms p99=%.1f ms max=%.1f ms\n"
+          (Summary.mean m.Runtime.sojourn)
+          (Summary.percentile m.Runtime.sojourn 0.99)
+          (Summary.max_value m.Runtime.sojourn);
+      let failures =
+        match monitors, trace with
+        | [], _ | _, None ->
+          Runtime.check_atomicity cfg outcome @ Runtime.check_common_order cfg outcome
+        | entries, Some tr ->
+          Obs.Spec_monitor.failures
+            (Atomrep_chaos.Monitors.run entries
+               { Atomrep_chaos.Monitors.cfg; outcome }
+               tr)
+      in
+      (match failures with
+       | [] ->
+         if monitors = [] then print_endline "atomicity check: OK"
+         else
+           Printf.printf "monitors: OK (%s)\n"
+             (String.concat ", "
+                (List.map
+                   (fun (e : Atomrep_chaos.Monitors.entry) ->
+                     e.Atomrep_chaos.Monitors.e_name)
+                   monitors))
+       | fs -> List.iter (fun (o, f) -> Printf.printf "VIOLATION %s: %s\n" o f) fs);
+      (match ts_file with
+       | Some path -> write_timeseries path timeseries
+       | None -> ());
+      (match trace_file, trace with
+       | Some path, Some tr -> write_trace path trace_format tr
+       | _ -> ());
+      (match metrics_json with
+       | Some path -> write_metrics path outcome.Runtime.registry
+       | None -> ());
+      if failures = [] then 0 else 1
+  in
+  let scheme_arg =
+    Arg.(
+      value & opt string "hybrid"
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"hybrid, static, or locking.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Engine RNG seed.") in
+  let plan_seed_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "plan-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the arrival plan's private stream (default: --seed). \
+             Fixing it while sweeping --seed replays one offered load \
+             against many engine schedules.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "rate" ] ~docv:"TPS" ~doc:"Base offered load, transactions per second.")
+  in
+  let mult_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "mult" ] ~docv:"K"
+          ~doc:"Offered-load multiplier on --rate (the knob load sweeps turn).")
+  in
+  let curve_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("constant", `Constant); ("ramp", `Ramp); ("diurnal", `Diurnal);
+               ("flash-crowd", `Flash_crowd);
+             ])
+          `Constant
+      & info [ "curve" ] ~docv:"CURVE"
+          ~doc:
+            "Rate shape: `constant', `ramp' (to 4x at the horizon), `diurnal' \
+             (sinusoid to 0.3x, two periods), or `flash-crowd' (6x burst in \
+             the second quarter).")
+  in
+  let load_profile_arg =
+    Arg.(
+      value & opt string "queue-fanout"
+      & info [ "load-profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Workload shape: `read-mostly' (90% counter reads), `write-heavy' \
+             (90% counter writes), or `queue-fanout' (enq/deq fanned over the \
+             objects).")
+  in
+  let objects_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "objects" ] ~docv:"N" ~doc:"Replicated objects the plan fans over.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:"Zipf skew of object popularity (0 = uniform).")
+  in
+  let sessions_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Client sessions (each pinned to home site session mod sites).")
+  in
+  let sites_arg =
+    Arg.(value & opt int 3 & info [ "n"; "sites" ] ~docv:"SITES" ~doc:"Replication degree.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 12_000.0
+      & info [ "horizon" ] ~docv:"MS" ~doc:"Arrival-plan horizon in simulated ms.")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt float 8_000.0
+      & info [ "drain" ] ~docv:"MS"
+          ~doc:"Extra simulated time after the last planned arrival.")
+  in
+  let no_admission_arg =
+    Arg.(
+      value & flag
+      & info [ "no-admission" ]
+          ~doc:
+            "Disable admission control: every arrival starts immediately (the \
+             collapse-prone baseline load sweeps compare against).")
+  in
+  let max_in_flight_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-in-flight" ] ~docv:"N" ~doc:"Bounded in-flight window.")
+  in
+  let queue_limit_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-limit" ] ~docv:"N" ~doc:"Bounded admission queue; overflow sheds.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Sojourn deadline: shed transactions still queued (or entering a \
+             conflict retry) this long after arrival. 0 = none.")
+  in
+  let shed_policy_arg =
+    Arg.(
+      value & opt string "reject-newest"
+      & info [ "shed-policy" ] ~docv:"POLICY"
+          ~doc:"`reject-newest' or `shed-reads-first' (reads sacrificed before writes).")
+  in
+  let no_breaker_arg =
+    Arg.(
+      value & flag
+      & info [ "no-breaker" ] ~doc:"Disable the per-site circuit breaker.")
+  in
+  let doc = "Run an open-loop load sweep point against the simulator" in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      const run $ scheme_arg $ seed_arg $ plan_seed_arg $ rate_arg $ mult_arg
+      $ curve_arg $ load_profile_arg $ objects_arg $ zipf_arg $ sessions_arg
+      $ sites_arg $ horizon_arg $ drain_arg $ no_admission_arg
+      $ max_in_flight_arg $ queue_limit_arg $ deadline_arg $ shed_policy_arg
+      $ no_breaker_arg $ retry_budget_arg $ termination_arg $ deadlock_arg
+      $ monitor_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg
+      $ sample_arg $ timeseries_file_arg $ window_arg)
 
 (* --- perf --- *)
 
@@ -1279,7 +1604,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            analyze_cmd; quorums_cmd; simulate_cmd; chaos_cmd; perf_cmd;
+            analyze_cmd; quorums_cmd; simulate_cmd; chaos_cmd; load_cmd; perf_cmd;
             bench_diff_cmd; explore_cmd; experiment_cmd; compare_cmd;
             witness_cmd; types_cmd;
           ]))

@@ -96,6 +96,21 @@ let builtin_profiles =
           ];
     };
     {
+      (* Overload meets faults: meant to run over {!overload_base}, whose
+         open-loop plan carries a flash crowd — the nemesis adds rolling
+         partitions (so quorum RPCs time out and retries amplify exactly
+         while the crowd peaks) and a light link flake. Survivable with
+         admission control, shedding, and a finite retry budget; without
+         them the goodput collapses while offered load keeps arriving. *)
+      profile_name = "overload_storm";
+      nemesis =
+        Nemesis.Compose
+          [
+            Nemesis.Rolling_partition { every = 700.0; duration = 100.0 };
+            Nemesis.Flaky_links { drop = 0.02; dup = 0.02; spike = 0.02; one_way = false };
+          ];
+    };
+    {
       profile_name = "storm";
       nemesis =
         Nemesis.Compose
@@ -166,6 +181,37 @@ let termination_base =
 (* Coordinator takeover on top of the termination base: the base the
    takeover_storm profile is meant to be survived with. *)
 let takeover_base = { termination_base with Runtime.takeover = true }
+
+(* Open-loop overload: a flash-crowd arrival plan (precomputed, so every
+   scheme and seed replays the identical offered load) over admission
+   control with shed-by-class, a sojourn deadline, a finite per-txn retry
+   budget and the per-site circuit breaker — the full graceful-degradation
+   surface the overload_storm profile stresses. Termination/deadlock are
+   left at the caller's defaults so the CLI flags compose as usual. *)
+let overload_plan =
+  Atomrep_workload.Openloop.plan
+    ~curve:
+      (Atomrep_workload.Openloop.Flash_crowd
+         { at = 3_000.0; duration = 2_000.0; mult = 10.0 })
+    ~profile:Atomrep_workload.Openloop.Queue_fanout ~n_objects:3 ~n_sites:3
+    ~n_sessions:6 ~seed:97 ~rate:0.004 ~horizon:12_000.0 ()
+
+let overload_base =
+  Atomrep_workload.Openloop.apply overload_plan
+    {
+      default_base with
+      Runtime.horizon = 30_000.0;
+      admission =
+        Some
+          {
+            Runtime.max_in_flight = 6;
+            queue_limit = 12;
+            deadline = 2_500.0;
+            adm_shed_policy = Runtime.Shed_reads_first;
+            adm_breaker = Some Runtime.default_breaker;
+          };
+      retry_budget = 12;
+    }
 
 let reconfig_base =
   let n_sites = 5 in

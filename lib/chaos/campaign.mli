@@ -25,7 +25,10 @@ val builtin_profiles : profile list
     takeover_storm (commit-window ambushes with fast coordinator heal,
     takeover-bid ambushes, rolling partitions, and link flake — pair with
     {!takeover_base} and a [monitors] selection to prove epoch-fenced
-    adoption never diverges), and the composed storm. *)
+    adoption never diverges), overload_storm (rolling partitions and link
+    flake timed to land inside {!overload_base}'s flash crowd — pair with
+    {!overload_base} and the shed_safety/session_monotonic monitors), and
+    the composed storm. *)
 
 val find_profile : string -> profile option
 val profile_names : string list
@@ -77,6 +80,22 @@ val takeover_base : Runtime.config
 (** {!termination_base} with coordinator takeover on — the base under
     which the [takeover_storm] profile must convert strandings into
     adopted commits with zero no-divergence monitor violations. *)
+
+val overload_plan : Atomrep_workload.Openloop.t
+(** The flash-crowd open-loop plan {!overload_base} runs: Zipf-skewed
+    queue fanout over three objects at a 0.004/ms base rate with a 10x
+    burst — precomputed from its own seed, so every scheme and seed
+    replays the identical offered load. *)
+
+val overload_base : Runtime.config
+(** {!default_base} under {!overload_plan} with the graceful-degradation
+    surface on: bounded in-flight window with a shed-by-class admission
+    queue and sojourn deadline, a finite per-transaction retry budget,
+    and the per-site circuit breaker. The base the [overload_storm]
+    profile (rolling partitions through the flash crowd) is meant to be
+    survived with — zero shed-safety or atomicity violations while
+    goodput degrades gracefully. Termination and deadlock stay at the
+    defaults so CLI flags compose. *)
 
 val reconfig_base : Runtime.config
 (** A base sized for reconfiguration campaigns: five sites, a majority

@@ -379,6 +379,157 @@ let indoubt_liveness ctx =
         |> List.sort compare)
     ()
 
+(* --- shed_safety ------------------------------------------------------ *)
+
+type shed_st = {
+  sh_shed : (string, float) Hashtbl.t; (* txn -> shed time *)
+  (* txn -> repository sites holding an unresolved tentative entry *)
+  sh_pending : (string, IntSet.t) Hashtbl.t;
+  (* txn -> sites whose repository already resolved it (sticky: a stale
+     tentative re-delivery after the resolution does not reopen the
+     obligation — the repository drops it as a duplicate anyway) *)
+  sh_resolved : (string, IntSet.t) Hashtbl.t;
+  sh_fair : fairness;
+}
+
+(* "A shed transaction is cleanly aborted everywhere": it must never be
+   reported committed, and once the network heals, no repository may
+   still hold one of its tentative entries. [Repo_resolve] fires exactly
+   when a repository first installs the transaction's terminal record
+   (whatever the delivery path: the abort broadcast, gossip, or a
+   status-poll offer), so resolution is tracked at the store, not at the
+   front-end. *)
+let shed_safety ctx =
+  let grace = grace ctx.cfg in
+  SM.make ~name:"shed_safety"
+    ~on:
+      (SM.observes
+         [
+           "crash"; "repo_append"; "repo_resolve"; "shed"; "txn_abort";
+           "txn_commit"; "quiesce";
+         ])
+    ~init:(fun () ->
+      {
+        sh_shed = Hashtbl.create 16;
+        sh_pending = Hashtbl.create 32;
+        sh_resolved = Hashtbl.create 32;
+        sh_fair = { fair = false; horizon_t = 0.0 };
+      })
+    ~step:(fun st e ->
+      match e.Trace.kind with
+      | Trace.Shed { txn; _ } ->
+        Hashtbl.replace st.sh_shed txn e.Trace.time;
+        SM.Continue st
+      | Trace.Repo_append { txn; tentative = true; _ } ->
+        let resolved =
+          Option.value ~default:IntSet.empty (Hashtbl.find_opt st.sh_resolved txn)
+        in
+        if not (IntSet.mem e.Trace.site resolved) then begin
+          let s =
+            Option.value ~default:IntSet.empty (Hashtbl.find_opt st.sh_pending txn)
+          in
+          Hashtbl.replace st.sh_pending txn (IntSet.add e.Trace.site s)
+        end;
+        SM.Continue st
+      | Trace.Repo_append { tentative = false; _ } -> SM.Continue st
+      | Trace.Repo_resolve { txn; _ } ->
+        let r =
+          Option.value ~default:IntSet.empty (Hashtbl.find_opt st.sh_resolved txn)
+        in
+        Hashtbl.replace st.sh_resolved txn (IntSet.add e.Trace.site r);
+        (match Hashtbl.find_opt st.sh_pending txn with
+         | Some s -> Hashtbl.replace st.sh_pending txn (IntSet.remove e.Trace.site s)
+         | None -> ());
+        SM.Continue st
+      | Trace.Crash { site; amnesia = true } ->
+        (* Amnesia wipes a volatile repository's log (and a durable one
+           replays only what its WAL kept): the site's unresolved entries
+           are not evidence any more. Anything resurrected or re-delivered
+           later re-enters via a fresh [Repo_append]. *)
+        Hashtbl.iter
+          (fun txn s ->
+            if IntSet.mem site s then
+              Hashtbl.replace st.sh_pending txn (IntSet.remove site s))
+          (Hashtbl.copy st.sh_pending);
+        SM.Continue st
+      | Trace.Crash _ -> SM.Continue st
+      | Trace.Txn_commit { txn } ->
+        if Hashtbl.mem st.sh_shed txn then
+          SM.Violate (st, Printf.sprintf "shed transaction %s reported committed" txn)
+        else begin
+          Hashtbl.remove st.sh_pending txn;
+          Hashtbl.remove st.sh_resolved txn;
+          SM.Continue st
+        end
+      | Trace.Txn_abort { txn; _ } ->
+        (* A shed transaction's entries must still resolve at every
+           repository, so only non-shed aborts are GC'd. *)
+        if not (Hashtbl.mem st.sh_shed txn) then begin
+          Hashtbl.remove st.sh_pending txn;
+          Hashtbl.remove st.sh_resolved txn
+        end;
+        SM.Continue st
+      | k ->
+        fold_quiesce st.sh_fair { e with Trace.kind = k };
+        SM.Continue st)
+    ~at_quiesce:(fun st ->
+      if not st.sh_fair.fair then []
+      else
+        Hashtbl.fold
+          (fun txn t0 acc ->
+            let pending =
+              Option.value ~default:IntSet.empty (Hashtbl.find_opt st.sh_pending txn)
+            in
+            if
+              (not (IntSet.is_empty pending))
+              && st.sh_fair.horizon_t -. t0 >= grace
+            then
+              Printf.sprintf
+                "shed transaction %s still holds tentative entries at site(s) \
+                 %s on a healed, fully-live network"
+                txn
+                (String.concat ", "
+                   (List.map string_of_int (IntSet.elements pending)))
+              :: acc
+            else acc)
+          st.sh_shed []
+        |> List.sort compare)
+    ()
+
+(* --- session_monotonic ------------------------------------------------ *)
+
+(* Open-loop plans pin each client session to one home site, so a
+   session's commit timestamps all come from that site's Lamport clock —
+   which only moves forward (ticks, witnesses and skew all advance it).
+   [Session_commit] is emitted at timestamp assignment, so trace order is
+   clock-assignment order even when a partition delays one transaction's
+   vote drive past a later-stamped sibling's verdict. Observing a session
+   commit whose counter is not strictly above the session's previous one
+   therefore means a clock ran backwards or a session leaked across
+   sites. Closed-loop runs carry no sessions and emit no [Session_commit]
+   events, so the monitor is vacuous there. *)
+let session_monotonic _ctx =
+  SM.keyed ~name:"session_monotonic"
+    ~on:(SM.observes [ "session_commit" ])
+    ~key:(fun e ->
+      match e.Trace.kind with
+      | Trace.Session_commit { session; _ } -> Some (string_of_int session)
+      | _ -> None)
+    ~init:(fun _ -> (min_int, "-"))
+    ~step:(fun ((last, last_txn) as s) e ->
+      match e.Trace.kind with
+      | Trace.Session_commit { txn; counter; _ } ->
+        if counter > last then SM.Continue (counter, txn)
+        else
+          SM.Violate
+            ( s,
+              Printf.sprintf
+                "commit timestamp went backwards: %s committed at counter %d \
+                 after %s at counter %d"
+                txn counter last_txn last )
+      | _ -> SM.Continue s)
+    ()
+
 (* --- registry --------------------------------------------------------- *)
 
 let registry =
@@ -418,6 +569,24 @@ let registry =
       e_kind = Safety;
       e_observes = [ "repo_append"; "quorum_append"; "txn_commit"; "txn_abort"; "crash" ];
       e_spec = commit_durability;
+    };
+    {
+      e_name = "shed_safety";
+      e_doc = "every shed transaction is cleanly aborted everywhere";
+      e_kind = Safety;
+      e_observes =
+        [
+          "crash"; "repo_append"; "repo_resolve"; "shed"; "txn_abort";
+          "txn_commit"; "quiesce";
+        ];
+      e_spec = shed_safety;
+    };
+    {
+      e_name = "session_monotonic";
+      e_doc = "per-session commit timestamps are strictly increasing";
+      e_kind = Safety;
+      e_observes = [ "session_commit" ];
+      e_spec = session_monotonic;
     };
     {
       e_name = "stranded_entries";

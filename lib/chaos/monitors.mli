@@ -27,6 +27,13 @@
       quorum of repositories stored each of its final-quorum entries
       (safety, the eMonitor-CommitDurability shape: per-entry stored-site
       sets checked at the commit event).
+    - [shed_safety] — a transaction shed by admission control is never
+      reported committed, and once the network heals no repository still
+      holds one of its tentative entries (safety; the residual-entry leg
+      is fairness- and grace-gated like a liveness obligation).
+    - [session_monotonic] — commit timestamps within one client session
+      are strictly increasing (safety, per-session keyed machine; only
+      open-loop plans emit session commits).
     - [stranded_entries] — under [Cooperative] termination with fairness,
       the stranded-entry count and the live stranded-transaction gauge
       both drain to zero (liveness).

@@ -9,6 +9,7 @@ type entry = {
   b_file : string;
   b_index : int;
   b_kind : string;
+  b_headline : float option;
   b_rows : row list;
 }
 
@@ -81,6 +82,7 @@ let of_json ~file json =
     b_file = Filename.basename file;
     b_index = Option.value ~default:(-1) (index_of_file file);
     b_kind = kind;
+    b_headline = Option.bind (Json.member "headline" json) num;
     b_rows = rows_of_json json;
   }
 
@@ -111,13 +113,16 @@ let scan ~dir =
    compares entries of the same kind — the headline is the within-kind
    yardstick. *)
 let headline e =
-  List.fold_left
-    (fun acc r ->
-      match (acc, r.r_per_s) with
-      | None, p -> p
-      | Some a, Some p -> Some (Float.max a p)
-      | Some _, None -> acc)
-    None e.b_rows
+  match e.b_headline with
+  | Some h -> Some h
+  | None ->
+    List.fold_left
+      (fun acc r ->
+        match (acc, r.r_per_s) with
+        | None, p -> p
+        | Some a, Some p -> Some (Float.max a p)
+        | Some _, None -> acc)
+      None e.b_rows
 
 type verdict = {
   v_newest : entry;

@@ -20,6 +20,10 @@ type entry = {
   b_file : string;
   b_index : int;  (** the N of BENCH_N.json; -1 if unparsable *)
   b_kind : string;  (** the ["bench"] field, else the filename stem *)
+  b_headline : float option;
+      (** a top-level numeric ["headline"] field, when the schema declares
+          its own comparable figure (the "load" kind stores its
+          goodput-at-knee here) *)
   b_rows : row list;
 }
 
@@ -31,7 +35,9 @@ val scan : dir:string -> entry list
     files are skipped. *)
 
 val headline : entry -> float option
-(** The entry's comparable figure: its best committed/s over all rows. *)
+(** The entry's comparable figure: the stored ["headline"] when the
+    schema declares one (kind "load": admission-on goodput at the knee),
+    else its best committed/s over all rows. *)
 
 type verdict = {
   v_newest : entry;

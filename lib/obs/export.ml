@@ -70,6 +70,15 @@ let args_json (kind : Trace.kind) =
         ("label", Json.Str label) ]
     | Trace.Span_end { span; outcome } ->
       [ ("span", Json.int span); ("outcome", Json.Str outcome) ]
+    | Trace.Shed { txn; reason } ->
+      [ ("txn", Json.Str txn); ("reason", Json.Str reason) ]
+    | Trace.Repo_resolve { txn; committed } ->
+      [ ("txn", Json.Str txn); ("committed", Json.Bool committed) ]
+    | Trace.Session_commit { session; txn; counter; site } ->
+      [ ("session", Json.int session); ("txn", Json.Str txn);
+        ("counter", Json.int counter); ("site", Json.int site) ]
+    | Trace.Breaker { site; state } ->
+      [ ("site", Json.int site); ("state", Json.Str state) ]
   in
   Json.Obj fields
 

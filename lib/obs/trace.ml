@@ -36,6 +36,10 @@ type kind =
   | Quiesce of { up : int; n_sites : int; partitioned : bool }
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
+  | Shed of { txn : string; reason : string }
+  | Repo_resolve of { txn : string; committed : bool }
+  | Session_commit of { session : int; txn : string; counter : int; site : int }
+  | Breaker of { site : int; state : string }
 
 type event = {
   id : int;
@@ -75,7 +79,7 @@ type t = {
 }
 
 (* Dense tag per kind constructor, for the sampling arrays. *)
-let n_kind_tags = 37
+let n_kind_tags = 41
 
 let kind_tag = function
   | Rpc_send _ -> 0
@@ -115,6 +119,10 @@ let kind_tag = function
   | Quiesce _ -> 34
   | Span_begin _ -> 35
   | Span_end _ -> 36
+  | Shed _ -> 37
+  | Repo_resolve _ -> 38
+  | Session_commit _ -> 39
+  | Breaker _ -> 40
 
 let create ?(enabled = true) ~n_sites () =
   {
@@ -188,6 +196,10 @@ let kind_label = function
   | Quiesce _ -> "quiesce"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
+  | Shed _ -> "shed"
+  | Repo_resolve _ -> "repo_resolve"
+  | Session_commit _ -> "session_commit"
+  | Breaker _ -> "breaker"
 
 let set_sampling t ~every ?(forced = fun _ -> false) () =
   t.sample_every <- max 1 every;
@@ -393,6 +405,13 @@ let pp_kind ppf = function
     Format.fprintf ppf "span_begin #%d %s%s" span label
       (match parent with Some p -> Printf.sprintf " (in #%d)" p | None -> "")
   | Span_end { span; outcome } -> Format.fprintf ppf "span_end #%d %s" span outcome
+  | Shed { txn; reason } -> Format.fprintf ppf "shed %s (%s)" txn reason
+  | Repo_resolve { txn; committed } ->
+    Format.fprintf ppf "repo_resolve %s -> %s" txn
+      (if committed then "commit" else "abort")
+  | Session_commit { session; txn; counter; site } ->
+    Format.fprintf ppf "session_commit s%d %s @(%d,%d)" session txn counter site
+  | Breaker { site; state } -> Format.fprintf ppf "breaker site %d -> %s" site state
 
 let pp_event ppf e =
   Format.fprintf ppf "[%8.1f] site=%-2d L=%-5d #%-5d %a" e.time e.site e.lamport

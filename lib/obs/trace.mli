@@ -88,6 +88,25 @@ type kind =
           resolve — and only then flag unresolved obligations *)
   | Span_begin of { span : int; parent : int option; label : string }
   | Span_end of { span : int; outcome : string }
+  | Shed of { txn : string; reason : string }
+      (** admission control shed the transaction (queue overflow, deadline
+          expiry, or class eviction) — it must still abort cleanly
+          everywhere; the shed-safety monitor checks exactly that *)
+  | Repo_resolve of { txn : string; committed : bool }
+      (** one repository (site = the repository) newly installed a terminal
+          record for the transaction — its tentative entries there are
+          resolved from here on, whatever the delivery path (commit/abort
+          broadcast, anti-entropy gossip, or a vote offer) *)
+  | Session_commit of { session : int; txn : string; counter : int; site : int }
+      (** an open-loop transaction's Lamport commit timestamp, keyed by
+          its session stream and emitted at timestamp assignment (the
+          commit point), so trace order is clock-assignment order even
+          when partitions delay the vote drive — the per-session
+          monotonicity monitor checks counters strictly increase per
+          session *)
+  | Breaker of { site : int; state : string }
+      (** the per-site circuit breaker transitioned to
+          closed / open / half-open *)
 
 type event = {
   id : int; (** global emission index *)

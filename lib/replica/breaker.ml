@@ -1,0 +1,121 @@
+(* Per-site circuit breaker over RPC outcomes. Pure state machine: the
+   runtime feeds it Rpc outcomes (via Network.on_rpc_result) and consults
+   it from the network router; it draws no randomness and schedules no
+   events, so a breaker that never opens leaves a run bit-identical. *)
+
+type state = Closed | Open | Half_open
+
+let state_label = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type site_state = {
+  ring : bool array; (* recent outcomes, true = failure *)
+  mutable idx : int;
+  mutable filled : int;
+  mutable failures : int; (* failures currently in the ring *)
+  mutable st : state;
+  mutable open_until : float;
+  mutable probe_successes : int;
+}
+
+type t = {
+  window : int;
+  threshold : float;
+  cooldown : float;
+  probes : int;
+  sites : site_state array;
+  mutable on_transition : site:int -> state:state -> unit;
+}
+
+let create ?(window = 8) ?(threshold = 0.5) ?(cooldown = 400.0) ?(probes = 2)
+    ~n_sites () =
+  let window = max 1 window in
+  {
+    window;
+    threshold;
+    cooldown;
+    probes = max 1 probes;
+    sites =
+      Array.init n_sites (fun _ ->
+          {
+            ring = Array.make window false;
+            idx = 0;
+            filled = 0;
+            failures = 0;
+            st = Closed;
+            open_until = 0.0;
+            probe_successes = 0;
+          });
+    on_transition = (fun ~site:_ ~state:_ -> ());
+  }
+
+let set_transition_hook t f = t.on_transition <- f
+let state t ~site = t.sites.(site).st
+
+let reset_ring s =
+  Array.fill s.ring 0 (Array.length s.ring) false;
+  s.idx <- 0;
+  s.filled <- 0;
+  s.failures <- 0
+
+let transition t ~site s st =
+  if s.st <> st then begin
+    s.st <- st;
+    t.on_transition ~site ~state:st
+  end
+
+let push s ~failed =
+  if s.filled = Array.length s.ring then begin
+    if s.ring.(s.idx) then s.failures <- s.failures - 1
+  end
+  else s.filled <- s.filled + 1;
+  s.ring.(s.idx) <- failed;
+  if failed then s.failures <- s.failures + 1;
+  s.idx <- (s.idx + 1) mod Array.length s.ring
+
+let record t ~site ~now ~ok =
+  let s = t.sites.(site) in
+  match s.st with
+  | Closed ->
+    push s ~failed:(not ok);
+    if
+      s.filled >= t.window
+      && float_of_int s.failures >= t.threshold *. float_of_int t.window
+    then begin
+      s.open_until <- now +. t.cooldown;
+      reset_ring s;
+      s.probe_successes <- 0;
+      transition t ~site s Open
+    end
+  | Open ->
+    (* Stragglers from calls issued before the trip: ignored — the window
+       restarts from the half-open probes. *)
+    ()
+  | Half_open ->
+    if ok then begin
+      s.probe_successes <- s.probe_successes + 1;
+      if s.probe_successes >= t.probes then begin
+        reset_ring s;
+        transition t ~site s Closed
+      end
+    end
+    else begin
+      s.open_until <- now +. t.cooldown;
+      s.probe_successes <- 0;
+      transition t ~site s Open
+    end
+
+let allow t ~site ~now =
+  let s = t.sites.(site) in
+  match s.st with
+  | Closed -> true
+  | Half_open -> true
+  | Open ->
+    if now >= s.open_until then begin
+      s.probe_successes <- 0;
+      transition t ~site s Half_open;
+      true
+    end
+    else false

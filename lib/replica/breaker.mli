@@ -1,0 +1,57 @@
+(** Per-site circuit breaker over RPC outcomes.
+
+    Quorum traffic to a site that keeps timing out burns the full RPC
+    timeout per call — and {!Atomrep_sim.Rpc.multicast} waits for every
+    destination, so one dead site stretches every gather to the timeout.
+    The breaker watches per-destination outcomes (fed from
+    {!Atomrep_sim.Network.on_rpc_result}) and, installed as the network
+    router, answers calls to a tripped site immediately instead.
+
+    Classic three-state machine, per destination site:
+    - [Closed]: traffic flows; a sliding window of the last [window]
+      outcomes is kept, and when it is full with a failure fraction at or
+      above [threshold] the breaker trips to [Open].
+    - [Open]: traffic is refused (the router answers [None] at once).
+      After [cooldown] of simulated time the first {!allow} probe moves to
+      [Half_open].
+    - [Half_open]: traffic flows again tentatively; [probes] consecutive
+      successes close the breaker, any failure re-opens it for another
+      cooldown.
+
+    The machine is pure bookkeeping: no RNG, no scheduled events. Refused
+    calls must NOT be fed back via {!record} (the network takes care of
+    this — router refusals bypass the rpc-result listeners), otherwise an
+    open breaker would count its own refusals as failures and never
+    recover. *)
+
+type state = Closed | Open | Half_open
+
+val state_label : state -> string
+(** ["closed"], ["open"], ["half-open"] — the labels the
+    {!Atomrep_obs.Trace.Breaker} events carry. *)
+
+type t
+
+val create :
+  ?window:int ->
+  ?threshold:float ->
+  ?cooldown:float ->
+  ?probes:int ->
+  n_sites:int ->
+  unit ->
+  t
+(** Defaults: window 8, threshold 0.5, cooldown 400 ms, 2 probes. *)
+
+val set_transition_hook : t -> (site:int -> state:state -> unit) -> unit
+(** Observe state transitions (trace emission, metrics). Default: ignore. *)
+
+val record : t -> site:int -> now:float -> ok:bool -> unit
+(** Feed one RPC outcome for the destination [site]. Outcomes arriving
+    while the breaker is [Open] (stragglers from calls issued before the
+    trip) are ignored. *)
+
+val allow : t -> site:int -> now:float -> bool
+(** May traffic be routed to [site] now? An [Open] breaker past its
+    cooldown transitions to [Half_open] and allows the probe. *)
+
+val state : t -> site:int -> state

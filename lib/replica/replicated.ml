@@ -97,13 +97,38 @@ let create ~name ~spec ~scheme ~relation ~assignment ~net ?members
                   | Repository.Flushed n -> Trace.Wal_flush { site; records = n }
                   | Repository.Flush_rejected -> Trace.Wal_full { site }
                   | Repository.Checkpointed { kept; dropped_segments } ->
-                    Trace.Wal_checkpoint { site; kept; dropped_segments }))))
+                    Trace.Wal_checkpoint { site; kept; dropped_segments })));
+      (* A newly installed commit/abort record resolves every tentative
+         entry the repository holds for that action — the shed-safety
+         monitor folds these to check shed transactions are cleanly
+         aborted everywhere. *)
+      Repository.set_resolve_hook repo (fun action ~committed ->
+          let trc = Network.trace net in
+          if Trace.enabled trc then
+            ignore
+              (Trace.emit trc ~site
+                 (Trace.Repo_resolve { txn = Action.to_string action; committed }))))
     repos;
+  (* The conflict table is where the schemes genuinely differ (paper, §5):
+     hybrid and static lock on the dependency relation — Enq need not
+     conflict with Enq because timestamp order resolves them — while a
+     locking scheme serializes in commit order and so must conflict every
+     non-commuting pair (the dynamic dependency relation, Theorem 10).
+     Locking on the weaker dependency table admits concurrent Enqs whose
+     commit order can contradict the timestamp order later Deqs answer
+     from, which is exactly a dynamic-atomicity violation. *)
+  let table =
+    match scheme with
+    | Hybrid | Static -> Conflict_table.of_relation relation
+    | Locking ->
+      Conflict_table.of_relation
+        (Atomrep_core.Dynamic_dep.minimal spec ~max_len:4)
+  in
   {
     name;
     spec;
     scheme;
-    table = Conflict_table.of_relation relation;
+    table;
     constraints = Op_constraint.of_relation relation;
     current = Epoch.bootstrap ~n_sites:(Network.n_sites net) ?members assignment;
     net;

@@ -38,6 +38,7 @@ type t = {
   group_commit : bool;
   checkpoint_every : int;
   mutable on_storage : storage_note -> unit;
+  mutable on_resolve : Action.t -> committed:bool -> unit;
   takeover : Takeover.t;
 }
 
@@ -67,6 +68,7 @@ let create ?(durability = Volatile) ~site () =
     group_commit;
     checkpoint_every;
     on_storage = (fun _ -> ());
+    on_resolve = (fun _ ~committed:_ -> ());
     takeover = Takeover.create ();
   }
 
@@ -74,6 +76,7 @@ let site t = t.site
 let read t = t.log
 let store t = t.store
 let set_storage_hook t f = t.on_storage <- f
+let set_resolve_hook t f = t.on_resolve <- f
 
 let ts_max a b = if Lamport.Timestamp.compare a b >= 0 then a else b
 
@@ -146,6 +149,12 @@ let accepts t r =
   | Log.Entry _ | Log.Commit_record _ | Log.Abort_record _ -> true
 
 let append t records =
+  (* Resolutions newly installed by this append, fired after the whole
+     batch lands so the hook observes the post-append log. Every delivery
+     path funnels through here — status broadcasts, anti-entropy gossip
+     ({!ingest}), and termination vote offers — so one hook suffices to
+     witness "this repository resolved that transaction". *)
+  let resolved = ref [] in
   let accepted =
     List.filter
       (fun r ->
@@ -157,8 +166,13 @@ let append t records =
              drop_intention t e.Log.action e.Log.seq
            | Log.Commit_record (a, ts) ->
              witness t ts;
+             if not (Log.is_committed t.log a) then
+               resolved := (a, true) :: !resolved;
              drop_action t a
-           | Log.Abort_record a -> drop_action t a
+           | Log.Abort_record a ->
+             if not (Log.is_aborted t.log a) then
+               resolved := (a, false) :: !resolved;
+             drop_action t a
            | Log.Precommit (_, ts) -> witness t ts
            | Log.Preabort _ -> ());
           t.log <- Log.add t.log r
@@ -166,6 +180,7 @@ let append t records =
         ok)
       records
   in
+  List.iter (fun (a, committed) -> t.on_resolve a ~committed) (List.rev !resolved);
   match t.store with
   | None -> ()
   | Some wal ->

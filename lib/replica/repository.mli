@@ -63,6 +63,16 @@ val set_storage_hook : t -> (storage_note -> unit) -> unit
 (** Observe storage activity (trace emission) without this module
     depending on the observability layer. Default: ignore. *)
 
+val set_resolve_hook : t -> (Action.t -> committed:bool -> unit) -> unit
+(** Observe resolutions: called once per action the first time this
+    repository installs a certified commit ([committed:true]) or abort
+    ([committed:false]) record for it, whatever path delivered the record
+    ({!append} via a status broadcast, {!ingest} gossip, or a vote
+    {!offer}). Re-deliveries of an already-known decision do not fire.
+    The shed-safety monitor rides this hook: a shed transaction's
+    tentative entries are cleanly resolved exactly when every repository
+    holding one fires an abort resolution. Default: ignore. *)
+
 type recovery = {
   r_site : int;
   r_replayed : int;  (** payloads replayed from the durable prefix *)

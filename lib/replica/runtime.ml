@@ -65,6 +65,51 @@ let deadlock_mode_of_string = function
   | "wound-wait" -> Some Wound_wait
   | _ -> None
 
+type shed_policy = Reject_newest | Shed_reads_first
+
+let shed_policy_name = function
+  | Reject_newest -> "reject-newest"
+  | Shed_reads_first -> "shed-reads-first"
+
+let shed_policy_of_string = function
+  | "reject-newest" -> Some Reject_newest
+  | "shed-reads-first" -> Some Shed_reads_first
+  | _ -> None
+
+type breaker_cfg = {
+  br_window : int;
+  br_threshold : float;
+  br_cooldown : float;
+  br_probes : int;
+}
+
+let default_breaker =
+  { br_window = 8; br_threshold = 0.5; br_cooldown = 400.0; br_probes = 2 }
+
+type admission = {
+  max_in_flight : int;
+  queue_limit : int;
+  deadline : float;
+  adm_shed_policy : shed_policy;
+  adm_breaker : breaker_cfg option;
+}
+
+let default_admission =
+  {
+    max_in_flight = 8;
+    queue_limit = 16;
+    deadline = Float.infinity;
+    adm_shed_policy = Reject_newest;
+    adm_breaker = None;
+  }
+
+type load = {
+  arrivals : float array;
+  home_of : int -> int;
+  session_of : int -> int;
+  class_of : int -> [ `Read | `Write ];
+}
+
 type config = {
   seed : int;
   n_sites : int;
@@ -96,6 +141,31 @@ type config = {
          wins an epoch-style takeover lease before adopting the drive,
          and every vote it places is term-stamped so stale drivers are
          fenced (see DESIGN §3f). *)
+  admission : admission option;
+      (* Admission control and graceful shedding (DESIGN §3i): a bounded
+         in-flight window, a FIFO admission queue with deadline-aware
+         dequeue, queue-overflow shed policies, and an optional per-site
+         circuit breaker over RPC outcomes. [None] (the default) is the
+         legacy unbounded path — every arrival starts immediately. *)
+  retry_budget : int;
+      (* Total retries (conflict backoffs + commit-quorum re-probes +
+         commit-drive re-drives) one transaction may spend before it gives
+         up — the metastable-collapse cap: capped jittered backoff bounds
+         the rate, this bounds the amplification. [max_int] (the default)
+         is unbounded, the historical behavior bit-for-bit. *)
+  load : load option;
+      (* Open-loop arrival schedule ({!Atomrep_workload.Openloop}): when
+         present, transaction [i] arrives at [arrivals.(i)] (at most
+         [n_txns] of them) at home site [home_of i], replacing the
+         closed-loop exponential inter-arrival draws and the uniform home
+         draw; [session_of]/[class_of] feed the per-session monotonicity
+         monitor and the shed-by-class policy. *)
+  timely_bound : float;
+      (* A commit only counts toward [timely_commits] when the
+         transaction's arrival-to-commit sojourn is within this bound —
+         the goodput load sweeps compare (a late commit is wasted work to
+         an open-loop client). [infinity] (the default) counts every
+         commit. Accounting only; never changes scheduling. *)
   profile : Profile.t;
       (* Installed as the ambient profile for the run's extent, so the
          engine dispatch loop, network sends, trace publishes, quorum
@@ -159,6 +229,10 @@ let default_config =
     deadlock = No_deadlock;
     reaper_every = 250.0;
     takeover = false;
+    admission = None;
+    retry_budget = max_int;
+    load = None;
+    timely_bound = infinity;
     profile = Profile.null;
     timeseries = Timeseries.null;
   }
@@ -211,6 +285,12 @@ type metrics = {
   takeover_contended : int;
   rebroadcasts_suppressed : int;
   stranded_live : int;
+  shed : int;
+  timely_commits : int;
+  retries_spent : int;
+  retries_budget_exhausted : int;
+  sojourn : Summary.t;
+  breaker_trips : int;
 }
 
 type outcome = {
@@ -243,6 +323,27 @@ type counters = {
   c_takeover_contended : Metrics.counter;
   c_rebroadcast_suppressed : Metrics.counter;
   g_stranded_live : Metrics.gauge;
+  c_shed : Metrics.counter;
+  c_timely : Metrics.counter;
+  c_retries_spent : Metrics.counter;
+  c_retry_exhausted : Metrics.counter;
+  c_sojourn : Metrics.histogram;
+  c_breaker_trips : Metrics.counter;
+}
+
+(* Live admission state: the bounded in-flight window and the FIFO queue
+   (arrival order, head oldest — small by construction, [queue_limit]
+   entries at most, so list append is fine). *)
+type pending_txn = {
+  p_index : int;
+  p_arrival : float;
+  p_class : [ `Read | `Write ];
+}
+
+type admission_state = {
+  acfg : admission;
+  mutable adm_in_flight : int;
+  mutable adm_queue : pending_txn list;
 }
 
 type run_state = {
@@ -270,6 +371,7 @@ type run_state = {
      that makes adoption and orphan GC unable to double-decrement. *)
   counted_stranded : (Action.t, unit) Hashtbl.t;
   mutable n_stranded_live : int;
+  admission_st : admission_state option;
 }
 
 let find_object st name =
@@ -663,18 +765,54 @@ let try_resolve st ~home blocker target =
       | Termination.Presumed_abort_only | Termination.Cooperative ->
         cooperative_terminate st btxn target ~from:home)
 
-let run_txn st index ~arrival =
+(* The shed site for a transaction that never started: its home under an
+   open-loop plan (where homes are preassigned), the system lane otherwise
+   (the uniform home draw has not happened yet). *)
+let shed_site st index =
+  match st.cfg.load with
+  | Some l -> l.home_of index mod st.cfg.n_sites
+  | None -> -1
+
+(* Shed a transaction that was never admitted (queue overflow, class
+   eviction, or deadline expiry while queued): it touched nothing, so the
+   Shed trace event plus the counters are the whole story — the
+   shed-safety monitor sees no tentative entries to worry about. *)
+let shed_pending st p ~reason =
+  Metrics.incr st.counters.c_aborted;
+  Metrics.incr st.counters.c_shed;
+  Metrics.observe st.counters.c_sojourn (Engine.now st.engine -. p.p_arrival);
+  note st ~site:(shed_site st p.p_index)
+    (Trace.Shed { txn = Printf.sprintf "T%d" p.p_index; reason })
+
+(* Evict the newest queued read (shed-by-class: reads are sacrificed
+   before writes). Returns the victim and the queue without it. *)
+let evict_newest_read queue =
+  let rec go acc = function
+    | [] -> None
+    | p :: older when p.p_class = `Read -> Some (p, List.rev_append older acc)
+    | p :: older -> go (p :: acc) older
+  in
+  go [] (List.rev queue)
+
+let rec exec_txn st index ~arrival ~admitted ~release =
   let cfg = st.cfg in
   let rng = Engine.rng st.engine in
   let trc = Network.trace st.net in
-  Engine.schedule_at st.engine ~time:arrival (fun () ->
-      let home = Rng.int rng cfg.n_sites in
+      let home =
+        match cfg.load with
+        | Some l -> l.home_of index mod cfg.n_sites
+        | None -> Rng.int rng cfg.n_sites
+      in
+      let session =
+        match cfg.load with Some l -> l.session_of index | None -> -1
+      in
       let action = Action.of_string (Printf.sprintf "T%d" index) in
       let txname = Action.to_string action in
       if not (Network.site_up st.net home) then begin
         (* The client's site is down: the transaction cannot start. *)
         Metrics.incr st.counters.c_aborted;
-        Metrics.incr st.counters.c_unavailable
+        Metrics.incr st.counters.c_unavailable;
+        release ()
       end
       else begin
         let clock = st.clocks.(home) in
@@ -700,7 +838,10 @@ let run_txn st index ~arrival =
             if txn.Txn.stranded then ()
             else if not (Network.site_up st.net home) then begin
               txn.Txn.stranded <- true;
-              mark_stranded st txn
+              mark_stranded st txn;
+              (* The driver is dead; its admission slot frees so offered
+                 load keeps flowing while termination picks the orphan up. *)
+              release ()
             end
             else f ()
         in
@@ -721,7 +862,14 @@ let run_txn st index ~arrival =
              | `Unavailable -> Metrics.incr st.counters.c_unavailable
              | `Rejected -> Metrics.incr st.counters.c_rejected
              | `Conflict -> Metrics.incr st.counters.c_conflict
-             | `Deadlock -> Metrics.incr st.counters.c_deadlock);
+             | `Deadlock -> Metrics.incr st.counters.c_deadlock
+             | `Shed ->
+               (* A mid-flight shed is an ordinary clean abort plus the
+                  Shed marker the shed-safety monitor keys on: the abort
+                  broadcast below must resolve its tentative entries at
+                  every reachable repository. *)
+               Metrics.incr st.counters.c_shed;
+               note st ~site:home (Trace.Shed { txn = txname; reason = why }));
             if Trace.enabled trc then
               ignore
                 (Trace.emit trc ~site:home
@@ -733,13 +881,49 @@ let run_txn st index ~arrival =
                 Replicated.observe obj (Behavioral.Abort action);
                 Replicated.broadcast_status obj (Log.Abort_record action)
                   ~reachable_from:home)
-              txn.Txn.touched
+              txn.Txn.touched;
+            release ()
+        in
+        let note_session_commit cts =
+          if session >= 0 then
+            note st ~site:home
+              (Trace.Session_commit
+                 {
+                   session;
+                   txn = txname;
+                   counter = cts.Lamport.Timestamp.counter;
+                   site = cts.Lamport.Timestamp.site;
+                 })
         in
         let finish_commit () =
           Waits_for.clear st.waits action;
+          if Engine.now st.engine -. arrival <= cfg.timely_bound then
+            Metrics.incr st.counters.c_timely;
           if Trace.enabled trc then
             ignore (Trace.emit trc ~site:home (Trace.Txn_commit { txn = txname }));
-          close_spans "committed"
+          close_spans "committed";
+          release ()
+        in
+        (* Per-transaction retry budget: conflict backoffs, commit-quorum
+           re-probes and commit-drive re-drives all spend from the same
+           pot, so a partitioned run cannot amplify retries unboundedly.
+           [max_int] never exhausts and keeps the legacy draw sequence. *)
+        let budget = ref cfg.retry_budget in
+        let spend_retry () =
+          if !budget <= 0 then false
+          else begin
+            budget := !budget - 1;
+            Metrics.incr st.counters.c_retries_spent;
+            true
+          end
+        in
+        let budget_exhausted () =
+          Metrics.incr st.counters.c_retry_exhausted
+        in
+        let past_deadline () =
+          match st.admission_st with
+          | None -> false
+          | Some a -> Engine.now st.engine -. admitted > a.acfg.deadline
         in
         (* Deadlock handling at the moment an operation reports a blocker.
            [Detect]: record the waits-for edge and look for a cycle; the
@@ -865,15 +1049,30 @@ let run_txn st index ~arrival =
                          finish_abort `Deadlock why
                        | _ ->
                          try_resolve st ~home blocker (Replicated.name obj);
-                         if retries > 0 then begin
-                           let delay =
-                             backoff_delay cfg rng
-                               ~attempt:(cfg.max_retries - retries)
-                           in
-                           Engine.schedule st.engine ~delay (fun () ->
-                               step (fun () ->
-                                   attempt obj blocked_at remaining rest
-                                     invocation (retries - 1)))
+                         if past_deadline () then begin
+                           (* Deadline-aware shedding mid-transaction:
+                              still pre-commit, so the clean abort path
+                              applies — tentative entries resolve via the
+                              abort broadcast. *)
+                           unblocked ();
+                           finish_abort `Shed "deadline exceeded"
+                         end
+                         else if retries > 0 then begin
+                           if spend_retry () then begin
+                             let delay =
+                               backoff_delay cfg rng
+                                 ~attempt:(cfg.max_retries - retries)
+                             in
+                             Engine.schedule st.engine ~delay (fun () ->
+                                 step (fun () ->
+                                     attempt obj blocked_at remaining rest
+                                       invocation (retries - 1)))
+                           end
+                           else begin
+                             budget_exhausted ();
+                             unblocked ();
+                             finish_abort `Conflict "retry budget exhausted"
+                           end
                          end
                          else begin
                            unblocked ();
@@ -898,6 +1097,7 @@ let run_txn st index ~arrival =
             txn.Txn.status <- Txn.Committed cts;
             Metrics.incr st.counters.c_committed;
             Metrics.observe st.counters.c_latency (Engine.now st.engine -. started);
+            note_session_commit cts;
             finish_commit ();
             List.iter
               (fun name ->
@@ -929,6 +1129,11 @@ let run_txn st index ~arrival =
                   ignore
                     (Trace.emit trc ~site:home
                        (Trace.Commit_point { txn = txname }));
+                (* Session_commit is emitted here, at timestamp assignment,
+                   not when the vote drive reports back: a partition can
+                   delay one drive past a later-stamped sibling's verdict,
+                   and the monitor judges the clock in trace order. *)
+                note_session_commit cts;
                 (* With takeover on, the coordinator identifies itself at
                    the implicit term 0 so a takeover lease holder fences
                    it; takeover off leaves the votes unfenced (PR-5). *)
@@ -938,7 +1143,8 @@ let run_txn st index ~arrival =
                     ~k:(fun verdict ->
                       if not (Network.site_up st.net home) then begin
                         txn.Txn.stranded <- true;
-                        mark_stranded st txn
+                        mark_stranded st txn;
+                        release ()
                       end
                       else
                         match verdict with
@@ -947,19 +1153,31 @@ let run_txn st index ~arrival =
                             (Engine.now st.engine -. started);
                           close_spans "committed";
                           Termination.log_outcome term ~site:home ~action
-                            ~committed:true
+                            ~committed:true;
+                          release ()
                         | `Aborted ->
                           close_spans "aborted";
                           Termination.log_outcome term ~site:home ~action
-                            ~committed:false
+                            ~committed:false;
+                          release ()
                         | `Fenced ->
                           (* A takeover lease holder owns the drive now:
                              stop. The intent stays in-doubt at this site
                              until the holder's broadcast (or this site's
                              next recovery) resolves it. *)
-                          close_spans "fenced"
+                          close_spans "fenced";
+                          release ()
                         | `Inconclusive ->
-                          if tries_left > 0 then begin
+                          let can_retry =
+                            tries_left > 0
+                            &&
+                            (if spend_retry () then true
+                             else begin
+                               budget_exhausted ();
+                               false
+                             end)
+                          in
+                          if can_retry then begin
                             let delay =
                               backoff_delay cfg rng
                                 ~attempt:
@@ -977,7 +1195,8 @@ let run_txn st index ~arrival =
                             note st ~site:home
                               (Trace.Coop_term
                                  { txn = txname; outcome = "in-doubt" });
-                            close_spans "in-doubt"
+                            close_spans "in-doubt";
+                            release ()
                           end)
                 in
                 drive cfg.commit_quorum_retries
@@ -999,12 +1218,19 @@ let run_txn st index ~arrival =
                         if List.length sites >= Replicated.max_final obj then
                           prepare more
                         else if tries_left > 0 then begin
-                          let delay =
-                            backoff_delay cfg rng
-                              ~attempt:(cfg.commit_quorum_retries - tries_left)
-                          in
-                          Engine.schedule st.engine ~delay (fun () ->
-                              step (fun () -> probe (tries_left - 1)))
+                          if spend_retry () then begin
+                            let delay =
+                              backoff_delay cfg rng
+                                ~attempt:(cfg.commit_quorum_retries - tries_left)
+                            in
+                            Engine.schedule st.engine ~delay (fun () ->
+                                step (fun () -> probe (tries_left - 1)))
+                          end
+                          else begin
+                            budget_exhausted ();
+                            finish_abort `Unavailable
+                              ("commit quorum (retry budget): " ^ name)
+                          end
                         end
                         else
                           finish_abort `Unavailable ("commit quorum: " ^ name)))
@@ -1018,12 +1244,101 @@ let run_txn st index ~arrival =
             txn.Txn.status <- Txn.Committed cts;
             Metrics.incr st.counters.c_committed;
             Metrics.observe st.counters.c_latency (Engine.now st.engine -. started);
+            note_session_commit cts;
             finish_commit ()
           end
           else prepare txn.Txn.touched
         in
         do_ops script
-      end)
+      end
+
+(* One admission slot's release, shared by every terminal path of the
+   transaction it guards (commit, abort, strand, in-doubt give-up).
+   Idempotent — several paths can race to it under kills. Frees the
+   in-flight slot, observes the admission→verdict sojourn, and pumps the
+   queue so the next waiter starts inside the same event. *)
+and make_release st ~arrival =
+  let released = ref false in
+  fun () ->
+    if not !released then begin
+      released := true;
+      Metrics.observe st.counters.c_sojourn (Engine.now st.engine -. arrival);
+      match st.admission_st with
+      | None -> ()
+      | Some a ->
+        a.adm_in_flight <- a.adm_in_flight - 1;
+        admission_pump st
+    end
+
+(* Drain the admission queue into free slots. Waiters whose deadline
+   elapsed while queued are shed here rather than admitted dead. *)
+and admission_pump st =
+  match st.admission_st with
+  | None -> ()
+  | Some a ->
+    let rec pump () =
+      if a.adm_in_flight < a.acfg.max_in_flight then begin
+        match a.adm_queue with
+        | [] -> ()
+        | p :: rest ->
+          a.adm_queue <- rest;
+          if Engine.now st.engine -. p.p_arrival > a.acfg.deadline then begin
+            shed_pending st p ~reason:"deadline";
+            pump ()
+          end
+          else begin
+            a.adm_in_flight <- a.adm_in_flight + 1;
+            let release = make_release st ~arrival:p.p_arrival in
+            exec_txn st p.p_index ~arrival:p.p_arrival ~admitted:(Engine.now st.engine) ~release
+          end
+      end
+    in
+    pump ()
+
+(* Client arrival: under admission control the transaction first passes
+   the gate — run now if a slot is free, wait in the bounded queue
+   otherwise, or be shed per policy when the queue is full. Without
+   admission ([cfg.admission = None]) this is a plain dispatch and the
+   run is bit-identical to the ungated runtime. *)
+and run_txn st index ~arrival =
+  Engine.schedule_at st.engine ~time:arrival (fun () ->
+      match st.admission_st with
+      | None ->
+        exec_txn st index ~arrival ~admitted:arrival ~release:(make_release st ~arrival)
+      | Some a ->
+        let p =
+          {
+            p_index = index;
+            p_arrival = arrival;
+            p_class =
+              (match st.cfg.load with
+               | Some l -> l.class_of index
+               | None -> `Write);
+          }
+        in
+        if a.adm_in_flight < a.acfg.max_in_flight && a.adm_queue = [] then begin
+          a.adm_in_flight <- a.adm_in_flight + 1;
+          let release = make_release st ~arrival in
+          exec_txn st index ~arrival ~admitted:arrival ~release
+        end
+        else if List.length a.adm_queue < a.acfg.queue_limit then
+          a.adm_queue <- a.adm_queue @ [ p ]
+        else begin
+          match a.acfg.adm_shed_policy with
+          | Reject_newest -> shed_pending st p ~reason:"queue full"
+          | Shed_reads_first -> (
+            (* An arriving write may evict the newest queued read;
+               arriving reads and writes with no read to evict are shed
+               themselves. *)
+            match p.p_class with
+            | `Read -> shed_pending st p ~reason:"queue full"
+            | `Write -> (
+              match evict_newest_read a.adm_queue with
+              | Some (victim, rest) ->
+                shed_pending st victim ~reason:"shed-by-class";
+                a.adm_queue <- rest @ [ p ]
+              | None -> shed_pending st p ~reason:"queue full"))
+        end)
 
 (* Reconstruct the model-ordered history for one object (see interface):
    Begin entries first (Begin-timestamp order), then executions and aborts
@@ -1137,6 +1452,18 @@ let run_inner cfg =
               "term.rebroadcasts_suppressed";
           g_stranded_live =
             Metrics.gauge registry ~labels:scheme_l "term.stranded_live";
+          c_shed = Metrics.counter registry ~labels:scheme_l "admission.shed";
+          c_timely =
+            Metrics.counter registry ~labels:scheme_l "runtime.timely_commits";
+          c_retries_spent =
+            Metrics.counter registry ~labels:scheme_l "runtime.retries_spent";
+          c_retry_exhausted =
+            Metrics.counter registry ~labels:scheme_l
+              "runtime.retries_budget_exhausted";
+          c_sojourn =
+            Metrics.histogram registry ~labels:scheme_l "admission.sojourn";
+          c_breaker_trips =
+            Metrics.counter registry ~labels:scheme_l "breaker.trips";
         };
       registry;
       cfg;
@@ -1151,8 +1478,33 @@ let run_inner cfg =
       takeover_terms = Hashtbl.create 16;
       counted_stranded = Hashtbl.create 16;
       n_stranded_live = 0;
+      admission_st =
+        (match cfg.admission with
+         | None -> None
+         | Some a -> Some { acfg = a; adm_in_flight = 0; adm_queue = [] });
     }
   in
+  (* Circuit breaker: a pure state machine fed from the RPC outcome
+     listeners and consulted from the network router. It only gates
+     [Rpc.call] — status broadcasts and gossip still use [Network.send],
+     so abort records reach a tripped site and shed-safety holds. *)
+  (match cfg.admission with
+   | Some { adm_breaker = Some bc; _ } ->
+     let breaker =
+       Breaker.create ~window:bc.br_window ~threshold:bc.br_threshold
+         ~cooldown:bc.br_cooldown ~probes:bc.br_probes ~n_sites:cfg.n_sites ()
+     in
+     Breaker.set_transition_hook breaker (fun ~site ~state ->
+         if state = Breaker.Open then Metrics.incr st.counters.c_breaker_trips;
+         note st ~site
+           (Trace.Breaker { site; state = Breaker.state_label state }));
+     Network.on_rpc_result net (fun ~src:_ ~dst ~ok ->
+         Breaker.record breaker ~site:dst ~now:(Engine.now engine) ~ok);
+     Network.set_router net
+       (Some
+          (fun ~src:_ ~dst ->
+            Breaker.allow breaker ~site:dst ~now:(Engine.now engine)))
+   | Some { adm_breaker = None; _ } | None -> ());
   (* Fault schedules inject clock skew through the network so they need no
      dependency on the clock layer; the runtime owns the clocks, so it
      supplies the handler. *)
@@ -1407,12 +1759,18 @@ let run_inner cfg =
     and s_wal = Timeseries.series ts ~agg:Timeseries.Sum "wal_flushes"
     and s_msgs = Timeseries.series ts ~agg:Timeseries.Sum "msgs_sent"
     and s_queue = Timeseries.series ts ~agg:Timeseries.Max "queue_depth"
-    and s_stranded = Timeseries.series ts ~agg:Timeseries.Last "stranded_live" in
+    and s_stranded = Timeseries.series ts ~agg:Timeseries.Last "stranded_live"
+    and s_shed = Timeseries.series ts ~agg:Timeseries.Sum "shed"
+    and s_timely = Timeseries.series ts ~agg:Timeseries.Sum "timely_commits"
+    and s_retries = Timeseries.series ts ~agg:Timeseries.Sum "retries_spent" in
     let last_committed = ref 0
     and last_aborted = ref 0
     and last_blocked = ref 0
     and last_wal = ref 0
-    and last_msgs = ref 0 in
+    and last_msgs = ref 0
+    and last_shed = ref 0
+    and last_timely = ref 0
+    and last_retries = ref 0 in
     let wal_flushes_now () =
       List.fold_left
         (fun acc (_, obj) ->
@@ -1434,6 +1792,9 @@ let run_inner cfg =
           delta s_blocked last_blocked (Metrics.read st.counters.c_blocked);
           delta s_wal last_wal (wal_flushes_now ());
           delta s_msgs last_msgs (Network.stats net).Network.sent;
+          delta s_shed last_shed (Metrics.read st.counters.c_shed);
+          delta s_timely last_timely (Metrics.read st.counters.c_timely);
+          delta s_retries last_retries (Metrics.read st.counters.c_retries_spent);
           Timeseries.observe ts s_queue ~now
             (float_of_int (Engine.pending engine));
           Timeseries.observe ts s_stranded ~now
@@ -1442,12 +1803,22 @@ let run_inner cfg =
     in
     tick ()
   end;
-  let rng = Engine.rng engine in
-  let arrival = ref 0.0 in
-  for i = 0 to cfg.n_txns - 1 do
-    arrival := !arrival +. Rng.exponential rng cfg.arrival_mean;
-    run_txn st i ~arrival:!arrival
-  done;
+  (match cfg.load with
+   | None ->
+     (* Closed-form Poisson process: the legacy draw sequence. *)
+     let rng = Engine.rng engine in
+     let arrival = ref 0.0 in
+     for i = 0 to cfg.n_txns - 1 do
+       arrival := !arrival +. Rng.exponential rng cfg.arrival_mean;
+       run_txn st i ~arrival:!arrival
+     done
+   | Some load ->
+     (* Open-loop plan: arrivals are precomputed (independent of this
+        engine's RNG), so offered load never adapts to system state. *)
+     let n = min cfg.n_txns (Array.length load.arrivals) in
+     for i = 0 to n - 1 do
+       run_txn st i ~arrival:load.arrivals.(i)
+     done);
   Engine.run ~until:cfg.horizon engine;
   Timeseries.finish cfg.timeseries ~now:(Engine.now engine);
   (match !detector with Some d -> Detector.stop d | None -> ());
@@ -1612,6 +1983,14 @@ let run_inner cfg =
       takeover_contended = cv scheme_l "takeover.contended";
       rebroadcasts_suppressed = cv scheme_l "term.rebroadcasts_suppressed";
       stranded_live = st.n_stranded_live;
+      shed = cv scheme_l "admission.shed";
+      timely_commits = cv scheme_l "runtime.timely_commits";
+      retries_spent = cv scheme_l "runtime.retries_spent";
+      retries_budget_exhausted =
+        cv scheme_l "runtime.retries_budget_exhausted";
+      sojourn =
+        Metrics.histogram_summary registry ~labels:scheme_l "admission.sojourn";
+      breaker_trips = cv scheme_l "breaker.trips";
     }
   in
   let histories =

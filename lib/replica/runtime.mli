@@ -69,6 +69,55 @@ type deadlock_mode =
 val deadlock_mode_name : deadlock_mode -> string
 val deadlock_mode_of_string : string -> deadlock_mode option
 
+type shed_policy =
+  | Reject_newest  (** queue full: shed the arriving transaction *)
+  | Shed_reads_first
+      (** queue full: an arriving write evicts the newest queued read
+          (reads are sacrificed before writes); arriving reads, and writes
+          finding no read to evict, are shed themselves *)
+
+val shed_policy_name : shed_policy -> string
+val shed_policy_of_string : string -> shed_policy option
+
+type breaker_cfg = {
+  br_window : int;  (** sliding window of recent RPC outcomes per site *)
+  br_threshold : float;  (** failure fraction that trips the breaker *)
+  br_cooldown : float;  (** open duration before the half-open probe *)
+  br_probes : int;  (** consecutive successes that close it again *)
+}
+
+val default_breaker : breaker_cfg
+(** Window 8, threshold 0.5, cooldown 400 ms, 2 probes. *)
+
+type admission = {
+  max_in_flight : int;  (** bounded in-flight window *)
+  queue_limit : int;  (** bounded admission queue; overflow sheds *)
+  deadline : float;
+      (** sojourn deadline: a transaction still queued, or entering a
+          conflict retry, this long after arrival is shed (pre-commit
+          only — a transaction past its commit point is never shed) *)
+  adm_shed_policy : shed_policy;
+  adm_breaker : breaker_cfg option;
+      (** per-site circuit breaker over RPC-timeout signals; [None]
+          disables it *)
+}
+
+val default_admission : admission
+(** 8 in flight, queue of 16, no deadline, [Reject_newest], no breaker. *)
+
+type load = {
+  arrivals : float array;
+      (** precomputed arrival times (sim ms, nondecreasing) — open loop:
+          offered load never adapts to system state. The run dispatches
+          [min n_txns (Array.length arrivals)] transactions. *)
+  home_of : int -> int;  (** home site per transaction index *)
+  session_of : int -> int;
+      (** session id per index (>= 0), for per-session monotonicity
+          monitoring; sessions are emitted in Session_commit trace events *)
+  class_of : int -> [ `Read | `Write ];
+      (** shed class per index, consulted by [Shed_reads_first] *)
+}
+
 type config = {
   seed : int;
   n_sites : int;
@@ -132,6 +181,27 @@ type config = {
           repositories, stamps its votes with the lease term so stale
           drivers fence, and force-writes adopted decisions to its own
           durable decision log before driving them. *)
+  admission : admission option;
+      (** admission control and load shedding (default [None], the ungated
+          runtime — bit-identical to the historical behavior): bound the
+          in-flight window, queue the overflow, shed per policy, and
+          optionally gate RPC traffic per destination with a circuit
+          breaker *)
+  retry_budget : int;
+      (** per-transaction retry budget shared by conflict backoffs,
+          commit-quorum re-probes and commit-drive re-drives (default
+          [max_int], never exhausts — the budget caps retry amplification
+          under overload without touching the legacy draw sequence) *)
+  load : load option;
+      (** open-loop arrival plan (default [None]: the closed-form Poisson
+          process over [arrival_mean]); see {!Atomrep_workload.Openloop}
+          for building plans with rate curves and skewed object
+          popularity *)
+  timely_bound : float;
+      (** commits whose arrival-to-commit sojourn is within this bound
+          count as [timely_commits] — the goodput open-loop load sweeps
+          compare (default [infinity]: every commit is timely); pure
+          accounting, never affects scheduling *)
   profile : Atomrep_obs.Profile.t;
       (** phase profiling (default [Atomrep_obs.Profile.null], one branch
           per instrumentation site): when enabled, it is installed as the
@@ -222,6 +292,23 @@ type metrics = {
           on a dead coordinator, not yet resolved) at the horizon — unlike
           [stranded_entries] this counts transactions, not entries, and is
           maintained incrementally (strand observed / resolution) *)
+  shed : int;
+      (** transactions shed by admission control (queue overflow, class
+          eviction, deadline expiry) or mid-flight deadline sheds — every
+          shed is also counted in [aborted] *)
+  timely_commits : int;
+      (** commits within [timely_bound] of arrival (equals [committed]
+          at the default bound) *)
+  retries_spent : int;
+      (** retries consumed across all transactions (conflict backoffs,
+          commit-quorum re-probes, commit-drive re-drives) *)
+  retries_budget_exhausted : int;
+      (** transactions that ran out of retry budget and aborted (or gave
+          up the commit drive as in-doubt) *)
+  sojourn : Summary.t;
+      (** admission→verdict sojourn time per transaction, shed ones
+          included (for those it is the arrival→shed wait) *)
+  breaker_trips : int;  (** circuit-breaker transitions into [Open] *)
 }
 
 type outcome = {

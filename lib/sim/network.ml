@@ -31,6 +31,8 @@ type t = {
   mutable skew_handler : site:int -> amount:int -> unit;
   mutable resync_quorum : int;
   mutable trace : Trace.t;
+  mutable router : (src:int -> dst:int -> bool) option;
+  mutable rpc_result_listeners : (src:int -> dst:int -> ok:bool -> unit) list;
 }
 
 let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
@@ -63,6 +65,8 @@ let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
     skew_handler = (fun ~site:_ ~amount:_ -> ());
     resync_quorum = 0;
     trace = Trace.null;
+    router = None;
+    rpc_result_listeners = [];
   }
 
 let engine t = t.engine
@@ -89,6 +93,16 @@ let recover t s =
 
 let stats t = t.stats
 let note_rpc_timeout t = t.stats.rpc_timeouts <- t.stats.rpc_timeouts + 1
+
+let set_router t r = t.router <- r
+
+let router_allows t ~src ~dst =
+  match t.router with None -> true | Some allows -> allows ~src ~dst
+
+let on_rpc_result t f = t.rpc_result_listeners <- f :: t.rpc_result_listeners
+
+let note_rpc_result t ~src ~dst ~ok =
+  List.iter (fun f -> f ~src ~dst ~ok) t.rpc_result_listeners
 
 let set_drop_probability t p = t.drop_probability <- p
 let set_duplication t p = t.dup_probability <- p

@@ -150,6 +150,26 @@ val stats : t -> stats
 val note_rpc_timeout : t -> unit
 (** Record one timed-out RPC (called by {!Rpc}). *)
 
+val set_router : t -> (src:int -> dst:int -> bool) option -> unit
+(** Install (or clear) an RPC routing policy. When present, {!Rpc.call}
+    consults it before sending: a refused destination is answered
+    immediately with a timeout-equivalent [None] reply, without drawing
+    any network randomness. The circuit breaker installs itself here so
+    quorum traffic stops burning the full RPC timeout on sites that keep
+    timing out. [None] (the default) routes everything. *)
+
+val router_allows : t -> src:int -> dst:int -> bool
+(** The installed policy's verdict ([true] when no policy is set). *)
+
+val on_rpc_result : t -> (src:int -> dst:int -> ok:bool -> unit) -> unit
+(** Observe per-destination RPC outcomes: [ok:true] for a reply that
+    arrived within the timeout, [ok:false] for a timeout. Router refusals
+    are NOT reported — a breaker feeding on its own refusals would never
+    see the recovery it is probing for. *)
+
+val note_rpc_result : t -> src:int -> dst:int -> ok:bool -> unit
+(** Report one RPC outcome to the listeners (called by {!Rpc}). *)
+
 val set_trace : t -> Atomrep_obs.Trace.t -> unit
 (** Attach a trace bus: the network stamps it with the engine clock and
     emits RPC send/recv/drop, crash/recover, and partition/heal events.

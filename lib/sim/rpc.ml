@@ -1,25 +1,43 @@
 let call net ~src ~dst ~timeout ~handler ~reply =
   let engine = Network.engine net in
-  let done_ = ref false in
-  let finish result =
-    if not !done_ then begin
-      done_ := true;
-      reply result
-    end
-  in
-  Network.send net ~src ~dst (fun () ->
-      let response = handler () in
-      Network.send net ~src:dst ~dst:src (fun () -> finish (Some response)));
-  Engine.schedule engine ~delay:timeout (fun () ->
+  if not (Network.router_allows net ~src ~dst) then begin
+    (* Routed out (circuit breaker open): answer with the timeout verdict
+       immediately — no sends, no latency draws, no timeout burn. The
+       refusal is delivered asynchronously (zero-delay event) so callers
+       see the same reply-after-return discipline as a real RPC, and it is
+       NOT reported to the rpc-result listeners: a breaker feeding on its
+       own refusals would never observe recovery. *)
+    let tr = Network.trace net in
+    if Atomrep_obs.Trace.enabled tr then
+      ignore
+        (Atomrep_obs.Trace.emit tr ~site:src
+           (Atomrep_obs.Trace.Rpc_drop { src; dst; reason = "breaker" }));
+    Engine.schedule engine ~delay:0.0 (fun () -> reply None)
+  end
+  else begin
+    let done_ = ref false in
+    let finish ~ok result =
       if not !done_ then begin
-        Network.note_rpc_timeout net;
-        let tr = Network.trace net in
-        if Atomrep_obs.Trace.enabled tr then
-          ignore
-            (Atomrep_obs.Trace.emit tr ~site:src
-               (Atomrep_obs.Trace.Rpc_timeout { src; dst }));
-        finish None
-      end)
+        done_ := true;
+        Network.note_rpc_result net ~src ~dst ~ok;
+        reply result
+      end
+    in
+    Network.send net ~src ~dst (fun () ->
+        let response = handler () in
+        Network.send net ~src:dst ~dst:src (fun () ->
+            finish ~ok:true (Some response)));
+    Engine.schedule engine ~delay:timeout (fun () ->
+        if not !done_ then begin
+          Network.note_rpc_timeout net;
+          let tr = Network.trace net in
+          if Atomrep_obs.Trace.enabled tr then
+            ignore
+              (Atomrep_obs.Trace.emit tr ~site:src
+                 (Atomrep_obs.Trace.Rpc_timeout { src; dst }));
+          finish ~ok:false None
+        end)
+  end
 
 let multicast net ~src ~dsts ~timeout ~handler ~gather =
   let expected = List.length dsts in

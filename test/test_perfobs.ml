@@ -306,6 +306,10 @@ let test_observes_matches_spec_on () =
       Trace.Coop_term { txn = "T"; outcome = "coop-commit" };
       Trace.Rpc_send { src = 0; dst = 1 };
       Trace.Txn_begin { txn = "T" };
+      Trace.Shed { txn = "T"; reason = "queue_full" };
+      Trace.Repo_resolve { txn = "T"; committed = false };
+      Trace.Session_commit { session = 0; txn = "T"; counter = 1; site = 0 };
+      Trace.Breaker { site = 0; state = "open" };
     ]
   in
   List.iter
