@@ -41,6 +41,16 @@
                                              vs N-domain wall-clock, the
                                              ungated-rejoin sweep's shrunk
                                              reproducer, fixture replays)
+     dune exec bench/main.exe -- load      — machine-readable BENCH_9.json
+                                             (open-loop offered-load-vs-goodput
+                                             curves, admission on vs off, the
+                                             goodput-at-the-knee headline)
+     dune exec bench/main.exe -- gray      — machine-readable BENCH_10.json
+                                             (gray-failure mitigation: p50/p99
+                                             commit latency and goodput under
+                                             one and three fail-slow sites,
+                                             hedging x demotion ablation grid,
+                                             the p99-speedup headline)
 
    Each experiment regenerates one of the paper's figures or worked
    examples (see DESIGN.md's experiment index and EXPERIMENTS.md for the
@@ -1380,6 +1390,168 @@ let run_load () =
   Atomrep_obs.Export.write_file "BENCH_9.json" (Json.to_string doc);
   print_endline "wrote BENCH_9.json"
 
+(* Gray-failure bench: commit latency and goodput under persistent
+   fail-slow sites, across the hedging x demotion ablation grid, at
+   equal open-loop offered load (one fixed arrival plan per slow-site
+   count — every arm replays byte-identical arrivals). A fail-slow site
+   answers, slowly: binary up/down masking never fires, so the round's
+   tail is the slow site's tail unless hedged re-issues and slow-site
+   demotion steer around it. Every point is monitor-gated (the full
+   catalogue, hedge_safety included). The headline the `atomrep
+   bench-diff` gate tracks under kind "gray" is the p99 commit-latency
+   speedup of hedge+demote over the unmitigated baseline for the hybrid
+   scheme under one fail-slow site — the paper's general scheme, the
+   issue's acceptance scenario. Written to BENCH_10.json; schema in
+   EXPERIMENTS.md. *)
+let run_gray () =
+  let module Runtime = Atomrep_replica.Runtime in
+  let module Replicated = Atomrep_replica.Replicated in
+  let module Monitors = Atomrep_chaos.Monitors in
+  let module Trace = Atomrep_obs.Trace in
+  let module Json = Atomrep_obs.Json in
+  let module Network = Atomrep_sim.Network in
+  let module Openloop = Atomrep_workload.Openloop in
+  let module Summary = Atomrep_stats.Summary in
+  let plan_seed = 131 and engine_seed = 42 in
+  let rate = 0.012 (* txns per simulated ms: 12/s offered *) in
+  let horizon = 12_000.0 in
+  let n_sites = 5 in
+  let slow_factor = 8.0 and slow_onset = 1_000.0 in
+  let slow_sets = [ ("one_slow", [ 2 ]); ("three_slow", [ 1; 2; 3 ]) ] in
+  let arms =
+    [
+      ("baseline", None);
+      ("hedge", Some { Runtime.default_gray with Runtime.demote = false });
+      ("demote", Some { Runtime.default_gray with Runtime.hedge = false });
+      ("hedge_demote", Some Runtime.default_gray);
+    ]
+  in
+  let schemes = Replicated.[ Static; Hybrid; Locking ] in
+  let monitors = Monitors.registry in
+  print_newline ();
+  print_endline "Gray-failure benchmark: fail-slow sites, hedging x demotion";
+  print_endline "===========================================================";
+  Printf.printf
+    "  %d sites, plan seed %d, %.0f/s offered, slow factor %.0fx from %.0f \
+     ms\n%!"
+    n_sites plan_seed (rate *. 1000.0) slow_factor slow_onset;
+  let total_violations = ref 0 in
+  let point scheme arm_name gray slow_sites =
+    (* One plan per slow-site count: the plan depends only on the load
+       shape, so all four arms and all three schemes replay identical
+       arrivals and scripts. *)
+    let plan =
+      Openloop.plan ~profile:Openloop.Queue_fanout ~n_objects:3 ~n_sites
+        ~n_sessions:6 ~seed:plan_seed ~rate ~horizon ()
+    in
+    let trace = Trace.create ~n_sites () in
+    let base =
+      {
+        Runtime.default_config with
+        Runtime.scheme;
+        seed = engine_seed;
+        n_sites;
+        horizon = horizon +. 8_000.0 (* drain: let late rounds settle *);
+        trace = Some trace;
+        gray;
+        fail_slow =
+          List.map
+            (fun s -> (s, slow_onset, Network.Slow_constant slow_factor))
+            slow_sites;
+      }
+    in
+    let cfg = Openloop.apply plan base in
+    let outcome = Runtime.run cfg in
+    let m = outcome.Runtime.metrics in
+    let violations =
+      Atomrep_obs.Spec_monitor.failures
+        (Monitors.run monitors { Monitors.cfg; outcome } trace)
+    in
+    total_violations := !total_violations + List.length violations;
+    (* Goodput over the fixed offered window, not the run's duration: a
+       gray arm's detector probes keep the engine busy to the horizon,
+       and dividing by a longer idle tail would flatter the baseline. *)
+    let goodput = float_of_int m.Runtime.committed /. horizon *. 1000.0 in
+    let p50 = Summary.percentile m.Runtime.txn_latency 0.5 in
+    let p99 = Summary.percentile m.Runtime.txn_latency 0.99 in
+    Printf.printf
+      "  %-8s %-12s slow=%d committed=%3d aborted=%3d p50=%7.1f ms p99=%8.1f \
+       ms hedges=%d wins=%d demoted=%d%s\n%!"
+      (Replicated.scheme_name scheme)
+      arm_name
+      (List.length slow_sites)
+      m.Runtime.committed m.Runtime.aborted p50 p99 m.Runtime.hedges
+      m.Runtime.hedge_wins m.Runtime.demoted_rounds
+      (if violations = [] then ""
+       else Printf.sprintf "  VIOLATIONS=%d" (List.length violations));
+    let json =
+      Json.Obj
+        [
+          ("arrivals", Json.int (Openloop.n_txns plan));
+          ("committed", Json.int m.Runtime.committed);
+          ("aborted", Json.int m.Runtime.aborted);
+          ("committed_per_s", Json.Num goodput);
+          ("latency_p50_ms", Json.Num p50);
+          ("latency_p99_ms", Json.Num p99);
+          ("hedges", Json.int m.Runtime.hedges);
+          ("hedge_wins", Json.int m.Runtime.hedge_wins);
+          ("hedge_late", Json.int m.Runtime.hedge_late);
+          ("demoted_rounds", Json.int m.Runtime.demoted_rounds);
+          ("slow_suspicions", Json.int m.Runtime.slow_suspicions);
+          ("violations", Json.int (List.length violations));
+        ]
+    in
+    (p99, json)
+  in
+  let headline = ref 0.0 in
+  let grid_sections =
+    List.map
+      (fun (set_name, slow_sites) ->
+        let scheme_objs =
+          List.map
+            (fun scheme ->
+              let baseline_p99 = ref 0.0 in
+              let arm_objs =
+                List.map
+                  (fun (arm_name, gray) ->
+                    let p99, json = point scheme arm_name gray slow_sites in
+                    if arm_name = "baseline" then baseline_p99 := p99;
+                    if
+                      arm_name = "hedge_demote" && set_name = "one_slow"
+                      && scheme = Replicated.Hybrid && p99 > 0.0
+                    then headline := !baseline_p99 /. p99;
+                    (arm_name, json))
+                  arms
+              in
+              (Replicated.scheme_name scheme, Json.Obj arm_objs))
+            schemes
+        in
+        (set_name, Json.Obj scheme_objs))
+      slow_sets
+  in
+  Printf.printf
+    "  p99 speedup, hedge+demote vs baseline (hybrid, one slow site): \
+     %.2fx, %d monitor violations\n%!"
+    !headline !total_violations;
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "gray");
+        ("headline", Json.Num !headline);
+        ("plan_seed", Json.int plan_seed);
+        ("engine_seed", Json.int engine_seed);
+        ("offered_per_s", Json.Num (rate *. 1000.0));
+        ("horizon_ms", Json.Num horizon);
+        ("n_sites", Json.int n_sites);
+        ("slow_factor", Json.Num slow_factor);
+        ("slow_onset_ms", Json.Num slow_onset);
+        ("monitor_violations", Json.int !total_violations);
+        ("grid", Json.Obj grid_sections);
+      ]
+  in
+  Atomrep_obs.Export.write_file "BENCH_10.json" (Json.to_string doc);
+  print_endline "wrote BENCH_10.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = args = [ "micro" ] in
@@ -1392,6 +1564,7 @@ let () =
   let explore_only = args = [ "explore" ] in
   let perf_only = args = [ "perf" ] in
   let load_only = args = [ "load" ] in
+  let gray_only = args = [ "gray" ] in
   let micro = List.mem "micro" args || args = [] || List.mem "all" args in
   let chaos = List.mem "chaos" args in
   let reconfig = List.mem "reconfig" args in
@@ -1402,18 +1575,20 @@ let () =
   let explore = List.mem "explore" args in
   let perf = List.mem "perf" args in
   let load = List.mem "load" args in
+  let gray = List.mem "gray" args in
   let ids =
     List.filter
       (fun a ->
         a <> "micro" && a <> "all" && a <> "chaos" && a <> "reconfig" && a <> "json"
         && a <> "storage" && a <> "termination" && a <> "takeover"
-        && a <> "explore" && a <> "perf" && a <> "load")
+        && a <> "explore" && a <> "perf" && a <> "load" && a <> "gray")
       args
   in
   if
     (not micro_only) && (not chaos_only) && (not reconfig_only) && (not json_only)
     && (not storage_only) && (not termination_only) && (not takeover_only)
-    && (not explore_only) && (not perf_only) && not load_only
+    && (not explore_only) && (not perf_only) && (not load_only)
+    && not gray_only
   then run_experiments ids;
   if micro then run_micro ();
   if chaos then run_chaos ();
@@ -1424,4 +1599,5 @@ let () =
   if takeover then run_takeover ();
   if explore then run_explore ();
   if perf then run_perf ();
-  if load then run_load ()
+  if load then run_load ();
+  if gray then run_gray ()

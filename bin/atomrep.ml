@@ -197,6 +197,107 @@ let retry_budget_arg =
 
 let retry_budget_of n = if n <= 0 then max_int else n
 
+(* Shared gray-failure flags: --fail-slow injects persistent fail-slow
+   sites, --hedge / --demote turn the mitigation layer on (Runtime.gray). *)
+let hedge_arg =
+  let doc =
+    "Hedge quorum rounds: fire each quorum gather the moment a satisfying \
+     vote set has answered, and re-issue straggling calls to a spare \
+     quorum member after an adaptive percentile delay (repositories are \
+     idempotent, so first-reply-wins is safe)."
+  in
+  Arg.(value & flag & info [ "hedge" ] ~doc)
+
+let demote_arg =
+  let doc =
+    "Demote slow-suspected sites: steer quorum vote-set selection away \
+     from sites the latency detector grades fail-slow (never below the \
+     quorum floor), and — when the reconfiguration coordinator runs — \
+     plan persistent offenders out of the epoch."
+  in
+  Arg.(value & flag & info [ "demote" ] ~doc)
+
+let gray_of ~hedge ~demote =
+  if hedge || demote then
+    Some { Atomrep_replica.Runtime.default_gray with hedge; demote }
+  else None
+
+let fail_slow_arg =
+  let doc =
+    "Comma-separated fail-slow injections, each SITE[:MODE[:FACTOR[:ONSET]]]: \
+     from ONSET ms on (default 0), SITE answers with service times inflated \
+     by FACTOR (default 8) under shape MODE — `constant', `heavy' (mild \
+     base inflation with occasional large spikes), or `creep' (degradation \
+     ramping up to FACTOR). The site stays up: a gray failure, not a crash."
+  in
+  Arg.(value & opt string "" & info [ "fail-slow" ] ~docv:"SPEC" ~doc)
+
+let parse_fail_slow spec =
+  let mode_of name factor =
+    match name with
+    | "constant" -> Ok (Atomrep_sim.Network.Slow_constant factor)
+    | "heavy" ->
+      Ok
+        (Atomrep_sim.Network.Slow_heavy
+           {
+             factor = 1.0 +. ((factor -. 1.0) /. 4.0);
+             p_tail = 0.2;
+             tail_factor = 2.0 *. factor;
+           })
+    | "creep" ->
+      Ok (Atomrep_sim.Network.Slow_creeping { rate = factor /. 1000.0; cap = factor })
+    | other ->
+      Error (Printf.sprintf "unknown fail-slow mode %S (constant|heavy|creep)" other)
+  in
+  let item s =
+    let bad () =
+      Error (Printf.sprintf "bad fail-slow spec %S (SITE[:MODE[:FACTOR[:ONSET]]])" s)
+    in
+    match String.split_on_char ':' s with
+    | ([ _ ] | [ _; _ ] | [ _; _; _ ] | [ _; _; _; _ ]) as parts -> (
+      let site = int_of_string_opt (List.nth parts 0) in
+      let mode_name = if List.length parts > 1 then List.nth parts 1 else "constant" in
+      let factor =
+        if List.length parts > 2 then float_of_string_opt (List.nth parts 2)
+        else Some 8.0
+      in
+      let onset =
+        if List.length parts > 3 then float_of_string_opt (List.nth parts 3)
+        else Some 0.0
+      in
+      match site, factor, onset with
+      | Some site, Some factor, Some onset ->
+        Result.map (fun mode -> (site, onset, mode)) (mode_of mode_name factor)
+      | _ -> bad ())
+    | _ -> bad ()
+  in
+  if String.equal (String.trim spec) "" then Ok []
+  else
+    List.fold_right
+      (fun s acc ->
+        match acc, item s with
+        | Error e, _ -> Error e
+        | _, Error e -> Error e
+        | Ok rest, Ok it -> Ok (it :: rest))
+      (String.split_on_char ',' spec)
+      (Ok [])
+
+let check_fail_slow_sites ~n_sites fs =
+  match List.find_opt (fun (s, _, _) -> s < 0 || s >= n_sites) fs with
+  | Some (s, _, _) ->
+    Error
+      (Printf.sprintf
+         "fail-slow site %d out of range (cluster has %d sites: 0..%d)" s
+         n_sites (n_sites - 1))
+  | None -> Ok fs
+
+let print_gray_metrics (m : Atomrep_replica.Runtime.metrics) =
+  let open Atomrep_replica in
+  Printf.printf
+    "gray: hedges=%d wins=%d late-replies=%d demoted-rounds=%d slow-suspicions=%d\n"
+    m.Runtime.hedges m.Runtime.hedge_wins m.Runtime.hedge_late
+    m.Runtime.demoted_rounds m.Runtime.slow_suspicions
+
 let print_takeover_metrics (m : Atomrep_replica.Runtime.metrics) =
   let open Atomrep_replica in
   Printf.printf
@@ -340,9 +441,9 @@ let quorums_cmd =
 (* --- simulate --- *)
 
 let simulate_cmd =
-  let run scheme_name n_txns n_sites seed mtbf reconfigure durability termination
-      deadlock takeover retry_budget monitor trace_file trace_format metrics_json
-      sample profile_on ts_file window =
+  let run scheme_name n_txns n_sites seed mtbf reconfigure hedge demote fail_slow
+      durability termination deadlock takeover retry_budget monitor trace_file
+      trace_format metrics_json sample profile_on ts_file window =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -350,11 +451,15 @@ let simulate_cmd =
       | "locking" -> Ok Atomrep_replica.Replicated.Locking
       | other -> Error (Printf.sprintf "unknown scheme %S (hybrid|static|locking)" other)
     in
-    match scheme, parse_monitors monitor with
-    | Error e, _ | _, Error e ->
+    match
+      ( scheme, parse_monitors monitor,
+        Result.bind (parse_fail_slow fail_slow)
+          (check_fail_slow_sites ~n_sites) )
+    with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       prerr_endline e;
       1
-    | Ok scheme, Ok monitors ->
+    | Ok scheme, Ok monitors, Ok fail_slow ->
       let open Atomrep_replica in
       let install_faults net =
         if mtbf > 0.0 then Atomrep_sim.Fault.crash_recover_all net ~mtbf ~mttr:150.0
@@ -399,6 +504,8 @@ let simulate_cmd =
               };
             ];
           reconfig = (if reconfigure then Some Runtime.default_reconfig else None);
+          gray = gray_of ~hedge ~demote;
+          fail_slow;
           durability = durability_of durability;
           termination;
           deadlock;
@@ -427,6 +534,7 @@ let simulate_cmd =
            detector transitions %d\n"
           m.Runtime.reconfigs m.Runtime.reconfigs_refused m.Runtime.reconfigs_failed
           m.Runtime.final_epoch m.Runtime.suspicion_transitions;
+      if hedge || demote then print_gray_metrics m;
       if durability <> `None then print_wal_metrics m;
       if
         termination <> Atomrep_txn.Termination.Disabled
@@ -508,7 +616,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ scheme_arg $ txns_arg $ sites_arg $ seed_arg $ mtbf_arg
-      $ reconfigure_arg $ durability_arg $ termination_arg $ deadlock_arg
+      $ reconfigure_arg $ hedge_arg $ demote_arg $ fail_slow_arg
+      $ durability_arg $ termination_arg $ deadlock_arg
       $ takeover_arg $ retry_budget_arg $ monitor_arg $ trace_file_arg
       $ trace_format_arg $ metrics_json_arg $ sample_arg $ profile_flag_arg
       $ timeseries_file_arg $ window_arg)
@@ -549,16 +658,34 @@ let parse_profiles names =
 
 let chaos_cmd =
   let module Campaign = Atomrep_chaos.Campaign in
-  let run schemes profiles seeds txns intensity repro seed reconfig overload
-      durability termination deadlock takeover retry_budget monitor trace_file
-      trace_format metrics_json postmortem_dir sample =
-    match parse_schemes schemes, parse_profiles profiles, parse_monitors monitor with
-    | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+  let run schemes profiles seeds txns intensity repro seed reconfig overload gray
+      hedge demote fail_slow durability termination deadlock takeover
+      retry_budget monitor trace_file trace_format metrics_json postmortem_dir
+      sample =
+    (* Validate --fail-slow sites against the base the flags select, before
+       any run starts — an out-of-range site would otherwise crash mid-sweep
+       on the raw per-site slow array. *)
+    let base_n_sites =
+      (if overload then Campaign.overload_base
+       else if gray then Campaign.gray_base
+       else if reconfig then Campaign.reconfig_base
+       else Campaign.default_base)
+        .Atomrep_replica.Runtime.n_sites
+    in
+    match
+      ( parse_schemes schemes,
+        parse_profiles profiles,
+        parse_monitors monitor,
+        Result.bind (parse_fail_slow fail_slow)
+          (check_fail_slow_sites ~n_sites:base_n_sites) )
+    with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
       prerr_endline e;
       1
-    | Ok schemes, Ok profiles, Ok monitors ->
+    | Ok schemes, Ok profiles, Ok monitors, Ok fail_slow ->
       let base =
         if overload then Campaign.overload_base
+        else if gray then Campaign.gray_base
         else if reconfig then Campaign.reconfig_base
         else Campaign.default_base
       in
@@ -566,6 +693,19 @@ let chaos_cmd =
         if retry_budget > 0 then
           { base with Atomrep_replica.Runtime.retry_budget }
         else base
+      in
+      (* --hedge/--demote overlay the mitigation policy on whatever base was
+         picked; --fail-slow adds deterministic per-site slow injections on
+         top of the profile's nemesis schedule. *)
+      let base =
+        match gray_of ~hedge ~demote with
+        | Some g -> { base with Atomrep_replica.Runtime.gray = Some g }
+        | None -> base
+      in
+      let base =
+        match fail_slow with
+        | [] -> base
+        | fs -> { base with Atomrep_replica.Runtime.fail_slow = fs }
       in
       (* Chaos-tuned durability: small segments and an aggressive checkpoint
          period (storage_base's tuning) so campaign-length runs roll and
@@ -704,6 +844,16 @@ let chaos_cmd =
              with --profiles overload_storm and the shed_safety monitor). \
              --txns caps how many planned arrivals are dispatched.")
   in
+  let gray_arg =
+    Arg.(
+      value & flag
+      & info [ "gray" ]
+          ~doc:
+            "Campaign against the gray base: the gray-failure mitigation \
+             layer on — hedged early-quorum rounds, latency scoring, \
+             slow-site demotion (pairs with --profiles gray_storm and the \
+             hedge_safety monitor).")
+  in
   let postmortem_dir_arg =
     Arg.(
       value
@@ -717,7 +867,8 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ schemes_arg $ profiles_arg $ seeds_arg $ txns_arg $ intensity_arg
-      $ repro_arg $ seed_arg $ reconfig_arg $ overload_arg $ durability_arg
+      $ repro_arg $ seed_arg $ reconfig_arg $ overload_arg $ gray_arg
+      $ hedge_arg $ demote_arg $ fail_slow_arg $ durability_arg
       $ termination_arg $ deadlock_arg $ takeover_arg $ retry_budget_arg
       $ monitor_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg
       $ postmortem_dir_arg $ sample_arg)
@@ -728,8 +879,9 @@ let load_cmd =
   let module Openloop = Atomrep_workload.Openloop in
   let run scheme_name seed plan_seed rate mult curve load_profile n_objects
       zipf sessions n_sites horizon drain no_admission max_in_flight queue_limit
-      deadline shed_policy no_breaker retry_budget termination deadlock monitor
-      trace_file trace_format metrics_json sample ts_file window =
+      deadline shed_policy no_breaker hedge demote fail_slow retry_budget
+      termination deadlock monitor trace_file trace_format metrics_json sample
+      ts_file window =
     let scheme =
       match scheme_name with
       | "hybrid" -> Ok Atomrep_replica.Replicated.Hybrid
@@ -754,11 +906,18 @@ let load_cmd =
           (Printf.sprintf "unknown shed policy %S (reject-newest|shed-reads-first)"
              shed_policy)
     in
-    match scheme, load_profile, shed_policy, parse_monitors monitor with
-    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+    match
+      scheme, load_profile, shed_policy, parse_monitors monitor,
+      Result.bind (parse_fail_slow fail_slow) (check_fail_slow_sites ~n_sites)
+    with
+    | Error e, _, _, _, _
+    | _, Error e, _, _, _
+    | _, _, Error e, _, _
+    | _, _, _, Error e, _
+    | _, _, _, _, Error e ->
       prerr_endline e;
       1
-    | Ok scheme, Ok load_profile, Ok shed_policy, Ok monitors ->
+    | Ok scheme, Ok load_profile, Ok shed_policy, Ok monitors, Ok fail_slow ->
       let open Atomrep_replica in
       let curve =
         match curve with
@@ -814,6 +973,8 @@ let load_cmd =
             termination;
             deadlock;
             admission;
+            gray = gray_of ~hedge ~demote;
+            fail_slow;
             retry_budget = retry_budget_of retry_budget;
             trace;
             timeseries;
@@ -844,6 +1005,11 @@ let load_cmd =
       Printf.printf "retries: spent=%d budget-exhausted=%d breaker-trips=%d\n"
         m.Runtime.retries_spent m.Runtime.retries_budget_exhausted
         m.Runtime.breaker_trips;
+      if hedge || demote then print_gray_metrics m;
+      if Summary.count m.Runtime.txn_latency > 0 then
+        Printf.printf "commit latency: p50=%.1f ms p99=%.1f ms\n"
+          (Summary.percentile m.Runtime.txn_latency 0.50)
+          (Summary.percentile m.Runtime.txn_latency 0.99);
       if Summary.count m.Runtime.sojourn > 0 then
         Printf.printf "sojourn: mean=%.1f ms p99=%.1f ms max=%.1f ms\n"
           (Summary.mean m.Runtime.sojourn)
@@ -1007,7 +1173,8 @@ let load_cmd =
       $ curve_arg $ load_profile_arg $ objects_arg $ zipf_arg $ sessions_arg
       $ sites_arg $ horizon_arg $ drain_arg $ no_admission_arg
       $ max_in_flight_arg $ queue_limit_arg $ deadline_arg $ shed_policy_arg
-      $ no_breaker_arg $ retry_budget_arg $ termination_arg $ deadlock_arg
+      $ no_breaker_arg $ hedge_arg $ demote_arg $ fail_slow_arg
+      $ retry_budget_arg $ termination_arg $ deadlock_arg
       $ monitor_arg $ trace_file_arg $ trace_format_arg $ metrics_json_arg
       $ sample_arg $ timeseries_file_arg $ window_arg)
 

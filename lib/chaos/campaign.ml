@@ -121,6 +121,23 @@ let builtin_profiles =
             Nemesis.Skew { every = 300.0; max_skew = 3 };
           ];
     };
+    {
+      (* Gray failures: random sites repeatedly turn fail-slow — up,
+         answering, just dragging every quorum round to their pace — while
+         a light link flake keeps timeouts honest. Meant to be survived
+         over {!gray_base}: hedged early-quorum rounds and slow-site
+         demotion keep latency bounded, and the [hedge_safety] monitor
+         must hold (no double-apply from duplicate hedged deliveries,
+         verdicts identical hedged or not). *)
+      profile_name = "gray_storm";
+      nemesis =
+        Nemesis.Compose
+          [
+            Nemesis.Fail_slow { every = 600.0; duration = 450.0; factor = 8.0 };
+            Nemesis.Flaky_links
+              { drop = 0.01; dup = 0.02; spike = 0.02; one_way = false };
+          ];
+    };
   ]
 
 let find_profile name =
@@ -212,6 +229,11 @@ let overload_base =
           };
       retry_budget = 12;
     }
+
+(* Gray-failure mitigation on: the base the gray_storm profile is meant to
+   be survived with — hedged early-quorum rounds, latency scoring, and
+   slow-site demotion, over the default 3-site cluster. *)
+let gray_base = { default_base with Runtime.gray = Some Runtime.default_gray }
 
 let reconfig_base =
   let n_sites = 5 in

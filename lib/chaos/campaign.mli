@@ -27,8 +27,10 @@ val builtin_profiles : profile list
     {!takeover_base} and a [monitors] selection to prove epoch-fenced
     adoption never diverges), overload_storm (rolling partitions and link
     flake timed to land inside {!overload_base}'s flash crowd — pair with
-    {!overload_base} and the shed_safety/session_monotonic monitors), and
-    the composed storm. *)
+    {!overload_base} and the shed_safety/session_monotonic monitors),
+    gray_storm (recurring fail-slow episodes plus light link flake — pair
+    with {!gray_base} and the hedge_safety monitor to prove hedged
+    early-quorum rounds never double-apply), and the composed storm. *)
 
 val find_profile : string -> profile option
 val profile_names : string list
@@ -96,6 +98,13 @@ val overload_base : Runtime.config
     survived with — zero shed-safety or atomicity violations while
     goodput degrades gracefully. Termination and deadlock stay at the
     defaults so CLI flags compose. *)
+
+val gray_base : Runtime.config
+(** {!default_base} with the gray-failure mitigation layer on
+    ({!Atomrep_replica.Runtime.default_gray}: hedged early-quorum rounds,
+    latency scoring, slow-site demotion) — the base the [gray_storm]
+    profile is meant to be survived with: bounded latency and zero
+    [hedge_safety] violations. *)
 
 val reconfig_base : Runtime.config
 (** A base sized for reconfiguration campaigns: five sites, a majority

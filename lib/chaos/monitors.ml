@@ -496,6 +496,84 @@ let shed_safety ctx =
         |> List.sort compare)
     ()
 
+(* --- hedge_safety ----------------------------------------------------- *)
+
+(* Hedged quorum rounds re-issue RPCs to spare members and take the first
+   satisfying vote set; repositories are idempotent (sticky intentions,
+   set-semantics logs, deduplicating vote acceptance), so duplicate or
+   late deliveries must never change what anything decides. The
+   trace-observable statement: each transaction's verdict is assigned once
+   and never flips — the front-end emits exactly one terminal event, and
+   every repository that resolves the transaction ([Repo_resolve] fires
+   when a store first installs a terminal record, whatever the delivery
+   path) resolves it with that same polarity. A duplicate front-end
+   verdict is a double-apply; any polarity disagreement — front-end vs
+   front-end, store vs store, or store vs front-end — means a hedged or
+   straggler delivery re-drove a decision. Holds vacuously (and is
+   checked!) with hedging off, which is exactly the point: the monitor
+   cannot tell hedged runs from unhedged ones. *)
+let hedge_safety _ctx =
+  SM.keyed ~name:"hedge_safety"
+    ~on:(SM.observes [ "txn_commit"; "txn_abort"; "repo_resolve" ])
+    ~key:(fun e ->
+      match e.Trace.kind with
+      | Trace.Txn_commit { txn }
+      | Trace.Txn_abort { txn; _ }
+      | Trace.Repo_resolve { txn; _ } ->
+        Some txn
+      | _ -> None)
+    ~init:(fun _ -> (None, None))
+    ~step:(fun ((fe, store) as s) e ->
+      let agree verdict = function
+        | Some v when v <> verdict -> false
+        | _ -> true
+      in
+      let txn_of () =
+        match e.Trace.kind with
+        | Trace.Txn_commit { txn }
+        | Trace.Txn_abort { txn; _ }
+        | Trace.Repo_resolve { txn; _ } ->
+          txn
+        | _ -> "?"
+      in
+      let verdict_name v = if v then "commit" else "abort" in
+      match e.Trace.kind with
+      | Trace.Txn_commit _ | Trace.Txn_abort _ ->
+        let v = match e.Trace.kind with Trace.Txn_commit _ -> true | _ -> false in
+        (match fe with
+         | Some prev when prev = v ->
+           SM.Violate
+             ( s,
+               Printf.sprintf "%s reported %s twice (duplicate terminal verdict)"
+                 (txn_of ()) (verdict_name v) )
+         | Some prev ->
+           SM.Violate
+             ( s,
+               Printf.sprintf "%s verdict flipped from %s to %s" (txn_of ())
+                 (verdict_name prev) (verdict_name v) )
+         | None ->
+           if agree v store then SM.Continue (Some v, store)
+           else
+             SM.Violate
+               ( s,
+                 Printf.sprintf
+                   "%s reported %s after a repository resolved it as %s"
+                   (txn_of ()) (verdict_name v)
+                   (verdict_name (not v)) ))
+      | Trace.Repo_resolve { committed; _ } ->
+        if agree committed store && agree committed fe then
+          SM.Continue (fe, Some committed)
+        else
+          SM.Violate
+            ( s,
+              Printf.sprintf
+                "site %d resolved %s as %s against an earlier %s verdict"
+                e.Trace.site (txn_of ())
+                (verdict_name committed)
+                (verdict_name (not committed)) )
+      | _ -> SM.Continue s)
+    ()
+
 (* --- session_monotonic ------------------------------------------------ *)
 
 (* Open-loop plans pin each client session to one home site, so a
@@ -580,6 +658,15 @@ let registry =
           "txn_commit"; "quiesce";
         ];
       e_spec = shed_safety;
+    };
+    {
+      e_name = "hedge_safety";
+      e_doc =
+        "verdicts are assigned once and never flip under hedged or duplicate \
+         deliveries";
+      e_kind = Safety;
+      e_observes = [ "txn_commit"; "txn_abort"; "repo_resolve" ];
+      e_spec = hedge_safety;
     };
     {
       e_name = "session_monotonic";

@@ -16,6 +16,7 @@ type t =
     }
   | Coordinator_killer of { p_kill : float; delay : float; mttr : float }
   | Takeover_killer of { p_kill : float; delay : float; mttr : float }
+  | Fail_slow of { every : float; duration : float; factor : float }
   | Compose of t list
 
 let spike_factor = 20.0
@@ -53,6 +54,10 @@ let rec scale k = function
     (* Same semantics as the coordinator killer, aimed at takers. *)
     Takeover_killer
       { c with p_kill = Float.min 1.0 (c.p_kill *. k); mttr = c.mttr *. k }
+  | Fail_slow f ->
+    (* Intensity means more frequent, longer, deeper slow episodes. *)
+    Fail_slow
+      { every = f.every /. k; duration = f.duration *. k; factor = f.factor *. k }
   | Compose l -> Compose (List.map (scale k) l)
 
 let rec install t net =
@@ -93,6 +98,8 @@ let rec install t net =
     Fault.coordinator_killer net ~p_kill ~delay ~mttr
   | Takeover_killer { p_kill; delay; mttr } ->
     Fault.takeover_killer net ~p_kill ~delay ~mttr
+  | Fail_slow { every; duration; factor } ->
+    Fault.fail_slow net ~every ~duration ~factor
   | Compose l -> List.iter (fun nem -> install nem net) l
 
 let rec pp ppf = function
@@ -119,6 +126,8 @@ let rec pp ppf = function
       mttr
   | Takeover_killer { p_kill; delay; mttr } ->
     Format.fprintf ppf "takeover-killer(p=%g,delay=%g,mttr=%g)" p_kill delay mttr
+  | Fail_slow { every; duration; factor } ->
+    Format.fprintf ppf "fail-slow(every=%g,for=%g,x%g)" every duration factor
   | Compose l ->
     Format.fprintf ppf "compose[%a]"
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)

@@ -60,6 +60,13 @@ type t =
           (recovering after mean [mttr]) — mid-lease-round or
           mid-adopted-drive, so the next contender must out-bid the dead
           taker's lease. [scale] behaves like the coordinator killer's. *)
+  | Fail_slow of { every : float; duration : float; factor : float }
+      (** gray failures ({!Atomrep_sim.Fault.fail_slow}): at exponentially
+          distributed intervals (mean [every]) a random site turns
+          fail-slow for [duration] — up and answering, with service times
+          inflated by a drawn degradation shape peaking at [factor]
+          (constant, heavy-tailed, or creeping). [scale] makes episodes
+          more frequent, longer, and deeper. *)
   | Compose of t list  (** install all of them *)
 
 val scale : float -> t -> t

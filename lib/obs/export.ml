@@ -3,11 +3,24 @@ open Atomrep_stats
 let args_json (kind : Trace.kind) =
   let fields =
     match kind with
-    | Trace.Rpc_send { src; dst } | Trace.Rpc_recv { src; dst }
-    | Trace.Rpc_timeout { src; dst } ->
+    | Trace.Rpc_send { src; dst } | Trace.Rpc_recv { src; dst } ->
       [ ("src", Json.int src); ("dst", Json.int dst) ]
-    | Trace.Rpc_drop { src; dst; reason } ->
-      [ ("src", Json.int src); ("dst", Json.int dst); ("reason", Json.Str reason) ]
+    | Trace.Rpc_timeout { src; dst; timeout; elapsed } ->
+      [ ("src", Json.int src); ("dst", Json.int dst);
+        ("timeout", Json.Num timeout); ("elapsed", Json.Num elapsed) ]
+    | Trace.Rpc_drop { src; dst; reason; elapsed } ->
+      [ ("src", Json.int src); ("dst", Json.int dst); ("reason", Json.Str reason);
+        ("elapsed", Json.Num elapsed) ]
+    | Trace.Rpc_hedge { src; dst; delay } ->
+      [ ("src", Json.int src); ("dst", Json.int dst); ("delay", Json.Num delay) ]
+    | Trace.Rpc_outcome { src; dst; ok; elapsed } ->
+      [ ("src", Json.int src); ("dst", Json.int dst); ("ok", Json.Bool ok);
+        ("elapsed", Json.Num elapsed) ]
+    | Trace.Slow_inject { site; mode } ->
+      [ ("site", Json.int site); ("mode", Json.Str mode) ]
+    | Trace.Detector_slow { site; slow; score } ->
+      [ ("site", Json.int site); ("slow", Json.Bool slow);
+        ("score", Json.Num score) ]
     | Trace.Quorum_read { txn; op; got; need }
     | Trace.Quorum_append { txn; op; got; need } ->
       [ ("txn", Json.Str txn); ("op", Json.Str op); ("got", Json.int got);

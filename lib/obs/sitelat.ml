@@ -1,0 +1,88 @@
+type t = {
+  alpha : float;
+  window : int;
+  ewma : float array; (* negative = no samples yet *)
+  rings : float array array; (* last [window] samples per site *)
+  fill : int array; (* samples currently held in the ring *)
+  next : int array; (* ring write cursor *)
+  seen : int array; (* lifetime sample count *)
+}
+
+let create ~n_sites ?(alpha = 0.2) ?(window = 64) () =
+  if n_sites < 0 then invalid_arg "Sitelat.create: negative n_sites";
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Sitelat.create: alpha not in (0,1]";
+  if window < 1 then invalid_arg "Sitelat.create: window < 1";
+  {
+    alpha;
+    window;
+    ewma = Array.make n_sites (-1.0);
+    rings = Array.init n_sites (fun _ -> Array.make window 0.0);
+    fill = Array.make n_sites 0;
+    next = Array.make n_sites 0;
+    seen = Array.make n_sites 0;
+  }
+
+let n_sites t = Array.length t.ewma
+
+let observe t ~site sample =
+  if site >= 0 && site < n_sites t then begin
+    t.ewma.(site) <-
+      (if t.ewma.(site) < 0.0 then sample
+       else (t.alpha *. sample) +. ((1.0 -. t.alpha) *. t.ewma.(site)));
+    let ring = t.rings.(site) in
+    ring.(t.next.(site)) <- sample;
+    t.next.(site) <- (t.next.(site) + 1) mod t.window;
+    if t.fill.(site) < t.window then t.fill.(site) <- t.fill.(site) + 1;
+    t.seen.(site) <- t.seen.(site) + 1
+  end
+
+let samples t ~site = if site >= 0 && site < n_sites t then t.seen.(site) else 0
+let ewma t ~site =
+  if site >= 0 && site < n_sites t && t.ewma.(site) >= 0.0 then t.ewma.(site)
+  else 0.0
+
+(* Nearest-rank percentile over a freshly-sorted copy of the samples; these
+   books hold at most [window] floats per site, so the sort is cheap and only
+   runs on scoring ticks, never per observation. *)
+let rank_of sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let percentile t ~site ~q =
+  if site < 0 || site >= n_sites t || t.fill.(site) = 0 then 0.0
+  else begin
+    let window = Array.sub t.rings.(site) 0 t.fill.(site) in
+    Array.sort compare window;
+    rank_of window q
+  end
+
+let pooled_percentile ?(exclude = fun _ -> false) t ~q =
+  let pool = ref [] in
+  for site = 0 to n_sites t - 1 do
+    if not (exclude site) then
+      for i = 0 to t.fill.(site) - 1 do
+        pool := t.rings.(site).(i) :: !pool
+      done
+  done;
+  let pool = Array.of_list !pool in
+  Array.sort compare pool;
+  rank_of pool q
+
+(* Median across sites of a per-site statistic, skipping sample-less sites:
+   the cluster-normal baseline the detector scores each site against. *)
+let median_over t stat =
+  let vals = ref [] in
+  for site = 0 to n_sites t - 1 do
+    if t.fill.(site) > 0 then vals := stat site :: !vals
+  done;
+  let vals = Array.of_list !vals in
+  Array.sort compare vals;
+  rank_of vals 0.5
+
+let median_ewma t = median_over t (fun site -> ewma t ~site)
+let median_percentile t ~q = median_over t (fun site -> percentile t ~site ~q)

@@ -1,8 +1,8 @@
 type kind =
   | Rpc_send of { src : int; dst : int }
   | Rpc_recv of { src : int; dst : int }
-  | Rpc_drop of { src : int; dst : int; reason : string }
-  | Rpc_timeout of { src : int; dst : int }
+  | Rpc_drop of { src : int; dst : int; reason : string; elapsed : float }
+  | Rpc_timeout of { src : int; dst : int; timeout : float; elapsed : float }
   | Quorum_read of { txn : string; op : string; got : int; need : int }
   | Quorum_append of { txn : string; op : string; got : int; need : int }
   | Repo_append of { txn : string; op : string; tentative : bool }
@@ -40,6 +40,10 @@ type kind =
   | Repo_resolve of { txn : string; committed : bool }
   | Session_commit of { session : int; txn : string; counter : int; site : int }
   | Breaker of { site : int; state : string }
+  | Rpc_hedge of { src : int; dst : int; delay : float }
+  | Rpc_outcome of { src : int; dst : int; ok : bool; elapsed : float }
+  | Slow_inject of { site : int; mode : string }
+  | Detector_slow of { site : int; slow : bool; score : float }
 
 type event = {
   id : int;
@@ -79,7 +83,7 @@ type t = {
 }
 
 (* Dense tag per kind constructor, for the sampling arrays. *)
-let n_kind_tags = 41
+let n_kind_tags = 45
 
 let kind_tag = function
   | Rpc_send _ -> 0
@@ -123,6 +127,10 @@ let kind_tag = function
   | Repo_resolve _ -> 38
   | Session_commit _ -> 39
   | Breaker _ -> 40
+  | Rpc_hedge _ -> 41
+  | Rpc_outcome _ -> 42
+  | Slow_inject _ -> 43
+  | Detector_slow _ -> 44
 
 let create ?(enabled = true) ~n_sites () =
   {
@@ -200,6 +208,10 @@ let kind_label = function
   | Repo_resolve _ -> "repo_resolve"
   | Session_commit _ -> "session_commit"
   | Breaker _ -> "breaker"
+  | Rpc_hedge _ -> "rpc_hedge"
+  | Rpc_outcome _ -> "rpc_outcome"
+  | Slow_inject _ -> "slow_inject"
+  | Detector_slow _ -> "detector_slow"
 
 let set_sampling t ~every ?(forced = fun _ -> false) () =
   t.sample_every <- max 1 every;
@@ -341,9 +353,11 @@ let span_durations t =
 let pp_kind ppf = function
   | Rpc_send { src; dst } -> Format.fprintf ppf "rpc_send %d->%d" src dst
   | Rpc_recv { src; dst } -> Format.fprintf ppf "rpc_recv %d->%d" src dst
-  | Rpc_drop { src; dst; reason } ->
-    Format.fprintf ppf "rpc_drop %d->%d (%s)" src dst reason
-  | Rpc_timeout { src; dst } -> Format.fprintf ppf "rpc_timeout %d->%d" src dst
+  | Rpc_drop { src; dst; reason; elapsed } ->
+    Format.fprintf ppf "rpc_drop %d->%d (%s, %.1f elapsed)" src dst reason elapsed
+  | Rpc_timeout { src; dst; timeout; elapsed } ->
+    Format.fprintf ppf "rpc_timeout %d->%d (%.1f configured, %.1f elapsed)" src
+      dst timeout elapsed
   | Quorum_read { txn; op; got; need } ->
     Format.fprintf ppf "quorum_read %s.%s %d/%d" txn op got need
   | Quorum_append { txn; op; got; need } ->
@@ -412,6 +426,18 @@ let pp_kind ppf = function
   | Session_commit { session; txn; counter; site } ->
     Format.fprintf ppf "session_commit s%d %s @(%d,%d)" session txn counter site
   | Breaker { site; state } -> Format.fprintf ppf "breaker site %d -> %s" site state
+  | Rpc_hedge { src; dst; delay } ->
+    Format.fprintf ppf "rpc_hedge %d->%d (after %.1f)" src dst delay
+  | Rpc_outcome { src; dst; ok; elapsed } ->
+    Format.fprintf ppf "rpc_outcome %d->%d %s (%.1f elapsed)" src dst
+      (if ok then "ok" else "fail")
+      elapsed
+  | Slow_inject { site; mode } ->
+    Format.fprintf ppf "slow_inject site %d (%s)" site mode
+  | Detector_slow { site; slow; score } ->
+    Format.fprintf ppf "detector_%s site %d (score %.2f)"
+      (if slow then "suspect_slow" else "trust_fast")
+      site score
 
 let pp_event ppf e =
   Format.fprintf ppf "[%8.1f] site=%-2d L=%-5d #%-5d %a" e.time e.site e.lamport

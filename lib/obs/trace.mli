@@ -15,9 +15,15 @@
 type kind =
   | Rpc_send of { src : int; dst : int }
   | Rpc_recv of { src : int; dst : int }
-  | Rpc_drop of { src : int; dst : int; reason : string }
-      (** lost in flight ([link]) or delivered to a down site ([dead_dest]) *)
-  | Rpc_timeout of { src : int; dst : int }
+  | Rpc_drop of { src : int; dst : int; reason : string; elapsed : float }
+      (** lost in flight ([link]), delivered to a down site ([dead_dest]),
+          or refused by the circuit breaker ([breaker]); [elapsed] is the
+          sim-time the message spent in flight before being dropped (0 for
+          send-time refusals) *)
+  | Rpc_timeout of { src : int; dst : int; timeout : float; elapsed : float }
+      (** the caller gave up waiting: [timeout] is the configured budget,
+          [elapsed] the sim-time actually waited — postmortems attribute
+          tail latency to specific sites from these *)
   | Quorum_read of { txn : string; op : string; got : int; need : int }
       (** initial-quorum assembly outcome at the front-end *)
   | Quorum_append of { txn : string; op : string; got : int; need : int }
@@ -107,6 +113,19 @@ type kind =
   | Breaker of { site : int; state : string }
       (** the per-site circuit breaker transitioned to
           closed / open / half-open *)
+  | Rpc_hedge of { src : int; dst : int; delay : float }
+      (** a lagging quorum round re-issued its request to spare member
+          [dst] after waiting [delay] (the adaptive hedging percentile) *)
+  | Rpc_outcome of { src : int; dst : int; ok : bool; elapsed : float }
+      (** per-destination multicast outcome, emitted for every reply —
+          including stragglers that arrive after the gather already fired *)
+  | Slow_inject of { site : int; mode : string }
+      (** the fail-slow fault channel changed at the site: [mode] names the
+          inflation law (constant / heavy / creeping) or ["healed"] *)
+  | Detector_slow of { site : int; slow : bool; score : float }
+      (** the latency-aware detector raised ([slow = true]) or cleared a
+          graded slow-suspicion verdict; [score] is the site's latency
+          score relative to the cluster median at the transition *)
 
 type event = {
   id : int; (** global emission index *)

@@ -39,8 +39,17 @@ let newest replies =
       | Some (bv, _) -> if compare version bv > 0 then Some (version, payload) else best)
     None replies
 
+(* Early-quorum gathers: every reply carries its site's votes, so the
+   moment the answered set reaches the threshold it IS a valid quorum —
+   quorum intersection (r + w > total, 2w > total) holds for any
+   threshold-weight subset, not just the full membership, so firing early
+   returns the same answers a full gather would. Handlers still run at
+   every representative on delivery; only the decision stops waiting. *)
+let enough_votes t threshold replies = votes_of t replies >= threshold
+
 let read t ~from ~k =
-  Rpc.multicast t.net ~src:from ~dsts:(all_sites t) ~timeout:t.timeout
+  Rpc.multicast ~enough:(enough_votes t t.read_votes) t.net ~src:from
+    ~dsts:(all_sites t) ~timeout:t.timeout
     ~handler:(fun site -> (t.versions.(site), t.values.(site)))
     ~gather:(fun replies ->
       if votes_of t replies < t.read_votes then k None
@@ -51,7 +60,8 @@ let read t ~from ~k =
 
 let write t ~from value ~k =
   (* Phase 1: collect version numbers from a write quorum. *)
-  Rpc.multicast t.net ~src:from ~dsts:(all_sites t) ~timeout:t.timeout
+  Rpc.multicast ~enough:(enough_votes t t.write_votes) t.net ~src:from
+    ~dsts:(all_sites t) ~timeout:t.timeout
     ~handler:(fun site -> t.versions.(site))
     ~gather:(fun replies ->
       if votes_of t replies < t.write_votes then k false
@@ -63,7 +73,8 @@ let write t ~from value ~k =
         in
         let version = (high + 1, from) in
         (* Phase 2: install at a write quorum. *)
-        Rpc.multicast t.net ~src:from ~dsts:(all_sites t) ~timeout:t.timeout
+        Rpc.multicast ~enough:(enough_votes t t.write_votes) t.net ~src:from
+          ~dsts:(all_sites t) ~timeout:t.timeout
           ~handler:(fun site ->
             if compare version t.versions.(site) > 0 then begin
               t.versions.(site) <- version;

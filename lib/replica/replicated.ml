@@ -26,6 +26,18 @@ type op_result =
   | Unavailable of string
   | Rejected of string
 
+(* Gray-failure mitigation hooks, installed by the runtime when hedging or
+   slow-site demotion is on. [g_route] picks each quorum round's primary
+   destinations (a floor-respecting subset of the epoch members, steering
+   away from slow-suspected sites) and the hedging policy whose spares are
+   the members routed out; [g_early] turns on early-quorum gathers;
+   [g_on_late] counts straggler replies for the dedup metrics. *)
+type gray = {
+  g_route : op:string -> floor:int -> members:int list -> int list * Rpc.hedge option;
+  g_early : bool;
+  g_on_late : (dst:int -> ok:bool -> unit) option;
+}
+
 type t = {
   name : string;
   spec : Serial_spec.t;
@@ -39,6 +51,7 @@ type t = {
   mutable observer : Behavioral.entry list; (* reversed *)
   rpc_timeout : float;
   mutable commit_piggyback : bool;
+  mutable gray : gray option;
   recoveries : Repository.recovery list ref; (* reversed *)
 }
 
@@ -137,10 +150,12 @@ let create ~name ~spec ~scheme ~relation ~assignment ~net ?members
     observer = [];
     rpc_timeout;
     commit_piggyback = true;
+    gray = None;
     recoveries;
   }
 
 let set_commit_piggyback t v = t.commit_piggyback <- v
+let set_gray t g = t.gray <- g
 
 let name t = t.name
 let current_epoch t = t.current
@@ -273,8 +288,20 @@ let execute t ~txn ~clock ?(span = -1) inv ~k =
      operation that straddles a switch fails cleanly and retries under the
      new epoch. *)
   let epoch = Epoch.number t.current in
-  let dsts = Epoch.members t.current in
+  let members = Epoch.members t.current in
   let sizes = Assignment.sizes_of (Epoch.assignment t.current) inv.Event.Invocation.op in
+  (* The quorum-choice floor: a round's primary destinations must keep at
+     least max(initial, final) members so both phases can still assemble
+     their quorums from primaries alone — demotion narrows the vote set, it
+     never shrinks a quorum. *)
+  let floor = max sizes.Assignment.initial sizes.Assignment.final in
+  let dsts, hedge, early, on_late =
+    match t.gray with
+    | None -> (members, None, false, None)
+    | Some g ->
+      let dsts, hedge = g.g_route ~op:inv.Event.Invocation.op ~floor ~members in
+      (dsts, hedge, g.g_early, g.g_on_late)
+  in
   let src = txn.Txn.home_site in
   let action = txn.Txn.action in
   let seq = List.length (own_entries t action) in
@@ -298,19 +325,62 @@ let execute t ~txn ~clock ?(span = -1) inv ~k =
   in
   (* Back-off path: withdraw this operation's intentions so concurrent
      conflicting operations are not deadlocked by a blocked or failed
-     attempt. *)
+     attempt. Releases go to every member, not just the round's primaries:
+     a hedged request may have planted an intention at a spare.
+
+     A release must chase its intend, never race it: an early-quorum
+     gather runs while laggards' view requests are still in flight, and
+     simulated links reorder, so a release broadcast at gather time could
+     land before the intend it withdraws — the intend would then install
+     a lock nobody ever clears, wedging every later related operation.
+     Sites whose view call has settled (replied or timed out) are released
+     immediately; a site still in flight is owed its release and gets it
+     the moment its call settles. Without early-quorum the gather only
+     runs once every call has settled, so this is exactly the historical
+     immediate broadcast. *)
+  let view_in_flight = Array.make (Array.length t.repos) 0 in
+  let release_owed = Array.make (Array.length t.repos) false in
+  let release_site site =
+    Network.send t.net ~src ~dst:site (fun () ->
+        Repository.release t.repos.(site) action seq)
+  in
+  let view_issued ~dst = view_in_flight.(dst) <- view_in_flight.(dst) + 1 in
+  let view_settled ~dst =
+    (* A hedged site settles once per issued call — counter, not flag. *)
+    view_in_flight.(dst) <- view_in_flight.(dst) - 1;
+    if view_in_flight.(dst) = 0 && release_owed.(dst) then begin
+      release_owed.(dst) <- false;
+      release_site dst
+    end
+  in
   let release_and_return result =
     List.iter
       (fun site ->
-        Network.send t.net ~src ~dst:site (fun () ->
-            Repository.release t.repos.(site) action seq))
-      dsts;
+        if view_in_flight.(site) > 0 then release_owed.(site) <- true
+        else release_site site)
+      members;
     k result
   in
+  (* Early-quorum satisfaction for the view phase: fire the moment [floor]
+     repositories granted (any two related operations' grant sets of that
+     size meet at a repository whose sticky intention refuses the later
+     arrival, so mutual exclusion is what it was under all-or-timeout), or
+     the moment any repository answered Busy or Stale — both verdicts
+     already doom the round, and aborting it early is conservative. *)
+  let enough_view replies =
+    let rec go grants = function
+      | [] -> grants >= floor
+      | (_, (Busy _ | Stale_epoch _)) :: _ -> true
+      | (_, Logs _) :: rest -> go (grants + 1) rest
+    in
+    go 0 replies
+  in
+  let enough_view = if early then Some enough_view else None in
   let with_view k_view =
     if sizes.Assignment.initial = 0 then k_view Log.empty
     else
-      Rpc.multicast t.net ~src ~dsts ~timeout:t.rpc_timeout
+      Rpc.multicast ?enough:enough_view ?hedge ?on_late ~on_issue:view_issued
+        ~on_settle:view_settled t.net ~src ~dsts ~timeout:t.rpc_timeout
         ~handler:(fun site ->
           let repo = t.repos.(site) in
           if epoch < Repository.epoch repo then Stale_epoch (Repository.epoch repo)
@@ -419,8 +489,15 @@ let execute t ~txn ~clock ?(span = -1) inv ~k =
           observe t (Behavioral.Exec (entry.Log.event, action));
           release_and_return (Done res)
         end
-        else
-          Rpc.multicast t.net ~src ~dsts ~timeout:t.rpc_timeout
+        else begin
+          (* Early-quorum satisfaction for the append phase: a final
+             quorum of acks is all the round needs. *)
+          let enough_append replies =
+            List.length (List.filter snd replies) >= sizes.Assignment.final
+          in
+          let enough_append = if early then Some enough_append else None in
+          Rpc.multicast ?enough:enough_append ?hedge ?on_late t.net ~src ~dsts
+            ~timeout:t.rpc_timeout
             ~handler:(fun site ->
               let repo = t.repos.(site) in
               if epoch < Repository.epoch repo then false
@@ -454,7 +531,8 @@ let execute t ~txn ~clock ?(span = -1) inv ~k =
                 Hashtbl.replace t.own action (own @ [ entry ]);
                 observe t (Behavioral.Exec (entry.Log.event, action));
                 k (Done res)
-              end))
+              end)
+        end)
 
 let broadcast_status t record ~reachable_from =
   (* A commit record carries the action's own entries with it: commit is

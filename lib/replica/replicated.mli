@@ -119,6 +119,29 @@ val set_commit_piggyback : t -> bool -> unit
     postmortem tests replay (the other half is ungated rejoin). Default
     [true]. *)
 
+type gray = {
+  g_route : op:string -> floor:int -> members:int list -> int list * Rpc.hedge option;
+      (** pick a quorum round's primary destinations from [members] — the
+          returned list must keep at least [floor] sites (the round's
+          max(initial, final)) or routing falls back to the full
+          membership — plus the hedging policy whose spares are the
+          members routed out *)
+  g_early : bool;  (** fire gathers on a satisfying early vote set *)
+  g_on_late : (dst:int -> ok:bool -> unit) option;
+      (** observe straggler replies arriving after their gather fired *)
+}
+(** Gray-failure mitigation hooks (see {!set_gray}). *)
+
+val set_gray : t -> gray option -> unit
+(** Install (or clear) the gray-failure mitigation hooks. With [None] (the
+    default) every quorum round targets all epoch members and gathers
+    all-or-timeout, bit-identical to the historical runtime. Safety under
+    the hooks is quorum-choice freedom, not protocol change: primaries
+    always number at least the round's quorum floor, intentions planted at
+    hedged spares are withdrawn by the release path (which always targets
+    the full membership) or resolved by terminal records, and repository
+    handlers are idempotent under first-reply-wins hedging. *)
+
 val prepared_sites : t -> from:int -> timeout:float -> k:(int list -> unit) -> unit
 (** Which repository sites answer a prepare probe from [from] —
     commit-protocol phase 1 uses this to check final-quorum reachability. *)

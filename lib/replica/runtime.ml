@@ -110,6 +110,28 @@ type load = {
   class_of : int -> [ `Read | `Write ];
 }
 
+(* Gray-failure mitigation policy (DESIGN §3j). [hedge] turns on
+   early-quorum gathers plus hedged re-issues: each quorum round fires its
+   gather as soon as a satisfying vote set answered, and once the round
+   lags an adaptive percentile delay re-issues the call — first to
+   primaries still lacking a reply, then to members routed out of the
+   round. [demote] steers rounds away from slow-suspected sites entirely
+   (never below the round's quorum floor) and, once a suspicion has
+   persisted [demote_grace], lets the reconfiguration coordinator treat
+   the site as unusable and reassign quorums off it. *)
+type gray = {
+  hedge : bool;
+  demote : bool;
+  hedge_percentile : float;
+      (* hedge delay = this percentile of recent non-slow RPC latencies *)
+  hedge_delay_floor : float; (* never hedge sooner than this *)
+  hedge_max : int; (* spare re-issues per round *)
+  slow : Detector.slow_config; (* latency-scoring knobs *)
+  demote_grace : float;
+      (* slow-suspicion age before reconfiguration treats the site as
+         down for planning purposes *)
+}
+
 type config = {
   seed : int;
   n_sites : int;
@@ -166,6 +188,16 @@ type config = {
          the goodput load sweeps compare (a late commit is wasted work to
          an open-loop client). [infinity] (the default) counts every
          commit. Accounting only; never changes scheduling. *)
+  gray : gray option;
+      (* Gray-failure mitigation (hedging, early-quorum gathers, slow-site
+         demotion). [None] (the default) is the historical runtime,
+         bit-for-bit: no latency scoring, every round targets all members
+         and gathers all-or-timeout. *)
+  fail_slow : (int * float * Network.slow_mode) list;
+      (* Scripted fail-slow injections: (site, onset sim-time, mode).
+         Each entry arms {!Network.set_fail_slow} at its onset and leaves
+         the site degraded for the rest of the run — the persistent
+         gray-failure fault, distinct from transient latency spikes. *)
   profile : Profile.t;
       (* Installed as the ambient profile for the run's extent, so the
          engine dispatch loop, network sends, trace publishes, quorum
@@ -186,6 +218,17 @@ let default_queue_assignment ~n_sites =
       ("Enq", { Assignment.initial = majority; final = majority });
       ("Deq", { Assignment.initial = majority; final = majority });
     ]
+
+let default_gray =
+  {
+    hedge = true;
+    demote = true;
+    hedge_percentile = 0.95;
+    hedge_delay_floor = 2.0;
+    hedge_max = 2;
+    slow = Detector.default_slow_config;
+    demote_grace = 500.0;
+  }
 
 let default_config =
   {
@@ -233,6 +276,8 @@ let default_config =
     retry_budget = max_int;
     load = None;
     timely_bound = infinity;
+    gray = None;
+    fail_slow = [];
     profile = Profile.null;
     timeseries = Timeseries.null;
   }
@@ -291,6 +336,11 @@ type metrics = {
   retries_budget_exhausted : int;
   sojourn : Summary.t;
   breaker_trips : int;
+  hedges : int;
+  hedge_wins : int;
+  hedge_late : int;
+  demoted_rounds : int;
+  slow_suspicions : int;
 }
 
 type outcome = {
@@ -1498,7 +1548,7 @@ let run_inner cfg =
          if state = Breaker.Open then Metrics.incr st.counters.c_breaker_trips;
          note st ~site
            (Trace.Breaker { site; state = Breaker.state_label state }));
-     Network.on_rpc_result net (fun ~src:_ ~dst ~ok ->
+     Network.on_rpc_result net (fun ~src:_ ~dst ~ok ~elapsed:_ ->
          Breaker.record breaker ~site:dst ~now:(Engine.now engine) ~ok);
      Network.set_router net
        (Some
@@ -1688,17 +1738,121 @@ let run_inner cfg =
   let rc_refused = Metrics.counter registry ~labels:scheme_l "reconfig.refused" in
   let rc_failed = Metrics.counter registry ~labels:scheme_l "reconfig.failed" in
   let rc_lat = Metrics.histogram registry ~labels:scheme_l "reconfig.latency" in
+  let c_hedges = Metrics.counter registry ~labels:scheme_l "gray.hedges" in
+  let c_hedge_wins = Metrics.counter registry ~labels:scheme_l "gray.hedge_wins" in
+  let c_hedge_late = Metrics.counter registry ~labels:scheme_l "gray.hedge_late" in
+  let c_demoted =
+    Metrics.counter registry ~labels:scheme_l "gray.demoted_rounds"
+  in
+  (* Scripted fail-slow injections: persistent service-time inflation armed
+     at each entry's onset. Empty by default, so the legacy event timeline
+     is untouched. *)
+  List.iter
+    (fun (site, onset, mode) ->
+      Engine.schedule_at engine ~time:onset (fun () ->
+          Network.set_fail_slow net ~site mode))
+    cfg.fail_slow;
+  (* Failure detector, shared by the reconfiguration coordinator (binary
+     suspicion) and the gray-failure layer (latency scoring). It draws from
+     its own split stream for the same reason gossip does: toggling either
+     consumer must not perturb the workload's draws — exactly one split is
+     consumed here whether zero, one, or both are enabled. *)
   let detector = ref None in
-  (match cfg.reconfig with
-   | None -> ignore (Rng.split (Engine.rng engine))
-   | Some rc ->
+  (match (cfg.reconfig, cfg.gray) with
+   | None, None -> ignore (Rng.split (Engine.rng engine))
+   | reconfig, gray ->
      let det_rng = Rng.split (Engine.rng engine) in
-     let det =
-       Detector.start net ~rng:det_rng ~probe_every:rc.probe_every
-         ~timeout:rc.probe_timeout ~suspect_after:rc.suspect_after
-         ~monitor:rc.monitor ()
+     let rc = Option.value reconfig ~default:default_reconfig in
+     detector :=
+       Some
+         (Detector.start net ~rng:det_rng ~probe_every:rc.probe_every
+            ~timeout:rc.probe_timeout ~suspect_after:rc.suspect_after
+            ~monitor:rc.monitor
+            ?slow:(Option.map (fun gc -> gc.slow) gray)
+            ()));
+  (* Gray-failure mitigation: install the routing/hedging hooks on every
+     object. Routing drops slow-suspected members from a round's primaries
+     (never below its quorum floor); members routed out are the hedge
+     spares of last resort. *)
+  (match (cfg.gray, !detector) with
+   | Some gc, Some det ->
+     (* Per-site latency histograms mirrored into the registry — the same
+        samples the detector's books score. *)
+     let site_lat =
+       Array.init cfg.n_sites (fun site ->
+           Metrics.histogram registry
+             ~labels:(("site", string_of_int site) :: scheme_l)
+             "rpc.site_latency")
      in
-     detector := Some det;
+     Network.on_rpc_result net (fun ~src:_ ~dst ~ok:_ ~elapsed ->
+         if dst >= 0 && dst < cfg.n_sites then
+           Metrics.observe site_lat.(dst) elapsed);
+     let h_delay () =
+       match Detector.latency_percentile det ~q:gc.hedge_percentile with
+       | Some p -> Float.max gc.hedge_delay_floor p
+       | None ->
+         (* No samples yet: a few mean network hops is the only prior. *)
+         Float.max gc.hedge_delay_floor (4.0 *. cfg.latency_mean)
+     in
+     let route ~op:_ ~floor ~members =
+       let dsts =
+         if gc.demote then begin
+           let fast =
+             List.filter (fun s -> not (Detector.slow_suspected det s)) members
+           in
+           if List.length fast = List.length members then members
+           else if List.length fast >= floor then begin
+             Metrics.incr c_demoted;
+             fast
+           end
+           else members (* too few fast sites: a slow quorum beats none *)
+         end
+         else members
+       in
+       (* Routing never narrows below the full fast set — standing
+          redundancy beats a reserved spare. Hedged re-issues go first to
+          primaries still lacking a reply (a fresh send re-rolls the
+          straggling link); demoted members are the spares of last resort,
+          least-suspect first. *)
+       let spares =
+         List.sort
+           (fun a b ->
+             compare
+               (Detector.slow_score det a, a)
+               (Detector.slow_score det b, b))
+           (List.filter (fun s -> not (List.mem s dsts)) members)
+       in
+       let hedge =
+         if gc.hedge then
+           Some
+             {
+               Rpc.h_delay;
+               h_spares = spares;
+               h_max = gc.hedge_max;
+               h_on_hedge = (fun ~dst:_ -> Metrics.incr c_hedges);
+               h_on_win = (fun ~dst:_ -> Metrics.incr c_hedge_wins);
+             }
+         else None
+       in
+       (dsts, hedge)
+     in
+     List.iter
+       (fun (_, obj) ->
+         Replicated.set_gray obj
+           (Some
+              {
+                Replicated.g_route = route;
+                g_early = gc.hedge;
+                g_on_late = Some (fun ~dst:_ ~ok:_ -> Metrics.incr c_hedge_late);
+              }))
+       objects
+   | _ -> ());
+  (match cfg.reconfig with
+   | None -> ()
+   | Some rc ->
+     let det =
+       match !detector with Some d -> d | None -> assert false
+     in
      let in_flight = ref false in
      let last_done = ref (-.rc.cooldown) in
      let consider (_, obj) =
@@ -1708,6 +1862,23 @@ let run_inner cfg =
          && Engine.now engine -. !last_done >= rc.cooldown
        then begin
          let live = Detector.live det in
+         (* Demotion handoff: a site slow-suspected past the grace period
+            is as good as down for planning purposes — exclude it from the
+            live view so Reassign proposes quorums off it. Reconfigure
+            itself still refuses the handoff under static atomicity
+            (Theorems 10–12), so this only ever takes effect where the
+            scheme permits reassignment. *)
+         let live =
+           match cfg.gray with
+           | Some gc when gc.demote ->
+             List.filter
+               (fun s ->
+                 match Detector.slow_since det s with
+                 | Some t0 -> Engine.now engine -. t0 < gc.demote_grace
+                 | None -> true)
+               live
+           | _ -> live
+         in
          let members = Epoch.members (Replicated.current_epoch obj) in
          if List.exists (fun s -> not (List.mem s live)) members then begin
            let plan =
@@ -1847,6 +2018,10 @@ let run_inner cfg =
     match !detector with Some d -> Detector.transitions d | None -> 0
   in
   g "detector.transitions" (float_of_int suspicion_transitions);
+  let slow_suspicions =
+    match !detector with Some d -> Detector.slow_transitions d | None -> 0
+  in
+  g "detector.slow_transitions" (float_of_int slow_suspicions);
   let final_epoch =
     List.fold_left
       (fun acc (_, obj) -> max acc (Epoch.number (Replicated.current_epoch obj)))
@@ -1991,6 +2166,11 @@ let run_inner cfg =
       sojourn =
         Metrics.histogram_summary registry ~labels:scheme_l "admission.sojourn";
       breaker_trips = cv scheme_l "breaker.trips";
+      hedges = cv scheme_l "gray.hedges";
+      hedge_wins = cv scheme_l "gray.hedge_wins";
+      hedge_late = cv scheme_l "gray.hedge_late";
+      demoted_rounds = cv scheme_l "gray.demoted_rounds";
+      slow_suspicions;
     }
   in
   let histories =

@@ -118,6 +118,38 @@ type load = {
       (** shed class per index, consulted by [Shed_reads_first] *)
 }
 
+type gray = {
+  hedge : bool;
+      (** early-quorum gathers plus hedged re-issues: every quorum round
+          fires its gather the moment a satisfying vote set answered, and
+          once it lags the adaptive delay re-issues the call — first to
+          primaries still lacking a reply (a fresh send re-rolls the
+          straggling link), then to members routed out of the round —
+          repositories are idempotent, so first-reply-wins is safe *)
+  demote : bool;
+      (** route quorum rounds away from slow-suspected sites (never below
+          the round's quorum floor), and let the reconfiguration
+          coordinator — when one is running — plan the site out of the
+          epoch once its suspicion outlives [demote_grace] *)
+  hedge_percentile : float;
+      (** hedge delay = this percentile of recently observed RPC
+          latencies, pooled across non-slow sites *)
+  hedge_delay_floor : float;  (** never hedge sooner than this (sim ms) *)
+  hedge_max : int;  (** spare re-issues per quorum round *)
+  slow : Atomrep_sim.Detector.slow_config;
+      (** latency-scoring knobs for {!Atomrep_sim.Detector} *)
+  demote_grace : float;
+      (** slow-suspicion age (sim ms) before reconfiguration treats the
+          site as down for planning — static atomicity still refuses the
+          handoff (Theorems 10–12) *)
+}
+(** Gray-failure mitigation policy (DESIGN §3j). *)
+
+val default_gray : gray
+(** Hedging and demotion both on: p95 adaptive delay with a 2 ms floor, 2
+    spare re-issues per round, {!Atomrep_sim.Detector.default_slow_config}
+    scoring, 500 ms demotion grace. *)
+
 type config = {
   seed : int;
   n_sites : int;
@@ -202,6 +234,14 @@ type config = {
           count as [timely_commits] — the goodput open-loop load sweeps
           compare (default [infinity]: every commit is timely); pure
           accounting, never affects scheduling *)
+  gray : gray option;
+      (** gray-failure mitigation (default [None] — the historical
+          runtime, bit-for-bit: no latency scoring, every quorum round
+          targets all epoch members and gathers all-or-timeout) *)
+  fail_slow : (int * float * Network.slow_mode) list;
+      (** scripted fail-slow injections: [(site, onset, mode)] arms
+          {!Network.set_fail_slow} at each onset — persistent service-time
+          inflation, the gray-failure fault (default empty) *)
   profile : Atomrep_obs.Profile.t;
       (** phase profiling (default [Atomrep_obs.Profile.null], one branch
           per instrumentation site): when enabled, it is installed as the
@@ -309,6 +349,18 @@ type metrics = {
       (** admission→verdict sojourn time per transaction, shed ones
           included (for those it is the arrival→shed wait) *)
   breaker_trips : int;  (** circuit-breaker transitions into [Open] *)
+  hedges : int;  (** hedged re-issues fired after the adaptive delay *)
+  hedge_wins : int;
+      (** hedged (spare) replies that arrived before their round's gather
+          fired — the re-issue did useful work *)
+  hedge_late : int;
+      (** straggler replies arriving after their gather had already fired
+          — counted, never re-driving the gather *)
+  demoted_rounds : int;
+      (** quorum rounds routed away from at least one slow-suspected site *)
+  slow_suspicions : int;
+      (** slow-suspicion transitions (raises plus clears), the graded
+          detector's churn — 0 without a [gray] config *)
 }
 
 type outcome = {

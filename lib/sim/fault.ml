@@ -150,6 +150,38 @@ let disk_pressure net ~every ~duration =
   in
   cycle ()
 
+(* Gray failures: at exponentially distributed intervals, pick a uniform
+   victim and make it fail-slow for a while — the site stays up and
+   answers everything, just late. The degradation shape is drawn uniformly
+   among the three modes, each parameterized off the same peak [factor]:
+   constant inflation, a heavy-tailed mix whose tail hits twice the
+   factor, or a creeping ramp that reaches the factor as the episode
+   ends. *)
+let fail_slow net ~every ~duration ~factor =
+  let engine = Network.engine net in
+  let rng = Engine.rng engine in
+  let rec cycle () =
+    Engine.schedule engine ~delay:(Rng.exponential rng every) (fun () ->
+        let site = Rng.int rng (Network.n_sites net) in
+        let mode =
+          match Rng.int rng 3 with
+          | 0 -> Network.Slow_constant factor
+          | 1 ->
+            Network.Slow_heavy
+              {
+                factor = 1.0 +. ((factor -. 1.0) /. 4.0);
+                p_tail = 0.2;
+                tail_factor = 2.0 *. factor;
+              }
+          | _ -> Network.Slow_creeping { rate = factor /. duration; cap = factor }
+        in
+        Network.set_fail_slow net ~site mode;
+        Engine.schedule engine ~delay:duration (fun () ->
+            Network.clear_fail_slow net ~site);
+        cycle ())
+  in
+  cycle ()
+
 let coordinator_killer net ~p_kill ~delay ~mttr =
   let engine = Network.engine net in
   let rng = Engine.rng engine in

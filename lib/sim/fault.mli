@@ -90,6 +90,15 @@ val disk_pressure : Network.t -> every:float -> duration:float -> unit
 (** Periodically fill a random site's disk for [duration] time units:
     flushes and checkpoints fail until the pressure clears. *)
 
+val fail_slow : Network.t -> every:float -> duration:float -> factor:float -> unit
+(** Gray failures: at exponentially distributed intervals (mean [every]),
+    make a uniformly drawn site fail-slow for [duration] time units — up,
+    answering everything, just inflated. Each episode draws one of the
+    three degradation shapes ({!Network.slow_mode}) parameterized off the
+    same peak [factor]: constant inflation at [factor], a heavy-tailed mix
+    whose tail hits [2 * factor], or a creeping ramp reaching [factor] as
+    the episode ends. *)
+
 val coordinator_killer :
   Network.t -> p_kill:float -> delay:float -> mttr:float -> unit
 (** The termination protocol's targeted adversary: whenever a coordinator

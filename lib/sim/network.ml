@@ -10,6 +10,20 @@ type stats = {
   mutable storage_faults : int;
 }
 
+(* Persistent fail-slow laws: how a gray site's service time inflates while
+   the fault is installed. Distinct from transient delay spikes — a spike
+   stretches one message; fail-slow stretches every message through the site
+   until it is cleared. *)
+type slow_mode =
+  | Slow_constant of float
+  | Slow_heavy of { factor : float; p_tail : float; tail_factor : float }
+  | Slow_creeping of { rate : float; cap : float }
+
+let slow_mode_label = function
+  | Slow_constant _ -> "constant"
+  | Slow_heavy _ -> "heavy"
+  | Slow_creeping _ -> "creeping"
+
 type t = {
   engine : Engine.t;
   n_sites : int;
@@ -18,6 +32,7 @@ type t = {
   mutable dup_probability : float;
   mutable spike_probability : float;
   mutable spike_factor : float;
+  slow : (slow_mode * float) option array; (* installed law, onset time *)
   up : bool array;
   mutable groups : int array; (* partition group per site *)
   blocked : (int * int, unit) Hashtbl.t; (* one-way failed links, (src, dst) *)
@@ -32,7 +47,8 @@ type t = {
   mutable resync_quorum : int;
   mutable trace : Trace.t;
   mutable router : (src:int -> dst:int -> bool) option;
-  mutable rpc_result_listeners : (src:int -> dst:int -> ok:bool -> unit) list;
+  mutable rpc_result_listeners :
+    (src:int -> dst:int -> ok:bool -> elapsed:float -> unit) list;
 }
 
 let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
@@ -44,6 +60,7 @@ let create engine ~n_sites ?(latency_mean = 5.0) ?(drop_probability = 0.0) () =
     dup_probability = 0.0;
     spike_probability = 0.0;
     spike_factor = 1.0;
+    slow = Array.make n_sites None;
     up = Array.make n_sites true;
     groups = Array.make n_sites 0;
     blocked = Hashtbl.create 8;
@@ -101,8 +118,32 @@ let router_allows t ~src ~dst =
 
 let on_rpc_result t f = t.rpc_result_listeners <- f :: t.rpc_result_listeners
 
-let note_rpc_result t ~src ~dst ~ok =
-  List.iter (fun f -> f ~src ~dst ~ok) t.rpc_result_listeners
+let note_rpc_result t ~src ~dst ~ok ~elapsed =
+  List.iter (fun f -> f ~src ~dst ~ok ~elapsed) t.rpc_result_listeners
+
+let set_fail_slow t ~site mode =
+  t.slow.(site) <- Some (mode, Engine.now t.engine);
+  note t ~site (Trace.Slow_inject { site; mode = slow_mode_label mode })
+
+let clear_fail_slow t ~site =
+  if t.slow.(site) <> None then begin
+    t.slow.(site) <- None;
+    note t ~site (Trace.Slow_inject { site; mode = "healed" })
+  end
+
+let fail_slow t ~site = t.slow.(site) <> None
+
+(* One leg's inflation factor. Draws from [rng] only while the site is
+   actually slow (the heavy-tailed law flips a coin per message), so runs
+   with no fail-slow faults consume exactly the historical random stream. *)
+let slow_rate t rng ~site =
+  match t.slow.(site) with
+  | None -> 1.0
+  | Some (Slow_constant f, _) -> f
+  | Some (Slow_heavy { factor; p_tail; tail_factor }, _) ->
+    if Rng.bernoulli rng p_tail then tail_factor else factor
+  | Some (Slow_creeping { rate; cap }, since) ->
+    Float.min cap (1.0 +. (rate *. (Engine.now t.engine -. since)))
 
 let set_drop_probability t p = t.drop_probability <- p
 let set_duplication t p = t.dup_probability <- p
@@ -218,7 +259,7 @@ let send_impl t ~src ~dst thunk =
     if Trace.enabled t.trace then
       ignore
         (Trace.emit t.trace ~site:src ~cause:sid
-           (Trace.Rpc_drop { src; dst; reason = "link" }))
+           (Trace.Rpc_drop { src; dst; reason = "link"; elapsed = 0.0 }))
   end
   else begin
     (* A delay spike stretches one message's latency, letting later sends
@@ -227,6 +268,17 @@ let send_impl t ~src ~dst thunk =
       if t.spike_probability > 0.0 && Rng.bernoulli rng t.spike_probability then
         latency *. t.spike_factor
       else latency
+    in
+    (* Fail-slow inflation: a gray site both serves and emits slowly, so
+       either endpoint being slow stretches the message. The guard keeps
+       the healthy path draw-free. *)
+    let latency =
+      match (t.slow.(src), t.slow.(dst)) with
+      | None, None -> latency
+      | _ ->
+        let f = slow_rate t rng ~site:src in
+        let f = if same_site then f else f *. slow_rate t rng ~site:dst in
+        latency *. f
     in
     let deliver delay =
       Engine.schedule t.engine ~delay (fun () ->
@@ -242,7 +294,7 @@ let send_impl t ~src ~dst thunk =
             if Trace.enabled t.trace then
               ignore
                 (Trace.emit t.trace ~site:dst ~cause:sid
-                   (Trace.Rpc_drop { src; dst; reason = "dead_dest" }))
+                   (Trace.Rpc_drop { src; dst; reason = "dead_dest"; elapsed = delay }))
           end)
     in
     deliver latency;

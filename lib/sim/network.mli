@@ -25,6 +25,18 @@ type stats = {
   mutable storage_faults : int; (** {!inject_storage_fault} calls *)
 }
 
+type slow_mode =
+  | Slow_constant of float
+      (** every message through the site takes [factor] times longer *)
+  | Slow_heavy of { factor : float; p_tail : float; tail_factor : float }
+      (** heavy-tailed: the base [factor] usually, but with probability
+          [p_tail] a message draws the far worse [tail_factor] — the
+          classic gray disk/NIC whose p99 explodes while its median only
+          doubles *)
+  | Slow_creeping of { rate : float; cap : float }
+      (** creeping degradation: inflation grows linearly from 1.0 at
+          [rate] per sim-time unit since onset, saturating at [cap] *)
+
 type t
 
 val create :
@@ -127,6 +139,21 @@ val set_delay_spike : t -> probability:float -> factor:float -> unit
 (** With the given probability a message's latency is multiplied by
     [factor], letting later messages overtake it (reordering). *)
 
+val set_fail_slow : t -> site:int -> slow_mode -> unit
+(** Install a persistent fail-slow ("gray") fault at the site: until
+    {!clear_fail_slow}, every message into or out of the site has its
+    latency inflated by the mode's law. Unlike a crash the site stays up,
+    keeps answering probes, and never trips the binary failure detector —
+    only latency-aware suspicion can see it. Emits a [Slow_inject] trace
+    event. Installing a new mode over an old one replaces it (and resets
+    the creeping-mode onset). *)
+
+val clear_fail_slow : t -> site:int -> unit
+(** Heal the site's fail-slow fault (no-op if none is installed). *)
+
+val fail_slow : t -> site:int -> bool
+(** Is a fail-slow fault currently installed at the site? *)
+
 val set_skew_handler : t -> (site:int -> amount:int -> unit) -> unit
 (** Install the handler {!inject_skew} forwards to. The runtime registers
     one that advances the site's Lamport clock, so fault schedules can
@@ -161,13 +188,16 @@ val set_router : t -> (src:int -> dst:int -> bool) option -> unit
 val router_allows : t -> src:int -> dst:int -> bool
 (** The installed policy's verdict ([true] when no policy is set). *)
 
-val on_rpc_result : t -> (src:int -> dst:int -> ok:bool -> unit) -> unit
+val on_rpc_result : t -> (src:int -> dst:int -> ok:bool -> elapsed:float -> unit) -> unit
 (** Observe per-destination RPC outcomes: [ok:true] for a reply that
-    arrived within the timeout, [ok:false] for a timeout. Router refusals
-    are NOT reported — a breaker feeding on its own refusals would never
-    see the recovery it is probing for. *)
+    arrived within the timeout, [ok:false] for a timeout. [elapsed] is the
+    sim-time from issue to outcome (the full configured timeout for a
+    timed-out call), which is what latency-aware suspicion scores — a
+    timeout is a censored sample, not a missing one. Router refusals are
+    NOT reported — a breaker feeding on its own refusals would never see
+    the recovery it is probing for. *)
 
-val note_rpc_result : t -> src:int -> dst:int -> ok:bool -> unit
+val note_rpc_result : t -> src:int -> dst:int -> ok:bool -> elapsed:float -> unit
 (** Report one RPC outcome to the listeners (called by {!Rpc}). *)
 
 val set_trace : t -> Atomrep_obs.Trace.t -> unit

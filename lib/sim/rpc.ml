@@ -1,3 +1,13 @@
+module Trace = Atomrep_obs.Trace
+
+type hedge = {
+  h_delay : unit -> float;
+  h_spares : int list;
+  h_max : int;
+  h_on_hedge : dst:int -> unit;
+  h_on_win : dst:int -> unit;
+}
+
 let call net ~src ~dst ~timeout ~handler ~reply =
   let engine = Network.engine net in
   if not (Network.router_allows net ~src ~dst) then begin
@@ -8,18 +18,20 @@ let call net ~src ~dst ~timeout ~handler ~reply =
        NOT reported to the rpc-result listeners: a breaker feeding on its
        own refusals would never observe recovery. *)
     let tr = Network.trace net in
-    if Atomrep_obs.Trace.enabled tr then
+    if Trace.enabled tr then
       ignore
-        (Atomrep_obs.Trace.emit tr ~site:src
-           (Atomrep_obs.Trace.Rpc_drop { src; dst; reason = "breaker" }));
+        (Trace.emit tr ~site:src
+           (Trace.Rpc_drop { src; dst; reason = "breaker"; elapsed = 0.0 }));
     Engine.schedule engine ~delay:0.0 (fun () -> reply None)
   end
   else begin
+    let start = Engine.now engine in
     let done_ = ref false in
     let finish ~ok result =
       if not !done_ then begin
         done_ := true;
-        Network.note_rpc_result net ~src ~dst ~ok;
+        Network.note_rpc_result net ~src ~dst ~ok
+          ~elapsed:(Engine.now engine -. start);
         reply result
       end
     in
@@ -31,39 +43,118 @@ let call net ~src ~dst ~timeout ~handler ~reply =
         if not !done_ then begin
           Network.note_rpc_timeout net;
           let tr = Network.trace net in
-          if Atomrep_obs.Trace.enabled tr then
+          if Trace.enabled tr then
             ignore
-              (Atomrep_obs.Trace.emit tr ~site:src
-                 (Atomrep_obs.Trace.Rpc_timeout { src; dst }));
+              (Trace.emit tr ~site:src
+                 (Trace.Rpc_timeout
+                    { src; dst; timeout; elapsed = Engine.now engine -. start }));
           finish ~ok:false None
         end)
   end
 
-let multicast net ~src ~dsts ~timeout ~handler ~gather =
-  let expected = List.length dsts in
-  if expected = 0 then gather []
+let multicast ?enough ?hedge ?on_late ?on_issue ?on_settle net ~src ~dsts
+    ~timeout ~handler ~gather =
+  let engine = Network.engine net in
+  if dsts = [] then gather []
   else begin
     let received = ref [] in
-    let answered = ref 0 in
+    (* First successful reply per destination is the one that counts: a
+       hedged re-issue and its slow original may both answer, and a gather
+       that saw the same site twice would double-count its vote. *)
+    let got = Hashtbl.create 8 in
+    let pending = ref 0 in
     let finished = ref false in
-    let complete () =
-      if (not !finished) && !answered = expected then begin
-        finished := true;
-        (* The quorum round's synchronous half: reply gathering plus the
-           caller's decision logic (vote counting, view merge, commit). *)
-        Atomrep_obs.Profile.record ~subsystem:"quorum" "gather" (fun () ->
-            gather (List.rev !received))
-      end
+    let tr = Network.trace net in
+    let fire () =
+      finished := true;
+      (* The quorum round's synchronous half: reply gathering plus the
+         caller's decision logic (vote counting, view merge, commit). *)
+      Atomrep_obs.Profile.record ~subsystem:"quorum" "gather" (fun () ->
+          gather (List.rev !received))
     in
-    List.iter
-      (fun dst ->
-        call net ~src ~dst ~timeout
-          ~handler:(fun () -> handler dst)
-          ~reply:(fun result ->
-            incr answered;
+    let complete () =
+      if not !finished then
+        if !pending = 0 then fire ()
+        else
+          (* Early-quorum: fire the moment a satisfying vote set has
+             answered instead of awaiting every destination — a straggler
+             then can't hold the round at its own pace. *)
+          match enough with
+          | Some satisfied when !received <> [] && satisfied (List.rev !received)
+            ->
+            fire ()
+          | _ -> ()
+    in
+    let issue ~primary dst =
+      let started = Engine.now engine in
+      incr pending;
+      (match on_issue with Some f -> f ~dst | None -> ());
+      call net ~src ~dst ~timeout
+        ~handler:(fun () -> handler dst)
+        ~reply:(fun result ->
+          decr pending;
+          (* Settlement (reply or timeout) is reported before the gather
+             can fire below, so a caller that defers per-site follow-up
+             work to settlement sends it, on the all-or-timeout path, at
+             exactly the moment it historically would. *)
+          (match on_settle with Some f -> f ~dst | None -> ());
+          let ok = match result with Some _ -> true | None -> false in
+          if Trace.enabled tr then
+            ignore
+              (Trace.emit tr ~site:src
+                 (Trace.Rpc_outcome
+                    { src; dst; ok; elapsed = Engine.now engine -. started }));
+          if !finished then begin
+            (* Straggler after the gather already fired: its outcome is
+               counted (event above, [on_late] below) but it must never
+               re-drive [gather]. *)
+            match on_late with Some f -> f ~dst ~ok | None -> ()
+          end
+          else begin
             (match result with
-             | Some r -> received := (dst, r) :: !received
-             | None -> ());
-            complete ()))
-      dsts
+             | Some r when not (Hashtbl.mem got dst) ->
+               Hashtbl.replace got dst ();
+               received := (dst, r) :: !received;
+               if not primary then
+                 (match hedge with Some h -> h.h_on_win ~dst | None -> ())
+             | _ -> ());
+            complete ()
+          end)
+    in
+    List.iter (fun dst -> issue ~primary:true dst) dsts;
+    match hedge with
+    | Some h when h.h_max > 0 ->
+      let delay = h.h_delay () in
+      Engine.schedule engine ~delay (fun () ->
+          if not !finished then begin
+            (* The round is lagging its adaptive percentile: hedge it.
+               Destinations still lacking a reply are re-issued to first —
+               a fresh send re-rolls a straggling link's latency draw —
+               then spare members outside the round are enlisted as extra
+               voters. First reply per site wins; handlers must be
+               idempotent, which quorum repositories are (intend re-drops,
+               log appends dedup). Destinations the router refuses
+               (breaker open) are skipped — a hedge to a routed-out site
+               would just burn the refusal. *)
+            let fired = ref 0 in
+            let consider dst =
+              if
+                !fired < h.h_max
+                && (not (Hashtbl.mem got dst))
+                && Network.router_allows net ~src ~dst
+              then begin
+                incr fired;
+                if Trace.enabled tr then
+                  ignore
+                    (Trace.emit tr ~site:src (Trace.Rpc_hedge { src; dst; delay }));
+                h.h_on_hedge ~dst;
+                issue ~primary:false dst
+              end
+            in
+            List.iter consider dsts;
+            List.iter
+              (fun spare -> if not (List.mem spare dsts) then consider spare)
+              h.h_spares
+          end)
+    | _ -> ()
   end

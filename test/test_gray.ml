@@ -1,0 +1,398 @@
+(* Gray-failure resilience: the fail-slow fault model's latency
+   inflation, the detector's graded slow-suspicion, the hedged
+   early-quorum multicast (re-issue to stragglers, first-reply-per-site
+   dedup, breaker-aware spares), slow-site demotion end to end, and the
+   byte-identity contract: with the mitigation layer off, the runtime
+   must replay the pre-gray fingerprints bit for bit. *)
+
+open Atomrep_stats
+open Atomrep_sim
+open Atomrep_replica
+module Campaign = Atomrep_chaos.Campaign
+module Monitors = Atomrep_chaos.Monitors
+module Trace = Atomrep_obs.Trace
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let to_alcotest = List.map QCheck_alcotest.to_alcotest
+
+(* --- the byte-identity contract ---------------------------------------- *)
+
+(* One run's deterministic signature: every counter the simulation's
+   random stream touches. A single perturbed draw — an extra probe, a
+   reordered send, a hedge that fired when the config said off —
+   changes at least the message count or the duration. *)
+let fingerprint cfg =
+  let o = Runtime.run cfg in
+  let m = o.Runtime.metrics in
+  Printf.sprintf
+    "c=%d a=%d ops=%d sent=%d drop=%d dup=%d dead=%d to=%d dur=%.6f latn=%d latmean=%.6f"
+    m.Runtime.committed m.Runtime.aborted m.Runtime.ops_done m.Runtime.msgs_sent
+    m.Runtime.msgs_dropped m.Runtime.msgs_duplicated m.Runtime.msgs_dead_dest
+    m.Runtime.rpc_timeouts m.Runtime.duration
+    (Summary.count m.Runtime.txn_latency)
+    (Summary.mean m.Runtime.txn_latency)
+
+let healthy_cfg ~scheme ~seed =
+  { Runtime.default_config with Runtime.scheme; seed; n_txns = 40 }
+
+let faulty_cfg ~scheme ~seed =
+  let n_sites = 5 in
+  {
+    Runtime.default_config with
+    Runtime.scheme;
+    seed;
+    n_txns = 40;
+    n_sites;
+    objects =
+      [
+        {
+          Runtime.obj_name = "queue";
+          obj_spec = Atomrep_spec.Queue_type.spec;
+          obj_relation =
+            Atomrep_core.Static_dep.minimal Atomrep_spec.Queue_type.spec
+              ~max_len:4;
+          obj_assignment = Runtime.default_queue_assignment ~n_sites;
+          obj_members = None;
+        };
+      ];
+    install_faults =
+      (fun net -> Fault.crash_recover_all net ~mtbf:400.0 ~mttr:150.0);
+  }
+
+let reconfig_cfg ~scheme ~seed =
+  {
+    Campaign.reconfig_base with
+    Runtime.scheme;
+    seed;
+    n_txns = 40;
+    install_faults =
+      (fun net -> Fault.crash_recover_all net ~mtbf:600.0 ~mttr:150.0);
+  }
+
+(* Golden fingerprints captured before the gray-failure layer landed:
+   with [gray = None] (the default) the runtime must reproduce each of
+   them exactly — the hedging machinery, the deferred-release plumbing
+   and the fail-slow hooks may not perturb a single random draw. The
+   healthy and faulty rows predate the PR unchanged; the reconfig rows
+   were re-captured once, deliberately, when the detector's probe phase
+   gained jitter (the thundering-herd satellite) — they encode the
+   jittered schedule, which is itself part of the contract now. *)
+let golden =
+  [
+    ( "healthy/static/seed0",
+      healthy_cfg ~scheme:Replicated.Static ~seed:0,
+      "c=40 a=0 ops=40 sent=1230 drop=0 dup=0 dead=0 to=0 dur=1640.578099 latn=40 latmean=105.121659"
+    );
+    ( "healthy/static/seed3",
+      healthy_cfg ~scheme:Replicated.Static ~seed:3,
+      "c=39 a=1 ops=39 sent=996 drop=0 dup=0 dead=0 to=0 dur=1160.177489 latn=39 latmean=42.042031"
+    );
+    ( "healthy/hybrid/seed0",
+      healthy_cfg ~scheme:Replicated.Hybrid ~seed:0,
+      "c=40 a=0 ops=40 sent=1395 drop=0 dup=0 dead=0 to=0 dur=1502.331424 latn=40 latmean=162.709839"
+    );
+    ( "healthy/hybrid/seed3",
+      healthy_cfg ~scheme:Replicated.Hybrid ~seed:3,
+      "c=40 a=0 ops=40 sent=1215 drop=0 dup=0 dead=0 to=0 dur=1416.673019 latn=40 latmean=112.319464"
+    );
+    ( "healthy/locking/seed0",
+      healthy_cfg ~scheme:Replicated.Locking ~seed:0,
+      "c=40 a=0 ops=40 sent=1752 drop=0 dup=0 dead=0 to=0 dur=2626.649363 latn=40 latmean=379.550765"
+    );
+    ( "healthy/locking/seed3",
+      healthy_cfg ~scheme:Replicated.Locking ~seed:3,
+      "c=40 a=0 ops=40 sent=1575 drop=0 dup=0 dead=0 to=0 dur=1790.217145 latn=40 latmean=293.033433"
+    );
+    ( "faulty/static/seed0",
+      faulty_cfg ~scheme:Replicated.Static ~seed:0,
+      "c=15 a=9 ops=17 sent=1599 drop=0 dup=0 dead=194 to=113 dur=999767.833124 latn=15 latmean=224.364066"
+    );
+    ( "faulty/hybrid/seed0",
+      faulty_cfg ~scheme:Replicated.Hybrid ~seed:0,
+      "c=14 a=14 ops=16 sent=1333 drop=0 dup=0 dead=121 to=79 dur=999888.050705 latn=14 latmean=111.388800"
+    );
+    ( "faulty/locking/seed3",
+      faulty_cfg ~scheme:Replicated.Locking ~seed:3,
+      "c=2 a=15 ops=2 sent=1034 drop=0 dup=0 dead=230 to=104 dur=999989.992655 latn=2 latmean=17.860524"
+    );
+    ( "reconfig/hybrid/seed0",
+      reconfig_cfg ~scheme:Replicated.Hybrid ~seed:0,
+      "c=29 a=10 ops=29 sent=2290 drop=0 dup=0 dead=172 to=157 dur=7999.448540 latn=29 latmean=65.571180"
+    );
+    ( "reconfig/locking/seed0",
+      reconfig_cfg ~scheme:Replicated.Locking ~seed:0,
+      "c=27 a=11 ops=28 sent=2374 drop=0 dup=0 dead=222 to=195 dur=7999.749521 latn=27 latmean=73.616916"
+    );
+  ]
+
+let test_golden_fingerprints () =
+  List.iter
+    (fun (name, cfg, expected) -> check_string name expected (fingerprint cfg))
+    golden
+
+let test_dormant_fail_slow_is_free () =
+  (* Wiring that never bites must never perturb: an injection scheduled
+     past the horizon, and a constant inflation of exactly 1.0, both
+     replay the untouched run bit for bit — set_fail_slow draws no RNG,
+     and the constant law multiplies without drawing. *)
+  List.iter
+    (fun seed ->
+      let base = healthy_cfg ~scheme:Replicated.Hybrid ~seed in
+      let never =
+        {
+          base with
+          Runtime.fail_slow = [ (1, 1.0e9, Network.Slow_constant 8.0) ];
+        }
+      in
+      let unit_factor =
+        {
+          base with
+          Runtime.fail_slow = [ (1, 0.0, Network.Slow_constant 1.0) ];
+        }
+      in
+      let want = fingerprint base in
+      check_string
+        (Printf.sprintf "onset past horizon, seed %d" seed)
+        want (fingerprint never);
+      check_string
+        (Printf.sprintf "factor 1.0, seed %d" seed)
+        want (fingerprint unit_factor))
+    [ 0; 3 ]
+
+let scheme_gen =
+  QCheck2.Gen.oneofl [ Replicated.Static; Replicated.Hybrid; Replicated.Locking ]
+
+let prop_hedging_off_replays =
+  QCheck2.Test.make ~name:"gray: hedging-off runs replay bit-identically"
+    ~count:8
+    QCheck2.Gen.(pair scheme_gen (int_bound 1_000))
+    (fun (scheme, seed) ->
+      let fp () =
+        fingerprint
+          { Runtime.default_config with Runtime.scheme; seed; n_txns = 12 }
+      in
+      fp () = fp ())
+
+(* --- the fail-slow fault model ----------------------------------------- *)
+
+let test_constant_inflation_scales_delivery () =
+  let mean_delivery factor =
+    let engine = Engine.create ~seed:2 in
+    let net = Network.create engine ~n_sites:2 ~latency_mean:5.0 () in
+    (match factor with
+     | Some f -> Network.set_fail_slow net ~site:1 (Network.Slow_constant f)
+     | None -> ());
+    let total = ref 0.0 in
+    let n = 200 in
+    for _ = 1 to n do
+      Network.send net ~src:0 ~dst:1 (fun () ->
+          total := !total +. Engine.now engine)
+    done;
+    Engine.run ~until:1.0e9 engine;
+    !total /. float_of_int n
+  in
+  let base = mean_delivery None and slow = mean_delivery (Some 8.0) in
+  (* Same seed, same draws: the constant law multiplies each one by
+     exactly the factor, so the ratio is exact, not statistical. *)
+  check_bool "constant 8x inflates delivery by exactly 8x" true
+    (Float.abs ((slow /. base) -. 8.0) < 1e-6)
+
+let test_detector_flags_fail_slow_site () =
+  let engine = Engine.create ~seed:7 in
+  let net = Network.create engine ~n_sites:5 ~latency_mean:2.0 () in
+  let det =
+    Detector.start net
+      ~rng:(Rng.split (Engine.rng engine))
+      ~slow:Detector.default_slow_config ()
+  in
+  Engine.schedule_at engine ~time:500.0 (fun () ->
+      Network.set_fail_slow net ~site:3 (Network.Slow_constant 8.0));
+  Engine.run ~until:8_000.0 engine;
+  (* An 8x-inflated site misses most 25ms probe budgets: it surfaces
+     through the binary miss-streak verdict, the graded latency score,
+     or both — either way the steering view must exclude it. *)
+  let flagged = Detector.suspected det 3 || Detector.slow_suspected det 3 in
+  let fast = Detector.fast_sites det in
+  Detector.stop det;
+  check_bool "the fail-slow site is flagged" true flagged;
+  check_bool "steering avoids it" true (not (List.mem 3 fast));
+  check_bool "healthy sites stay in the fast set" true
+    (List.for_all (fun s -> List.mem s fast) [ 0; 1; 2; 4 ])
+
+(* --- the hedged early-quorum multicast --------------------------------- *)
+
+let test_straggler_never_redrives_gather () =
+  let engine = Engine.create ~seed:11 in
+  let net = Network.create engine ~n_sites:4 ~latency_mean:5.0 () in
+  let gathers = ref 0 and gathered = ref [] and late = ref 0 in
+  Rpc.multicast
+    ~enough:(fun replies -> List.length replies >= 2)
+    ~on_late:(fun ~dst:_ ~ok:_ -> incr late)
+    net ~src:0 ~dsts:[ 1; 2; 3 ] ~timeout:1_000.0
+    ~handler:(fun dst -> dst)
+    ~gather:(fun replies ->
+      incr gathers;
+      gathered := replies);
+  Engine.run ~until:5_000.0 engine;
+  check_int "gather fired exactly once" 1 !gathers;
+  check_int "at the satisfying set, not the full roster" 2
+    (List.length !gathered);
+  check_int "the straggler was reported late" 1 !late
+
+let test_hedge_reissues_to_straggler_and_dedups () =
+  let engine = Engine.create ~seed:5 in
+  let net = Network.create engine ~n_sites:4 ~latency_mean:5.0 () in
+  Network.set_fail_slow net ~site:3 (Network.Slow_constant 200.0);
+  let hedged = ref [] and gathers = ref 0 and gathered = ref [] in
+  let hedge =
+    {
+      Rpc.h_delay = (fun () -> 60.0);
+      h_spares = [];
+      h_max = 3;
+      h_on_hedge = (fun ~dst -> hedged := dst :: !hedged);
+      h_on_win = (fun ~dst:_ -> ());
+    }
+  in
+  Rpc.multicast ~hedge net ~src:0 ~dsts:[ 1; 2; 3 ] ~timeout:20_000.0
+    ~handler:(fun dst -> dst)
+    ~gather:(fun replies ->
+      incr gathers;
+      gathered := replies);
+  Engine.run ~until:100_000.0 engine;
+  check_int "gather once, after every issued call settled" 1 !gathers;
+  check_bool "the unanswered site was re-issued to" true (List.mem 3 !hedged);
+  (* The slow original and its hedge both eventually answer: the site
+     still votes exactly once. *)
+  check_int "three unique voters" 3 (List.length !gathered);
+  let sites = List.sort compare (List.map fst !gathered) in
+  check_bool "no site counted twice" true
+    (List.sort_uniq compare sites = sites)
+
+let test_hedge_skips_breaker_open_site () =
+  let engine = Engine.create ~seed:9 in
+  let net = Network.create engine ~n_sites:4 ~latency_mean:5.0 () in
+  Network.set_fail_slow net ~site:1 (Network.Slow_constant 30.0);
+  Network.set_fail_slow net ~site:2 (Network.Slow_constant 30.0);
+  (* Site 3 is routed out, as an open circuit breaker would: a hedge
+     there would only burn the refusal. *)
+  Network.set_router net (Some (fun ~src:_ ~dst -> dst <> 3));
+  let hedged = ref [] and gathers = ref 0 in
+  let hedge =
+    {
+      Rpc.h_delay = (fun () -> 50.0);
+      h_spares = [ 3 ];
+      h_max = 3;
+      h_on_hedge = (fun ~dst -> hedged := dst :: !hedged);
+      h_on_win = (fun ~dst:_ -> ());
+    }
+  in
+  Rpc.multicast ~hedge net ~src:0 ~dsts:[ 1; 2 ] ~timeout:5_000.0
+    ~handler:(fun dst -> dst)
+    ~gather:(fun _ -> incr gathers);
+  Engine.run ~until:20_000.0 engine;
+  check_int "gather once" 1 !gathers;
+  check_bool "both lagging primaries were re-issued to" true
+    (List.mem 1 !hedged && List.mem 2 !hedged);
+  check_bool "the routed-out spare was never hedged" true
+    (not (List.mem 3 !hedged))
+
+(* --- slow-site demotion and hedging, end to end ------------------------ *)
+
+let gray_e2e_cfg ~gray ~trace ~seed =
+  { (faulty_cfg ~scheme:Replicated.Hybrid ~seed) with
+    Runtime.n_txns = 100;
+    install_faults = (fun _ -> ());
+    fail_slow = [ (2, 500.0, Network.Slow_constant 8.0) ];
+    gray;
+    trace = Some trace;
+  }
+
+let test_mitigation_beats_baseline () =
+  let run gray =
+    let trace = Trace.create ~n_sites:5 () in
+    let cfg = gray_e2e_cfg ~gray ~trace ~seed:0 in
+    let outcome = Runtime.run cfg in
+    let violations = Monitors.run Monitors.registry { Monitors.cfg; outcome } trace in
+    (outcome.Runtime.metrics, Atomrep_obs.Spec_monitor.failures violations)
+  in
+  let base, base_fails = run None in
+  let mit, mit_fails = run (Some Runtime.default_gray) in
+  check_int "baseline: full monitor catalogue green" 0 (List.length base_fails);
+  check_int "mitigated: full monitor catalogue green" 0 (List.length mit_fails);
+  check_bool "hedges fired" true (mit.Runtime.hedges > 0);
+  check_bool "rounds were demoted around the slow site" true
+    (mit.Runtime.demoted_rounds > 0);
+  check_bool "the slow site was suspected" true
+    (mit.Runtime.slow_suspicions > 0);
+  check_bool "mitigation does not lose commits" true
+    (mit.Runtime.committed >= base.Runtime.committed);
+  let p99 m = Summary.percentile m.Runtime.txn_latency 0.99 in
+  check_bool "p99 commit latency improves under one fail-slow site" true
+    (p99 mit < p99 base)
+
+let test_gray_storm_monitors_green () =
+  (* The CI smoke in miniature: the gray base (hedging, demotion and
+     latency scoring armed) under the gray_storm profile, judged by the
+     full monitor catalogue — hedge_safety included, so a hedged
+     duplicate surfacing as a double commit or conflicting verdicts
+     would fail here first. *)
+  let profile =
+    match Campaign.find_profile "gray_storm" with
+    | Some p -> p
+    | None -> Alcotest.fail "gray_storm profile missing"
+  in
+  List.iter
+    (fun seed ->
+      let trace = Trace.create ~n_sites:3 () in
+      let cfg =
+        Campaign.configure ~base:Campaign.gray_base ~scheme:Replicated.Hybrid
+          ~seed ~n_txns:40 ~intensity:1.0 ~trace profile
+      in
+      let outcome = Runtime.run cfg in
+      let failures =
+        Atomrep_obs.Spec_monitor.failures
+          (Monitors.run Monitors.registry { Monitors.cfg; outcome } trace)
+      in
+      check_int (Printf.sprintf "seed %d green" seed) 0 (List.length failures))
+    [ 0; 1; 2 ]
+
+let suites =
+  [
+    ( "gray.identity",
+      Alcotest.
+        [
+          test_case "golden fingerprints, hedging off" `Quick
+            test_golden_fingerprints;
+          test_case "dormant fail-slow wiring is free" `Quick
+            test_dormant_fail_slow_is_free;
+        ]
+      @ to_alcotest [ prop_hedging_off_replays ] );
+    ( "gray.failslow",
+      Alcotest.
+        [
+          test_case "constant inflation scales delivery" `Quick
+            test_constant_inflation_scales_delivery;
+          test_case "detector flags the fail-slow site" `Quick
+            test_detector_flags_fail_slow_site;
+        ] );
+    ( "gray.hedging",
+      Alcotest.
+        [
+          test_case "straggler never re-drives the gather" `Quick
+            test_straggler_never_redrives_gather;
+          test_case "hedge re-issues to the straggler, dedups its vote"
+            `Quick test_hedge_reissues_to_straggler_and_dedups;
+          test_case "hedge skips a breaker-open site" `Quick
+            test_hedge_skips_breaker_open_site;
+        ] );
+    ( "gray.endtoend",
+      Alcotest.
+        [
+          test_case "hedging + demotion beat the baseline" `Quick
+            test_mitigation_beats_baseline;
+          test_case "gray_storm stays green under the full catalogue" `Quick
+            test_gray_storm_monitors_green;
+        ] );
+  ]

@@ -10,4 +10,4 @@ let () =
    @ Test_props.suites @ Test_extensions.suites @ Test_gifford.suites @ Test_golden.suites @ Test_integration.suites
    @ Test_chaos.suites @ Test_reconfig.suites @ Test_obs.suites @ Test_store.suites @ Test_termination.suites
    @ Test_takeover.suites @ Test_explore.suites @ Test_perfobs.suites
-   @ Test_overload.suites)
+   @ Test_overload.suites @ Test_gray.suites)
